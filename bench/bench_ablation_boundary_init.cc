@@ -1,0 +1,55 @@
+/// Ablation for §5.4: upfront boundary initialization strategies across
+/// layouts. Reports partitions scanned for a top-k query per strategy.
+#include "bench_util.h"
+#include "exec/engine.h"
+#include "expr/builder.h"
+#include "workload/table_gen.h"
+
+using namespace snowprune;           // NOLINT
+using namespace snowprune::bench;    // NOLINT
+using namespace snowprune::workload; // NOLINT
+
+int main() {
+  Banner("Ablation §5.4", "Upfront boundary initialization",
+         "k-th max wins on overlapping data; largest-min wins on sorted");
+  Catalog catalog;
+  for (auto [name, layout] :
+       {std::pair{"sorted", Layout::kSorted},
+        std::pair{"clustered", Layout::kClustered},
+        std::pair{"random", Layout::kRandom}}) {
+    TableGenConfig cfg;
+    cfg.name = name;
+    cfg.num_partitions = 300;
+    cfg.rows_per_partition = 400;
+    cfg.layout = layout;
+    cfg.seed = 54;
+    if (!catalog.RegisterTable(SyntheticTable(cfg)).ok()) return 1;
+  }
+
+  std::printf("%-12s %-16s %10s %12s %12s\n", "layout", "init-mode",
+              "k", "scanned", "topk-pruned");
+  for (const char* table : {"sorted", "clustered", "random"}) {
+    for (auto mode :
+         {BoundaryInitMode::kNone, BoundaryInitMode::kKthMax,
+          BoundaryInitMode::kCumulativeMin, BoundaryInitMode::kStricter}) {
+      EngineConfig cfg;
+      cfg.topk_boundary_init = mode;
+      // Keep arrival order so initialization is the only variable.
+      cfg.topk_order_strategy = OrderStrategy::kNone;
+      Engine engine(&catalog, cfg);
+      auto plan = TopKPlan(ScanPlan(table), "key", /*descending=*/true, 25);
+      auto r = engine.Execute(plan);
+      if (!r.ok()) return 1;
+      std::printf("%-12s %-16s %10d %12lld %11.1f%%\n", table, ToString(mode),
+                  25,
+                  static_cast<long long>(r.value().stats.scanned_partitions),
+                  100.0 * r.value().stats.TopKRatio());
+    }
+  }
+  std::printf(
+      "\nexpected: on sorted/clustered layouts cumulative-min initializes a\n"
+      "tight boundary and skips nearly everything even in arrival order; on\n"
+      "random layouts k-th max is the better of two weak bounds; 'stricter'\n"
+      "always matches the best single strategy.\n");
+  return 0;
+}

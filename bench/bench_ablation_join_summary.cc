@@ -1,0 +1,72 @@
+/// Ablation for §6.1: build-side summary structures — size vs partition
+/// pruning power vs row-level CPU savings.
+#include "bench_util.h"
+#include "core/join_pruner.h"
+#include "common/rng.h"
+#include "workload/table_gen.h"
+
+using namespace snowprune;           // NOLINT
+using namespace snowprune::bench;    // NOLINT
+using namespace snowprune::workload; // NOLINT
+
+int main() {
+  Banner("Ablation §6.1", "Join summary structures",
+         "accuracy vs memory trade-off; bloom answers rows, not ranges");
+  TableGenConfig pcfg;
+  pcfg.name = "probe";
+  pcfg.num_partitions = 1000;
+  pcfg.rows_per_partition = 200;
+  pcfg.layout = Layout::kClustered;
+  pcfg.seed = 61;
+  auto probe = SyntheticTable(pcfg);
+
+  // Build side: three clusters of keys across the domain.
+  Rng rng(62);
+  SummaryBuilder builder;
+  std::vector<Value> build_keys;
+  for (int64_t base : {50000, 400000, 900000}) {
+    for (int i = 0; i < 300; ++i) {
+      build_keys.push_back(Value(base + rng.UniformInt(0, 2000)));
+      builder.Add(build_keys.back());
+    }
+  }
+
+  std::printf("%-14s %-10s %12s %14s %14s\n", "summary", "budget", "bytes",
+              "probe-pruned", "row-fp-rate");
+  struct Config {
+    SummaryKind kind;
+    size_t budget;
+  };
+  Config configs[] = {{SummaryKind::kMinMax, 0},
+                      {SummaryKind::kRangeSet, 64},
+                      {SummaryKind::kRangeSet, 256},
+                      {SummaryKind::kRangeSet, 1024},
+                      {SummaryKind::kExactSet, 0},
+                      {SummaryKind::kBloom, 256},
+                      {SummaryKind::kBloom, 4096}};
+  for (const auto& cfg : configs) {
+    auto summary = builder.Build(cfg.kind, cfg.budget);
+    auto result =
+        JoinPruner::PruneProbe(*probe, probe->FullScanSet(), 1, *summary);
+    // Row-level false-positive rate over keys absent from the build side.
+    int64_t fp = 0, probes = 20000;
+    Rng frng(63);
+    for (int64_t i = 0; i < probes; ++i) {
+      Value v(frng.UniformInt(0, 1000000) * 7 + 3);  // mostly absent
+      bool present = false;
+      for (const auto& k : build_keys) {
+        if (Value::Compare(k, v) == 0) present = true;
+      }
+      if (!present && summary->MayContain(v)) ++fp;
+    }
+    std::printf("%-14s %-10zu %12zu %13.1f%% %13.2f%%\n", ToString(cfg.kind),
+                cfg.budget, summary->SizeBytes(),
+                100.0 * result.PruningRatio(),
+                100.0 * static_cast<double>(fp) / static_cast<double>(probes));
+  }
+  std::printf(
+      "\nexpected: minmax prunes only domain edges; rangeset approaches\n"
+      "exactset as the budget grows ('small fraction of the build-side\n"
+      "size', §6.1); bloom prunes zero partitions but filters rows.\n");
+  return 0;
+}

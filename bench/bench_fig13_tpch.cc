@@ -1,0 +1,78 @@
+/// Reproduces Figure 13: per-query pruning ratios for TPC-H clustered on
+/// l_shipdate / o_orderdate. Scale factor via SNOWPRUNE_TPCH_SF (default
+/// 0.02 for the smoke run; the paper used SF100 — ratios, not bytes, are
+/// the reproduced quantity).
+#include <cstdlib>
+#include <map>
+
+#include "bench_util.h"
+#include "core/filter_pruner.h"
+#include "workload/tpch/tpch_gen.h"
+#include "workload/tpch/tpch_queries.h"
+
+using namespace snowprune;                 // NOLINT
+using namespace snowprune::bench;          // NOLINT
+using namespace snowprune::workload::tpch; // NOLINT
+
+int main() {
+  Banner("Figure 13", "TPC-H pruning ratios (clustered layout)",
+         "avg 28.7%%, median 8.3%%; Q6/Q14/Q15 high, many queries ~0%%");
+  TpchConfig cfg;
+  if (const char* sf = std::getenv("SNOWPRUNE_TPCH_SF")) {
+    cfg.scale_factor = std::atof(sf);
+  } else {
+    cfg.scale_factor = 0.02;
+  }
+  cfg.lineitem_rows_per_partition =
+      std::max<size_t>(200, static_cast<size_t>(120000 * cfg.scale_factor));
+  cfg.orders_rows_per_partition =
+      std::max<size_t>(100, static_cast<size_t>(60000 * cfg.scale_factor));
+  std::printf("scale factor %.3f\n", cfg.scale_factor);
+  auto tables = GenerateTpch(cfg);
+  Catalog catalog;
+  if (!tables.RegisterAll(&catalog).ok()) return 1;
+  std::printf("lineitem: %lld rows / %zu partitions; orders: %lld rows / %zu "
+              "partitions\n\n",
+              static_cast<long long>(tables.lineitem->num_rows()),
+              tables.lineitem->num_partitions(),
+              static_cast<long long>(tables.orders->num_rows()),
+              tables.orders->num_partitions());
+
+  // Paper Figure 13 reference values (percent pruned per query).
+  const std::map<int, int> kPaper = {{1, 1},   {2, 0},  {3, 45}, {4, 19},
+                                     {5, 16},  {6, 84}, {7, 53}, {8, 13},
+                                     {9, 0},   {10, 57}, {11, 0}, {12, 67},
+                                     {13, 0},  {14, 96}, {15, 96}, {16, 0},
+                                     {17, 0},  {18, 0},  {19, 0},  {20, 72},
+                                     {21, 4},  {22, 0}};
+
+  std::printf("%5s %10s %10s\n", "query", "measured", "paper");
+  StatsCollector per_query;
+  for (const auto& profile : AllQueryProfiles()) {
+    int64_t total = 0, pruned = 0;
+    for (const auto& scan : profile.scans) {
+      auto table = catalog.GetTable(scan.table);
+      if (scan.predicate &&
+          !BindExpr(scan.predicate, table->schema()).ok()) {
+        std::printf("Q%d: bind error\n", profile.id);
+        return 1;
+      }
+      FilterPruner pruner(scan.predicate);
+      auto result = pruner.Prune(*table, table->FullScanSet());
+      total += result.input_partitions;
+      pruned += result.pruned;
+    }
+    double ratio = total == 0 ? 0.0 : static_cast<double>(pruned) / total;
+    per_query.Add(ratio);
+    std::printf("%5d %9.1f%% %9d%%\n", profile.id, 100.0 * ratio,
+                kPaper.at(profile.id));
+  }
+  std::printf("\naverage pruning ratio: %5.1f%%  (paper: 28.7%%)\n",
+              100.0 * per_query.Mean());
+  std::printf("median pruning ratio:  %5.1f%%  (paper: 8.3%%)\n",
+              100.0 * per_query.Median());
+  std::printf(
+      "\ntakeaway (§8.3): TPC-H pruning is far below the >99%% seen on the\n"
+      "production-like population — synthetic benchmarks understate pruning.\n");
+  return 0;
+}

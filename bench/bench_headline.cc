@@ -1,0 +1,52 @@
+/// Reproduces the headline numbers: 99.4% of micro-partitions pruned across
+/// the platform (§1), and the per-technique averages for applicable queries
+/// (§9: filter 99%, LIMIT 70%, top-k 77%, join 79%).
+#include "bench_util.h"
+#include "exec/engine.h"
+#include "workload/query_gen.h"
+#include "workload/simulator.h"
+
+using namespace snowprune;           // NOLINT
+using namespace snowprune::bench;    // NOLINT
+using namespace snowprune::workload; // NOLINT
+
+int main() {
+  Banner("Headline", "Global partition-weighted pruning ratio",
+         "99.4%% of micro-partitions pruned across all customer workloads");
+  auto catalog = StandardCatalog();
+  Engine engine(catalog.get());
+  QueryGenerator::Config gcfg;
+  gcfg.seed = 994;
+  QueryGenerator gen(catalog.get(),
+                     {"probe_sorted", "probe_sorted", "probe_clustered",
+                      "probe_clustered", "probe_random"},
+                     {"build_small", "build_tiny"}, ProductionModel(), gcfg);
+  Simulator sim(&gen, &engine);
+  SimulationResult r = sim.Run(6000);
+
+  std::printf("partitions considered: %lld\n",
+              static_cast<long long>(r.total_partitions));
+  std::printf("partitions pruned:     %lld\n",
+              static_cast<long long>(r.total_pruned));
+  std::printf("global pruning ratio:  %5.1f%%   (paper: 99.4%%)\n\n",
+              100.0 * r.OverallPruningRatio());
+  std::printf("%-34s %9s   %s\n", "technique (applicable queries)", "mean",
+              "paper");
+  std::printf("%-34s %8.1f%%   %s\n", "filter pruning (partition-weighted)",
+              100.0 * r.FilterPartitionWeightedRatio(), "99%");
+  std::printf("%-34s %8.1f%%   %s\n", "filter pruning (query mean, applied)",
+              100.0 * r.filter_ratios_applied.Mean(), "-");
+  std::printf("%-34s %8.1f%%   %s\n", "LIMIT pruning (applied)",
+              100.0 * r.limit_ratios_applied.Mean(), "70%");
+  std::printf("%-34s %8.1f%%   %s\n", "top-k pruning",
+              100.0 * r.topk_ratios.Mean(), "77%");
+  std::printf("%-34s %8.1f%%   %s\n", "join pruning",
+              100.0 * r.join_ratios.Mean(), "79%");
+  std::printf(
+      "\nnote: the absolute global ratio tracks the share of full-scan\n"
+      "(ETL-style) queries in the mix; the reproduced claim is that the\n"
+      "population's high predicate selectivity plus clustered layouts push\n"
+      "the partition-weighted ratio far above what TPC-H suggests\n"
+      "(compare bench_fig13_tpch).\n");
+  return 0;
+}

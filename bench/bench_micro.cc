@@ -1,0 +1,141 @@
+/// Google-benchmark microbenchmarks: the per-partition costs that the
+/// compile-time/runtime balance of §3.2 trades off.
+#include <benchmark/benchmark.h>
+
+#include "core/filter_pruner.h"
+#include "core/join_pruner.h"
+#include "core/pruning_tree.h"
+#include "expr/builder.h"
+#include "expr/like.h"
+#include "expr/range_analysis.h"
+#include "workload/table_gen.h"
+
+namespace snowprune {
+namespace {
+
+using workload::Layout;
+using workload::SyntheticTable;
+using workload::TableGenConfig;
+
+std::shared_ptr<Table> BenchTable() {
+  static std::shared_ptr<Table> table = [] {
+    TableGenConfig cfg;
+    cfg.name = "bench";
+    cfg.num_partitions = 2000;
+    cfg.rows_per_partition = 100;
+    cfg.layout = Layout::kClustered;
+    cfg.seed = 7;
+    return SyntheticTable(cfg);
+  }();
+  return table;
+}
+
+ExprPtr SimplePredicate() {
+  auto table = BenchTable();
+  auto pred = Between(Col("key"), Value(int64_t{100000}), Value(int64_t{200000}));
+  (void)BindExpr(pred, table->schema());
+  return pred;
+}
+
+ExprPtr ComplexPredicate() {
+  auto table = BenchTable();
+  // The §3 guiding-example shape: IF + arithmetic + LIKE.
+  auto pred = And({Gt(If(Eq(Col("cat"), Lit("c0000")),
+                         Mul(Col("key"), Lit(0.3048)), Col("key")),
+                      Lit(150000)),
+                   Like(Col("cat"), "c0%")});
+  (void)BindExpr(pred, table->schema());
+  return pred;
+}
+
+void BM_RangeAnalysisSimple(benchmark::State& state) {
+  auto table = BenchTable();
+  auto pred = SimplePredicate();
+  const auto& stats = table->partition_metadata(42).all_stats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzePredicate(*pred, stats));
+  }
+}
+BENCHMARK(BM_RangeAnalysisSimple);
+
+void BM_RangeAnalysisComplex(benchmark::State& state) {
+  auto table = BenchTable();
+  auto pred = ComplexPredicate();
+  const auto& stats = table->partition_metadata(42).all_stats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzePredicate(*pred, stats));
+  }
+}
+BENCHMARK(BM_RangeAnalysisComplex);
+
+void BM_FilterPrunerFullScanSet(benchmark::State& state) {
+  auto table = BenchTable();
+  auto pred = SimplePredicate();
+  for (auto _ : state) {
+    FilterPruner pruner(pred);
+    benchmark::DoNotOptimize(pruner.Prune(*table, table->FullScanSet()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table->num_partitions()));
+}
+BENCHMARK(BM_FilterPrunerFullScanSet);
+
+void BM_PruningTreeAdaptive(benchmark::State& state) {
+  auto table = BenchTable();
+  auto pred = ComplexPredicate();
+  PruningTreeConfig cfg;
+  cfg.enable_reorder = state.range(0) != 0;
+  PruningTree tree(pred, cfg);
+  size_t pid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Evaluate(table->partition_metadata(
+                             static_cast<PartitionId>(pid)).all_stats()));
+    pid = (pid + 1) % table->num_partitions();
+  }
+}
+BENCHMARK(BM_PruningTreeAdaptive)->Arg(0)->Arg(1);
+
+void BM_SummaryBuild(benchmark::State& state) {
+  Rng rng(5);
+  SummaryBuilder builder;
+  for (int i = 0; i < 10000; ++i) {
+    builder.Add(Value(rng.UniformInt(0, 1000000)));
+  }
+  auto kind = static_cast<SummaryKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.Build(kind, 1024));
+  }
+}
+BENCHMARK(BM_SummaryBuild)
+    ->Arg(static_cast<int>(SummaryKind::kMinMax))
+    ->Arg(static_cast<int>(SummaryKind::kRangeSet))
+    ->Arg(static_cast<int>(SummaryKind::kBloom));
+
+void BM_SummaryProbePartition(benchmark::State& state) {
+  Rng rng(6);
+  SummaryBuilder builder;
+  for (int i = 0; i < 10000; ++i) {
+    builder.Add(Value(rng.UniformInt(0, 1000000)));
+  }
+  auto summary = builder.Build(SummaryKind::kRangeSet, 1024);
+  Value lo(int64_t{500000}), hi(int64_t{501000});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(summary->MayContainInRange(lo, hi));
+  }
+}
+BENCHMARK(BM_SummaryProbePartition);
+
+void BM_LikeMatch(benchmark::State& state) {
+  std::string text = "Marked-North-West-Ridge";
+  std::string pattern = "Marked-%-Ridge";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LikeMatch(text, pattern));
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+}  // namespace
+}  // namespace snowprune
+
+BENCHMARK_MAIN();

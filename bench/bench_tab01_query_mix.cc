@@ -1,0 +1,50 @@
+/// Reproduces Table 1: relative frequency of LIMIT-query types among
+/// SELECT queries.
+#include "bench_util.h"
+#include "exec/engine.h"
+#include "workload/query_gen.h"
+#include "workload/simulator.h"
+
+using namespace snowprune;           // NOLINT
+using namespace snowprune::bench;    // NOLINT
+using namespace snowprune::workload; // NOLINT
+
+int main() {
+  Banner("Table 1", "Relative frequency of LIMIT query types",
+         "LIMIT 2.60%% (0.37 / 2.23), top-k 5.55%% (4.47 / 0.12 / 0.96)");
+  auto catalog = StandardCatalog(0.2);
+  Engine engine(catalog.get());
+  QueryGenerator::Config gcfg;
+  gcfg.seed = 11;
+  QueryGenerator gen(catalog.get(),
+                     {"probe_sorted", "probe_sorted", "probe_clustered",
+                      "probe_clustered", "probe_random"},
+                     {"build_small"}, ProductionModel(), gcfg);
+  Simulator sim(&gen, &engine);
+  SimulationResult r = sim.Run(20000);
+
+  auto pct = [&](QueryClass c) {
+    auto it = r.class_counts.find(c);
+    int64_t n = it == r.class_counts.end() ? 0 : it->second;
+    return 100.0 * static_cast<double>(n) /
+           static_cast<double>(r.total_queries);
+  };
+  double limit_total = pct(QueryClass::kLimitNoPredicate) +
+                       pct(QueryClass::kLimitWithPredicate);
+  double topk_total = pct(QueryClass::kTopK) + pct(QueryClass::kTopKGroupBySame) +
+                      pct(QueryClass::kTopKGroupByAgg);
+  std::printf("%-44s %9s %9s\n", "Type", "measured", "paper");
+  std::printf("%-44s %8.2f%% %8s\n", "LIMIT queries", limit_total, "2.60%");
+  std::printf("%-44s %8.2f%% %8s\n", "  LIMIT without predicate",
+              pct(QueryClass::kLimitNoPredicate), "0.37%");
+  std::printf("%-44s %8.2f%% %8s\n", "  LIMIT with predicate",
+              pct(QueryClass::kLimitWithPredicate), "2.23%");
+  std::printf("%-44s %8.2f%% %8s\n", "Top-k queries", topk_total, "5.55%");
+  std::printf("%-44s %8.2f%% %8s\n", "  ORDER BY x LIMIT k",
+              pct(QueryClass::kTopK), "4.47%");
+  std::printf("%-44s %8.2f%% %8s\n", "  GROUP BY x ORDER BY x LIMIT k",
+              pct(QueryClass::kTopKGroupBySame), "0.12%");
+  std::printf("%-44s %8.2f%% %8s\n", "  GROUP BY y ORDER BY agg(x) LIMIT k",
+              pct(QueryClass::kTopKGroupByAgg), "0.96%");
+  return 0;
+}

@@ -1,0 +1,83 @@
+/// Reproduces Table 2: breakdown of LIMIT pruning applicability, split by
+/// queries with and without predicates.
+#include "bench_util.h"
+#include "exec/engine.h"
+#include "workload/query_gen.h"
+#include "workload/simulator.h"
+
+using namespace snowprune;           // NOLINT
+using namespace snowprune::bench;    // NOLINT
+using namespace snowprune::workload; // NOLINT
+
+namespace {
+
+void PrintColumn(const char* row, double without_pred, double with_pred,
+                 double overall, const char* paper_overall) {
+  std::printf("%-28s %9.2f%% %9.2f%% %9.2f%%   %s\n", row, without_pred,
+              with_pred, overall, paper_overall);
+}
+
+double Pct(int64_t n, int64_t total) {
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(n) /
+                                static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  Banner("Table 2", "Breakdown of LIMIT pruning applicability",
+         "most LIMIT queries already minimal or unsupported; pruning, when "
+         "possible, hits 1 partition");
+  auto catalog = StandardCatalog();
+  Engine engine(catalog.get());
+  QueryGenerator::Config gcfg;
+  gcfg.seed = 2;
+  ProductionModel::Config pm;
+  // LIMIT-only population, keeping the paper's with/without predicate ratio.
+  pm.class_weights = {0, 0, 14.2, 85.8, 0, 0, 0, 0};
+  QueryGenerator gen(catalog.get(),
+                     {"probe_sorted", "probe_sorted", "probe_clustered",
+                      "probe_clustered", "probe_random"},
+                     {"build_small", "build_tiny"}, ProductionModel(pm), gcfg);
+  Simulator sim(&gen, &engine);
+  SimulationResult r = sim.Run(6000);
+
+  const LimitBreakdown& no_pred = r.limit_without_predicate;
+  const LimitBreakdown& with_pred = r.limit_with_predicate;
+  LimitBreakdown overall;
+  overall.already_minimal = no_pred.already_minimal + with_pred.already_minimal;
+  overall.unsupported = no_pred.unsupported + with_pred.unsupported;
+  overall.no_fully_matching =
+      no_pred.no_fully_matching + with_pred.no_fully_matching;
+  overall.pruned_to_one = no_pred.pruned_to_one + with_pred.pruned_to_one;
+  overall.pruned_to_many = no_pred.pruned_to_many + with_pred.pruned_to_many;
+
+  std::printf("%-28s %10s %10s %10s   %s\n", "Queries with...", "w/o pred",
+              "w/ pred", "overall", "paper overall");
+  PrintColumn("already minimal scan set",
+              Pct(no_pred.already_minimal, no_pred.total()),
+              Pct(with_pred.already_minimal, with_pred.total()),
+              Pct(overall.already_minimal, overall.total()), "64.22%");
+  PrintColumn("unsupported / no fully-m.",
+              Pct(no_pred.unsupported + no_pred.no_fully_matching,
+                  no_pred.total()),
+              Pct(with_pred.unsupported + with_pred.no_fully_matching,
+                  with_pred.total()),
+              Pct(overall.unsupported + overall.no_fully_matching,
+                  overall.total()),
+              "31.28%");
+  PrintColumn("pruning to = 1 partition",
+              Pct(no_pred.pruned_to_one, no_pred.total()),
+              Pct(with_pred.pruned_to_one, with_pred.total()),
+              Pct(overall.pruned_to_one, overall.total()), "3.85%");
+  PrintColumn("pruning to > 1 partitions",
+              Pct(no_pred.pruned_to_many, no_pred.total()),
+              Pct(with_pred.pruned_to_many, with_pred.total()),
+              Pct(overall.pruned_to_many, overall.total()), "0.23%");
+  std::printf(
+      "\nnote: our single big tables make 'already minimal' rarer than in\n"
+      "production (where most tables are small); the applicability shape —\n"
+      "pruning lands on 1 partition when it fires, >1 only for large k —\n"
+      "is the reproduced claim.\n");
+  return 0;
+}

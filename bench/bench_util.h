@@ -1,0 +1,78 @@
+#ifndef SNOWPRUNE_BENCH_BENCH_UTIL_H_
+#define SNOWPRUNE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/stats_collector.h"
+#include "storage/catalog.h"
+#include "workload/table_gen.h"
+
+namespace snowprune {
+namespace bench {
+
+/// Prints the standard figure/table banner.
+inline void Banner(const char* artifact, const char* title,
+                   const char* paper_reference) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", artifact, title);
+  std::printf("paper reference: %s\n", paper_reference);
+  std::printf("==============================================================\n");
+}
+
+/// Renders a Figure 1 / Figure 8 style box-plot row.
+inline void PrintBoxRow(const char* label, const StatsCollector& c) {
+  if (c.empty()) {
+    std::printf("%-16s (no eligible queries)\n", label);
+    return;
+  }
+  std::printf("%-16s %s  mean=%5.1f%% median=%5.1f%% n=%zu\n", label,
+              c.BoxPlotRow(0.0, 1.0, 51).c_str(), 100.0 * c.Mean(),
+              100.0 * c.Median(), c.count());
+}
+
+/// Prints a CDF as "percentile-of-queries -> value" rows (the paper's
+/// Figure 4/9 axes).
+inline void PrintCdfTable(const char* label, const StatsCollector& c,
+                          int points = 20, double scale = 100.0,
+                          const char* unit = "%") {
+  std::printf("# %s (%zu samples)\n", label, c.count());
+  std::printf("%22s %14s\n", "percentile of queries", "value");
+  for (int i = 0; i <= points; ++i) {
+    double p = 100.0 * i / points;
+    std::printf("%21.1f%% %13.2f%s\n", p, c.empty() ? 0.0 : scale * c.Percentile(p),
+                unit);
+  }
+}
+
+/// The standard mixed-layout catalog used by the population benches:
+/// three large probe tables spanning the layout spectrum plus two small
+/// build tables. `scale` multiplies partition counts.
+inline std::unique_ptr<Catalog> StandardCatalog(double scale = 1.0,
+                                                uint64_t seed = 42) {
+  auto catalog = std::make_unique<Catalog>();
+  auto add = [&](const char* name, workload::Layout layout, size_t partitions,
+                 size_t rows, double null_fraction = 0.0) {
+    workload::TableGenConfig cfg;
+    cfg.name = name;
+    cfg.layout = layout;
+    cfg.num_partitions = static_cast<size_t>(partitions * scale);
+    cfg.rows_per_partition = rows;
+    cfg.null_fraction = null_fraction;
+    cfg.seed = seed++;
+    Status s = catalog->RegisterTable(workload::SyntheticTable(cfg));
+    if (!s.ok()) std::abort();
+  };
+  add("probe_sorted", workload::Layout::kSorted, 200, 500);
+  add("probe_clustered", workload::Layout::kClustered, 200, 500, 0.02);
+  add("probe_random", workload::Layout::kRandom, 80, 500);
+  add("build_small", workload::Layout::kRandom, 2, 1500);
+  add("build_tiny", workload::Layout::kClustered, 1, 800);
+  return catalog;
+}
+
+}  // namespace bench
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_BENCH_BENCH_UTIL_H_

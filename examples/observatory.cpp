@@ -1,0 +1,162 @@
+/// The paper's guiding example (§3-§6): the IUCN searches for an animal
+/// observation post. One dataset, four queries, four pruning techniques —
+/// ending with the §6.1 query that exercises filter, join, and top-k
+/// pruning on the same table scan.
+#include <cstdio>
+
+#include "exec/engine.h"
+#include "expr/builder.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+using namespace snowprune;  // NOLINT
+
+namespace {
+
+void Report(const char* title, const QueryResult& r) {
+  std::printf("\n--- %s ---\n", title);
+  std::printf("rows=%zu  total-partitions=%lld  filter=%lld limit=%lld "
+              "join=%lld topk=%lld  scanned=%lld\n",
+              r.rows.size(), static_cast<long long>(r.stats.total_partitions),
+              static_cast<long long>(r.stats.pruned_by_filter),
+              static_cast<long long>(r.stats.pruned_by_limit),
+              static_cast<long long>(r.stats.pruned_by_join),
+              static_cast<long long>(r.stats.pruned_by_topk),
+              static_cast<long long>(r.stats.scanned_partitions));
+}
+
+std::shared_ptr<Table> BuildTrails() {
+  Schema schema({Field{"mountain", DataType::kString, false},
+                 Field{"name", DataType::kString, false},
+                 Field{"unit", DataType::kString, false},
+                 Field{"altit", DataType::kFloat64, false}});
+  TableBuilder builder("trails", schema, 4);
+  struct Trail {
+    const char* mountain, *name, *unit;
+    double altit;
+  };
+  const Trail kTrails[] = {
+      {"Eiger", "Marked-North-Ridge", "meters", 2300},
+      {"Eiger", "Basecamp-Loop", "meters", 900},
+      {"Matterhorn", "Marked-East-Ridge", "feet", 7200},
+      {"Matterhorn", "Unmarked-Scramble", "feet", 9000},
+      {"Rigi", "Marked-South-Ridge", "meters", 1200},
+      {"Rigi", "Panorama-Walk", "meters", 1100},
+      {"Säntis", "Marked-West-Ridge", "feet", 6200},
+      {"Säntis", "Gondola-Path", "meters", 1300},
+  };
+  for (const auto& t : kTrails) {
+    (void)builder.AppendRow({Value(t.mountain), Value(t.name), Value(t.unit),
+                             Value(t.altit)});
+  }
+  return builder.Finish();
+}
+
+std::shared_ptr<Table> BuildTrackingData() {
+  Schema schema({Field{"area", DataType::kString, false},
+                 Field{"species", DataType::kString, false},
+                 Field{"s", DataType::kInt64, false},
+                 Field{"num_sightings", DataType::kInt64, false}});
+  TableBuilder builder("tracking_data", schema, 3);
+  struct Obs {
+    const char* area, *species;
+    int64_t s, sightings;
+  };
+  // Partition layout mirrors the paper's Figure 5 (partition 3 is fully
+  // matching for the Alpine query), plus area/sightings data for §5/§6.
+  const Obs kObs[] = {
+      // Partition 1 — not matching.
+      {"Rigi", "Snow Vole", 7, 12},
+      {"Rigi", "Brown Bear", 133, 2},
+      {"Rigi", "Gray Wolf", 82, 5},
+      // Partition 2 — partially matching.
+      {"Eiger", "Lynx", 71, 8},
+      {"Eiger", "Red Fox", 40, 21},
+      {"Eiger", "Alpine Bat", 6, 9},
+      // Partition 3 — fully matching.
+      {"Matterhorn", "Alpine Ibex", 101, 44},
+      {"Matterhorn", "Alpine Goat", 76, 31},
+      {"Matterhorn", "Alpine Sheep", 83, 18},
+      // Partition 4 — partially matching.
+      {"Säntis", "Europ. Mole", 4, 3},
+      {"Säntis", "Polecat", 16, 7},
+      {"Säntis", "Alpine Ibex", 97, 52},
+  };
+  for (const auto& o : kObs) {
+    (void)builder.AppendRow(
+        {Value(o.area), Value(o.species), Value(o.s), Value(o.sightings)});
+  }
+  return builder.Finish();
+}
+
+ExprPtr TrailPredicate() {
+  // WHERE IF(unit='feet', altit*0.3048, altit) > 1500
+  //   AND name LIKE 'Marked-%-Ridge'
+  return And({Gt(If(Eq(Col("unit"), Lit("feet")),
+                    Mul(Col("altit"), Lit(0.3048)), Col("altit")),
+                 Lit(1500)),
+              Like(Col("name"), "Marked-%-Ridge")});
+}
+
+ExprPtr TrackingPredicate() {
+  // WHERE species LIKE 'Alpine%' AND s >= 50
+  return And({Like(Col("species"), "Alpine%"), Ge(Col("s"), Lit(50))});
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  if (!catalog.RegisterTable(BuildTrails()).ok()) return 1;
+  if (!catalog.RegisterTable(BuildTrackingData()).ok()) return 1;
+  Engine engine(&catalog);
+
+  // §3 — Filter pruning: candidate trails above 1500m on a marked ridge.
+  auto q1 = ScanPlan("trails", TrailPredicate());
+  auto r1 = engine.Execute(q1);
+  if (!r1.ok()) return 1;
+  Report("§3 filter pruning: candidate trails", r1.value());
+  for (const auto& row : r1.value().rows) {
+    std::printf("  %s / %s\n", row[0].string_value().c_str(),
+                row[1].string_value().c_str());
+  }
+
+  // §4 — LIMIT pruning: a first glance at alpine animals (Figure 5).
+  auto q2 = LimitPlan(ScanPlan("tracking_data", TrackingPredicate()), 3);
+  auto r2 = engine.Execute(q2);
+  if (!r2.ok()) return 1;
+  Report("§4 LIMIT pruning: LIMIT 3 served by the fully-matching partition",
+         r2.value());
+  std::printf("  limit classification: %s\n", ToString(r2.value().limit_class));
+
+  // §5 — Top-k pruning: best chances of a sighting.
+  auto q3 = TopKPlan(ScanPlan("tracking_data", TrackingPredicate()),
+                     "num_sightings", /*descending=*/true, 3);
+  auto r3 = engine.Execute(q3);
+  if (!r3.ok()) return 1;
+  Report("§5 top-k pruning: ORDER BY num_sightings DESC LIMIT 3", r3.value());
+  for (const auto& row : r3.value().rows) {
+    std::printf("  %-12s %-14s sightings=%lld\n", row[0].string_value().c_str(),
+                row[1].string_value().c_str(),
+                static_cast<long long>(row[3].int64_value()));
+  }
+
+  // §6 — Join pruning: the full observatory query. Selective trail filters
+  // shrink the build side; its summary prunes tracking_data partitions; the
+  // TopK boundary prunes more — "three distinct pruning techniques being
+  // used on the tracking_data table" (§6.1).
+  auto q4 = TopKPlan(
+      JoinPlan(ScanPlan("tracking_data", TrackingPredicate()),
+               ScanPlan("trails", TrailPredicate()), "area", "mountain"),
+      "num_sightings", /*descending=*/true, 3);
+  auto r4 = engine.Execute(q4);
+  if (!r4.ok()) return 1;
+  Report("§6 the observatory query: filter + join + top-k on one scan",
+         r4.value());
+  for (const auto& row : r4.value().rows) {
+    std::printf("  observe %-14s from %-18s (%lld sightings)\n",
+                row[1].string_value().c_str(), row[5].string_value().c_str(),
+                static_cast<long long>(row[3].int64_value()));
+  }
+  return 0;
+}

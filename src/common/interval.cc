@@ -1,0 +1,353 @@
+#include "common/interval.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace snowprune {
+
+const char* ToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+CompareOp Invert(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return CompareOp::kNe;
+    case CompareOp::kNe: return CompareOp::kEq;
+    case CompareOp::kLt: return CompareOp::kGe;
+    case CompareOp::kLe: return CompareOp::kGt;
+    case CompareOp::kGt: return CompareOp::kLe;
+    case CompareOp::kGe: return CompareOp::kLt;
+  }
+  return op;
+}
+
+CompareOp Mirror(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return CompareOp::kGt;
+    case CompareOp::kLe: return CompareOp::kGe;
+    case CompareOp::kGt: return CompareOp::kLt;
+    case CompareOp::kGe: return CompareOp::kLe;
+    default: return op;
+  }
+}
+
+Interval Interval::Unknown() {
+  Interval r;
+  r.maybe_null = true;
+  return r;
+}
+
+Interval Interval::Point(const Value& v) {
+  if (v.is_null()) return AllNull();
+  Interval r;
+  r.lo = v;
+  r.hi = v;
+  return r;
+}
+
+Interval Interval::Range(Value lo, Value hi, bool maybe_null) {
+  Interval r;
+  r.lo = std::move(lo);
+  r.hi = std::move(hi);
+  r.maybe_null = maybe_null;
+  return r;
+}
+
+Interval Interval::AllNull() {
+  Interval r;
+  r.maybe_null = true;
+  r.all_null = true;
+  return r;
+}
+
+std::string Interval::ToString() const {
+  if (all_null) return "[all-null]";
+  std::string s = "[";
+  s += lo ? lo->ToString() : "-inf";
+  s += ", ";
+  s += hi ? hi->ToString() : "+inf";
+  s += "]";
+  if (maybe_null) s += "?null";
+  return s;
+}
+
+Interval Union(const Interval& a, const Interval& b) {
+  if (a.all_null && b.all_null) return Interval::AllNull();
+  if (a.all_null) {
+    Interval r = b;
+    r.maybe_null = true;
+    return r;
+  }
+  if (b.all_null) {
+    Interval r = a;
+    r.maybe_null = true;
+    return r;
+  }
+  Interval r;
+  r.maybe_null = a.maybe_null || b.maybe_null;
+  if (a.lo && b.lo) r.lo = Value::Compare(*a.lo, *b.lo) <= 0 ? *a.lo : *b.lo;
+  if (a.hi && b.hi) r.hi = Value::Compare(*a.hi, *b.hi) >= 0 ? *a.hi : *b.hi;
+  return r;
+}
+
+namespace {
+
+double WidenDown(double x) {
+  if (std::isfinite(x)) {
+    return std::nextafter(x, -std::numeric_limits<double>::infinity());
+  }
+  return x;
+}
+
+double WidenUp(double x) {
+  if (std::isfinite(x)) {
+    return std::nextafter(x, std::numeric_limits<double>::infinity());
+  }
+  return x;
+}
+
+/// Turns a widened double bound into a Value, dropping non-finite bounds
+/// back to "unbounded".
+std::optional<Value> BoundFromDouble(double x) {
+  if (!std::isfinite(x)) return std::nullopt;
+  return Value(x);
+}
+
+bool BothInt(const Value& a, const Value& b) {
+  return a.is_int64() && b.is_int64();
+}
+
+enum class ArithOp { kAdd, kSub, kMul };
+
+/// Exact int64 op with overflow detection; returns false on overflow.
+bool Int64Op(ArithOp op, int64_t a, int64_t b, int64_t* out) {
+  switch (op) {
+    case ArithOp::kAdd: return !__builtin_add_overflow(a, b, out);
+    case ArithOp::kSub: return !__builtin_sub_overflow(a, b, out);
+    case ArithOp::kMul: return !__builtin_mul_overflow(a, b, out);
+  }
+  return false;
+}
+
+double DoubleOp(ArithOp op, double a, double b) {
+  switch (op) {
+    case ArithOp::kAdd: return a + b;
+    case ArithOp::kSub: return a - b;
+    case ArithOp::kMul: return a * b;
+  }
+  return 0.0;
+}
+
+/// Combines one candidate endpoint pair; exact when both int64 and no
+/// overflow, else widened double.
+Value CombineEndpoint(ArithOp op, const Value& a, const Value& b, bool lower) {
+  if (BothInt(a, b)) {
+    int64_t out;
+    if (Int64Op(op, a.int64_value(), b.int64_value(), &out)) return Value(out);
+  }
+  double d = DoubleOp(op, a.AsDouble(), b.AsDouble());
+  return Value(lower ? WidenDown(d) : WidenUp(d));
+}
+
+struct NumericBounds {
+  bool bounded_lo = false, bounded_hi = false;
+  Value lo, hi;
+};
+
+bool ExtractNumeric(const Interval& a, NumericBounds* nb) {
+  if (a.all_null) return false;
+  if (a.lo) {
+    if (!a.lo->is_numeric()) return false;
+    nb->bounded_lo = true;
+    nb->lo = *a.lo;
+  }
+  if (a.hi) {
+    if (!a.hi->is_numeric()) return false;
+    nb->bounded_hi = true;
+    nb->hi = *a.hi;
+  }
+  return true;
+}
+
+Interval Arith(ArithOp op, const Interval& a, const Interval& b) {
+  if (a.all_null || b.all_null) return Interval::AllNull();
+  NumericBounds na, nb;
+  if (!ExtractNumeric(a, &na) || !ExtractNumeric(b, &nb)) {
+    Interval r = Interval::Unknown();
+    r.maybe_null = a.maybe_null || b.maybe_null;
+    return r;
+  }
+  Interval r;
+  r.maybe_null = a.maybe_null || b.maybe_null;
+  switch (op) {
+    case ArithOp::kAdd:
+      if (na.bounded_lo && nb.bounded_lo)
+        r.lo = CombineEndpoint(op, na.lo, nb.lo, /*lower=*/true);
+      if (na.bounded_hi && nb.bounded_hi)
+        r.hi = CombineEndpoint(op, na.hi, nb.hi, /*lower=*/false);
+      break;
+    case ArithOp::kSub:
+      if (na.bounded_lo && nb.bounded_hi)
+        r.lo = CombineEndpoint(op, na.lo, nb.hi, /*lower=*/true);
+      if (na.bounded_hi && nb.bounded_lo)
+        r.hi = CombineEndpoint(op, na.hi, nb.lo, /*lower=*/false);
+      break;
+    case ArithOp::kMul: {
+      // Products of unbounded ranges are unbounded unless the bounded side is
+      // exactly zero; be conservative and require both fully bounded.
+      if (!(na.bounded_lo && na.bounded_hi && nb.bounded_lo && nb.bounded_hi)) {
+        break;
+      }
+      const Value* as[2] = {&na.lo, &na.hi};
+      const Value* bs[2] = {&nb.lo, &nb.hi};
+      bool first = true;
+      Value best_lo, best_hi;
+      for (const Value* x : as) {
+        for (const Value* y : bs) {
+          Value cand_lo = CombineEndpoint(op, *x, *y, /*lower=*/true);
+          Value cand_hi = CombineEndpoint(op, *x, *y, /*lower=*/false);
+          if (first) {
+            best_lo = cand_lo;
+            best_hi = cand_hi;
+            first = false;
+          } else {
+            if (Value::Compare(cand_lo, best_lo) < 0) best_lo = cand_lo;
+            if (Value::Compare(cand_hi, best_hi) > 0) best_hi = cand_hi;
+          }
+        }
+      }
+      r.lo = best_lo;
+      r.hi = best_hi;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Interval Add(const Interval& a, const Interval& b) {
+  return Arith(ArithOp::kAdd, a, b);
+}
+Interval Sub(const Interval& a, const Interval& b) {
+  return Arith(ArithOp::kSub, a, b);
+}
+Interval Mul(const Interval& a, const Interval& b) {
+  return Arith(ArithOp::kMul, a, b);
+}
+
+Interval Div(const Interval& a, const Interval& b) {
+  if (a.all_null || b.all_null) return Interval::AllNull();
+  NumericBounds na, nb;
+  if (!ExtractNumeric(a, &na) || !ExtractNumeric(b, &nb) ||
+      !(na.bounded_lo && na.bounded_hi && nb.bounded_lo && nb.bounded_hi)) {
+    Interval r = Interval::Unknown();
+    r.maybe_null = a.maybe_null || b.maybe_null;
+    return r;
+  }
+  double blo = nb.lo.AsDouble(), bhi = nb.hi.AsDouble();
+  Interval r;
+  r.maybe_null = a.maybe_null || b.maybe_null;
+  if (blo <= 0.0 && bhi >= 0.0) {
+    // Divisor may be zero: result unbounded (and possibly NULL/error; SQL
+    // engines raise, pruning must stay conservative).
+    return r;
+  }
+  double alo = na.lo.AsDouble(), ahi = na.hi.AsDouble();
+  double cands[4] = {alo / blo, alo / bhi, ahi / blo, ahi / bhi};
+  double lo = cands[0], hi = cands[0];
+  for (double c : cands) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  r.lo = BoundFromDouble(WidenDown(lo));
+  r.hi = BoundFromDouble(WidenUp(hi));
+  return r;
+}
+
+Interval Negate(const Interval& a) {
+  if (a.all_null) return Interval::AllNull();
+  Interval zero = Interval::Point(Value(int64_t{0}));
+  return Sub(zero, a);
+}
+
+namespace {
+
+/// True if values are of comparable kinds for pruning purposes.
+bool Comparable(const Value& a, const Value& b) {
+  if (a.is_string() || b.is_string()) return a.is_string() && b.is_string();
+  if (a.is_bool() || b.is_bool()) return a.is_bool() && b.is_bool();
+  return a.is_numeric() && b.is_numeric();
+}
+
+}  // namespace
+
+TriBool CompareIntervals(const Interval& a, CompareOp op, const Interval& b) {
+  // An all-NULL side means the comparison is NULL on every row: no row
+  // matches, which is definitively False for pruning.
+  if (a.all_null || b.all_null) return TriBool::kFalse;
+
+  bool may_null = a.maybe_null || b.maybe_null;
+  auto degrade = [may_null](TriBool t) {
+    // NULL rows never satisfy the predicate, so kTrue ("all rows match")
+    // weakens to kMaybe when NULLs are possible; kFalse is unaffected.
+    if (t == TriBool::kTrue && may_null) return TriBool::kMaybe;
+    return t;
+  };
+
+  // Validate comparability where bounds exist; mixed kinds -> Maybe.
+  for (const auto* v : {&a.lo, &a.hi}) {
+    for (const auto* w : {&b.lo, &b.hi}) {
+      if (v->has_value() && w->has_value() && !Comparable(**v, **w)) {
+        return TriBool::kMaybe;
+      }
+    }
+  }
+
+  const bool alo = a.lo.has_value(), ahi = a.hi.has_value();
+  const bool blo = b.lo.has_value(), bhi = b.hi.has_value();
+  auto cmp = [](const Value& x, const Value& y) { return Value::Compare(x, y); };
+
+  switch (op) {
+    case CompareOp::kLt:
+      if (ahi && blo && cmp(*a.hi, *b.lo) < 0) return degrade(TriBool::kTrue);
+      if (alo && bhi && cmp(*a.lo, *b.hi) >= 0) return TriBool::kFalse;
+      return TriBool::kMaybe;
+    case CompareOp::kLe:
+      if (ahi && blo && cmp(*a.hi, *b.lo) <= 0) return degrade(TriBool::kTrue);
+      if (alo && bhi && cmp(*a.lo, *b.hi) > 0) return TriBool::kFalse;
+      return TriBool::kMaybe;
+    case CompareOp::kGt:
+      return CompareIntervals(b, CompareOp::kLt, a);
+    case CompareOp::kGe:
+      return CompareIntervals(b, CompareOp::kLe, a);
+    case CompareOp::kEq:
+      if (alo && bhi && cmp(*a.lo, *b.hi) > 0) return TriBool::kFalse;
+      if (ahi && blo && cmp(*a.hi, *b.lo) < 0) return TriBool::kFalse;
+      if (alo && ahi && blo && bhi && cmp(*a.lo, *a.hi) == 0 &&
+          cmp(*b.lo, *b.hi) == 0 && cmp(*a.lo, *b.lo) == 0) {
+        return degrade(TriBool::kTrue);
+      }
+      return TriBool::kMaybe;
+    case CompareOp::kNe: {
+      TriBool eq = CompareIntervals(a, CompareOp::kEq, b);
+      // Careful: TriNot(kTrue from Eq) would claim "no row differs", which is
+      // only sound because Eq==kTrue already implies both sides constant.
+      if (eq == TriBool::kFalse) return degrade(TriBool::kTrue);
+      if (eq == TriBool::kTrue) return TriBool::kFalse;
+      return TriBool::kMaybe;
+    }
+  }
+  return TriBool::kMaybe;
+}
+
+}  // namespace snowprune

@@ -1,0 +1,77 @@
+#ifndef SNOWPRUNE_COMMON_INTERVAL_H_
+#define SNOWPRUNE_COMMON_INTERVAL_H_
+
+#include <optional>
+#include <string>
+
+#include "common/tribool.h"
+#include "common/value.h"
+
+namespace snowprune {
+
+/// Comparison operators usable in pruning predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* ToString(CompareOp op);
+CompareOp Invert(CompareOp op);   ///< Logical negation: Eq<->Ne, Lt<->Ge, ...
+CompareOp Mirror(CompareOp op);   ///< Operand swap: Lt<->Gt, Le<->Ge, Eq/Ne fixed.
+
+/// A conservative closed interval over the values an expression can take
+/// within one micro-partition, derived from zone-map metadata (§3.1 of the
+/// paper: "every function must provide a mechanism to derive transformed
+/// min/max ranges from its input").
+///
+/// Invariants: when lo and hi are both present they are comparable and
+/// lo <= hi. A missing bound means "unknown in that direction". `all_null`
+/// means the expression is NULL on every row (bounds are then meaningless).
+/// Arithmetic on intervals is *widening*: floating-point results are nudged
+/// outward one ULP so the derived range can never under-cover the true range.
+struct Interval {
+  std::optional<Value> lo;
+  std::optional<Value> hi;
+  bool maybe_null = false;
+  bool all_null = false;
+
+  /// Completely unknown range (unbounded, possibly NULL).
+  static Interval Unknown();
+  /// A single known constant. NULL constants produce an all_null interval.
+  static Interval Point(const Value& v);
+  /// Closed range [lo, hi]; `maybe_null` if the source column has NULLs.
+  static Interval Range(Value lo, Value hi, bool maybe_null);
+  /// The range of an expression known to be NULL on every row.
+  static Interval AllNull();
+
+  /// True when the interval pins a single non-null value for every row.
+  bool IsConstant() const {
+    return !all_null && !maybe_null && lo.has_value() && hi.has_value() &&
+           Value::Compare(*lo, *hi) == 0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Convex hull of two intervals (used for IF/CASE where the branch cannot be
+/// decided from metadata: the result range must cover both branches).
+Interval Union(const Interval& a, const Interval& b);
+
+/// Interval arithmetic. Mixed int64/float64 operands are computed in double
+/// with outward widening; pure-int64 add/sub/mul stays exact unless it would
+/// overflow, in which case it degrades to a widened double bound.
+Interval Add(const Interval& a, const Interval& b);
+Interval Sub(const Interval& a, const Interval& b);
+Interval Mul(const Interval& a, const Interval& b);
+/// Division is conservative: if the divisor range may touch zero the result
+/// is unbounded.
+Interval Div(const Interval& a, const Interval& b);
+Interval Negate(const Interval& a);
+
+/// Evaluates `a op b` over all (row-wise) combinations drawn from the two
+/// intervals, in Kleene logic:
+///   kTrue  -> every non-null pair satisfies op and neither side can be NULL,
+///   kFalse -> no pair satisfies op (NULLs never satisfy a comparison),
+///   kMaybe -> undecidable from the ranges.
+TriBool CompareIntervals(const Interval& a, CompareOp op, const Interval& b);
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_COMMON_INTERVAL_H_

@@ -1,0 +1,72 @@
+#ifndef SNOWPRUNE_COMMON_RNG_H_
+#define SNOWPRUNE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snowprune {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// splitmix64). Every workload generator takes an explicit seed so that all
+/// experiments in this repository are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Samples an index from a discrete distribution given by non-negative
+  /// weights (not necessarily normalized).
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Uniform alphanumeric string of the given length.
+  std::string AlphaString(size_t length);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Zipf(s) sampler over ranks 1..n using a precomputed inverse CDF table.
+/// Rank 1 is the most frequent outcome. Used to model plan-shape
+/// repetitiveness (Figure 12) and skewed value distributions.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Samples a rank in [1, n].
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_COMMON_RNG_H_

@@ -1,0 +1,104 @@
+#include "common/stats_collector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace snowprune {
+
+void StatsCollector::Add(double sample) {
+  samples_.push_back(sample);
+  sorted_valid_ = false;
+}
+
+void StatsCollector::AddAll(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_valid_ = false;
+}
+
+void StatsCollector::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double StatsCollector::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double StatsCollector::Min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double StatsCollector::Max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double StatsCollector::Percentile(double p) const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double StatsCollector::CdfAt(double x) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+std::string StatsCollector::PercentileRow(const std::vector<double>& ps) const {
+  std::string out;
+  char buf[64];
+  for (double p : ps) {
+    std::snprintf(buf, sizeof(buf), "%8.2f", empty() ? 0.0 : Percentile(p));
+    out += buf;
+  }
+  return out;
+}
+
+std::string StatsCollector::BoxPlotRow(double lo, double hi, int width) const {
+  std::string row(static_cast<size_t>(width), ' ');
+  if (empty() || hi <= lo) return row;
+  auto pos = [&](double x) {
+    double t = (x - lo) / (hi - lo);
+    t = std::clamp(t, 0.0, 1.0);
+    return static_cast<size_t>(std::lround(t * (width - 1)));
+  };
+  size_t pmin = pos(Percentile(0)), pq1 = pos(Percentile(25));
+  size_t pmed = pos(Median()), pq3 = pos(Percentile(75));
+  size_t pmax = pos(Percentile(100)), pmean = pos(Mean());
+  for (size_t i = pmin; i <= pmax; ++i) row[i] = '-';
+  for (size_t i = pq1; i <= pq3; ++i) row[i] = '=';
+  row[pmin] = '|';
+  row[pmax] = '|';
+  row[pmean] = 'v';
+  row[pmed] = '#';  // median wins when the markers coincide
+  return row;
+}
+
+void StatsCollector::PrintCdf(const std::string& label, int points) const {
+  std::printf("# CDF of %s (%zu samples)\n", label.c_str(), count());
+  std::printf("%12s %10s\n", "percentile", "value");
+  for (int i = 0; i <= points; ++i) {
+    double p = 100.0 * i / points;
+    std::printf("%11.1f%% %10.4f\n", p, empty() ? 0.0 : Percentile(p));
+  }
+}
+
+}  // namespace snowprune

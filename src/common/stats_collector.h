@@ -1,0 +1,54 @@
+#ifndef SNOWPRUNE_COMMON_STATS_COLLECTOR_H_
+#define SNOWPRUNE_COMMON_STATS_COLLECTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace snowprune {
+
+/// Accumulates samples and answers distribution queries (mean, percentiles,
+/// CDF). The benchmark harnesses use it to print the same series the paper's
+/// figures report (CDFs, box plots with mean markers, percentile tables).
+class StatsCollector {
+ public:
+  void Add(double sample);
+  void AddAll(const std::vector<double>& samples);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Percentile in [0,100] by nearest-rank interpolation; requires !empty().
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// Fraction of samples <= x.
+  double CdfAt(double x) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// "p0 p10 ... p100" style table row used by the figure harnesses.
+  std::string PercentileRow(const std::vector<double>& ps) const;
+
+  /// Renders one ASCII box-plot row (min/q1/median/q3/max plus a mean
+  /// marker 'v'), matching the visual idiom of the paper's Figure 1/8.
+  /// `lo`/`hi` define the axis range mapped onto `width` characters.
+  std::string BoxPlotRow(double lo, double hi, int width) const;
+
+  /// Prints "<x> <cdf>" pairs at `points` evenly spaced percentiles.
+  void PrintCdf(const std::string& label, int points = 20) const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_COMMON_STATS_COLLECTOR_H_

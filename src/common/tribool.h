@@ -1,0 +1,47 @@
+#ifndef SNOWPRUNE_COMMON_TRIBOOL_H_
+#define SNOWPRUNE_COMMON_TRIBOOL_H_
+
+namespace snowprune {
+
+/// Three-valued (Kleene) logic used by pruning: evaluating a predicate
+/// against a partition's zone map yields
+///   kFalse -> no row in the partition can satisfy the predicate (prunable),
+///   kTrue  -> every row satisfies it (the partition is *fully matching*),
+///   kMaybe -> the partition is partially matching and must be scanned.
+enum class TriBool { kFalse = 0, kMaybe = 1, kTrue = 2 };
+
+/// Kleene conjunction: False dominates, True is the identity.
+inline TriBool TriAnd(TriBool a, TriBool b) {
+  if (a == TriBool::kFalse || b == TriBool::kFalse) return TriBool::kFalse;
+  if (a == TriBool::kTrue && b == TriBool::kTrue) return TriBool::kTrue;
+  return TriBool::kMaybe;
+}
+
+/// Kleene disjunction: True dominates, False is the identity.
+inline TriBool TriOr(TriBool a, TriBool b) {
+  if (a == TriBool::kTrue || b == TriBool::kTrue) return TriBool::kTrue;
+  if (a == TriBool::kFalse && b == TriBool::kFalse) return TriBool::kFalse;
+  return TriBool::kMaybe;
+}
+
+/// Kleene negation: Maybe is a fixed point.
+inline TriBool TriNot(TriBool a) {
+  if (a == TriBool::kTrue) return TriBool::kFalse;
+  if (a == TriBool::kFalse) return TriBool::kTrue;
+  return TriBool::kMaybe;
+}
+
+inline TriBool FromBool(bool b) { return b ? TriBool::kTrue : TriBool::kFalse; }
+
+inline const char* ToString(TriBool t) {
+  switch (t) {
+    case TriBool::kFalse: return "false";
+    case TriBool::kMaybe: return "maybe";
+    case TriBool::kTrue: return "true";
+  }
+  return "?";
+}
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_COMMON_TRIBOOL_H_

@@ -1,0 +1,80 @@
+#ifndef SNOWPRUNE_CORE_FILTER_PRUNER_H_
+#define SNOWPRUNE_CORE_FILTER_PRUNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/pruning_tree.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace snowprune {
+
+/// How fully-matching partitions (§4.2) are identified.
+enum class FullyMatchingMode {
+  /// The paper's algorithm: a second pruning pass with the inverted
+  /// predicate ("P IS NOT TRUE"); partitions prunable under it are fully
+  /// matching.
+  kInvertedTwoPass,
+  /// Equivalent single-pass method using the BoolRange tri-state directly.
+  kDirectAnalysis,
+  /// Skip identification (fully_matching stays empty).
+  kOff,
+};
+
+struct FilterPrunerConfig {
+  PruningTreeConfig tree;
+  FullyMatchingMode fully_matching_mode = FullyMatchingMode::kInvertedTwoPass;
+  /// Apply §3.1 imprecise rewrites (LIKE -> STARTSWITH etc.) to the pruning
+  /// pass. Never affects fully-matching identification, which must stay
+  /// precise.
+  bool apply_imprecise_rewrites = true;
+};
+
+/// Outcome of filter pruning one table scan.
+struct FilterPruneResult {
+  ScanSet scan_set;                         ///< Partially + fully matching.
+  std::vector<PartitionId> fully_matching;  ///< Subset of scan_set (§4.2).
+  int64_t fully_matching_rows = 0;
+  int64_t input_partitions = 0;
+  int64_t pruned = 0;
+
+  double PruningRatio() const {
+    if (input_partitions == 0) return 0.0;
+    return static_cast<double>(pruned) / static_cast<double>(input_partitions);
+  }
+};
+
+/// Min/max filter pruning (§3): evaluates a query predicate against each
+/// partition's zone maps through an adaptive PruningTree and removes
+/// partitions that provably contain no matching rows. Guarantees no false
+/// negatives. A null predicate means "no filter": nothing is pruned and all
+/// partitions are trivially fully matching.
+class FilterPruner {
+ public:
+  /// `predicate` must already be bound to the table's schema (BindExpr);
+  /// it may be null for unfiltered scans.
+  explicit FilterPruner(ExprPtr predicate, FilterPrunerConfig config = {});
+
+  /// Prunes `input`, classifying every partition as not / partially / fully
+  /// matching. Only metadata is accessed (no loads).
+  FilterPruneResult Prune(const Table& table, const ScanSet& input);
+
+  /// Runtime path: may partition `pid` be skipped under the predicate?
+  bool CanPrune(const Table& table, PartitionId pid);
+
+  /// The adaptive tree for the pruning pass (null when predicate is null).
+  PruningTree* mutable_tree() { return prune_tree_ ? &*prune_tree_ : nullptr; }
+
+  const ExprPtr& predicate() const { return predicate_; }
+
+ private:
+  ExprPtr predicate_;
+  FilterPrunerConfig config_;
+  std::optional<PruningTree> prune_tree_;     ///< Over the rewritten predicate.
+  std::optional<PruningTree> inverted_tree_;  ///< Over "P IS NOT TRUE".
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_CORE_FILTER_PRUNER_H_

@@ -1,0 +1,269 @@
+#include "core/join_pruner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snowprune {
+
+const char* ToString(SummaryKind kind) {
+  switch (kind) {
+    case SummaryKind::kMinMax: return "minmax";
+    case SummaryKind::kRangeSet: return "rangeset";
+    case SummaryKind::kExactSet: return "exactset";
+    case SummaryKind::kBloom: return "bloom";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Comparable-kind guard: mismatched kinds can never certify absence, so
+/// summaries answer "maybe" for them.
+bool SameKind(const Value& a, const Value& b) {
+  return a.is_string() == b.is_string() && a.is_bool() == b.is_bool();
+}
+
+class EmptySummary : public BuildSummary {
+ public:
+  explicit EmptySummary(SummaryKind kind) : kind_(kind) {}
+  SummaryKind kind() const override { return kind_; }
+  size_t SizeBytes() const override { return 8; }
+  bool MayContainInRange(const Value&, const Value&) const override {
+    return false;  // empty build side: everything on the probe side prunes
+  }
+  bool MayContain(const Value&) const override { return false; }
+  int64_t num_values() const override { return 0; }
+
+ private:
+  SummaryKind kind_;
+};
+
+class MinMaxSummary : public BuildSummary {
+ public:
+  MinMaxSummary(Value min, Value max, int64_t n)
+      : min_(std::move(min)), max_(std::move(max)), n_(n) {}
+
+  SummaryKind kind() const override { return SummaryKind::kMinMax; }
+  size_t SizeBytes() const override { return 16; }
+
+  bool MayContainInRange(const Value& lo, const Value& hi) const override {
+    if (!SameKind(lo, min_) || !SameKind(hi, min_)) return true;
+    return Value::Compare(hi, min_) >= 0 && Value::Compare(lo, max_) <= 0;
+  }
+
+  bool MayContain(const Value& v) const override {
+    return MayContainInRange(v, v);
+  }
+
+  int64_t num_values() const override { return n_; }
+
+ private:
+  Value min_, max_;
+  int64_t n_;
+};
+
+/// Sorted disjoint closed ranges. Exact values collapse to point ranges when
+/// the budget allows; otherwise nearby values are merged, trading pruning
+/// power for size — the probabilistic behaviour §6.2 describes.
+class RangeSetSummary : public BuildSummary {
+ public:
+  RangeSetSummary(SummaryKind kind, std::vector<std::pair<Value, Value>> ranges,
+                  int64_t n)
+      : kind_(kind), ranges_(std::move(ranges)), n_(n) {}
+
+  SummaryKind kind() const override { return kind_; }
+  size_t SizeBytes() const override { return 16 * ranges_.size() + 8; }
+
+  bool MayContainInRange(const Value& lo, const Value& hi) const override {
+    if (ranges_.empty()) return false;
+    if (!SameKind(lo, ranges_[0].first) || !SameKind(hi, ranges_[0].first)) {
+      return true;
+    }
+    // First range whose hi >= lo; overlap iff its lo <= hi.
+    auto it = std::lower_bound(
+        ranges_.begin(), ranges_.end(), lo,
+        [](const std::pair<Value, Value>& range, const Value& probe) {
+          return Value::Compare(range.second, probe) < 0;
+        });
+    if (it == ranges_.end()) return false;
+    return Value::Compare(it->first, hi) <= 0;
+  }
+
+  bool MayContain(const Value& v) const override {
+    return MayContainInRange(v, v);
+  }
+
+  int64_t num_values() const override { return n_; }
+
+  size_t num_ranges() const { return ranges_.size(); }
+
+ private:
+  SummaryKind kind_;
+  std::vector<std::pair<Value, Value>> ranges_;
+  int64_t n_;
+};
+
+class BloomSummary : public BuildSummary {
+ public:
+  BloomSummary(const std::vector<Value>& values, size_t budget_bytes)
+      : bits_(std::max<size_t>(64, budget_bytes * 8)),
+        words_((bits_ + 63) / 64, 0),
+        n_(static_cast<int64_t>(values.size())) {
+    for (const Value& v : values) Set(v);
+  }
+
+  SummaryKind kind() const override { return SummaryKind::kBloom; }
+  size_t SizeBytes() const override { return words_.size() * 8; }
+
+  bool MayContainInRange(const Value&, const Value&) const override {
+    // A Bloom filter cannot answer range-overlap questions, which is exactly
+    // why it reduces per-row CPU but not partition IO (§6.1).
+    return true;
+  }
+
+  bool MayContain(const Value& v) const override {
+    uint64_t h = HashValue(v);
+    uint64_t h2 = (h >> 33) | 1;
+    for (int i = 0; i < kNumHashes; ++i) {
+      uint64_t bit = (h + static_cast<uint64_t>(i) * h2) % bits_;
+      if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+    }
+    return true;
+  }
+
+  int64_t num_values() const override { return n_; }
+
+ private:
+  static constexpr int kNumHashes = 6;
+
+  void Set(const Value& v) {
+    uint64_t h = HashValue(v);
+    uint64_t h2 = (h >> 33) | 1;
+    for (int i = 0; i < kNumHashes; ++i) {
+      uint64_t bit = (h + static_cast<uint64_t>(i) * h2) % bits_;
+      words_[bit / 64] |= 1ULL << (bit % 64);
+    }
+  }
+
+  size_t bits_;
+  std::vector<uint64_t> words_;
+  int64_t n_;
+};
+
+std::vector<Value> SortedDistinct(std::vector<Value> values) {
+  std::sort(values.begin(), values.end(), [](const Value& a, const Value& b) {
+    return Value::Compare(a, b) < 0;
+  });
+  values.erase(std::unique(values.begin(), values.end(),
+                           [](const Value& a, const Value& b) {
+                             return Value::Compare(a, b) == 0;
+                           }),
+               values.end());
+  return values;
+}
+
+/// Merges sorted distinct values into at most `max_ranges` disjoint ranges.
+/// Numeric domains keep the largest gaps as separators (tightest possible
+/// cover); other domains split into equal-count chunks.
+std::vector<std::pair<Value, Value>> BuildRanges(const std::vector<Value>& vals,
+                                                 size_t max_ranges) {
+  assert(!vals.empty());
+  max_ranges = std::max<size_t>(1, max_ranges);
+  if (vals.size() <= max_ranges) {
+    std::vector<std::pair<Value, Value>> out;
+    out.reserve(vals.size());
+    for (const Value& v : vals) out.emplace_back(v, v);
+    return out;
+  }
+  std::vector<size_t> break_before;  // indexes where a new range starts
+  if (vals[0].is_numeric()) {
+    struct Gap {
+      double width;
+      size_t index;
+    };
+    std::vector<Gap> gaps;
+    gaps.reserve(vals.size() - 1);
+    for (size_t i = 1; i < vals.size(); ++i) {
+      gaps.push_back({vals[i].AsDouble() - vals[i - 1].AsDouble(), i});
+    }
+    size_t keep = max_ranges - 1;
+    std::partial_sort(gaps.begin(), gaps.begin() + static_cast<long>(keep),
+                      gaps.end(),
+                      [](const Gap& a, const Gap& b) { return a.width > b.width; });
+    for (size_t i = 0; i < keep; ++i) break_before.push_back(gaps[i].index);
+  } else {
+    for (size_t r = 1; r < max_ranges; ++r) {
+      break_before.push_back(r * vals.size() / max_ranges);
+    }
+  }
+  std::sort(break_before.begin(), break_before.end());
+  std::vector<std::pair<Value, Value>> out;
+  size_t start = 0;
+  for (size_t brk : break_before) {
+    if (brk == start) continue;
+    out.emplace_back(vals[start], vals[brk - 1]);
+    start = brk;
+  }
+  out.emplace_back(vals[start], vals.back());
+  return out;
+}
+
+}  // namespace
+
+void SummaryBuilder::Add(const Value& v) {
+  if (v.is_null()) return;
+  values_.push_back(v);
+}
+
+std::unique_ptr<BuildSummary> SummaryBuilder::Build(SummaryKind kind,
+                                                    size_t budget_bytes) const {
+  std::vector<Value> vals = SortedDistinct(values_);
+  if (vals.empty()) return std::make_unique<EmptySummary>(kind);
+  const auto n = static_cast<int64_t>(vals.size());
+  switch (kind) {
+    case SummaryKind::kMinMax:
+      return std::make_unique<MinMaxSummary>(vals.front(), vals.back(), n);
+    case SummaryKind::kRangeSet: {
+      size_t max_ranges = std::max<size_t>(1, budget_bytes / 16);
+      return std::make_unique<RangeSetSummary>(
+          kind, BuildRanges(vals, max_ranges), n);
+    }
+    case SummaryKind::kExactSet: {
+      std::vector<std::pair<Value, Value>> points;
+      points.reserve(vals.size());
+      for (const Value& v : vals) points.emplace_back(v, v);
+      return std::make_unique<RangeSetSummary>(kind, std::move(points), n);
+    }
+    case SummaryKind::kBloom:
+      return std::make_unique<BloomSummary>(vals, budget_bytes);
+  }
+  return std::make_unique<EmptySummary>(kind);
+}
+
+JoinPruneResult JoinPruner::PruneProbe(const Table& probe_table,
+                                       const ScanSet& scan_set,
+                                       size_t key_column,
+                                       const BuildSummary& summary) {
+  JoinPruneResult result;
+  result.input_partitions = static_cast<int64_t>(scan_set.size());
+  for (PartitionId pid : scan_set) {
+    const ColumnStats& s = probe_table.stats(pid, key_column);
+    if (!s.has_stats) {
+      result.scan_set.Add(pid);  // no metadata, no pruning (§8.1)
+      continue;
+    }
+    if (s.min.is_null() || s.row_count == 0) {
+      // Only NULL keys (or no rows): can never produce a join match.
+      ++result.pruned;
+      continue;
+    }
+    if (summary.MayContainInRange(s.min, s.max)) {
+      result.scan_set.Add(pid);
+    } else {
+      ++result.pruned;
+    }
+  }
+  return result;
+}
+
+}  // namespace snowprune

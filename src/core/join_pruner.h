@@ -1,0 +1,92 @@
+#ifndef SNOWPRUNE_CORE_JOIN_PRUNER_H_
+#define SNOWPRUNE_CORE_JOIN_PRUNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace snowprune {
+
+/// Build-side value summary variants (§6.1): "a trade-off between accuracy
+/// and the memory size of the employed data structure".
+enum class SummaryKind {
+  kMinMax,    ///< Global min/max of the build keys; ~16 bytes, coarse.
+  kRangeSet,  ///< Budgeted set of disjoint [lo,hi] ranges; the summary
+              ///< Snowflake-style partition pruning relies on.
+  kExactSet,  ///< Sorted distinct values; exact, unbounded size.
+  kBloom,     ///< Classic bloom-join filter: answers point membership only,
+              ///< so it reduces CPU per row but cannot prune partitions.
+};
+
+const char* ToString(SummaryKind kind);
+
+/// A summary of all join-key values observed on the hash join's build side.
+/// Shipped (conceptually over the network) to the probe side, where it is
+/// overlapped with micro-partition min/max metadata (§6.1 steps 1-4).
+///
+/// Probabilistic in the paper's sense: MayContain*() may return true for
+/// values the build side lacks (false positives keep partitions), but never
+/// false for values it has — so join pruning never drops a joinable row.
+class BuildSummary {
+ public:
+  virtual ~BuildSummary() = default;
+
+  virtual SummaryKind kind() const = 0;
+  /// Approximate wire size if shipped to another worker.
+  virtual size_t SizeBytes() const = 0;
+  /// May the build side contain any value in [lo, hi]?
+  virtual bool MayContainInRange(const Value& lo, const Value& hi) const = 0;
+  /// May the build side contain exactly `v`? (Row-level check.)
+  virtual bool MayContain(const Value& v) const = 0;
+  /// Number of distinct build values summarized.
+  virtual int64_t num_values() const = 0;
+};
+
+/// Accumulates build-side keys and materializes a summary. NULL keys are
+/// ignored (they never match an equi-join).
+class SummaryBuilder {
+ public:
+  void Add(const Value& v);
+
+  /// Builds a summary of the requested kind. `budget_bytes` caps the size of
+  /// kRangeSet (number of ranges) and kBloom (bit array); it is ignored for
+  /// kMinMax and kExactSet.
+  std::unique_ptr<BuildSummary> Build(SummaryKind kind,
+                                      size_t budget_bytes = 1024) const;
+
+  int64_t num_added() const { return static_cast<int64_t>(values_.size()); }
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Result of pruning a probe-side scan set against a build summary.
+struct JoinPruneResult {
+  ScanSet scan_set;
+  int64_t input_partitions = 0;
+  int64_t pruned = 0;
+
+  double PruningRatio() const {
+    if (input_partitions == 0) return 0.0;
+    return static_cast<double>(pruned) / static_cast<double>(input_partitions);
+  }
+};
+
+/// Join pruning (§6): drops probe-side micro-partitions whose join-key
+/// min/max range cannot intersect the build-side summary, before they are
+/// loaded from storage.
+class JoinPruner {
+ public:
+  static JoinPruneResult PruneProbe(const Table& probe_table,
+                                    const ScanSet& scan_set, size_t key_column,
+                                    const BuildSummary& summary);
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_CORE_JOIN_PRUNER_H_

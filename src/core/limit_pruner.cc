@@ -1,0 +1,72 @@
+#include "core/limit_pruner.h"
+
+#include <algorithm>
+
+namespace snowprune {
+
+const char* ToString(LimitPruneOutcome outcome) {
+  switch (outcome) {
+    case LimitPruneOutcome::kAlreadyMinimal: return "already-minimal";
+    case LimitPruneOutcome::kNoFullyMatching: return "no-fully-matching";
+    case LimitPruneOutcome::kPrunedToZero: return "pruned-to-0";
+    case LimitPruneOutcome::kPrunedToOne: return "pruned-to-1";
+    case LimitPruneOutcome::kPrunedToMany: return "pruned-to->1";
+  }
+  return "?";
+}
+
+LimitPruneResult LimitPruner::Prune(const Table& table,
+                                    const FilterPruneResult& filtered,
+                                    int64_t limit_k) {
+  LimitPruneResult result;
+
+  if (limit_k == 0) {
+    // LIMIT 0 (schema-probing BI queries, §4.1 footnote): nothing to read.
+    result.outcome = LimitPruneOutcome::kPrunedToZero;
+    result.pruned = static_cast<int64_t>(filtered.scan_set.size());
+    return result;
+  }
+
+  if (filtered.scan_set.size() <= 1) {
+    result.scan_set = filtered.scan_set;
+    result.outcome = LimitPruneOutcome::kAlreadyMinimal;
+    return result;
+  }
+
+  if (filtered.fully_matching_rows < limit_k) {
+    // Cannot prune; still move fully-matching partitions to the front so
+    // execution reaches k qualifying rows as early as possible.
+    result.outcome = LimitPruneOutcome::kNoFullyMatching;
+    for (PartitionId pid : filtered.fully_matching) result.scan_set.Add(pid);
+    for (PartitionId pid : filtered.scan_set) {
+      if (std::find(filtered.fully_matching.begin(),
+                    filtered.fully_matching.end(),
+                    pid) == filtered.fully_matching.end()) {
+        result.scan_set.Add(pid);
+      }
+    }
+    return result;
+  }
+
+  // Greedy minimal cover: biggest fully-matching partitions first, until
+  // their row counts reach k.
+  std::vector<PartitionId> fully = filtered.fully_matching;
+  std::sort(fully.begin(), fully.end(), [&](PartitionId a, PartitionId b) {
+    return table.partition_metadata(a).row_count() >
+           table.partition_metadata(b).row_count();
+  });
+  int64_t covered = 0;
+  for (PartitionId pid : fully) {
+    if (covered >= limit_k) break;
+    result.scan_set.Add(pid);
+    covered += table.partition_metadata(pid).row_count();
+  }
+  result.pruned = static_cast<int64_t>(filtered.scan_set.size()) -
+                  static_cast<int64_t>(result.scan_set.size());
+  result.outcome = result.scan_set.size() == 1
+                       ? LimitPruneOutcome::kPrunedToOne
+                       : LimitPruneOutcome::kPrunedToMany;
+  return result;
+}
+
+}  // namespace snowprune

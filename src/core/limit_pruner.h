@@ -1,0 +1,52 @@
+#ifndef SNOWPRUNE_CORE_LIMIT_PRUNER_H_
+#define SNOWPRUNE_CORE_LIMIT_PRUNER_H_
+
+#include <cstdint>
+
+#include "core/filter_pruner.h"
+#include "storage/table.h"
+
+namespace snowprune {
+
+/// Classification of a LIMIT pruning attempt, matching the rows of the
+/// paper's Table 2.
+enum class LimitPruneOutcome {
+  kAlreadyMinimal,   ///< Scan set had <= 1 partition after filter pruning.
+  kNoFullyMatching,  ///< Fully-matching rows < k (or none identified).
+  kPrunedToZero,     ///< k == 0: no partition needs to be read.
+  kPrunedToOne,      ///< Scan set reduced to exactly 1 partition.
+  kPrunedToMany,     ///< Reduced, but large k required > 1 partition.
+};
+
+const char* ToString(LimitPruneOutcome outcome);
+
+struct LimitPruneResult {
+  ScanSet scan_set;
+  LimitPruneOutcome outcome = LimitPruneOutcome::kNoFullyMatching;
+  int64_t pruned = 0;
+
+  bool applied() const {
+    return outcome == LimitPruneOutcome::kPrunedToZero ||
+           outcome == LimitPruneOutcome::kPrunedToOne ||
+           outcome == LimitPruneOutcome::kPrunedToMany;
+  }
+};
+
+/// LIMIT pruning (§4): if the fully-matching partitions identified by filter
+/// pruning jointly contain at least k rows, the scan set shrinks to the
+/// minimal set of fully-matching partitions covering k — globally IO-optimal
+/// for supported queries, using only min/max metadata.
+///
+/// When fully-matching rows fall short of k, no pruning is possible, but the
+/// scan set is reordered to start with fully-matching partitions, which
+/// "promises faster query execution times" (§4.1).
+class LimitPruner {
+ public:
+  static LimitPruneResult Prune(const Table& table,
+                                const FilterPruneResult& filtered,
+                                int64_t limit_k);
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_CORE_LIMIT_PRUNER_H_

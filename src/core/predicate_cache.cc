@@ -1,0 +1,90 @@
+#include "core/predicate_cache.h"
+
+#include <algorithm>
+
+namespace snowprune {
+
+void PredicateCache::Insert(const std::string& fingerprint, const Table& table,
+                            std::string order_column,
+                            std::vector<PartitionId> partitions) {
+  std::sort(partitions.begin(), partitions.end());
+  partitions.erase(std::unique(partitions.begin(), partitions.end()),
+                   partitions.end());
+  Entry entry{table.name(), std::move(order_column), std::move(partitions),
+              table.num_partitions()};
+  auto [it, inserted] = entries_.insert_or_assign(fingerprint, std::move(entry));
+  (void)it;
+  if (inserted) {
+    insertion_order_.push_back(fingerprint);
+    EvictIfNeeded();
+  }
+}
+
+std::optional<std::vector<PartitionId>> PredicateCache::Lookup(
+    const std::string& fingerprint, const Table& table) const {
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end() || it->second.table_name != table.name()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  std::vector<PartitionId> result = it->second.partitions;
+  // INSERTs are safe (§8.2) but their partitions must be scanned too.
+  for (size_t pid = it->second.table_partitions_at_insert;
+       pid < table.num_partitions(); ++pid) {
+    result.push_back(static_cast<PartitionId>(pid));
+  }
+  return result;
+}
+
+void PredicateCache::OnInsert(const Table& table) {
+  // Nothing to do: Lookup() appends partitions past
+  // table_partitions_at_insert automatically.
+  (void)table;
+}
+
+void PredicateCache::OnUpdate(const Table& table, const std::string& column) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.table_name == table.name() &&
+        it->second.order_column == column) {
+      insertion_order_.remove(it->first);
+      it = entries_.erase(it);  // reordering update: cache may be wrong
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PredicateCache::OnDelete(const Table& table, PartitionId deleted_pid) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& e = it->second;
+    if (e.table_name != table.name()) {
+      ++it;
+      continue;
+    }
+    bool contains = std::binary_search(e.partitions.begin(), e.partitions.end(),
+                                       deleted_pid);
+    if (contains) {
+      // A contributing partition is gone: the replacement (k+1-th) row may
+      // live anywhere, so the entry is unusable (§8.2).
+      insertion_order_.remove(it->first);
+      it = entries_.erase(it);
+      continue;
+    }
+    // Table compacts ids after deletion; remap the survivors.
+    for (PartitionId& pid : e.partitions) {
+      if (pid > deleted_pid) --pid;
+    }
+    if (e.table_partitions_at_insert > 0) --e.table_partitions_at_insert;
+    ++it;
+  }
+}
+
+void PredicateCache::EvictIfNeeded() {
+  while (entries_.size() > capacity_ && !insertion_order_.empty()) {
+    entries_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+  }
+}
+
+}  // namespace snowprune

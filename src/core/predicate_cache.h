@@ -1,0 +1,72 @@
+#ifndef SNOWPRUNE_CORE_PREDICATE_CACHE_H_
+#define SNOWPRUNE_CORE_PREDICATE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace snowprune {
+
+/// Predicate caching extended to top-k queries (§8.2): after a top-k query
+/// runs, the set of micro-partitions that contributed rows to the final heap
+/// is stored under the query's plan-shape fingerprint. A repeat execution
+/// scans only the cached partitions (plus anything inserted since).
+///
+/// DML safety rules follow the paper exactly:
+///   INSERT                      -> safe; new partitions are appended to the
+///                                  cached scan set at lookup time.
+///   UPDATE on non-order column  -> safe (row order unchanged).
+///   UPDATE on the order column  -> invalidates (rows may reorder).
+///   DELETE                      -> invalidates entries containing a deleted
+///                                  partition (the k+1-th row may live
+///                                  elsewhere); other entries get their
+///                                  partition ids remapped.
+class PredicateCache {
+ public:
+  explicit PredicateCache(size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Records the contributing partitions of a finished top-k query.
+  /// `order_column` is the ORDER BY column's name (update-safety tracking).
+  void Insert(const std::string& fingerprint, const Table& table,
+              std::string order_column, std::vector<PartitionId> partitions);
+
+  /// Returns the scan set for a repeated query: cached partitions plus any
+  /// partition appended to the table after the entry was created. nullopt on
+  /// miss or after invalidation.
+  std::optional<std::vector<PartitionId>> Lookup(const std::string& fingerprint,
+                                                 const Table& table) const;
+
+  /// DML notifications (the engine calls these alongside Table mutations).
+  void OnInsert(const Table& table);
+  void OnUpdate(const Table& table, const std::string& column);
+  void OnDelete(const Table& table, PartitionId deleted_pid);
+
+  size_t size() const { return entries_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string table_name;
+    std::string order_column;
+    std::vector<PartitionId> partitions;
+    size_t table_partitions_at_insert;
+  };
+
+  void EvictIfNeeded();
+
+  size_t capacity_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> insertion_order_;  // FIFO eviction
+  mutable int64_t hits_ = 0;
+  mutable int64_t misses_ = 0;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_CORE_PREDICATE_CACHE_H_

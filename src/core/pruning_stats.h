@@ -1,0 +1,56 @@
+#ifndef SNOWPRUNE_CORE_PRUNING_STATS_H_
+#define SNOWPRUNE_CORE_PRUNING_STATS_H_
+
+#include <cstdint>
+
+namespace snowprune {
+
+/// Per-query pruning accounting, aggregated across all table scans of the
+/// query. Ratios are reported relative to the total number of partitions the
+/// query would otherwise process (the paper's Figure 4 convention).
+struct PruningStats {
+  int64_t total_partitions = 0;   ///< Before any pruning, all scans.
+  int64_t pruned_by_filter = 0;   ///< §3 compile-time filter pruning.
+  int64_t pruned_by_limit = 0;    ///< §4 LIMIT pruning.
+  int64_t pruned_by_join = 0;     ///< §6 join pruning (probe side).
+  int64_t pruned_by_topk = 0;     ///< §5 runtime top-k pruning.
+  int64_t scanned_partitions = 0; ///< Actually loaded from storage.
+  int64_t scanned_rows = 0;
+
+  int64_t TotalPruned() const {
+    return pruned_by_filter + pruned_by_limit + pruned_by_join +
+           pruned_by_topk;
+  }
+
+  /// Fraction of the query's partitions that were never loaded.
+  double OverallRatio() const {
+    if (total_partitions == 0) return 0.0;
+    return static_cast<double>(TotalPruned()) /
+           static_cast<double>(total_partitions);
+  }
+
+  double FilterRatio() const { return Ratio(pruned_by_filter); }
+  double LimitRatio() const { return Ratio(pruned_by_limit); }
+  double JoinRatio() const { return Ratio(pruned_by_join); }
+  double TopKRatio() const { return Ratio(pruned_by_topk); }
+
+  void Merge(const PruningStats& other) {
+    total_partitions += other.total_partitions;
+    pruned_by_filter += other.pruned_by_filter;
+    pruned_by_limit += other.pruned_by_limit;
+    pruned_by_join += other.pruned_by_join;
+    pruned_by_topk += other.pruned_by_topk;
+    scanned_partitions += other.scanned_partitions;
+    scanned_rows += other.scanned_rows;
+  }
+
+ private:
+  double Ratio(int64_t pruned) const {
+    if (total_partitions == 0) return 0.0;
+    return static_cast<double>(pruned) / static_cast<double>(total_partitions);
+  }
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_CORE_PRUNING_STATS_H_

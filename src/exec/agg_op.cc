@@ -1,0 +1,207 @@
+#include "exec/agg_op.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snowprune {
+
+const char* ToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+    case AggFunc::kAvg: return "avg";
+  }
+  return "?";
+}
+
+bool HashAggregateOp::KeyLess::operator()(const Row& a, const Row& b) const {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const bool an = a[i].is_null(), bn = b[i].is_null();
+    if (an != bn) return an;  // NULL keys group together, sorting first
+    if (an) continue;
+    int c = Value::Compare(a[i], b[i]);
+    if (c != 0) return c < 0;
+  }
+  return false;
+}
+
+HashAggregateOp::HashAggregateOp(OperatorPtr input,
+                                 std::vector<size_t> group_columns,
+                                 std::vector<AggSpec> aggregates)
+    : input_(std::move(input)),
+      group_columns_(std::move(group_columns)),
+      aggregates_(std::move(aggregates)) {
+  std::vector<Field> fields;
+  for (size_t col : group_columns_) {
+    fields.push_back(input_->output_schema().field(col));
+  }
+  for (const auto& spec : aggregates_) {
+    DataType type = DataType::kFloat64;
+    if (spec.func == AggFunc::kCount) {
+      type = DataType::kInt64;
+    } else if (spec.func == AggFunc::kMin || spec.func == AggFunc::kMax) {
+      type = input_->output_schema().field(spec.column).type;
+    }
+    fields.push_back(Field{spec.name, type, /*nullable=*/true});
+  }
+  schema_ = Schema(std::move(fields));
+}
+
+void HashAggregateOp::EnableGroupLimit(size_t order_group_index,
+                                       bool descending, int64_t k,
+                                       TopKPruner* pruner) {
+  assert(order_group_index < group_columns_.size());
+  assert(pruner == nullptr || !pruner->config().inclusive_updates);
+  group_limit_enabled_ = true;
+  order_group_index_ = order_group_index;
+  order_descending_ = descending;
+  group_limit_k_ = k;
+  pruner_ = pruner;
+}
+
+void HashAggregateOp::Open() {
+  groups_.clear();
+  emitted_ = false;
+  input_->Open();
+}
+
+void HashAggregateOp::Accumulate(GroupState* state, const Row& row) {
+  ++state->group_rows;
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    const AggSpec& spec = aggregates_[i];
+    if (spec.func == AggFunc::kCount) {
+      ++state->counts[i];
+      continue;
+    }
+    const Value& v = row[spec.column];
+    if (v.is_null()) continue;
+    ++state->counts[i];
+    switch (spec.func) {
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        state->sums[i] += v.AsDouble();
+        break;
+      case AggFunc::kMin:
+        if (state->min_max[i].is_null() ||
+            Value::Compare(v, state->min_max[i]) < 0) {
+          state->min_max[i] = v;
+        }
+        break;
+      case AggFunc::kMax:
+        if (state->min_max[i].is_null() ||
+            Value::Compare(v, state->min_max[i]) > 0) {
+          state->min_max[i] = v;
+        }
+        break;
+      case AggFunc::kCount:
+        break;
+    }
+  }
+}
+
+Row HashAggregateOp::Finalize(const GroupState& state) const {
+  Row out = state.key;
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    switch (aggregates_[i].func) {
+      case AggFunc::kCount:
+        out.push_back(Value(state.counts[i]));
+        break;
+      case AggFunc::kSum:
+        out.push_back(state.counts[i] == 0 ? Value::Null()
+                                           : Value(state.sums[i]));
+        break;
+      case AggFunc::kAvg:
+        out.push_back(state.counts[i] == 0
+                          ? Value::Null()
+                          : Value(state.sums[i] /
+                                  static_cast<double>(state.counts[i])));
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        out.push_back(state.min_max[i]);
+        break;
+    }
+  }
+  return out;
+}
+
+void HashAggregateOp::PublishGroupBoundary() {
+  if (pruner_ == nullptr ||
+      static_cast<int64_t>(groups_.size()) < group_limit_k_) {
+    return;
+  }
+  // k-th strictest distinct group order-key value.
+  std::vector<Value> keys;
+  keys.reserve(groups_.size());
+  for (const auto& [key, state] : groups_) {
+    const Value& v = key[order_group_index_];
+    if (!v.is_null()) keys.push_back(v);
+  }
+  if (static_cast<int64_t>(keys.size()) < group_limit_k_) return;
+  std::sort(keys.begin(), keys.end(), [&](const Value& a, const Value& b) {
+    int c = Value::Compare(a, b);
+    return order_descending_ ? c > 0 : c < 0;
+  });
+  pruner_->UpdateBoundary(keys[static_cast<size_t>(group_limit_k_) - 1]);
+}
+
+bool HashAggregateOp::Next(Batch* out) {
+  if (emitted_) return false;
+  Batch in;
+  while (input_->Next(&in)) {
+    for (const Row& row : in.rows) {
+      Row key;
+      key.reserve(group_columns_.size());
+      for (size_t col : group_columns_) key.push_back(row[col]);
+      if (group_limit_enabled_ && pruner_ != nullptr &&
+          pruner_->boundary().has_value()) {
+        // A row strictly weaker than the group boundary can neither found a
+        // top-k group nor feed one (its group key is its own).
+        const Value& v = key[order_group_index_];
+        if (!v.is_null()) {
+          int c = Value::Compare(v, *pruner_->boundary());
+          if (order_descending_ ? c < 0 : c > 0) continue;
+        }
+      }
+      auto it = groups_.find(key);
+      if (it == groups_.end()) {
+        GroupState state;
+        state.key = key;
+        state.min_max.assign(aggregates_.size(), Value::Null());
+        state.sums.assign(aggregates_.size(), 0.0);
+        state.counts.assign(aggregates_.size(), 0);
+        it = groups_.emplace(std::move(key), std::move(state)).first;
+        if (group_limit_enabled_) PublishGroupBoundary();
+      }
+      Accumulate(&it->second, row);
+    }
+  }
+
+  out->rows.clear();
+  out->source.clear();
+  std::vector<Row> result;
+  result.reserve(groups_.size());
+  for (const auto& [key, state] : groups_) result.push_back(Finalize(state));
+  if (group_limit_enabled_) {
+    std::stable_sort(result.begin(), result.end(),
+                     [&](const Row& a, const Row& b) {
+                       const Value& va = a[order_group_index_];
+                       const Value& vb = b[order_group_index_];
+                       if (va.is_null()) return false;
+                       if (vb.is_null()) return true;
+                       int c = Value::Compare(va, vb);
+                       return order_descending_ ? c > 0 : c < 0;
+                     });
+    if (static_cast<int64_t>(result.size()) > group_limit_k_) {
+      result.resize(static_cast<size_t>(group_limit_k_));
+    }
+  }
+  out->rows = std::move(result);
+  emitted_ = true;
+  return !out->rows.empty();
+}
+
+}  // namespace snowprune

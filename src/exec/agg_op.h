@@ -1,0 +1,84 @@
+#ifndef SNOWPRUNE_EXEC_AGG_OP_H_
+#define SNOWPRUNE_EXEC_AGG_OP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/topk_pruner.h"
+#include "exec/operator.h"
+
+namespace snowprune {
+
+/// Aggregate functions supported by HashAggregateOp.
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+const char* ToString(AggFunc func);
+
+/// One aggregate: func(input column) AS name.
+struct AggSpec {
+  AggFunc func;
+  size_t column = 0;  ///< Ignored for kCount.
+  std::string name;
+};
+
+/// Hash aggregation (GROUP BY). Output: group columns then aggregates.
+///
+/// Supports the Figure 7d top-k shape: when the query is
+/// GROUP BY g... ORDER BY g1 LIMIT k with the order column among the group
+/// keys, EnableGroupLimit() makes the operator keep a top-k heap of group
+/// keys and publish a *strict* boundary to the scan's TopKPruner — rows
+/// whose key is strictly weaker than the k-th group key can no longer
+/// found a top-k group nor contribute to one ("requires changes to the
+/// GROUP BY operator to maintain its own top-k heap", §5.2).
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr input, std::vector<size_t> group_columns,
+                  std::vector<AggSpec> aggregates);
+
+  /// `order_group_index` indexes into group_columns. The pruner (owned by
+  /// the planner) must have inclusive_updates == false.
+  void EnableGroupLimit(size_t order_group_index, bool descending, int64_t k,
+                        TopKPruner* pruner);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  struct GroupState {
+    Row key;
+    std::vector<Value> min_max;   ///< Running min/max per aggregate slot.
+    std::vector<double> sums;
+    std::vector<int64_t> counts;  ///< Non-null inputs per aggregate slot.
+    int64_t group_rows = 0;
+  };
+
+  struct KeyLess {
+    bool operator()(const Row& a, const Row& b) const;
+  };
+
+  void Accumulate(GroupState* state, const Row& row);
+  Row Finalize(const GroupState& state) const;
+  /// Recomputes the k-th best group key and publishes it (strictly).
+  void PublishGroupBoundary();
+
+  OperatorPtr input_;
+  std::vector<size_t> group_columns_;
+  std::vector<AggSpec> aggregates_;
+  Schema schema_;
+
+  bool group_limit_enabled_ = false;
+  size_t order_group_index_ = 0;
+  bool order_descending_ = true;
+  int64_t group_limit_k_ = 0;
+  TopKPruner* pruner_ = nullptr;
+
+  std::map<Row, GroupState, KeyLess> groups_;
+  bool emitted_ = false;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXEC_AGG_OP_H_

@@ -1,0 +1,554 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "exec/ops.h"
+#include "exec/scan_op.h"
+#include "exec/topk_op.h"
+
+namespace snowprune {
+
+const char* ToString(LimitClassification c) {
+  switch (c) {
+    case LimitClassification::kNotALimitQuery: return "not-a-limit-query";
+    case LimitClassification::kAlreadyMinimal: return "already-minimal";
+    case LimitClassification::kUnsupportedShape: return "unsupported-shape";
+    case LimitClassification::kNoFullyMatching: return "no-fully-matching";
+    case LimitClassification::kPrunedToZero: return "pruned-to-0";
+    case LimitClassification::kPrunedToOne: return "pruned-to-1";
+    case LimitClassification::kPrunedToMany: return "pruned-to->1";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Where a column traced back to, walking from an operator down to a scan.
+struct ColumnTrace {
+  const PlanNode* scan = nullptr;
+  std::string column;                        ///< Name at the scan's table.
+  bool via_aggregate = false;                ///< Figure 7d.
+  const PlanNode* agg_node = nullptr;
+  const PlanNode* build_join_node = nullptr; ///< Figure 7c (build-outer join).
+};
+
+}  // namespace
+
+/// Per-query compilation state: scan bookkeeping, pending runtime-pruning
+/// attachments discovered by plan analysis, and operator back-pointers.
+struct Engine::CompileContext {
+  struct ScanInfo {
+    TableScanOp* op = nullptr;
+    std::shared_ptr<Table> table;
+    FilterPruneResult filter_result;
+  };
+
+  struct PendingTopK {
+    const PlanNode* scan_node = nullptr;
+    const PlanNode* build_join_node = nullptr;  // wrap this join's build input
+    const PlanNode* agg_node = nullptr;
+    std::string scan_column;
+    TopKPruner* pruner = nullptr;
+    int64_t k = 0;
+    bool descending = true;
+  };
+
+  PruningStats stats;
+  QueryResult* result = nullptr;
+  std::map<const PlanNode*, ScanInfo> scans;
+  std::map<const PlanNode*, HashAggregateOp*> agg_ops;
+  std::vector<std::unique_ptr<TopKPruner>> pruners;
+  std::vector<std::unique_ptr<FilterPruner>> runtime_filter_pruners;
+  std::vector<PendingTopK> pending_topk;
+  bool track_source = false;
+
+  PendingTopK* FindPendingForScan(const PlanNode* scan_node) {
+    for (auto& p : pending_topk) {
+      if (p.scan_node == scan_node) return &p;
+    }
+    return nullptr;
+  }
+  PendingTopK* FindPendingForJoinBuild(const PlanNode* join_node) {
+    for (auto& p : pending_topk) {
+      if (p.build_join_node == join_node) return &p;
+    }
+    return nullptr;
+  }
+};
+
+namespace {
+
+/// Does the subtree's output contain a column named `name`?
+bool PlanOutputsColumn(const Catalog& catalog, const PlanPtr& plan,
+                       const std::string& name) {
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan: {
+      auto table = catalog.GetTable(plan->table);
+      return table && table->schema().FindColumn(name).has_value();
+    }
+    case PlanNode::Kind::kProject:
+      return std::find(plan->names.begin(), plan->names.end(), name) !=
+             plan->names.end();
+    case PlanNode::Kind::kJoin:
+      return PlanOutputsColumn(catalog, plan->left, name) ||
+             PlanOutputsColumn(catalog, plan->right, name);
+    case PlanNode::Kind::kAggregate: {
+      if (std::find(plan->group_columns.begin(), plan->group_columns.end(),
+                    name) != plan->group_columns.end()) {
+        return true;
+      }
+      for (const auto& agg : plan->aggregates) {
+        if (agg.output_name == name) return true;
+      }
+      return false;
+    }
+    default:
+      return PlanOutputsColumn(catalog, plan->child, name);
+  }
+}
+
+/// Traces `column` from the top of `plan` down to a producing scan,
+/// validating the Figure 7 / §5.2 legality rules along the way. Returns an
+/// empty trace (scan == nullptr) when the shape is unsupported.
+ColumnTrace TraceColumnToScan(const Catalog& catalog, const PlanPtr& plan,
+                              const std::string& column) {
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan: {
+      auto table = catalog.GetTable(plan->table);
+      if (table && table->schema().FindColumn(column).has_value()) {
+        ColumnTrace t;
+        t.scan = plan.get();
+        t.column = column;
+        return t;
+      }
+      return {};
+    }
+    case PlanNode::Kind::kProject: {
+      auto it = std::find(plan->names.begin(), plan->names.end(), column);
+      if (it == plan->names.end()) return {};
+      size_t idx = static_cast<size_t>(it - plan->names.begin());
+      if (plan->exprs[idx]->kind() != ExprKind::kColumnRef) return {};
+      const auto& ref = static_cast<const ColumnRefExpr&>(*plan->exprs[idx]);
+      return TraceColumnToScan(catalog, plan->child, ref.name());
+    }
+    case PlanNode::Kind::kLimit:
+    case PlanNode::Kind::kTopK:
+    case PlanNode::Kind::kSort:
+      return TraceColumnToScan(catalog, plan->child, column);
+    case PlanNode::Kind::kJoin: {
+      if (PlanOutputsColumn(catalog, plan->left, column)) {
+        // Probe side: boundary-based skipping is safe for any join kind —
+        // rows below the boundary cannot enter the heap even if they
+        // survive the join (Figure 7b).
+        return TraceColumnToScan(catalog, plan->left, column);
+      }
+      if (PlanOutputsColumn(catalog, plan->right, column)) {
+        // Build side: only legal when the build side is preserved by the
+        // join, where the TopK can be replicated below it (Figure 7c).
+        if (plan->join_kind != JoinKind::kBuildOuter) return {};
+        ColumnTrace t = TraceColumnToScan(catalog, plan->right, column);
+        if (t.scan != nullptr && t.build_join_node == nullptr) {
+          t.build_join_node = plan.get();
+        }
+        return t;
+      }
+      return {};
+    }
+    case PlanNode::Kind::kAggregate: {
+      // Legal only when the order column is one of the GROUP BY keys
+      // (§5.2, Figure 7d) — ordering by an aggregate output is not.
+      if (std::find(plan->group_columns.begin(), plan->group_columns.end(),
+                    column) == plan->group_columns.end()) {
+        return {};
+      }
+      ColumnTrace t = TraceColumnToScan(catalog, plan->child, column);
+      if (t.scan != nullptr) {
+        if (t.via_aggregate) return {};  // nested aggregates unsupported
+        t.via_aggregate = true;
+        t.agg_node = plan.get();
+      }
+      return t;
+    }
+  }
+  return {};
+}
+
+/// §4.3: can the LIMIT be pushed down to a scan? Row-count-reducing
+/// operators block the pushdown, except the build side of a build-preserving
+/// outer join. Scans' own predicates are fine: fully-matching partitions
+/// account for them.
+const PlanNode* TraceLimitTarget(const PlanPtr& plan) {
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan:
+      return plan.get();
+    case PlanNode::Kind::kProject:
+      return TraceLimitTarget(plan->child);
+    case PlanNode::Kind::kJoin:
+      if (plan->join_kind == JoinKind::kBuildOuter) {
+        return TraceLimitTarget(plan->right);
+      }
+      return nullptr;
+    default:
+      return nullptr;
+  }
+}
+
+LimitClassification MapOutcome(LimitPruneOutcome outcome) {
+  switch (outcome) {
+    case LimitPruneOutcome::kAlreadyMinimal:
+      return LimitClassification::kAlreadyMinimal;
+    case LimitPruneOutcome::kNoFullyMatching:
+      return LimitClassification::kNoFullyMatching;
+    case LimitPruneOutcome::kPrunedToZero:
+      return LimitClassification::kPrunedToZero;
+    case LimitPruneOutcome::kPrunedToOne:
+      return LimitClassification::kPrunedToOne;
+    case LimitPruneOutcome::kPrunedToMany:
+      return LimitClassification::kPrunedToMany;
+  }
+  return LimitClassification::kUnsupportedShape;
+}
+
+/// True when the subtree is a pure scan/project chain (provenance survives
+/// to the TopK operator, enabling the predicate cache).
+bool IsScanProjectChain(const PlanPtr& plan) {
+  if (plan->kind == PlanNode::Kind::kScan) return true;
+  if (plan->kind == PlanNode::Kind::kProject) {
+    return IsScanProjectChain(plan->child);
+  }
+  return false;
+}
+
+}  // namespace
+
+Engine::Engine(Catalog* catalog, EngineConfig config)
+    : catalog_(catalog), config_(std::move(config)) {}
+
+Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan: {
+      auto table = catalog_->GetTable(plan->table);
+      if (!table) return Status::NotFound("no table named " + plan->table);
+      if (plan->predicate) {
+        Status s = BindExpr(plan->predicate, table->schema());
+        if (!s.ok()) return s;
+      }
+      ScanSet full = table->FullScanSet();
+      ctx->stats.total_partitions += static_cast<int64_t>(full.size());
+
+      FilterPruneResult filter_result;
+      const bool compile_time_pruning =
+          config_.enable_filter_pruning &&
+          config_.filter_pruning_phase == FilterPruningPhase::kCompileTime;
+      if (compile_time_pruning) {
+        FilterPruner pruner(plan->predicate, config_.filter);
+        filter_result = pruner.Prune(*table, full);
+        ctx->stats.pruned_by_filter += filter_result.pruned;
+      } else {
+        filter_result.scan_set = full;
+        filter_result.input_partitions = static_cast<int64_t>(full.size());
+        if (!plan->predicate) {
+          for (PartitionId pid : full) {
+            filter_result.fully_matching.push_back(pid);
+            filter_result.fully_matching_rows +=
+                table->partition_metadata(pid).row_count();
+          }
+        }
+      }
+
+      auto op = std::make_unique<TableScanOp>(table, filter_result.scan_set,
+                                              plan->predicate, &ctx->stats);
+      if (config_.enable_filter_pruning && !compile_time_pruning &&
+          plan->predicate) {
+        // §3.2: pruning deferred to the execution layer. The pruner must
+        // outlive the operator tree; the compile context owns it.
+        ctx->runtime_filter_pruners.push_back(
+            std::make_unique<FilterPruner>(plan->predicate, config_.filter));
+        op->AttachRuntimeFilterPruner(ctx->runtime_filter_pruners.back().get());
+      }
+      if (ctx->track_source) op->set_track_source(true);
+      if (auto* pending = ctx->FindPendingForScan(plan.get())) {
+        op->AttachTopKPruner(pending->pruner);
+        ScanSet prepared = pending->pruner->Prepare(
+            *table, op->scan_set(), filter_result.fully_matching);
+        op->ReplaceScanSet(std::move(prepared));
+      }
+      ctx->scans[plan.get()] =
+          CompileContext::ScanInfo{op.get(), table, std::move(filter_result)};
+      return OperatorPtr(std::move(op));
+    }
+
+    case PlanNode::Kind::kProject: {
+      auto child = Compile(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      OperatorPtr input = std::move(child).value();
+      for (const auto& e : plan->exprs) {
+        Status s = BindExpr(e, input->output_schema());
+        if (!s.ok()) return s;
+      }
+      return OperatorPtr(std::make_unique<ProjectOp>(std::move(input),
+                                                     plan->exprs, plan->names));
+    }
+
+    case PlanNode::Kind::kLimit: {
+      const PlanNode* target = TraceLimitTarget(plan->child);
+      auto child = Compile(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      OperatorPtr input = std::move(child).value();
+      if (config_.enable_limit_pruning) {
+        if (target == nullptr) {
+          ctx->result->limit_class = LimitClassification::kUnsupportedShape;
+        } else {
+          auto& info = ctx->scans.at(target);
+          // Pruning must cover offset + k rows (Figure 6's convention).
+          LimitPruneResult res = LimitPruner::Prune(
+              *info.table, info.filter_result,
+              plan->limit_k + plan->limit_offset);
+          info.op->ReplaceScanSet(res.scan_set);
+          ctx->stats.pruned_by_limit += res.pruned;
+          ctx->result->limit_class = MapOutcome(res.outcome);
+        }
+      }
+      return OperatorPtr(std::make_unique<LimitOp>(
+          std::move(input), plan->limit_k, plan->limit_offset));
+    }
+
+    case PlanNode::Kind::kTopK: {
+      // Plan analysis must run before the child compiles so the scan (and
+      // join / aggregate) pick up their pruning attachments.
+      ColumnTrace trace;
+      TopKPruner* pruner = nullptr;
+      if (config_.enable_topk_pruning) {
+        trace = TraceColumnToScan(*catalog_, plan->child, plan->order_column);
+        if (trace.scan != nullptr) {
+          TopKPrunerConfig pcfg;
+          pcfg.k = plan->limit_k;
+          pcfg.descending = plan->descending;
+          pcfg.order_strategy = config_.topk_order_strategy;
+          pcfg.boundary_init = config_.topk_boundary_init;
+          pcfg.inclusive_updates = !trace.via_aggregate;
+          auto table = catalog_->GetTable(trace.scan->table);
+          auto col = table->schema().FindColumn(trace.column);
+          ctx->pruners.push_back(
+              std::make_unique<TopKPruner>(pcfg, col.value()));
+          pruner = ctx->pruners.back().get();
+          CompileContext::PendingTopK pending;
+          pending.scan_node = trace.scan;
+          pending.build_join_node = trace.build_join_node;
+          pending.agg_node = trace.agg_node;
+          pending.scan_column = trace.column;
+          pending.pruner = pruner;
+          pending.k = plan->limit_k;
+          pending.descending = plan->descending;
+          ctx->pending_topk.push_back(pending);
+          ctx->result->topk_pruning_attached = true;
+        }
+      }
+
+      // §8.2 predicate cache: only for scan/project chains (provenance).
+      bool cache_eligible = config_.predicate_cache != nullptr &&
+                            trace.scan != nullptr &&
+                            trace.build_join_node == nullptr &&
+                            trace.agg_node == nullptr &&
+                            IsScanProjectChain(plan->child);
+      if (cache_eligible) ctx->track_source = true;
+
+      auto child = Compile(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      OperatorPtr input = std::move(child).value();
+
+      std::string cache_fingerprint;
+      if (cache_eligible) {
+        cache_fingerprint = plan->Fingerprint();
+        auto& info = ctx->scans.at(trace.scan);
+        auto cached =
+            config_.predicate_cache->Lookup(cache_fingerprint, *info.table);
+        if (cached.has_value()) {
+          // Restrict the scan set to cached ∪ newly-added partitions,
+          // preserving the pruner-prepared order.
+          std::vector<PartitionId> keep;
+          for (PartitionId pid : info.op->scan_set()) {
+            if (std::find(cached->begin(), cached->end(), pid) !=
+                cached->end()) {
+              keep.push_back(pid);
+            }
+          }
+          info.op->ReplaceScanSet(ScanSet(std::move(keep)));
+          ctx->result->predicate_cache_hit = true;
+        }
+      }
+
+      auto idx = input->output_schema().FindColumn(plan->order_column);
+      if (!idx.has_value()) {
+        return Status::NotFound("no order column " + plan->order_column);
+      }
+      // The boundary publisher: the outer TopK for plain/probe-side shapes;
+      // the replicated build-side TopK or the aggregate for the others.
+      TopKPruner* publisher = pruner;
+      if (trace.build_join_node != nullptr) publisher = nullptr;
+      if (trace.agg_node != nullptr) {
+        publisher = nullptr;
+        auto agg_it = ctx->agg_ops.find(trace.agg_node);
+        if (agg_it != ctx->agg_ops.end()) {
+          const auto& gcols = trace.agg_node->group_columns;
+          auto git = std::find(gcols.begin(), gcols.end(), plan->order_column);
+          if (git != gcols.end()) {
+            agg_it->second->EnableGroupLimit(
+                static_cast<size_t>(git - gcols.begin()), plan->descending,
+                plan->limit_k, pruner);
+          }
+        }
+      }
+      auto topk = std::make_unique<TopKOp>(std::move(input), idx.value(),
+                                           plan->descending, plan->limit_k,
+                                           publisher);
+      if (cache_eligible) {
+        // Record contributions post-execution; stash what we need.
+        TopKOp* topk_ptr = topk.get();
+        auto& info = ctx->scans.at(trace.scan);
+        post_run_hooks_.push_back([this, topk_ptr, cache_fingerprint,
+                                   table = info.table,
+                                   column = trace.column]() {
+          config_.predicate_cache->Insert(cache_fingerprint, *table, column,
+                                          topk_ptr->contributing_partitions());
+        });
+      }
+      return OperatorPtr(std::move(topk));
+    }
+
+    case PlanNode::Kind::kSort: {
+      auto child = Compile(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      OperatorPtr input = std::move(child).value();
+      auto idx = input->output_schema().FindColumn(plan->order_column);
+      if (!idx.has_value()) {
+        return Status::NotFound("no order column " + plan->order_column);
+      }
+      return OperatorPtr(std::make_unique<SortOp>(std::move(input), idx.value(),
+                                                  plan->descending));
+    }
+
+    case PlanNode::Kind::kJoin: {
+      auto left = Compile(plan->left, ctx);
+      if (!left.ok()) return left.status();
+      OperatorPtr probe = std::move(left).value();
+      auto right = Compile(plan->right, ctx);
+      if (!right.ok()) return right.status();
+      OperatorPtr build = std::move(right).value();
+
+      // Figure 7c: replicate the TopK onto the preserved build side.
+      if (auto* pending = ctx->FindPendingForJoinBuild(plan.get())) {
+        auto idx = build->output_schema().FindColumn(pending->scan_column);
+        if (idx.has_value()) {
+          build = std::make_unique<TopKOp>(std::move(build), idx.value(),
+                                           pending->descending, pending->k,
+                                           pending->pruner);
+        }
+      }
+
+      auto pidx = probe->output_schema().FindColumn(plan->left_key);
+      auto bidx = build->output_schema().FindColumn(plan->right_key);
+      if (!pidx.has_value() || !bidx.has_value()) {
+        return Status::NotFound("join key not found: " + plan->left_key + "/" +
+                                plan->right_key);
+      }
+      HashJoinOp::Config jcfg;
+      jcfg.enable_partition_pruning = config_.enable_join_pruning;
+      jcfg.summary_kind = config_.join_summary_kind;
+      jcfg.summary_budget_bytes = config_.join_summary_budget_bytes;
+      jcfg.row_level_bloom = config_.join_row_level_bloom;
+      auto join = std::make_unique<HashJoinOp>(std::move(probe),
+                                               std::move(build), pidx.value(),
+                                               bidx.value(), plan->join_kind,
+                                               jcfg);
+      // §6: wire the probe-side scan for partition-level summary pruning.
+      if (config_.enable_join_pruning) {
+        ColumnTrace key_trace =
+            TraceColumnToScan(*catalog_, plan->left, plan->left_key);
+        if (key_trace.scan != nullptr && key_trace.agg_node == nullptr &&
+            key_trace.build_join_node == nullptr) {
+          auto it = ctx->scans.find(key_trace.scan);
+          if (it != ctx->scans.end()) {
+            auto col =
+                it->second.table->schema().FindColumn(key_trace.column);
+            if (col.has_value()) {
+              join->AttachProbeScan(it->second.op, col.value());
+            }
+          }
+        }
+      }
+      return OperatorPtr(std::move(join));
+    }
+
+    case PlanNode::Kind::kAggregate: {
+      auto child = Compile(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      OperatorPtr input = std::move(child).value();
+      std::vector<size_t> group_cols;
+      for (const auto& name : plan->group_columns) {
+        auto idx = input->output_schema().FindColumn(name);
+        if (!idx.has_value()) return Status::NotFound("no column " + name);
+        group_cols.push_back(idx.value());
+      }
+      std::vector<AggSpec> aggs;
+      for (const auto& spec : plan->aggregates) {
+        AggSpec a;
+        a.func = spec.func;
+        a.name = spec.output_name;
+        if (spec.func != AggFunc::kCount) {
+          auto idx = input->output_schema().FindColumn(spec.column);
+          if (!idx.has_value()) {
+            return Status::NotFound("no column " + spec.column);
+          }
+          a.column = idx.value();
+        }
+        aggs.push_back(std::move(a));
+      }
+      auto agg = std::make_unique<HashAggregateOp>(
+          std::move(input), std::move(group_cols), std::move(aggs));
+      ctx->agg_ops[plan.get()] = agg.get();
+      return OperatorPtr(std::move(agg));
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+Result<QueryResult> Engine::Execute(const PlanPtr& plan) {
+  if (!plan) return Status::InvalidArgument("null plan");
+  QueryResult result;
+  CompileContext ctx;
+  ctx.result = &result;
+  post_run_hooks_.clear();
+
+  auto compiled = Compile(plan, &ctx);
+  if (!compiled.ok()) return compiled.status();
+  OperatorPtr root = std::move(compiled).value();
+
+  for (const auto& [node, info] : ctx.scans) {
+    result.scan_set_bytes +=
+        static_cast<int64_t>(info.op->scan_set().SerializedBytes());
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  root->Open();
+  Batch batch;
+  while (root->Next(&batch)) {
+    for (auto& row : batch.rows) result.rows.push_back(std::move(row));
+  }
+  root->Close();
+  auto t1 = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+      1e6;
+
+  for (auto& hook : post_run_hooks_) hook();
+  post_run_hooks_.clear();
+
+  result.schema = root->output_schema();
+  result.stats = ctx.stats;
+  return result;
+}
+
+}  // namespace snowprune

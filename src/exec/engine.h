@@ -1,0 +1,107 @@
+#ifndef SNOWPRUNE_EXEC_ENGINE_H_
+#define SNOWPRUNE_EXEC_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/filter_pruner.h"
+#include "core/join_pruner.h"
+#include "core/limit_pruner.h"
+#include "core/predicate_cache.h"
+#include "core/pruning_stats.h"
+#include "core/topk_pruner.h"
+#include "exec/batch.h"
+#include "exec/plan.h"
+#include "storage/catalog.h"
+
+namespace snowprune {
+
+/// When filter pruning runs (§2.1/§3.2). Compile-time pruning enables
+/// downstream optimizations (LIMIT pruning needs the fully-matching set,
+/// scan sets shrink before being shipped); runtime pruning defers the
+/// per-partition metadata checks to the highly parallel execution layer —
+/// the right choice when compile-time pruning is too slow for huge scan
+/// sets with complex predicates.
+enum class FilterPruningPhase { kCompileTime, kRuntime };
+
+/// Engine-wide configuration: which pruning techniques run and how they are
+/// parameterized. Defaults mirror the paper's production setup (everything
+/// on); benches toggle individual techniques for ablations.
+struct EngineConfig {
+  bool enable_filter_pruning = true;
+  FilterPruningPhase filter_pruning_phase = FilterPruningPhase::kCompileTime;
+  bool enable_limit_pruning = true;
+  bool enable_topk_pruning = true;
+  bool enable_join_pruning = true;
+
+  FilterPrunerConfig filter;
+
+  OrderStrategy topk_order_strategy = OrderStrategy::kFullSort;
+  BoundaryInitMode topk_boundary_init = BoundaryInitMode::kStricter;
+
+  SummaryKind join_summary_kind = SummaryKind::kRangeSet;
+  size_t join_summary_budget_bytes = 1024;
+  bool join_row_level_bloom = false;
+
+  /// Optional §8.2 top-k predicate cache (not owned).
+  PredicateCache* predicate_cache = nullptr;
+};
+
+/// How a LIMIT query fared under LIMIT pruning — the categories of the
+/// paper's Table 2, plus plan-shape rejection.
+enum class LimitClassification {
+  kNotALimitQuery,
+  kAlreadyMinimal,
+  kUnsupportedShape,  ///< LIMIT not pushable to any scan (§4.3).
+  kNoFullyMatching,
+  kPrunedToZero,
+  kPrunedToOne,
+  kPrunedToMany,
+};
+
+const char* ToString(LimitClassification c);
+
+/// Everything a query execution reports back.
+struct QueryResult {
+  std::vector<Row> rows;
+  Schema schema;
+  PruningStats stats;
+  double wall_ms = 0.0;
+  LimitClassification limit_class = LimitClassification::kNotALimitQuery;
+  bool topk_pruning_attached = false;
+  bool predicate_cache_hit = false;
+  int64_t scan_set_bytes = 0;  ///< Serialized scan-set size shipped to compute.
+};
+
+/// Compiles and executes plans against a catalog, applying the paper's four
+/// pruning techniques in their §7 order: filter pruning and LIMIT pruning at
+/// compile time; join pruning and top-k pruning at runtime via sideways
+/// information passing.
+class Engine {
+ public:
+  explicit Engine(Catalog* catalog, EngineConfig config = EngineConfig());
+
+  /// Compiles and runs `plan`. The plan's expressions get (re)bound to the
+  /// referenced tables' schemas as a side effect.
+  Result<QueryResult> Execute(const PlanPtr& plan);
+
+  const EngineConfig& config() const { return config_; }
+  EngineConfig* mutable_config() { return &config_; }
+
+ private:
+  struct CompileContext;
+
+  Result<OperatorPtr> Compile(const PlanPtr& plan, CompileContext* ctx);
+
+  Catalog* catalog_;
+  EngineConfig config_;
+  /// Actions deferred to after execution (predicate-cache population).
+  std::vector<std::function<void()>> post_run_hooks_;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXEC_ENGINE_H_

@@ -1,0 +1,135 @@
+#include "exec/join_op.h"
+
+namespace snowprune {
+
+const char* ToString(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kInner: return "inner";
+    case JoinKind::kProbeOuter: return "probe-outer";
+    case JoinKind::kBuildOuter: return "build-outer";
+  }
+  return "?";
+}
+
+HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build, size_t probe_key,
+                       size_t build_key, JoinKind kind, Config config)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_key_(probe_key),
+      build_key_(build_key),
+      kind_(kind),
+      config_(config) {
+  std::vector<Field> fields = probe_->output_schema().fields();
+  for (const auto& f : build_->output_schema().fields()) fields.push_back(f);
+  schema_ = Schema(std::move(fields));
+}
+
+void HashJoinOp::Open() {
+  build_rows_.clear();
+  build_matched_.clear();
+  hash_table_.clear();
+  bloom_skipped_rows_ = 0;
+  hash_probes_ = 0;
+  emitted_unmatched_build_ = false;
+
+  // --- Build phase: drain the build side, hash it, summarize it (§6.1
+  // step 1). NULL keys never participate in an equi-join.
+  build_->Open();
+  SummaryBuilder summary_builder;
+  Batch batch;
+  while (build_->Next(&batch)) {
+    for (auto& row : batch.rows) {
+      const Value& key = row[build_key_];
+      if (!key.is_null()) {
+        summary_builder.Add(key);
+        hash_table_.emplace(HashValue(key), build_rows_.size());
+      }
+      build_rows_.push_back(std::move(row));
+    }
+  }
+  build_->Close();
+  build_matched_.assign(build_rows_.size(), false);
+
+  // --- Ship the summary to the probe side (§6.1 steps 2-4).
+  if (config_.enable_partition_pruning) {
+    summary_ = summary_builder.Build(config_.summary_kind,
+                                     config_.summary_budget_bytes);
+    if (probe_scan_ != nullptr) {
+      probe_scan_->ApplyJoinSummary(*summary_, probe_scan_key_column_);
+    }
+  }
+  if (config_.row_level_bloom) {
+    bloom_ = summary_builder.Build(SummaryKind::kBloom,
+                                   config_.bloom_budget_bytes);
+  }
+
+  probe_->Open();
+}
+
+Row HashJoinOp::NullBuildRow() const {
+  return Row(build_->output_schema().num_columns(), Value::Null());
+}
+
+Row HashJoinOp::NullProbeRow() const {
+  return Row(probe_->output_schema().num_columns(), Value::Null());
+}
+
+bool HashJoinOp::Next(Batch* out) {
+  Batch in;
+  while (probe_->Next(&in)) {
+    out->rows.clear();
+    out->source.clear();
+    for (auto& probe_row : in.rows) {
+      const Value& key = probe_row[probe_key_];
+      bool matched = false;
+      if (!key.is_null()) {
+        // Row-level bloom-join check: skip the hash-table probe entirely
+        // when the filter proves absence (CPU saving, not IO — §6.1).
+        if (bloom_ != nullptr && !bloom_->MayContain(key)) {
+          ++bloom_skipped_rows_;
+        } else {
+          auto [lo, hi] = hash_table_.equal_range(HashValue(key));
+          ++hash_probes_;
+          for (auto it = lo; it != hi; ++it) {
+            const Row& build_row = build_rows_[it->second];
+            const Value& bkey = build_row[build_key_];
+            if (bkey.is_string() == key.is_string() &&
+                bkey.is_bool() == key.is_bool() &&
+                Value::Compare(bkey, key) == 0) {
+              matched = true;
+              build_matched_[it->second] = true;
+              Row joined = probe_row;
+              joined.insert(joined.end(), build_row.begin(), build_row.end());
+              out->rows.push_back(std::move(joined));
+            }
+          }
+        }
+      }
+      if (!matched && kind_ == JoinKind::kProbeOuter) {
+        Row joined = std::move(probe_row);
+        Row nulls = NullBuildRow();
+        joined.insert(joined.end(), nulls.begin(), nulls.end());
+        out->rows.push_back(std::move(joined));
+      }
+    }
+    return true;
+  }
+
+  if (kind_ == JoinKind::kBuildOuter && !emitted_unmatched_build_) {
+    emitted_unmatched_build_ = true;
+    out->rows.clear();
+    out->source.clear();
+    for (size_t i = 0; i < build_rows_.size(); ++i) {
+      if (build_matched_[i]) continue;
+      Row joined = NullProbeRow();
+      joined.insert(joined.end(), build_rows_[i].begin(), build_rows_[i].end());
+      out->rows.push_back(std::move(joined));
+    }
+    return !out->rows.empty();
+  }
+  return false;
+}
+
+void HashJoinOp::Close() { probe_->Close(); }
+
+}  // namespace snowprune

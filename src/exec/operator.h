@@ -1,0 +1,37 @@
+#ifndef SNOWPRUNE_EXEC_OPERATOR_H_
+#define SNOWPRUNE_EXEC_OPERATOR_H_
+
+#include <memory>
+
+#include "exec/batch.h"
+#include "storage/schema.h"
+
+namespace snowprune {
+
+/// Pull-based (Volcano-style, batch-at-a-time) physical operator. The batch
+/// granularity is one micro-partition, which is what lets runtime pruning
+/// react between batches: the TopK operator tightens its boundary after each
+/// batch, and the scan consults it before loading the next partition —
+/// "passing information both horizontally and vertically" (§2.1).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the subtree for execution (recursively).
+  virtual void Open() = 0;
+
+  /// Produces the next batch; false at end of stream.
+  virtual bool Next(Batch* out) = 0;
+
+  /// Releases resources (recursively).
+  virtual void Close() = 0;
+
+  /// The schema of produced rows.
+  virtual const Schema& output_schema() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXEC_OPERATOR_H_

@@ -1,0 +1,132 @@
+#include "exec/ops.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "exec/row_eval.h"
+
+namespace snowprune {
+
+FilterOp::FilterOp(OperatorPtr input, ExprPtr predicate)
+    : input_(std::move(input)), predicate_(std::move(predicate)) {}
+
+bool FilterOp::Next(Batch* out) {
+  Batch in;
+  while (input_->Next(&in)) {
+    out->rows.clear();
+    out->source.clear();
+    const bool track = in.has_source();
+    for (size_t i = 0; i < in.rows.size(); ++i) {
+      auto keep = EvalRowPredicate(*predicate_, in.rows[i]);
+      if (keep.has_value() && *keep) {
+        out->rows.push_back(std::move(in.rows[i]));
+        if (track) out->source.push_back(in.source[i]);
+      }
+    }
+    return true;  // preserve batch boundaries (partition granularity)
+  }
+  return false;
+}
+
+ProjectOp::ProjectOp(OperatorPtr input, std::vector<ExprPtr> exprs,
+                     std::vector<std::string> names)
+    : input_(std::move(input)), exprs_(std::move(exprs)) {
+  assert(exprs_.size() == names.size());
+  std::vector<Field> fields;
+  for (size_t i = 0; i < names.size(); ++i) {
+    // Projected expressions are dynamically typed; record the column name
+    // and a nominal type (refined by consumers via values, not the schema).
+    DataType type = DataType::kFloat64;
+    if (exprs_[i]->kind() == ExprKind::kColumnRef) {
+      const auto& ref = static_cast<const ColumnRefExpr&>(*exprs_[i]);
+      if (ref.bound()) {
+        type = input_->output_schema().field(ref.index()).type;
+      }
+    }
+    fields.push_back(Field{names[i], type, /*nullable=*/true});
+  }
+  schema_ = Schema(std::move(fields));
+}
+
+bool ProjectOp::Next(Batch* out) {
+  Batch in;
+  if (!input_->Next(&in)) return false;
+  out->rows.clear();
+  out->source.clear();
+  const bool track = in.has_source();
+  out->rows.reserve(in.rows.size());
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    Row projected;
+    projected.reserve(exprs_.size());
+    for (const auto& e : exprs_) projected.push_back(EvalRow(*e, in.rows[i]));
+    out->rows.push_back(std::move(projected));
+    if (track) out->source.push_back(in.source[i]);
+  }
+  return true;
+}
+
+LimitOp::LimitOp(OperatorPtr input, int64_t k, int64_t offset)
+    : input_(std::move(input)), k_(k), offset_(offset) {}
+
+void LimitOp::Open() {
+  consumed_ = 0;
+  input_->Open();
+}
+
+bool LimitOp::Next(Batch* out) {
+  const int64_t target = offset_ + k_;
+  if (consumed_ >= target) return false;
+  Batch in;
+  while (input_->Next(&in)) {
+    out->rows.clear();
+    out->source.clear();
+    const bool track = in.has_source();
+    for (size_t i = 0; i < in.rows.size() && consumed_ < target; ++i) {
+      ++consumed_;
+      if (consumed_ <= offset_) continue;  // discard the OFFSET prefix
+      out->rows.push_back(std::move(in.rows[i]));
+      if (track) out->source.push_back(in.source[i]);
+    }
+    if (!out->rows.empty() || consumed_ >= target) return true;
+    // Empty batch (fully filtered partition): keep pulling.
+  }
+  return false;
+}
+
+SortOp::SortOp(OperatorPtr input, size_t order_column, bool descending)
+    : input_(std::move(input)),
+      order_column_(order_column),
+      descending_(descending) {}
+
+void SortOp::Open() {
+  done_ = false;
+  buffered_.rows.clear();
+  buffered_.source.clear();
+  input_->Open();
+}
+
+bool SortOp::Next(Batch* out) {
+  if (done_) return false;
+  Batch in;
+  while (input_->Next(&in)) {
+    for (auto& row : in.rows) buffered_.rows.push_back(std::move(row));
+  }
+  // NULL order keys sort last regardless of direction (and are excluded
+  // from top-k results by the TopK operator; SortOp keeps them for
+  // completeness).
+  std::stable_sort(buffered_.rows.begin(), buffered_.rows.end(),
+                   [&](const Row& a, const Row& b) {
+                     const Value& va = a[order_column_];
+                     const Value& vb = b[order_column_];
+                     if (va.is_null()) return false;
+                     if (vb.is_null()) return true;
+                     int c = Value::Compare(va, vb);
+                     return descending_ ? c > 0 : c < 0;
+                   });
+  *out = std::move(buffered_);
+  buffered_ = Batch{};
+  done_ = true;
+  return !out->rows.empty();
+}
+
+}  // namespace snowprune

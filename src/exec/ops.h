@@ -1,0 +1,92 @@
+#ifndef SNOWPRUNE_EXEC_OPS_H_
+#define SNOWPRUNE_EXEC_OPS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expr.h"
+
+namespace snowprune {
+
+/// Row-level filter (a WHERE clause not merged into the scan, e.g. between
+/// a join and a TopK operator — Figure 7a).
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr input, ExprPtr predicate);
+
+  void Open() override { input_->Open(); }
+  bool Next(Batch* out) override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+
+ private:
+  OperatorPtr input_;
+  ExprPtr predicate_;
+};
+
+/// Computes one output column per expression.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr input, std::vector<ExprPtr> exprs,
+            std::vector<std::string> names);
+
+  void Open() override { input_->Open(); }
+  bool Next(Batch* out) override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  OperatorPtr input_;
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+};
+
+/// Stops the pipeline after offset + k rows (discarding the first offset) —
+/// the "most existing database systems simply halt query processing when
+/// the LIMIT has been reached" baseline the paper's §4 improves on.
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr input, int64_t k, int64_t offset = 0);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+
+ private:
+  OperatorPtr input_;
+  int64_t k_;
+  int64_t offset_;
+  int64_t consumed_ = 0;  ///< Rows pulled, including the skipped offset.
+};
+
+/// Full in-memory sort (pipeline breaker); the non-pruning baseline for
+/// ORDER BY ... LIMIT and the final ordering stage of top-k results.
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr input, size_t order_column, bool descending);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+
+ private:
+  OperatorPtr input_;
+  size_t order_column_;
+  bool descending_;
+  Batch buffered_;
+  bool done_ = false;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXEC_OPS_H_

@@ -1,0 +1,156 @@
+#include "exec/row_eval.h"
+
+#include <cassert>
+
+#include "expr/like.h"
+
+namespace snowprune {
+
+namespace {
+
+Value ArithRow(const ArithExpr& e, const Row& row) {
+  Value l = EvalRow(*e.left(), row);
+  Value r = EvalRow(*e.right(), row);
+  if (l.is_null() || r.is_null() || !l.is_numeric() || !r.is_numeric()) {
+    return Value::Null();
+  }
+  bool both_int = l.is_int64() && r.is_int64();
+  switch (e.op()) {
+    case ArithOp::kAdd: {
+      int64_t out;
+      if (both_int &&
+          !__builtin_add_overflow(l.int64_value(), r.int64_value(), &out)) {
+        return Value(out);
+      }
+      return Value(l.AsDouble() + r.AsDouble());
+    }
+    case ArithOp::kSub: {
+      int64_t out;
+      if (both_int &&
+          !__builtin_sub_overflow(l.int64_value(), r.int64_value(), &out)) {
+        return Value(out);
+      }
+      return Value(l.AsDouble() - r.AsDouble());
+    }
+    case ArithOp::kMul: {
+      int64_t out;
+      if (both_int &&
+          !__builtin_mul_overflow(l.int64_value(), r.int64_value(), &out)) {
+        return Value(out);
+      }
+      return Value(l.AsDouble() * r.AsDouble());
+    }
+    case ArithOp::kDiv: {
+      double d = r.AsDouble();
+      if (d == 0.0) return Value::Null();
+      return Value(l.AsDouble() / d);
+    }
+  }
+  return Value::Null();
+}
+
+Value CompareRow(const CompareExpr& e, const Row& row) {
+  Value l = EvalRow(*e.left(), row);
+  Value r = EvalRow(*e.right(), row);
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (l.is_string() != r.is_string() || l.is_bool() != r.is_bool()) {
+    return Value::Null();
+  }
+  int c = Value::Compare(l, r);
+  switch (e.op()) {
+    case CompareOp::kEq: return Value(c == 0);
+    case CompareOp::kNe: return Value(c != 0);
+    case CompareOp::kLt: return Value(c < 0);
+    case CompareOp::kLe: return Value(c <= 0);
+    case CompareOp::kGt: return Value(c > 0);
+    case CompareOp::kGe: return Value(c >= 0);
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Value EvalRow(const Expr& expr, const Row& row) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      assert(ref.bound() && ref.index() < row.size());
+      return row[ref.index()];
+    }
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value();
+    case ExprKind::kArith:
+      return ArithRow(static_cast<const ArithExpr&>(expr), row);
+    case ExprKind::kCompare:
+      return CompareRow(static_cast<const CompareExpr&>(expr), row);
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const auto& e = static_cast<const BoolConnectiveExpr&>(expr);
+      const bool is_and = expr.kind() == ExprKind::kAnd;
+      bool saw_null = false;
+      for (const auto& term : e.terms()) {
+        Value v = EvalRow(*term, row);
+        if (v.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (is_and && !v.bool_value()) return Value(false);
+        if (!is_and && v.bool_value()) return Value(true);
+      }
+      return saw_null ? Value::Null() : Value(is_and);
+    }
+    case ExprKind::kNot: {
+      Value v = EvalRow(*static_cast<const NotExpr&>(expr).input(), row);
+      return v.is_null() ? Value::Null() : Value(!v.bool_value());
+    }
+    case ExprKind::kNotTrue: {
+      Value v = EvalRow(*static_cast<const NotTrueExpr&>(expr).input(), row);
+      return Value(!(!v.is_null() && v.bool_value()));
+    }
+    case ExprKind::kIf: {
+      const auto& e = static_cast<const IfExpr&>(expr);
+      Value c = EvalRow(*e.cond(), row);
+      bool take_then = !c.is_null() && c.bool_value();
+      return EvalRow(take_then ? *e.then_expr() : *e.else_expr(), row);
+    }
+    case ExprKind::kLike: {
+      const auto& e = static_cast<const LikeExpr&>(expr);
+      Value v = EvalRow(*e.input(), row);
+      if (v.is_null() || !v.is_string()) return Value::Null();
+      return Value(LikeMatch(v.string_value(), e.pattern()));
+    }
+    case ExprKind::kStartsWith: {
+      const auto& e = static_cast<const StartsWithExpr&>(expr);
+      Value v = EvalRow(*e.input(), row);
+      if (v.is_null() || !v.is_string()) return Value::Null();
+      return Value(v.string_value().compare(0, e.prefix().size(), e.prefix()) ==
+                   0);
+    }
+    case ExprKind::kInList: {
+      const auto& e = static_cast<const InListExpr&>(expr);
+      Value v = EvalRow(*e.input(), row);
+      if (v.is_null()) return Value::Null();
+      for (const auto& cand : e.values()) {
+        if (!cand.is_null() && cand.is_string() == v.is_string() &&
+            cand.is_bool() == v.is_bool() && Value::Compare(v, cand) == 0) {
+          return Value(true);
+        }
+      }
+      return Value(false);
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(expr);
+      Value v = EvalRow(*e.input(), row);
+      return Value(e.negate() ? !v.is_null() : v.is_null());
+    }
+  }
+  return Value::Null();
+}
+
+std::optional<bool> EvalRowPredicate(const Expr& expr, const Row& row) {
+  Value v = EvalRow(expr, row);
+  if (v.is_null()) return std::nullopt;
+  return v.bool_value();
+}
+
+}  // namespace snowprune

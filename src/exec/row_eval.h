@@ -1,0 +1,21 @@
+#ifndef SNOWPRUNE_EXEC_ROW_EVAL_H_
+#define SNOWPRUNE_EXEC_ROW_EVAL_H_
+
+#include <optional>
+
+#include "exec/batch.h"
+#include "expr/expr.h"
+
+namespace snowprune {
+
+/// Scalar evaluation of a bound expression against a materialized row
+/// (operator-pipeline counterpart of expr/evaluator.h, which works on
+/// partitions). Semantics are identical; a property test asserts agreement.
+Value EvalRow(const Expr& expr, const Row& row);
+
+/// Predicate form: true/false, or nullopt for NULL.
+std::optional<bool> EvalRowPredicate(const Expr& expr, const Row& row);
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXEC_ROW_EVAL_H_

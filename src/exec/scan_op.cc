@@ -1,0 +1,78 @@
+#include "exec/scan_op.h"
+
+#include "exec/row_eval.h"
+
+namespace snowprune {
+
+TableScanOp::TableScanOp(std::shared_ptr<Table> table, ScanSet scan_set,
+                         ExprPtr filter, PruningStats* stats)
+    : table_(std::move(table)),
+      scan_set_(std::move(scan_set)),
+      filter_(std::move(filter)),
+      stats_(stats) {}
+
+void TableScanOp::Open() { cursor_ = 0; }
+
+int64_t TableScanOp::ApplyJoinSummary(const BuildSummary& summary,
+                                      size_t key_column) {
+  // Only the unscanned tail is eligible; in practice joins install the
+  // summary at Open() before any probe-side partition was read.
+  ScanSet remaining(std::vector<PartitionId>(
+      scan_set_.ids().begin() + static_cast<long>(cursor_),
+      scan_set_.ids().end()));
+  JoinPruneResult pruned =
+      JoinPruner::PruneProbe(*table_, remaining, key_column, summary);
+  std::vector<PartitionId> new_ids(scan_set_.ids().begin(),
+                                   scan_set_.ids().begin() +
+                                       static_cast<long>(cursor_));
+  new_ids.insert(new_ids.end(), pruned.scan_set.begin(), pruned.scan_set.end());
+  scan_set_ = ScanSet(std::move(new_ids));
+  if (stats_ != nullptr) stats_->pruned_by_join += pruned.pruned;
+  return pruned.pruned;
+}
+
+bool TableScanOp::Next(Batch* out) {
+  out->rows.clear();
+  out->source.clear();
+  while (cursor_ < scan_set_.size()) {
+    PartitionId pid = scan_set_[cursor_++];
+    // Deferred filter pruning (§3.2): the same zone-map check the compile
+    // phase would have done, executed just before the load.
+    if (runtime_filter_pruner_ != nullptr &&
+        runtime_filter_pruner_->CanPrune(*table_, pid)) {
+      if (stats_ != nullptr) ++stats_->pruned_by_filter;
+      continue;
+    }
+    // Runtime top-k pruning: consult the boundary *before* loading (§5.2).
+    if (topk_pruner_ != nullptr && topk_pruner_->ShouldSkip(*table_, pid)) {
+      if (stats_ != nullptr) ++stats_->pruned_by_topk;
+      continue;
+    }
+    const MicroPartition& part = table_->LoadPartition(pid);
+    if (stats_ != nullptr) {
+      ++stats_->scanned_partitions;
+      stats_->scanned_rows += part.row_count();
+    }
+    const size_t n = static_cast<size_t>(part.row_count());
+    const size_t num_cols = part.num_columns();
+    for (size_t r = 0; r < n; ++r) {
+      Row row;
+      row.reserve(num_cols);
+      for (size_t c = 0; c < num_cols; ++c) {
+        row.push_back(part.column(c).ValueAt(r));
+      }
+      if (filter_) {
+        auto keep = EvalRowPredicate(*filter_, row);
+        if (!keep.has_value() || !*keep) continue;
+      }
+      out->rows.push_back(std::move(row));
+      if (track_source_) out->source.push_back(pid);
+    }
+    return true;  // one batch per partition, even if all rows were filtered
+  }
+  return false;
+}
+
+void TableScanOp::Close() {}
+
+}  // namespace snowprune

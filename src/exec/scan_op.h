@@ -1,0 +1,73 @@
+#ifndef SNOWPRUNE_EXEC_SCAN_OP_H_
+#define SNOWPRUNE_EXEC_SCAN_OP_H_
+
+#include <memory>
+
+#include "core/filter_pruner.h"
+#include "core/join_pruner.h"
+#include "core/pruning_stats.h"
+#include "core/topk_pruner.h"
+#include "exec/operator.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace snowprune {
+
+/// Table scan over a (compile-time pruned) scan set. One output batch per
+/// partition. Runtime pruning hooks:
+///   - a TopKPruner attached by the planner is consulted before every load
+///     (§5.2); skipped partitions never touch storage,
+///   - a build-side summary installed by a hash join at Open() time prunes
+///     the remaining scan set (§6.1, step 4).
+/// The optional row-level `filter` is the query's WHERE clause; it runs
+/// after the load (the part pruning could not avoid).
+class TableScanOp : public Operator {
+ public:
+  TableScanOp(std::shared_ptr<Table> table, ScanSet scan_set, ExprPtr filter,
+              PruningStats* stats);
+
+  /// Planner hook (§5): the TopK operator in the same pipeline publishes
+  /// boundary updates through this pruner.
+  void AttachTopKPruner(TopKPruner* pruner) { topk_pruner_ = pruner; }
+
+  /// Planner hook (§3.2): deferred filter pruning. When compile-time
+  /// pruning was skipped (FilterPruningPhase::kRuntime), the scan checks
+  /// each partition's zone maps right before loading it.
+  void AttachRuntimeFilterPruner(FilterPruner* pruner) {
+    runtime_filter_pruner_ = pruner;
+  }
+
+  /// Join hook (§6): prunes the not-yet-scanned part of the scan set with a
+  /// freshly built summary. `key_column` indexes this scan's output schema.
+  /// Returns the number of partitions pruned.
+  int64_t ApplyJoinSummary(const BuildSummary& summary, size_t key_column);
+
+  /// Emit per-row provenance (source partition ids) for the predicate cache.
+  void set_track_source(bool track) { track_source_ = track; }
+
+  /// Planner hook: replaces the scan set before execution (LIMIT pruning,
+  /// top-k ordering/initialization, predicate-cache restriction).
+  void ReplaceScanSet(ScanSet scan_set) { scan_set_ = std::move(scan_set); }
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+  const Schema& output_schema() const override { return table_->schema(); }
+
+  const ScanSet& scan_set() const { return scan_set_; }
+  const std::shared_ptr<Table>& table() const { return table_; }
+
+ private:
+  std::shared_ptr<Table> table_;
+  ScanSet scan_set_;
+  ExprPtr filter_;
+  PruningStats* stats_;
+  TopKPruner* topk_pruner_ = nullptr;
+  FilterPruner* runtime_filter_pruner_ = nullptr;
+  bool track_source_ = false;
+  size_t cursor_ = 0;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXEC_SCAN_OP_H_

@@ -1,0 +1,81 @@
+#include "exec/topk_op.h"
+
+#include <algorithm>
+
+namespace snowprune {
+
+TopKOp::TopKOp(OperatorPtr input, size_t order_column, bool descending,
+               int64_t k, TopKPruner* pruner)
+    : input_(std::move(input)),
+      order_column_(order_column),
+      descending_(descending),
+      k_(k),
+      pruner_(pruner) {}
+
+bool TopKOp::Weaker(const Value& a, const Value& b) const {
+  int c = Value::Compare(a, b);
+  return descending_ ? c < 0 : c > 0;
+}
+
+void TopKOp::Open() {
+  heap_.clear();
+  contributing_.clear();
+  emitted_ = false;
+  input_->Open();
+}
+
+bool TopKOp::Next(Batch* out) {
+  if (emitted_) return false;
+
+  auto heap_cmp = [this](const HeapRow& a, const HeapRow& b) {
+    // std::push_heap builds a max-heap; invert so the *weakest* row is at
+    // the root (classic top-k min-heap for DESC queries).
+    return Weaker(b.row[order_column_], a.row[order_column_]);
+  };
+
+  Batch in;
+  while (input_->Next(&in)) {
+    const bool track = in.has_source();
+    for (size_t i = 0; i < in.rows.size(); ++i) {
+      Row& row = in.rows[i];
+      const Value& key = row[order_column_];
+      if (key.is_null()) continue;  // NULL keys never qualify
+      PartitionId src = track ? in.source[i] : 0;
+      if (static_cast<int64_t>(heap_.size()) < k_) {
+        heap_.push_back(HeapRow{std::move(row), src});
+        std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+      } else if (!heap_.empty() &&
+                 Weaker(heap_.front().row[order_column_], key)) {
+        std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
+        heap_.back() = HeapRow{std::move(row), src};
+        std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+      } else {
+        continue;  // weaker than the current boundary
+      }
+      // Publish the boundary once the heap is full (§5.2): the k-th best
+      // value seen so far, enabling the scan to skip partitions.
+      if (pruner_ != nullptr && static_cast<int64_t>(heap_.size()) == k_) {
+        pruner_->UpdateBoundary(heap_.front().row[order_column_]);
+      }
+    }
+  }
+
+  // Emit best-first.
+  std::sort(heap_.begin(), heap_.end(), [this](const HeapRow& a, const HeapRow& b) {
+    return Weaker(b.row[order_column_], a.row[order_column_]);
+  });
+  out->rows.clear();
+  out->source.clear();
+  for (auto& hr : heap_) {
+    out->rows.push_back(std::move(hr.row));
+    out->source.push_back(hr.source);
+    if (std::find(contributing_.begin(), contributing_.end(), hr.source) ==
+        contributing_.end()) {
+      contributing_.push_back(hr.source);
+    }
+  }
+  emitted_ = true;
+  return !out->rows.empty();
+}
+
+}  // namespace snowprune

@@ -1,0 +1,61 @@
+#ifndef SNOWPRUNE_EXEC_TOPK_OP_H_
+#define SNOWPRUNE_EXEC_TOPK_OP_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/topk_pruner.h"
+#include "exec/operator.h"
+
+namespace snowprune {
+
+/// Heap-based top-k (§5, "Standard Heap-Based Approach") extended with
+/// boundary publication: whenever the heap is full, its weakest element is
+/// pushed to the attached TopKPruner, which the table scan in the same
+/// pipeline consults before loading further partitions (§5.2).
+///
+/// Rows whose order key is NULL never enter the heap (and thus never appear
+/// in results). Output rows are emitted best-first.
+class TopKOp : public Operator {
+ public:
+  /// `pruner` may be null (pruning disabled); the operator then degrades to
+  /// the plain heap scan every other system uses.
+  TopKOp(OperatorPtr input, size_t order_column, bool descending, int64_t k,
+         TopKPruner* pruner);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override { input_->Close(); }
+  const Schema& output_schema() const override {
+    return input_->output_schema();
+  }
+
+  /// Partitions that contributed rows to the final result; recorded for the
+  /// top-k predicate cache (§8.2) when the input carries provenance.
+  const std::vector<PartitionId>& contributing_partitions() const {
+    return contributing_;
+  }
+
+ private:
+  struct HeapRow {
+    Row row;
+    PartitionId source;
+  };
+
+  /// True if `a` is weaker than `b` under the query's direction (min-heap
+  /// root = weakest element = the boundary).
+  bool Weaker(const Value& a, const Value& b) const;
+
+  OperatorPtr input_;
+  size_t order_column_;
+  bool descending_;
+  int64_t k_;
+  TopKPruner* pruner_;
+  std::vector<HeapRow> heap_;
+  std::vector<PartitionId> contributing_;
+  bool emitted_ = false;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXEC_TOPK_OP_H_

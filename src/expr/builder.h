@@ -1,0 +1,113 @@
+#ifndef SNOWPRUNE_EXPR_BUILDER_H_
+#define SNOWPRUNE_EXPR_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace snowprune {
+
+/// Fluent construction helpers for expression trees; the library's plan-
+/// building API in lieu of a SQL parser. Example (the paper's §3 query):
+///
+///   auto pred = And({
+///       Gt(If(Eq(Col("unit"), Lit("feet")),
+///             Mul(Col("altit"), Lit(0.3048)), Col("altit")),
+///          Lit(1500)),
+///       Like(Col("name"), "Marked-%-Ridge")});
+
+inline ExprPtr Col(std::string name) {
+  return std::make_shared<ColumnRefExpr>(std::move(name));
+}
+
+inline ExprPtr Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+inline ExprPtr Lit(int64_t v) { return Lit(Value(v)); }
+inline ExprPtr Lit(int v) { return Lit(Value(v)); }
+inline ExprPtr Lit(double v) { return Lit(Value(v)); }
+inline ExprPtr Lit(const char* v) { return Lit(Value(v)); }
+inline ExprPtr Lit(std::string v) { return Lit(Value(std::move(v))); }
+inline ExprPtr Lit(bool v) { return Lit(Value(v)); }
+inline ExprPtr NullLit() { return Lit(Value::Null()); }
+
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithExpr>(ArithOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithExpr>(ArithOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithExpr>(ArithOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithExpr>(ArithOp::kDiv, std::move(a), std::move(b));
+}
+
+inline ExprPtr Cmp(CompareOp op, ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpr>(op, std::move(a), std::move(b));
+}
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Cmp(CompareOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Cmp(CompareOp::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Cmp(CompareOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Cmp(CompareOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Cmp(CompareOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Cmp(CompareOp::kGe, std::move(a), std::move(b));
+}
+
+inline ExprPtr And(std::vector<ExprPtr> terms) {
+  return std::make_shared<BoolConnectiveExpr>(ExprKind::kAnd, std::move(terms));
+}
+inline ExprPtr Or(std::vector<ExprPtr> terms) {
+  return std::make_shared<BoolConnectiveExpr>(ExprKind::kOr, std::move(terms));
+}
+inline ExprPtr Not(ExprPtr input) {
+  return std::make_shared<NotExpr>(std::move(input));
+}
+inline ExprPtr NotTrue(ExprPtr input) {
+  return std::make_shared<NotTrueExpr>(std::move(input));
+}
+
+inline ExprPtr If(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr) {
+  return std::make_shared<IfExpr>(std::move(cond), std::move(then_expr),
+                                  std::move(else_expr));
+}
+
+inline ExprPtr Like(ExprPtr input, std::string pattern) {
+  return std::make_shared<LikeExpr>(std::move(input), std::move(pattern));
+}
+inline ExprPtr StartsWith(ExprPtr input, std::string prefix) {
+  return std::make_shared<StartsWithExpr>(std::move(input), std::move(prefix));
+}
+
+inline ExprPtr In(ExprPtr input, std::vector<Value> values) {
+  return std::make_shared<InListExpr>(std::move(input), std::move(values));
+}
+
+inline ExprPtr IsNull(ExprPtr input) {
+  return std::make_shared<IsNullExpr>(std::move(input), /*negate=*/false);
+}
+inline ExprPtr IsNotNull(ExprPtr input) {
+  return std::make_shared<IsNullExpr>(std::move(input), /*negate=*/true);
+}
+
+/// x BETWEEN lo AND hi, desugared to (x >= lo AND x <= hi).
+inline ExprPtr Between(ExprPtr x, Value lo, Value hi) {
+  return And({Ge(x, Lit(std::move(lo))), Le(std::move(x), Lit(std::move(hi)))});
+}
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXPR_BUILDER_H_

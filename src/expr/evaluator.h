@@ -1,0 +1,34 @@
+#ifndef SNOWPRUNE_EXPR_EVALUATOR_H_
+#define SNOWPRUNE_EXPR_EVALUATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "expr/expr.h"
+#include "storage/partition.h"
+
+namespace snowprune {
+
+/// Row-wise scalar evaluation of a bound expression against one row of a
+/// micro-partition. NULL propagates per SQL semantics; division by zero
+/// yields NULL; comparisons across incompatible kinds yield NULL.
+Value EvalScalar(const Expr& expr, const MicroPartition& partition, size_t row);
+
+/// Predicate evaluation in SQL three-valued logic: true/false, or nullopt
+/// for NULL.
+std::optional<bool> EvalPredicate(const Expr& expr,
+                                  const MicroPartition& partition, size_t row);
+
+/// Evaluates a predicate over all rows of a partition; mask[i] == 1 iff the
+/// row satisfies the predicate (NULL counts as not satisfied).
+std::vector<uint8_t> EvalPredicateMask(const Expr& expr,
+                                       const MicroPartition& partition);
+
+/// Number of rows in `partition` satisfying `expr` (brute force; the test
+/// oracle that pruning results are validated against).
+int64_t CountMatches(const Expr& expr, const MicroPartition& partition);
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXPR_EVALUATOR_H_

@@ -1,0 +1,88 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+
+namespace snowprune {
+
+const char* ToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+std::string ArithExpr::ToString() const {
+  return "(" + left_->ToString() + " " + snowprune::ToString(op_) + " " +
+         right_->ToString() + ")";
+}
+
+std::string CompareExpr::ToString() const {
+  return "(" + left_->ToString() + " " + snowprune::ToString(op_) + " " +
+         right_->ToString() + ")";
+}
+
+std::string BoolConnectiveExpr::ToString() const {
+  const char* sep = kind() == ExprKind::kAnd ? " AND " : " OR ";
+  std::string s = "(";
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) s += sep;
+    s += terms_[i]->ToString();
+  }
+  return s + ")";
+}
+
+std::string IfExpr::ToString() const {
+  return "IF(" + cond_->ToString() + ", " + then_->ToString() + ", " +
+         else_->ToString() + ")";
+}
+
+std::string InListExpr::ToString() const {
+  std::string s = input_->ToString() + " IN (";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += values_[i].ToString();
+  }
+  return s + ")";
+}
+
+Status BindExpr(const ExprPtr& expr, const Schema& schema) {
+  if (!expr) return Status::InvalidArgument("null expression");
+  if (expr->kind() == ExprKind::kColumnRef) {
+    auto* ref = static_cast<ColumnRefExpr*>(expr.get());
+    auto idx = schema.FindColumn(ref->name());
+    if (!idx) return Status::NotFound("no column named " + ref->name());
+    ref->set_index(*idx);
+    return Status::OK();
+  }
+  for (const auto& child : expr->children()) {
+    Status s = BindExpr(child, schema);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void CollectColumns(const ExprPtr& expr, std::vector<std::string>* out) {
+  if (expr->kind() == ExprKind::kColumnRef) {
+    const auto* ref = static_cast<const ColumnRefExpr*>(expr.get());
+    if (std::find(out->begin(), out->end(), ref->name()) == out->end()) {
+      out->push_back(ref->name());
+    }
+    return;
+  }
+  for (const auto& child : expr->children()) CollectColumns(child, out);
+}
+
+}  // namespace
+
+std::vector<std::string> ReferencedColumns(const ExprPtr& expr) {
+  std::vector<std::string> out;
+  if (expr) CollectColumns(expr, &out);
+  return out;
+}
+
+}  // namespace snowprune

@@ -1,0 +1,300 @@
+#ifndef SNOWPRUNE_EXPR_EXPR_H_
+#define SNOWPRUNE_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace snowprune {
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// AST node kinds. AND/OR are n-ary (their child lists are what the pruning
+/// tree reorders, §3.2/Figure 3).
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kArith,
+  kCompare,
+  kAnd,
+  kOr,
+  kNot,
+  kNotTrue,  ///< SQL "x IS NOT TRUE"; used by the inverted-predicate pass (§4.2).
+  kIf,
+  kLike,
+  kStartsWith,
+  kInList,
+  kIsNull,
+};
+
+/// Binary arithmetic operators.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+const char* ToString(ArithOp op);
+
+/// Base class for expression AST nodes. Trees are built via the helpers in
+/// expr/builder.h, bound to a schema with BindExpr(), evaluated row-wise by
+/// expr/evaluator.h, and analyzed against zone maps by
+/// expr/range_analysis.h.
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Direct children (empty for leaves).
+  virtual std::vector<ExprPtr> children() const { return {}; }
+
+  /// Canonical rendering; doubles as the plan-shape fingerprint used by the
+  /// predicate cache and the repetitiveness analysis (Figure 12).
+  virtual std::string ToString() const = 0;
+
+ private:
+  ExprKind kind_;
+};
+
+/// Reference to a column by name; `index` is resolved by BindExpr().
+class ColumnRefExpr : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name)
+      : Expr(ExprKind::kColumnRef), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  bool bound() const { return index_ >= 0; }
+  size_t index() const { return static_cast<size_t>(index_); }
+  void set_index(size_t i) { index_ = static_cast<int64_t>(i); }
+  void clear_binding() { index_ = -1; }
+
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+  int64_t index_ = -1;
+};
+
+/// A constant.
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expr(ExprKind::kLiteral), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+/// left op right over numerics. Division by zero yields NULL.
+class ArithExpr : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kArith),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  ArithOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  std::vector<ExprPtr> children() const override { return {left_, right_}; }
+  std::string ToString() const override;
+
+ private:
+  ArithOp op_;
+  ExprPtr left_, right_;
+};
+
+/// left op right, SQL three-valued comparison semantics.
+class CompareExpr : public Expr {
+ public:
+  CompareExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kCompare),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  CompareOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  std::vector<ExprPtr> children() const override { return {left_, right_}; }
+  std::string ToString() const override;
+
+ private:
+  CompareOp op_;
+  ExprPtr left_, right_;
+};
+
+/// N-ary conjunction (kAnd) or disjunction (kOr).
+class BoolConnectiveExpr : public Expr {
+ public:
+  BoolConnectiveExpr(ExprKind kind, std::vector<ExprPtr> terms)
+      : Expr(kind), terms_(std::move(terms)) {}
+
+  const std::vector<ExprPtr>& terms() const { return terms_; }
+
+  std::vector<ExprPtr> children() const override { return terms_; }
+  std::string ToString() const override;
+
+ private:
+  std::vector<ExprPtr> terms_;
+};
+
+/// SQL NOT (NULL stays NULL).
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr input)
+      : Expr(ExprKind::kNot), input_(std::move(input)) {}
+
+  const ExprPtr& input() const { return input_; }
+
+  std::vector<ExprPtr> children() const override { return {input_}; }
+  std::string ToString() const override {
+    return "NOT (" + input_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr input_;
+};
+
+/// "input IS NOT TRUE": true iff input is FALSE or NULL; never NULL itself.
+/// This is the sound building block for the fully-matching second pass:
+/// a partition where `P IS NOT TRUE` can be pruned has only P=TRUE rows.
+class NotTrueExpr : public Expr {
+ public:
+  explicit NotTrueExpr(ExprPtr input)
+      : Expr(ExprKind::kNotTrue), input_(std::move(input)) {}
+
+  const ExprPtr& input() const { return input_; }
+
+  std::vector<ExprPtr> children() const override { return {input_}; }
+  std::string ToString() const override {
+    return "(" + input_->ToString() + ") IS NOT TRUE";
+  }
+
+ private:
+  ExprPtr input_;
+};
+
+/// IF(cond, then, else); a non-TRUE (false or NULL) condition selects `else`.
+class IfExpr : public Expr {
+ public:
+  IfExpr(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr)
+      : Expr(ExprKind::kIf),
+        cond_(std::move(cond)),
+        then_(std::move(then_expr)),
+        else_(std::move(else_expr)) {}
+
+  const ExprPtr& cond() const { return cond_; }
+  const ExprPtr& then_expr() const { return then_; }
+  const ExprPtr& else_expr() const { return else_; }
+
+  std::vector<ExprPtr> children() const override { return {cond_, then_, else_}; }
+  std::string ToString() const override;
+
+ private:
+  ExprPtr cond_, then_, else_;
+};
+
+/// input LIKE 'pattern' with SQL wildcards % and _ (no escape support).
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(ExprPtr input, std::string pattern)
+      : Expr(ExprKind::kLike),
+        input_(std::move(input)),
+        pattern_(std::move(pattern)) {}
+
+  const ExprPtr& input() const { return input_; }
+  const std::string& pattern() const { return pattern_; }
+
+  std::vector<ExprPtr> children() const override { return {input_}; }
+  std::string ToString() const override {
+    return input_->ToString() + " LIKE '" + pattern_ + "'";
+  }
+
+ private:
+  ExprPtr input_;
+  std::string pattern_;
+};
+
+/// STARTSWITH(input, prefix). Also the target of the imprecise LIKE rewrite
+/// (§3.1): pruning may widen LIKE 'p%s' to STARTSWITH('p').
+class StartsWithExpr : public Expr {
+ public:
+  StartsWithExpr(ExprPtr input, std::string prefix)
+      : Expr(ExprKind::kStartsWith),
+        input_(std::move(input)),
+        prefix_(std::move(prefix)) {}
+
+  const ExprPtr& input() const { return input_; }
+  const std::string& prefix() const { return prefix_; }
+
+  std::vector<ExprPtr> children() const override { return {input_}; }
+  std::string ToString() const override {
+    return "STARTSWITH(" + input_->ToString() + ", '" + prefix_ + "')";
+  }
+
+ private:
+  ExprPtr input_;
+  std::string prefix_;
+};
+
+/// input IN (v1, ..., vn) over literal values.
+class InListExpr : public Expr {
+ public:
+  InListExpr(ExprPtr input, std::vector<Value> values)
+      : Expr(ExprKind::kInList),
+        input_(std::move(input)),
+        values_(std::move(values)) {}
+
+  const ExprPtr& input() const { return input_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  std::vector<ExprPtr> children() const override { return {input_}; }
+  std::string ToString() const override;
+
+ private:
+  ExprPtr input_;
+  std::vector<Value> values_;
+};
+
+/// input IS NULL (negate == true gives IS NOT NULL). Never evaluates to NULL.
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprPtr input, bool negate)
+      : Expr(ExprKind::kIsNull), input_(std::move(input)), negate_(negate) {}
+
+  const ExprPtr& input() const { return input_; }
+  bool negate() const { return negate_; }
+
+  std::vector<ExprPtr> children() const override { return {input_}; }
+  std::string ToString() const override {
+    return input_->ToString() + (negate_ ? " IS NOT NULL" : " IS NULL");
+  }
+
+ private:
+  ExprPtr input_;
+  bool negate_;
+};
+
+/// Resolves every ColumnRef in the tree against `schema`. Fails with
+/// NotFound if a name is missing.
+Status BindExpr(const ExprPtr& expr, const Schema& schema);
+
+/// Collects the distinct column names referenced by the tree.
+std::vector<std::string> ReferencedColumns(const ExprPtr& expr);
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXPR_EXPR_H_

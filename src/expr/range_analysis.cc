@@ -1,0 +1,269 @@
+#include "expr/range_analysis.h"
+
+#include <cassert>
+
+#include "expr/like.h"
+
+namespace snowprune {
+
+std::string BoolRange::ToString() const {
+  std::string s = "{";
+  if (can_true) s += "T";
+  if (can_false) s += "F";
+  if (can_null) s += "N";
+  return s + "}";
+}
+
+BoolRange AndRanges(const BoolRange& a, const BoolRange& b) {
+  BoolRange r;
+  r.can_false = a.can_false || b.can_false;
+  r.can_true = a.can_true && b.can_true;
+  r.can_null = (a.can_null && (b.can_true || b.can_null)) ||
+               (b.can_null && (a.can_true || a.can_null));
+  return r;
+}
+
+BoolRange OrRanges(const BoolRange& a, const BoolRange& b) {
+  BoolRange r;
+  r.can_true = a.can_true || b.can_true;
+  r.can_false = a.can_false && b.can_false;
+  r.can_null = (a.can_null && (b.can_false || b.can_null)) ||
+               (b.can_null && (a.can_false || a.can_null));
+  return r;
+}
+
+BoolRange NotRange(const BoolRange& a) {
+  return BoolRange{a.can_false, a.can_true, a.can_null};
+}
+
+BoolRange NotTrueRange(const BoolRange& a) {
+  return BoolRange{a.can_false || a.can_null, a.can_true, false};
+}
+
+BoolRange CompareRanges(const Interval& a, CompareOp op, const Interval& b) {
+  BoolRange r;
+  r.can_null = a.maybe_null || b.maybe_null || a.all_null || b.all_null;
+  if (a.all_null || b.all_null) {
+    r.can_true = false;
+    r.can_false = false;
+    return r;
+  }
+  // Compare the ranges of the *non-null* rows only; nulls are accounted for
+  // by can_null above.
+  Interval a2 = a;
+  a2.maybe_null = false;
+  Interval b2 = b;
+  b2.maybe_null = false;
+  TriBool t = CompareIntervals(a2, op, b2);
+  r.can_true = t != TriBool::kFalse;
+  r.can_false = t != TriBool::kTrue;
+  return r;
+}
+
+namespace {
+
+/// BoolRange for string `input` against the prefix range [prefix,
+/// PrefixSuccessor(prefix)). `precise` says membership in the prefix range
+/// is *equivalent* to the original predicate (pure-prefix LIKE or
+/// STARTSWITH); imprecise patterns can never report "all rows match".
+BoolRange PrefixRange(const Interval& in, const std::string& prefix,
+                      bool precise) {
+  BoolRange r;
+  r.can_null = in.maybe_null || in.all_null;
+  if (in.all_null) {
+    r.can_true = false;
+    r.can_false = false;
+    return r;
+  }
+  if (prefix.empty()) {
+    // Every string matches an empty prefix; precision decides can_false.
+    r.can_true = true;
+    r.can_false = !precise;
+    return r;
+  }
+  auto succ = PrefixSuccessor(prefix);
+  const Value p(prefix);
+  bool lo_str = in.lo && in.lo->is_string();
+  bool hi_str = in.hi && in.hi->is_string();
+  // can_true: some value may fall in [prefix, succ).
+  bool disjoint_below = hi_str && Value::Compare(*in.hi, p) < 0;
+  bool disjoint_above =
+      succ.has_value() && lo_str && Value::Compare(*in.lo, Value(*succ)) >= 0;
+  r.can_true = !(disjoint_below || disjoint_above);
+  // can_false: some value may fall outside the prefix range.
+  bool contained = lo_str && hi_str && Value::Compare(*in.lo, p) >= 0 &&
+                   (!succ.has_value() || Value::Compare(*in.hi, Value(*succ)) < 0);
+  r.can_false = !(precise && contained);
+  return r;
+}
+
+BoolRange AnalyzeLike(const LikeExpr& e, const std::vector<ColumnStats>& stats) {
+  Interval in = DeriveInterval(*e.input(), stats);
+  if (IsExactPattern(e.pattern())) {
+    return CompareRanges(in, CompareOp::kEq, Interval::Point(Value(e.pattern())));
+  }
+  std::string prefix = LikePrefix(e.pattern());
+  return PrefixRange(in, prefix, IsPurePrefixPattern(e.pattern()));
+}
+
+BoolRange AnalyzeInList(const InListExpr& e,
+                        const std::vector<ColumnStats>& stats) {
+  Interval in = DeriveInterval(*e.input(), stats);
+  BoolRange r;
+  r.can_null = in.maybe_null || in.all_null;
+  if (in.all_null) {
+    r.can_true = false;
+    r.can_false = false;
+    return r;
+  }
+  // can_true: any list value inside the input range.
+  bool any_inside = false;
+  bool all_cover_constant = false;
+  for (const auto& v : e.values()) {
+    if (v.is_null()) continue;
+    BoolRange eq = CompareRanges(in, CompareOp::kEq, Interval::Point(v));
+    if (eq.can_true) any_inside = true;
+    if (!eq.can_false && !eq.can_null) all_cover_constant = true;
+  }
+  r.can_true = any_inside;
+  r.can_false = !all_cover_constant;
+  return r;
+}
+
+BoolRange AnalyzeIsNull(const IsNullExpr& e,
+                        const std::vector<ColumnStats>& stats) {
+  Interval in = DeriveInterval(*e.input(), stats);
+  BoolRange is_null;
+  is_null.can_true = in.maybe_null || in.all_null;
+  is_null.can_false = !in.all_null;
+  is_null.can_null = false;
+  return e.negate() ? NotRange(is_null) : is_null;
+}
+
+}  // namespace
+
+Interval DeriveInterval(const Expr& expr, const std::vector<ColumnStats>& stats) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      assert(ref.bound());
+      if (ref.index() >= stats.size()) return Interval::Unknown();
+      return stats[ref.index()].ToInterval();
+    }
+    case ExprKind::kLiteral:
+      return Interval::Point(static_cast<const LiteralExpr&>(expr).value());
+    case ExprKind::kArith: {
+      const auto& e = static_cast<const ArithExpr&>(expr);
+      Interval l = DeriveInterval(*e.left(), stats);
+      Interval r = DeriveInterval(*e.right(), stats);
+      switch (e.op()) {
+        case ArithOp::kAdd: return Add(l, r);
+        case ArithOp::kSub: return Sub(l, r);
+        case ArithOp::kMul: return Mul(l, r);
+        case ArithOp::kDiv: {
+          Interval d = Div(l, r);
+          // Division by zero evaluates to NULL in this engine.
+          d.maybe_null = true;
+          return d;
+        }
+      }
+      return Interval::Unknown();
+    }
+    case ExprKind::kIf: {
+      const auto& e = static_cast<const IfExpr&>(expr);
+      BoolRange c = AnalyzePredicate(*e.cond(), stats);
+      // A non-TRUE (false or NULL) condition selects the else branch.
+      bool cond_always_true = c.can_true && !c.can_false && !c.can_null;
+      bool cond_never_true = !c.can_true;
+      if (cond_always_true) return DeriveInterval(*e.then_expr(), stats);
+      if (cond_never_true) return DeriveInterval(*e.else_expr(), stats);
+      return Union(DeriveInterval(*e.then_expr(), stats),
+                   DeriveInterval(*e.else_expr(), stats));
+    }
+    default: {
+      // Boolean-valued expression used as a value: fold its outcome set
+      // into a bool interval.
+      BoolRange r = AnalyzePredicate(expr, stats);
+      if (!r.can_true && !r.can_false) {
+        return r.can_null ? Interval::AllNull() : Interval::Unknown();
+      }
+      Interval out = Interval::Range(Value(!r.can_false ? true : false),
+                                     Value(r.can_true ? true : false),
+                                     r.can_null);
+      return out;
+    }
+  }
+}
+
+BoolRange AnalyzePredicate(const Expr& expr,
+                           const std::vector<ColumnStats>& stats) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(expr).value();
+      if (v.is_null()) return BoolRange::AlwaysNull();
+      if (v.is_bool()) return BoolRange::Exactly(v.bool_value());
+      return BoolRange::Unknown();
+    }
+    case ExprKind::kColumnRef: {
+      // Boolean column as a predicate.
+      Interval in = DeriveInterval(expr, stats);
+      if (in.all_null) return BoolRange::AlwaysNull();
+      BoolRange r;
+      r.can_null = in.maybe_null;
+      r.can_true = !(in.hi && in.hi->is_bool() && !in.hi->bool_value());
+      r.can_false = !(in.lo && in.lo->is_bool() && in.lo->bool_value());
+      return r;
+    }
+    case ExprKind::kCompare: {
+      const auto& e = static_cast<const CompareExpr&>(expr);
+      Interval l = DeriveInterval(*e.left(), stats);
+      Interval r = DeriveInterval(*e.right(), stats);
+      return CompareRanges(l, e.op(), r);
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const auto& e = static_cast<const BoolConnectiveExpr&>(expr);
+      const bool is_and = expr.kind() == ExprKind::kAnd;
+      BoolRange acc = BoolRange::Exactly(is_and);
+      for (const auto& term : e.terms()) {
+        BoolRange t = AnalyzePredicate(*term, stats);
+        acc = is_and ? AndRanges(acc, t) : OrRanges(acc, t);
+      }
+      return acc;
+    }
+    case ExprKind::kNot:
+      return NotRange(
+          AnalyzePredicate(*static_cast<const NotExpr&>(expr).input(), stats));
+    case ExprKind::kNotTrue:
+      return NotTrueRange(AnalyzePredicate(
+          *static_cast<const NotTrueExpr&>(expr).input(), stats));
+    case ExprKind::kIf: {
+      const auto& e = static_cast<const IfExpr&>(expr);
+      BoolRange c = AnalyzePredicate(*e.cond(), stats);
+      BoolRange t = AnalyzePredicate(*e.then_expr(), stats);
+      BoolRange f = AnalyzePredicate(*e.else_expr(), stats);
+      bool cond_always_true = c.can_true && !c.can_false && !c.can_null;
+      bool cond_never_true = !c.can_true;
+      if (cond_always_true) return t;
+      if (cond_never_true) return f;
+      return BoolRange{t.can_true || f.can_true, t.can_false || f.can_false,
+                       t.can_null || f.can_null};
+    }
+    case ExprKind::kLike:
+      return AnalyzeLike(static_cast<const LikeExpr&>(expr), stats);
+    case ExprKind::kStartsWith: {
+      const auto& e = static_cast<const StartsWithExpr&>(expr);
+      Interval in = DeriveInterval(*e.input(), stats);
+      return PrefixRange(in, e.prefix(), /*precise=*/true);
+    }
+    case ExprKind::kInList:
+      return AnalyzeInList(static_cast<const InListExpr&>(expr), stats);
+    case ExprKind::kIsNull:
+      return AnalyzeIsNull(static_cast<const IsNullExpr&>(expr), stats);
+    case ExprKind::kArith:
+      break;
+  }
+  return BoolRange::Unknown();
+}
+
+}  // namespace snowprune

@@ -1,0 +1,65 @@
+#ifndef SNOWPRUNE_EXPR_RANGE_ANALYSIS_H_
+#define SNOWPRUNE_EXPR_RANGE_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "expr/expr.h"
+#include "storage/column.h"
+
+namespace snowprune {
+
+/// The set of row-level outcomes a predicate can take within one partition,
+/// derived from zone-map metadata only. This is SQL three-valued logic
+/// lifted to sets: each flag says whether *some* row of the partition may
+/// produce that outcome.
+///
+/// Pruning reads it as:
+///   !can_true                          -> not matching (prunable, §3)
+///   can_true && !can_false && !can_null -> fully matching (§4.2)
+///   otherwise                           -> partially matching
+struct BoolRange {
+  bool can_true = true;
+  bool can_false = true;
+  bool can_null = true;
+
+  /// Nothing known — partition must be kept, never fully matching.
+  static BoolRange Unknown() { return BoolRange{}; }
+  /// The predicate is `b` on every row.
+  static BoolRange Exactly(bool b) { return BoolRange{b, !b, false}; }
+  /// The predicate is NULL on every row.
+  static BoolRange AlwaysNull() { return BoolRange{false, false, true}; }
+
+  bool prunable() const { return !can_true; }
+  bool fully_matching() const { return can_true && !can_false && !can_null; }
+
+  std::string ToString() const;
+};
+
+/// Row-correlation-agnostic Kleene combinators over outcome sets. These are
+/// conservative (they may report a superset of reachable outcomes), which
+/// preserves the no-false-negative pruning invariant.
+BoolRange AndRanges(const BoolRange& a, const BoolRange& b);
+BoolRange OrRanges(const BoolRange& a, const BoolRange& b);
+BoolRange NotRange(const BoolRange& a);
+/// Outcomes of "x IS NOT TRUE" (never NULL).
+BoolRange NotTrueRange(const BoolRange& a);
+
+/// Outcomes of `a op b` where the operands range over the given intervals.
+BoolRange CompareRanges(const Interval& a, CompareOp op, const Interval& b);
+
+/// Derives the value range of an arbitrary (possibly non-boolean) expression
+/// for a partition described by `stats` (one ColumnStats per schema column,
+/// indexed by the bound column index). This implements §3.1's "every
+/// function must provide a mechanism to derive transformed min/max ranges".
+Interval DeriveInterval(const Expr& expr, const std::vector<ColumnStats>& stats);
+
+/// Analyzes a predicate against a partition's zone maps. The single entry
+/// point used by every pruning technique.
+BoolRange AnalyzePredicate(const Expr& expr,
+                           const std::vector<ColumnStats>& stats);
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXPR_RANGE_ANALYSIS_H_

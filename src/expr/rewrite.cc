@@ -1,0 +1,118 @@
+#include "expr/rewrite.h"
+
+#include "expr/builder.h"
+#include "expr/like.h"
+
+namespace snowprune {
+
+ExprPtr RewriteForPruning(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kLike: {
+      const auto& e = static_cast<const LikeExpr&>(*expr);
+      if (IsExactPattern(e.pattern())) {
+        return Eq(e.input(), Lit(Value(e.pattern())));
+      }
+      std::string prefix = LikePrefix(e.pattern());
+      if (prefix.empty()) return Lit(true);  // wildcard-led: unprunable
+      return StartsWith(e.input(), prefix);
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const auto& e = static_cast<const BoolConnectiveExpr&>(*expr);
+      std::vector<ExprPtr> terms;
+      terms.reserve(e.terms().size());
+      for (const auto& t : e.terms()) terms.push_back(RewriteForPruning(t));
+      return std::make_shared<BoolConnectiveExpr>(expr->kind(), std::move(terms));
+    }
+    case ExprKind::kNot: {
+      // NOT over a widened child would be unsound (widening flips to
+      // narrowing under negation); keep the original subtree.
+      return expr;
+    }
+    case ExprKind::kIf: {
+      const auto& e = static_cast<const IfExpr&>(*expr);
+      return If(e.cond(), RewriteForPruning(e.then_expr()),
+                RewriteForPruning(e.else_expr()));
+    }
+    default:
+      return expr;
+  }
+}
+
+ExprPtr BuildInvertedPredicate(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      // (a AND b) IS NOT TRUE  ==  (a IS NOT TRUE) OR (b IS NOT TRUE)
+      // (a OR b)  IS NOT TRUE  ==  (a IS NOT TRUE) AND (b IS NOT TRUE)
+      const auto& e = static_cast<const BoolConnectiveExpr&>(*expr);
+      std::vector<ExprPtr> terms;
+      terms.reserve(e.terms().size());
+      for (const auto& t : e.terms()) terms.push_back(BuildInvertedPredicate(t));
+      ExprKind flipped =
+          expr->kind() == ExprKind::kAnd ? ExprKind::kOr : ExprKind::kAnd;
+      return std::make_shared<BoolConnectiveExpr>(flipped, std::move(terms));
+    }
+    case ExprKind::kCompare: {
+      // (a op b) IS NOT TRUE == (a inv-op b) OR a IS NULL OR b IS NULL;
+      // the NotTrue wrapper captures exactly that without extra nodes.
+      return NotTrue(expr);
+    }
+    default:
+      return NotTrue(expr);
+  }
+}
+
+namespace {
+
+void FlattenInto(ExprKind kind, const ExprPtr& expr,
+                 std::vector<ExprPtr>* out) {
+  if (expr->kind() == kind) {
+    const auto& e = static_cast<const BoolConnectiveExpr&>(*expr);
+    for (const auto& t : e.terms()) FlattenInto(kind, t, out);
+  } else {
+    out->push_back(expr);
+  }
+}
+
+bool IsBoolLiteral(const ExprPtr& e, bool value) {
+  if (e->kind() != ExprKind::kLiteral) return false;
+  const Value& v = static_cast<const LiteralExpr&>(*e).value();
+  return v.is_bool() && v.bool_value() == value;
+}
+
+}  // namespace
+
+ExprPtr Simplify(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const bool is_and = expr->kind() == ExprKind::kAnd;
+      std::vector<ExprPtr> flat;
+      FlattenInto(expr->kind(), expr, &flat);
+      std::vector<ExprPtr> terms;
+      for (const auto& t : flat) {
+        ExprPtr s = Simplify(t);
+        if (IsBoolLiteral(s, is_and)) continue;    // neutral element
+        if (IsBoolLiteral(s, !is_and)) return s;   // dominating element
+        terms.push_back(std::move(s));
+      }
+      if (terms.empty()) return Lit(is_and);
+      if (terms.size() == 1) return terms[0];
+      return std::make_shared<BoolConnectiveExpr>(expr->kind(), std::move(terms));
+    }
+    case ExprKind::kNot: {
+      ExprPtr inner = Simplify(static_cast<const NotExpr&>(*expr).input());
+      if (inner->kind() == ExprKind::kNot) {
+        return static_cast<const NotExpr&>(*inner).input();
+      }
+      if (IsBoolLiteral(inner, true)) return Lit(false);
+      if (IsBoolLiteral(inner, false)) return Lit(true);
+      return Not(std::move(inner));
+    }
+    default:
+      return expr;
+  }
+}
+
+}  // namespace snowprune

@@ -1,0 +1,35 @@
+#ifndef SNOWPRUNE_EXPR_REWRITE_H_
+#define SNOWPRUNE_EXPR_REWRITE_H_
+
+#include "expr/expr.h"
+
+namespace snowprune {
+
+/// Imprecise filter rewrite (§3.1): widens predicates into forms that are
+/// cheap(er) to prune with, at the cost of precision. The result is used by
+/// the *pruning* pass only — never for query evaluation and never for
+/// fully-matching identification (widened predicates over-admit rows).
+///
+/// Rewrites applied:
+///   x LIKE 'exact'     -> x = 'exact'
+///   x LIKE 'p%'        -> STARTSWITH(x, 'p')        (precise)
+///   x LIKE 'p%s...'    -> STARTSWITH(x, 'p')        (widened)
+///   x LIKE '%...'      -> TRUE                      (unprunable)
+///   NOT/AND/OR/IF      -> recursed into
+ExprPtr RewriteForPruning(const ExprPtr& expr);
+
+/// Builds the §4.2 inverted predicate used by the second (fully-matching)
+/// pruning pass. The inversion is "IS NOT TRUE" (true iff the original
+/// predicate is FALSE *or NULL*), pushed down through AND/OR by De Morgan:
+/// a partition pruned under the inverted predicate provably contains only
+/// rows where the original predicate is TRUE.
+ExprPtr BuildInvertedPredicate(const ExprPtr& expr);
+
+/// Light algebraic cleanup: flattens nested AND/OR, removes neutral
+/// elements, folds NOT(NOT(x)) and boolean literals. Used to keep pruning
+/// trees small before metrics are attached.
+ExprPtr Simplify(const ExprPtr& expr);
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXPR_REWRITE_H_

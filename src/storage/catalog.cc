@@ -1,0 +1,47 @@
+#include "storage/catalog.h"
+
+namespace snowprune {
+
+Status Catalog::RegisterTable(std::shared_ptr<Table> table) {
+  if (!table) return Status::InvalidArgument("null table");
+  auto [it, inserted] = tables_.emplace(table->name(), std::move(table));
+  (void)it;
+  if (!inserted) return Status::InvalidArgument("table already registered");
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) return Status::NotFound("no table " + name);
+  return Status::OK();
+}
+
+std::shared_ptr<Table> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+int64_t Catalog::TotalLoads() const {
+  int64_t total = 0;
+  for (const auto& [name, t] : tables_) total += t->load_count();
+  return total;
+}
+
+int64_t Catalog::TotalLoadedRows() const {
+  int64_t total = 0;
+  for (const auto& [name, t] : tables_) total += t->loaded_rows();
+  return total;
+}
+
+int64_t Catalog::TotalPartitions() const {
+  int64_t total = 0;
+  for (const auto& [name, t] : tables_) {
+    total += static_cast<int64_t>(t->num_partitions());
+  }
+  return total;
+}
+
+void Catalog::ResetMeters() const {
+  for (const auto& [name, t] : tables_) t->ResetMeters();
+}
+
+}  // namespace snowprune

@@ -1,0 +1,43 @@
+#ifndef SNOWPRUNE_STORAGE_CATALOG_H_
+#define SNOWPRUNE_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace snowprune {
+
+/// The metadata-service facade (§2, "Cloud Services"): name -> table
+/// registry plus aggregate IO meters. Query compilation consults zone maps
+/// through the catalog without touching data; execution loads partitions
+/// through the owning Table, and the catalog aggregates the meters.
+class Catalog {
+ public:
+  /// Registers a table; fails if the name is taken.
+  Status RegisterTable(std::shared_ptr<Table> table);
+
+  /// Drops a table by name; fails if absent.
+  Status DropTable(const std::string& name);
+
+  /// Looks up a table by name; returns nullptr if absent.
+  std::shared_ptr<Table> GetTable(const std::string& name) const;
+
+  /// Total partition loads across all registered tables.
+  int64_t TotalLoads() const;
+  int64_t TotalLoadedRows() const;
+  /// Total partitions across all registered tables.
+  int64_t TotalPartitions() const;
+  void ResetMeters() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_STORAGE_CATALOG_H_

@@ -1,0 +1,92 @@
+#include "storage/column.h"
+
+#include <cassert>
+
+namespace snowprune {
+
+void ColumnVector::AppendNull() {
+  null_mask_.push_back(1);
+  switch (type_) {
+    case DataType::kBool: bools_.push_back(0); break;
+    case DataType::kInt64: ints_.push_back(0); break;
+    case DataType::kFloat64: doubles_.push_back(0.0); break;
+    case DataType::kString: strings_.emplace_back(); break;
+  }
+}
+
+void ColumnVector::AppendBool(bool v) {
+  assert(type_ == DataType::kBool);
+  null_mask_.push_back(0);
+  bools_.push_back(v ? 1 : 0);
+}
+
+void ColumnVector::AppendInt64(int64_t v) {
+  assert(type_ == DataType::kInt64);
+  null_mask_.push_back(0);
+  ints_.push_back(v);
+}
+
+void ColumnVector::AppendFloat64(double v) {
+  assert(type_ == DataType::kFloat64);
+  null_mask_.push_back(0);
+  doubles_.push_back(v);
+}
+
+void ColumnVector::AppendString(std::string v) {
+  assert(type_ == DataType::kString);
+  null_mask_.push_back(0);
+  strings_.push_back(std::move(v));
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kBool: AppendBool(v.bool_value()); break;
+    case DataType::kInt64: AppendInt64(v.int64_value()); break;
+    case DataType::kFloat64:
+      // Allow int-typed literals to land in float columns.
+      AppendFloat64(v.is_int64() ? static_cast<double>(v.int64_value())
+                                 : v.float64_value());
+      break;
+    case DataType::kString: AppendString(v.string_value()); break;
+  }
+}
+
+Value ColumnVector::ValueAt(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kBool: return Value(BoolAt(i));
+    case DataType::kInt64: return Value(Int64At(i));
+    case DataType::kFloat64: return Value(Float64At(i));
+    case DataType::kString: return Value(StringAt(i));
+  }
+  return Value::Null();
+}
+
+ColumnStats ColumnVector::ComputeStats() const {
+  ColumnStats stats;
+  stats.has_stats = true;
+  stats.row_count = static_cast<int64_t>(size());
+  bool seen = false;
+  for (size_t i = 0; i < size(); ++i) {
+    if (IsNull(i)) {
+      ++stats.null_count;
+      continue;
+    }
+    Value v = ValueAt(i);
+    if (!seen) {
+      stats.min = v;
+      stats.max = v;
+      seen = true;
+    } else {
+      if (Value::Compare(v, stats.min) < 0) stats.min = v;
+      if (Value::Compare(v, stats.max) > 0) stats.max = v;
+    }
+  }
+  return stats;
+}
+
+}  // namespace snowprune

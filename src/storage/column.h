@@ -1,0 +1,72 @@
+#ifndef SNOWPRUNE_STORAGE_COLUMN_H_
+#define SNOWPRUNE_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/value.h"
+
+namespace snowprune {
+
+/// Zone-map metadata (min/max "small materialized aggregates", §2.1) kept
+/// per column per micro-partition in the metadata store. This is the only
+/// information compile-time pruning may look at.
+struct ColumnStats {
+  bool has_stats = false;   ///< False for external files lacking metadata (§8.1).
+  Value min;                ///< Smallest non-null value; NULL iff all-null column.
+  Value max;                ///< Largest non-null value; NULL iff all-null column.
+  int64_t null_count = 0;
+  int64_t row_count = 0;
+
+  /// The value range this zone map admits, as a pruning interval.
+  Interval ToInterval() const {
+    if (!has_stats) return Interval::Unknown();
+    if (row_count == 0 || min.is_null()) return Interval::AllNull();
+    return Interval::Range(min, max, null_count > 0);
+  }
+};
+
+/// A typed, nullable column of values inside one micro-partition. Storage is
+/// unboxed (PAX-style): one contiguous vector per physical type plus a null
+/// mask; NULL rows occupy a default-valued slot so indexes stay aligned.
+class ColumnVector {
+ public:
+  explicit ColumnVector(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return null_mask_.size(); }
+
+  void AppendNull();
+  void AppendBool(bool v);
+  void AppendInt64(int64_t v);
+  void AppendFloat64(double v);
+  void AppendString(std::string v);
+  /// Boxed append; the value's type must match (or be NULL).
+  void AppendValue(const Value& v);
+
+  bool IsNull(size_t i) const { return null_mask_[i] != 0; }
+  bool BoolAt(size_t i) const { return bools_[i] != 0; }
+  int64_t Int64At(size_t i) const { return ints_[i]; }
+  double Float64At(size_t i) const { return doubles_[i]; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+
+  /// Boxed accessor (returns Value::Null() for null rows).
+  Value ValueAt(size_t i) const;
+
+  /// Scans the column to produce its zone map.
+  ColumnStats ComputeStats() const;
+
+ private:
+  DataType type_;
+  std::vector<uint8_t> null_mask_;
+  std::vector<uint8_t> bools_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_STORAGE_COLUMN_H_

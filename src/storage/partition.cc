@@ -1,0 +1,22 @@
+#include "storage/partition.h"
+
+namespace snowprune {
+
+void MicroPartition::DropStats() {
+  has_stats_ = false;
+  for (auto& s : stats_) {
+    s = ColumnStats{};
+    s.row_count = static_cast<int64_t>(row_count_);
+  }
+}
+
+void MicroPartition::RecomputeStats() {
+  stats_.clear();
+  stats_.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    stats_.push_back(col.ComputeStats());
+  }
+  has_stats_ = true;
+}
+
+}  // namespace snowprune

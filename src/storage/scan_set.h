@@ -1,0 +1,51 @@
+#ifndef SNOWPRUNE_STORAGE_SCAN_SET_H_
+#define SNOWPRUNE_STORAGE_SCAN_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/partition.h"
+
+namespace snowprune {
+
+/// The serialized list of micro-partition identifiers a table scan must
+/// process (§2, "Virtual Warehouses"). Compile-time pruning shrinks the scan
+/// set before it is shipped to the execution layer; runtime pruning drops
+/// further entries before loading. Smaller scan sets mean less
+/// (de)serialization and network traffic (§2.1 benefit 4), which
+/// SerializedBytes() makes measurable.
+class ScanSet {
+ public:
+  ScanSet() = default;
+  explicit ScanSet(std::vector<PartitionId> ids) : ids_(std::move(ids)) {}
+
+  /// A scan set covering partitions [0, n).
+  static ScanSet AllOf(size_t n) {
+    std::vector<PartitionId> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = static_cast<PartitionId>(i);
+    return ScanSet(std::move(ids));
+  }
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  PartitionId operator[](size_t i) const { return ids_[i]; }
+
+  const std::vector<PartitionId>& ids() const { return ids_; }
+  std::vector<PartitionId>* mutable_ids() { return &ids_; }
+
+  void Add(PartitionId id) { ids_.push_back(id); }
+  void Clear() { ids_.clear(); }
+
+  /// Wire size of the serialized scan set (8-byte header + 4 bytes/id).
+  size_t SerializedBytes() const { return 8 + 4 * ids_.size(); }
+
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+ private:
+  std::vector<PartitionId> ids_;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_STORAGE_SCAN_SET_H_

@@ -1,0 +1,45 @@
+#ifndef SNOWPRUNE_STORAGE_SCHEMA_H_
+#define SNOWPRUNE_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace snowprune {
+
+/// One column of a table schema.
+struct Field {
+  std::string name;
+  DataType type;
+  bool nullable = true;
+};
+
+/// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_columns() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column with the given name, or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return i;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_STORAGE_SCHEMA_H_

@@ -1,0 +1,107 @@
+#include "storage/table.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace snowprune {
+
+int64_t Table::num_rows() const {
+  int64_t total = 0;
+  for (const auto& p : partitions_) total += p.row_count();
+  return total;
+}
+
+void Table::DeletePartition(PartitionId pid) {
+  assert(pid < partitions_.size());
+  partitions_.erase(partitions_.begin() + pid);
+  ++dml_version_;
+}
+
+void Table::ReplacePartition(PartitionId pid, MicroPartition partition) {
+  assert(pid < partitions_.size());
+  partitions_[pid] = std::move(partition);
+  ++dml_version_;
+}
+
+size_t Table::DropStatsOnFraction(double fraction, uint64_t seed) {
+  Rng rng(seed);
+  size_t dropped = 0;
+  for (auto& p : partitions_) {
+    if (rng.Bernoulli(fraction)) {
+      p.DropStats();
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+size_t Table::BackfillMissingStats() {
+  size_t backfilled = 0;
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    if (!partitions_[i].has_stats()) {
+      // Backfilling requires reading the data: meter it as a load.
+      ++load_count_;
+      loaded_rows_ += partitions_[i].row_count();
+      partitions_[i].RecomputeStats();
+      ++backfilled;
+    }
+  }
+  return backfilled;
+}
+
+TableBuilder::TableBuilder(std::string name, Schema schema,
+                           size_t target_partition_rows)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      target_partition_rows_(target_partition_rows) {
+  assert(target_partition_rows_ > 0);
+  table_ = std::make_shared<Table>(name_, schema_);
+  open_columns_.reserve(schema_.num_columns());
+  for (const auto& f : schema_.fields()) {
+    open_columns_.emplace_back(f.type);
+  }
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (!v.is_null()) {
+      DataType expect = schema_.field(i).type;
+      DataType got = v.type();
+      bool ok = got == expect ||
+                (expect == DataType::kFloat64 && got == DataType::kInt64);
+      if (!ok) {
+        return Status::InvalidArgument("type mismatch in column " +
+                                       schema_.field(i).name);
+      }
+    } else if (!schema_.field(i).nullable) {
+      return Status::InvalidArgument("NULL in non-nullable column " +
+                                     schema_.field(i).name);
+    }
+    open_columns_[i].AppendValue(v);
+  }
+  if (++open_rows_ >= target_partition_rows_) CutPartition();
+  return Status::OK();
+}
+
+void TableBuilder::CutPartition() {
+  if (open_rows_ == 0) return;
+  auto pid = static_cast<PartitionId>(table_->num_partitions());
+  table_->AppendPartition(MicroPartition(pid, std::move(open_columns_)));
+  open_columns_.clear();
+  for (const auto& f : schema_.fields()) {
+    open_columns_.emplace_back(f.type);
+  }
+  open_rows_ = 0;
+}
+
+std::shared_ptr<Table> TableBuilder::Finish() {
+  CutPartition();
+  return table_;
+}
+
+}  // namespace snowprune

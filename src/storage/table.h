@@ -1,0 +1,120 @@
+#ifndef SNOWPRUNE_STORAGE_TABLE_H_
+#define SNOWPRUNE_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/partition.h"
+#include "storage/scan_set.h"
+#include "storage/schema.h"
+
+namespace snowprune {
+
+/// A table: a schema plus an ordered list of immutable micro-partitions.
+///
+/// Data access goes through LoadPartition(), which meters "loads" — the
+/// stand-in for network IO against cloud object storage in the paper's
+/// decoupled compute/storage architecture. Metadata access (stats()) is
+/// free, modeling the dedicated metadata store.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  size_t num_partitions() const { return partitions_.size(); }
+  int64_t num_rows() const;
+
+  /// Metadata-store access: zone map of (partition, column). Never counts
+  /// as a load.
+  const ColumnStats& stats(PartitionId pid, size_t column) const {
+    return partitions_[pid].stats(column);
+  }
+  const MicroPartition& partition_metadata(PartitionId pid) const {
+    return partitions_[pid];
+  }
+
+  /// Data access: returns the partition and increments the load meter.
+  const MicroPartition& LoadPartition(PartitionId pid) const {
+    ++load_count_;
+    loaded_rows_ += partitions_[pid].row_count();
+    return partitions_[pid];
+  }
+
+  /// Number of partition loads since the last ResetMeters().
+  int64_t load_count() const { return load_count_; }
+  int64_t loaded_rows() const { return loaded_rows_; }
+  void ResetMeters() const {
+    load_count_ = 0;
+    loaded_rows_ = 0;
+  }
+
+  /// Appends a partition (INSERT path; partitions are immutable once added).
+  void AppendPartition(MicroPartition partition) {
+    partitions_.push_back(std::move(partition));
+  }
+
+  /// Deletes a whole partition (coarse DELETE used by the predicate-cache
+  /// invalidation experiments, §8.2). Remaining ids are re-assigned densely.
+  void DeletePartition(PartitionId pid);
+
+  /// Replaces a partition's contents (coarse UPDATE, §8.2).
+  void ReplacePartition(PartitionId pid, MicroPartition partition);
+
+  /// A monotonically increasing counter bumped by every DML operation;
+  /// consumers (e.g. the predicate cache) use it to detect staleness.
+  uint64_t dml_version() const { return dml_version_; }
+
+  /// Simulates external files without metadata on a fraction of partitions
+  /// (§8.1). Returns the number of partitions whose stats were dropped.
+  size_t DropStatsOnFraction(double fraction, uint64_t seed);
+
+  /// Backfills missing zone maps via full scans of the affected partitions
+  /// (§8.1); each backfilled partition counts as one load. Returns how many
+  /// partitions were backfilled.
+  size_t BackfillMissingStats();
+
+  ScanSet FullScanSet() const { return ScanSet::AllOf(partitions_.size()); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<MicroPartition> partitions_;
+  uint64_t dml_version_ = 0;
+  mutable int64_t load_count_ = 0;
+  mutable int64_t loaded_rows_ = 0;
+};
+
+/// Builds a table row-by-row, cutting micro-partitions at a target row count
+/// (the analog of Snowflake's 50-500 MB micro-partition sizing) and
+/// computing zone maps for each cut.
+class TableBuilder {
+ public:
+  TableBuilder(std::string name, Schema schema, size_t target_partition_rows);
+
+  /// Appends one row; `row` must have one Value per schema column with a
+  /// matching type (or NULL).
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Flushes the trailing partial partition and returns the table.
+  std::shared_ptr<Table> Finish();
+
+ private:
+  void CutPartition();
+
+  std::string name_;
+  Schema schema_;
+  size_t target_partition_rows_;
+  std::vector<ColumnVector> open_columns_;
+  size_t open_rows_ = 0;
+  std::shared_ptr<Table> table_;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_STORAGE_TABLE_H_

@@ -1,0 +1,79 @@
+#include "workload/production_model.h"
+
+#include <cmath>
+
+namespace snowprune {
+namespace workload {
+
+const char* ToString(QueryClass c) {
+  switch (c) {
+    case QueryClass::kSelectNoPredicate: return "select-no-predicate";
+    case QueryClass::kSelectPredicate: return "select-predicate";
+    case QueryClass::kLimitNoPredicate: return "limit-no-predicate";
+    case QueryClass::kLimitWithPredicate: return "limit-with-predicate";
+    case QueryClass::kTopK: return "order-by-x-limit-k";
+    case QueryClass::kTopKGroupBySame: return "group-by-x-order-by-x-limit-k";
+    case QueryClass::kTopKGroupByAgg: return "group-by-y-order-by-agg-limit-k";
+    case QueryClass::kJoin: return "join";
+  }
+  return "?";
+}
+
+QueryClass ProductionModel::SampleClass(Rng* rng) const {
+  return static_cast<QueryClass>(rng->Discrete(config_.class_weights));
+}
+
+int64_t ProductionModel::SampleLimitK(Rng* rng) const {
+  // Figure 6: mass points at k = 0 and small k; 97% of queries have
+  // k <= 10,000, 99.9% have k <= 2,000,000.
+  if (rng->Bernoulli(config_.zero_k_fraction)) return 0;
+  // Decade mixture over the remaining mass (renormalized).
+  static const std::vector<double> kDecadeWeights = {
+      28.0,  // exactly 1
+      12.0,  // 2..10
+      10.0,  // 11..100
+      14.0,  // 101..1,000
+      13.0,  // 1,001..10,000
+      2.0,   // 10,001..100,000
+      0.9,   // 100,001..2,000,000
+      0.1,   // heavier tail
+  };
+  switch (rng->Discrete(kDecadeWeights)) {
+    case 0: return 1;
+    case 1: return rng->UniformInt(2, 10);
+    case 2: return rng->UniformInt(11, 100);
+    case 3: return rng->UniformInt(101, 1000);
+    case 4: return rng->UniformInt(1001, 10000);
+    case 5: return rng->UniformInt(10001, 100000);
+    case 6: return rng->UniformInt(100001, 2000000);
+    default: return rng->UniformInt(2000001, 10000000);
+  }
+}
+
+double ProductionModel::SampleSelectivity(Rng* rng) const {
+  // Figure 4 shape: a heavy high-selectivity head (36% of predicated
+  // queries prune >= 90% of partitions) and a non-selective tail (27%
+  // prune nothing).
+  static const std::vector<double> kBucketWeights = {34.0, 16.0, 14.0, 36.0};
+  switch (rng->Discrete(kBucketWeights)) {
+    case 0: {
+      // Needle-in-haystack: 1e-6 .. 1e-3, log-uniform.
+      double exponent = -6.0 + 3.0 * rng->Uniform();
+      return std::pow(10.0, exponent);
+    }
+    case 1: {
+      // Narrow analytical slice: 0.1% .. 5%.
+      double exponent = -3.0 + 1.7 * rng->Uniform();
+      return std::pow(10.0, exponent);
+    }
+    case 2:
+      // Moderate: 5% .. 40%.
+      return 0.05 + 0.35 * rng->Uniform();
+    default:
+      // Non-selective: 40% .. 100% (little to prune even on sorted data).
+      return 0.4 + 0.6 * rng->Uniform();
+  }
+}
+
+}  // namespace workload
+}  // namespace snowprune

@@ -1,0 +1,68 @@
+#ifndef SNOWPRUNE_WORKLOAD_PRODUCTION_MODEL_H_
+#define SNOWPRUNE_WORKLOAD_PRODUCTION_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace snowprune {
+namespace workload {
+
+/// Query archetypes, mirroring the paper's Table 1 taxonomy plus the
+/// non-LIMIT bulk of the workload.
+enum class QueryClass {
+  kSelectNoPredicate,   ///< Full scans (ETL/DML-ish); no pruning possible.
+  kSelectPredicate,     ///< Filtered SELECT.
+  kLimitNoPredicate,    ///< SELECT ... LIMIT k (0.37% in Table 1).
+  kLimitWithPredicate,  ///< SELECT ... WHERE ... LIMIT k (2.23%).
+  kTopK,                ///< ORDER BY x LIMIT k (4.47%).
+  kTopKGroupBySame,     ///< GROUP BY x ORDER BY x LIMIT k (0.12%).
+  kTopKGroupByAgg,      ///< GROUP BY y ORDER BY agg(x) LIMIT k (0.96%;
+                        ///< never prunable, §5.2).
+  kJoin,                ///< Selective-build hash join (join pruning, §6).
+};
+
+const char* ToString(QueryClass c);
+
+/// A stand-in for Snowflake's production query population (see DESIGN.md,
+/// "Substitutions"). All marginals are calibrated to the paper's published
+/// statistics: the Table 1 query-type mix, the Figure 6 LIMIT-k CDF
+/// (97% of k <= 10,000; heavy mass at 0 and 1), and the Figure 4 predicate
+/// selectivity shape (real-world queries are far more selective than
+/// synthetic benchmarks).
+class ProductionModel {
+ public:
+  struct Config {
+    /// Weights for the QueryClass mix, in enum order. Defaults reproduce
+    /// Table 1 percentages with the remainder split between plain SELECTs
+    /// and joins.
+    std::vector<double> class_weights = {18.0, 67.73, 0.37, 2.23,
+                                         4.47, 0.12,  0.96, 6.12};
+    double zero_k_fraction = 0.20;  ///< BI tools probing schemas (Figure 6).
+  };
+
+  ProductionModel() : ProductionModel(Config()) {}
+  explicit ProductionModel(Config config) : config_(std::move(config)) {}
+
+  QueryClass SampleClass(Rng* rng) const;
+
+  /// Samples k for LIMIT/top-k clauses following the Figure 6 CDF.
+  int64_t SampleLimitK(Rng* rng) const;
+
+  /// Samples a target predicate selectivity (fraction of rows matching)
+  /// with the heavy high-selectivity skew of Figure 4: most real predicates
+  /// match well under 1% of the data, but a sizable minority match nothing
+  /// the layout can exploit.
+  double SampleSelectivity(Rng* rng) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace workload
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_WORKLOAD_PRODUCTION_MODEL_H_

@@ -1,0 +1,199 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "expr/builder.h"
+
+namespace snowprune {
+namespace workload {
+
+QueryGenerator::QueryGenerator(const Catalog* catalog,
+                               std::vector<std::string> probe_tables,
+                               std::vector<std::string> build_tables,
+                               ProductionModel model, Config config)
+    : catalog_(catalog),
+      probe_tables_(std::move(probe_tables)),
+      build_tables_(std::move(build_tables)),
+      model_(std::move(model)),
+      config_(config),
+      rng_(config.seed),
+      shape_sampler_(config.shape_pool_size, config.shape_zipf_s) {
+  assert(!probe_tables_.empty());
+}
+
+QueryGenerator::KeyDomain QueryGenerator::DomainOf(
+    const std::string& table, const std::string& column) const {
+  auto t = catalog_->GetTable(table);
+  assert(t != nullptr);
+  auto col = t->schema().FindColumn(column);
+  assert(col.has_value());
+  KeyDomain d;
+  bool first = true;
+  for (size_t pid = 0; pid < t->num_partitions(); ++pid) {
+    const ColumnStats& s = t->stats(static_cast<PartitionId>(pid), *col);
+    if (!s.has_stats || s.min.is_null()) continue;
+    int64_t lo = s.min.int64_value(), hi = s.max.int64_value();
+    if (first) {
+      d.min = lo;
+      d.max = hi;
+      first = false;
+    } else {
+      d.min = std::min(d.min, lo);
+      d.max = std::max(d.max, hi);
+    }
+  }
+  return d;
+}
+
+ExprPtr QueryGenerator::MakePredicate(const std::string& table,
+                                      double selectivity) {
+  KeyDomain d = DomainOf(table, "key");
+  double span = static_cast<double>(d.max - d.min);
+  double width = std::max(1.0, selectivity * span);
+  double budget = span - width;
+  int64_t lo = d.min + static_cast<int64_t>(rng_.Uniform() * std::max(0.0, budget));
+  int64_t hi = lo + static_cast<int64_t>(width);
+  double dice = rng_.Uniform();
+  if (dice < 0.65) {
+    // Plain range slice.
+    return Between(Col("key"), Value(lo), Value(hi));
+  }
+  if (dice < 0.80) {
+    // Conjunction with a categorical filter (multi-leaf pruning tree).
+    char cat[16];
+    std::snprintf(cat, sizeof(cat), "c%04lld",
+                  static_cast<long long>(rng_.UniformInt(0, 200)));
+    return And({Between(Col("key"), Value(lo), Value(hi)),
+                Eq(Col("cat"), Lit(std::string(cat)))});
+  }
+  if (dice < 0.90) {
+    // Point lookup.
+    return Eq(Col("key"), Lit(Value(lo)));
+  }
+  // Disjunction of two slices (exercises OR pruning-tree nodes).
+  int64_t width2 = std::max<int64_t>(1, static_cast<int64_t>(width) / 2);
+  int64_t lo2 = d.min + static_cast<int64_t>(rng_.Uniform() *
+                                             std::max(0.0, span - 2.0 * width));
+  return Or({Between(Col("key"), Value(lo), Value(lo + width2)),
+             Between(Col("key"), Value(lo2), Value(lo2 + width2))});
+}
+
+const std::string& QueryGenerator::PickProbe() {
+  return probe_tables_[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(probe_tables_.size()) - 1))];
+}
+
+const std::string& QueryGenerator::PickBuild() {
+  return build_tables_[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(build_tables_.size()) - 1))];
+}
+
+GeneratedQuery QueryGenerator::Generate() {
+  GeneratedQuery q;
+  q.query_class = model_.SampleClass(&rng_);
+  q.shape_id = "shape-" + std::to_string(shape_sampler_.Sample(&rng_));
+  std::string probe = PickProbe();
+  // Full scans and LIMIT-only probes hit dimension-sized tables most of the
+  // time, as in production (big tables are essentially always filtered).
+  if (!build_tables_.empty()) {
+    bool small = false;
+    if (q.query_class == QueryClass::kSelectNoPredicate) {
+      small = rng_.Bernoulli(config_.fullscan_small_table_fraction);
+    } else if (q.query_class == QueryClass::kLimitNoPredicate ||
+               q.query_class == QueryClass::kLimitWithPredicate) {
+      small = rng_.Bernoulli(config_.limit_small_table_fraction);
+    }
+    if (small) probe = PickBuild();
+  }
+
+  switch (q.query_class) {
+    case QueryClass::kSelectNoPredicate:
+      q.plan = ScanPlan(probe);
+      break;
+
+    case QueryClass::kSelectPredicate: {
+      q.has_predicate = true;
+      q.target_selectivity = model_.SampleSelectivity(&rng_);
+      q.plan = ScanPlan(probe, MakePredicate(probe, q.target_selectivity));
+      break;
+    }
+
+    case QueryClass::kLimitNoPredicate: {
+      q.limit_k = model_.SampleLimitK(&rng_);
+      q.plan = LimitPlan(ScanPlan(probe), q.limit_k);
+      break;
+    }
+
+    case QueryClass::kLimitWithPredicate: {
+      q.has_predicate = true;
+      q.limit_k = model_.SampleLimitK(&rng_);
+      q.target_selectivity = model_.SampleSelectivity(&rng_);
+      q.plan = LimitPlan(ScanPlan(probe, MakePredicate(probe, q.target_selectivity)),
+                         q.limit_k);
+      break;
+    }
+
+    case QueryClass::kTopK: {
+      q.limit_k = std::max<int64_t>(1, std::min<int64_t>(
+                                           model_.SampleLimitK(&rng_), 1000));
+      ExprPtr pred;
+      if (rng_.Bernoulli(0.5)) {
+        q.has_predicate = true;
+        q.target_selectivity = model_.SampleSelectivity(&rng_);
+        pred = MakePredicate(probe, q.target_selectivity);
+      }
+      const char* order_col = rng_.Bernoulli(0.6) ? "key" : "ts";
+      q.plan = TopKPlan(ScanPlan(probe, std::move(pred)), order_col,
+                        /*descending=*/rng_.Bernoulli(0.8), q.limit_k);
+      break;
+    }
+
+    case QueryClass::kTopKGroupBySame: {
+      q.limit_k = std::max<int64_t>(1, std::min<int64_t>(
+                                           model_.SampleLimitK(&rng_), 100));
+      auto agg = AggregatePlan(ScanPlan(probe), {"key"},
+                               {{AggFunc::kCount, "", "n"},
+                                {AggFunc::kSum, "val", "total"}});
+      q.plan = TopKPlan(std::move(agg), "key", /*descending=*/true, q.limit_k);
+      break;
+    }
+
+    case QueryClass::kTopKGroupByAgg: {
+      q.limit_k = std::max<int64_t>(1, std::min<int64_t>(
+                                           model_.SampleLimitK(&rng_), 100));
+      auto agg = AggregatePlan(ScanPlan(probe), {"cat"},
+                               {{AggFunc::kSum, "val", "total"}});
+      // ORDER BY an aggregate output: top-k pruning unsupported (§5.2).
+      q.plan = TopKPlan(std::move(agg), "total", /*descending=*/true,
+                        q.limit_k);
+      break;
+    }
+
+    case QueryClass::kJoin: {
+      q.has_predicate = true;
+      q.probe_partitions = static_cast<int64_t>(
+          catalog_->GetTable(probe)->num_partitions());
+      const std::string& build = PickBuild();
+      ExprPtr build_pred;
+      if (rng_.Bernoulli(config_.empty_build_fraction)) {
+        // Build side selects nothing: probe prunes 100% (Figure 10).
+        KeyDomain d = DomainOf(build, "key");
+        build_pred = Lt(Col("key"), Lit(Value(d.min - 1)));
+        q.target_selectivity = 0.0;
+      } else {
+        // Build sides are filtered dimensions: selective, but far less
+        // extreme than the needle predicates of plain filter queries.
+        q.target_selectivity = 0.01 + 0.4 * rng_.Uniform();
+        build_pred = MakePredicate(build, q.target_selectivity);
+      }
+      q.plan = JoinPlan(ScanPlan(probe), ScanPlan(build, std::move(build_pred)),
+                        "key", "key");
+      break;
+    }
+  }
+  return q;
+}
+
+}  // namespace workload
+}  // namespace snowprune

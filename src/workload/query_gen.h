@@ -1,0 +1,86 @@
+#ifndef SNOWPRUNE_WORKLOAD_QUERY_GEN_H_
+#define SNOWPRUNE_WORKLOAD_QUERY_GEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/plan.h"
+#include "storage/catalog.h"
+#include "workload/production_model.h"
+
+namespace snowprune {
+namespace workload {
+
+/// One sampled query plus the labels the simulator aggregates by.
+struct GeneratedQuery {
+  PlanPtr plan;
+  QueryClass query_class = QueryClass::kSelectPredicate;
+  bool has_predicate = false;
+  int64_t limit_k = -1;          ///< For LIMIT/top-k classes.
+  double target_selectivity = 1; ///< For predicated classes.
+  std::string shape_id;          ///< Plan-shape identity (Figure 12).
+  int64_t probe_partitions = 0;  ///< Probe-table partition count (joins).
+};
+
+/// Draws query plans over a set of registered tables according to the
+/// ProductionModel. Probe tables should be large (they are what pruning
+/// operates on); build tables are small join build sides.
+class QueryGenerator {
+ public:
+  struct Config {
+    uint64_t seed = 1234;
+    /// Plan shapes are drawn from a zipf-distributed pool so that repeated
+    /// execution of the same shape follows the Figure 12 distribution
+    /// (~85% of shapes occur once over a window).
+    size_t shape_pool_size = 4000;
+    double shape_zipf_s = 1.05;
+    /// Probability that a join build-side predicate selects nothing
+    /// (Figure 10: ~13% of join-pruning queries prune 100%, "might be
+    /// caused by an empty build-side").
+    double empty_build_fraction = 0.10;
+    /// Production full-table scans and schema-probing LIMIT queries hit
+    /// small (dimension-sized) tables far more often than fact tables;
+    /// these fractions route such queries to the small-table pool.
+    double fullscan_small_table_fraction = 0.8;
+    double limit_small_table_fraction = 0.65;
+  };
+
+  QueryGenerator(const Catalog* catalog, std::vector<std::string> probe_tables,
+                 std::vector<std::string> build_tables, ProductionModel model,
+                 Config config);
+
+  GeneratedQuery Generate();
+
+  Rng* rng() { return &rng_; }
+  const ProductionModel& model() const { return model_; }
+
+ private:
+  struct KeyDomain {
+    int64_t min = 0;
+    int64_t max = 0;
+  };
+
+  /// Global min/max of `column` over all partitions (metadata only).
+  KeyDomain DomainOf(const std::string& table, const std::string& column) const;
+
+  /// A predicate on `key` matching roughly `selectivity` of the rows.
+  ExprPtr MakePredicate(const std::string& table, double selectivity);
+
+  const std::string& PickProbe();
+  const std::string& PickBuild();
+
+  const Catalog* catalog_;
+  std::vector<std::string> probe_tables_;
+  std::vector<std::string> build_tables_;
+  ProductionModel model_;
+  Config config_;
+  Rng rng_;
+  ZipfSampler shape_sampler_;
+};
+
+}  // namespace workload
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_WORKLOAD_QUERY_GEN_H_

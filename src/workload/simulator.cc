@@ -1,0 +1,109 @@
+#include "workload/simulator.h"
+
+namespace snowprune {
+namespace workload {
+
+namespace {
+
+void Classify(LimitBreakdown* breakdown, LimitClassification c) {
+  switch (c) {
+    case LimitClassification::kAlreadyMinimal:
+      ++breakdown->already_minimal;
+      break;
+    case LimitClassification::kUnsupportedShape:
+      ++breakdown->unsupported;
+      break;
+    case LimitClassification::kNoFullyMatching:
+      ++breakdown->no_fully_matching;
+      break;
+    case LimitClassification::kPrunedToZero:
+    case LimitClassification::kPrunedToOne:
+      ++breakdown->pruned_to_one;
+      break;
+    case LimitClassification::kPrunedToMany:
+      ++breakdown->pruned_to_many;
+      break;
+    case LimitClassification::kNotALimitQuery:
+      break;
+  }
+}
+
+}  // namespace
+
+SimulationResult Simulator::Run(size_t num_queries) {
+  SimulationResult result;
+  for (size_t i = 0; i < num_queries; ++i) {
+    GeneratedQuery q = generator_->Generate();
+    auto executed = engine_->Execute(q.plan);
+    if (!executed.ok()) continue;
+    const QueryResult& r = executed.value();
+    const PruningStats& s = r.stats;
+
+    ++result.total_queries;
+    ++result.class_counts[q.query_class];
+    ++result.shape_occurrences[q.shape_id];
+    result.total_partitions += s.total_partitions;
+    result.total_pruned += s.TotalPruned();
+
+    // Eligibility follows the paper: filter pruning for predicated queries,
+    // LIMIT pruning for LIMIT queries, etc.
+    if (q.has_predicate && q.query_class != QueryClass::kJoin) {
+      result.filter_ratios.Add(s.FilterRatio());
+      if (s.pruned_by_filter > 0) {
+        result.filter_ratios_applied.Add(s.FilterRatio());
+      }
+      result.filter_total_partitions += s.total_partitions;
+      result.filter_pruned_partitions += s.pruned_by_filter;
+    }
+    const bool is_limit = q.query_class == QueryClass::kLimitNoPredicate ||
+                          q.query_class == QueryClass::kLimitWithPredicate;
+    if (is_limit) {
+      result.limit_ratios.Add(s.LimitRatio());
+      if (r.limit_class == LimitClassification::kPrunedToZero ||
+          r.limit_class == LimitClassification::kPrunedToOne ||
+          r.limit_class == LimitClassification::kPrunedToMany) {
+        result.limit_ratios_applied.Add(s.LimitRatio());
+      }
+      Classify(q.has_predicate ? &result.limit_with_predicate
+                               : &result.limit_without_predicate,
+               r.limit_class);
+    }
+    if (r.topk_pruning_attached) {
+      result.topk_ratios.Add(s.TopKRatio());
+    }
+    if (q.query_class == QueryClass::kJoin) {
+      // Figure 10 plots probe-scan-level ratios.
+      double probe_ratio =
+          q.probe_partitions > 0
+              ? static_cast<double>(s.pruned_by_join) /
+                    static_cast<double>(q.probe_partitions)
+              : s.JoinRatio();
+      result.join_ratios.Add(probe_ratio);
+    }
+
+    // Figure 11 flow.
+    std::string combo;
+    if (s.pruned_by_filter > 0) {
+      ++result.flow_filter;
+      combo += "filter";
+    }
+    if (s.pruned_by_limit > 0) {
+      ++result.flow_limit;
+      combo += combo.empty() ? "limit" : "+limit";
+    }
+    if (s.pruned_by_join > 0) {
+      ++result.flow_join;
+      combo += combo.empty() ? "join" : "+join";
+    }
+    if (s.pruned_by_topk > 0) {
+      ++result.flow_topk;
+      combo += combo.empty() ? "topk" : "+topk";
+    }
+    if (combo.empty()) combo = "none";
+    ++result.flow_combinations[combo];
+  }
+  return result;
+}
+
+}  // namespace workload
+}  // namespace snowprune

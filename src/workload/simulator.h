@@ -1,0 +1,102 @@
+#ifndef SNOWPRUNE_WORKLOAD_SIMULATOR_H_
+#define SNOWPRUNE_WORKLOAD_SIMULATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats_collector.h"
+#include "exec/engine.h"
+#include "workload/query_gen.h"
+
+namespace snowprune {
+namespace workload {
+
+/// Table 2-style breakdown of LIMIT pruning outcomes.
+struct LimitBreakdown {
+  int64_t already_minimal = 0;
+  int64_t unsupported = 0;
+  int64_t no_fully_matching = 0;
+  int64_t pruned_to_one = 0;   ///< Includes LIMIT 0 (scan set emptied).
+  int64_t pruned_to_many = 0;
+  int64_t total() const {
+    return already_minimal + unsupported + no_fully_matching + pruned_to_one +
+           pruned_to_many;
+  }
+};
+
+/// Aggregates produced by a simulation run; the figure/table benches print
+/// slices of this.
+struct SimulationResult {
+  // Figure 1: pruning-ratio distributions over *eligible* queries.
+  StatsCollector filter_ratios;
+  StatsCollector limit_ratios;
+  StatsCollector topk_ratios;
+  StatsCollector join_ratios;
+
+  // §9 conclusion numbers: ratios over queries where the technique
+  // *successfully applied* (a stricter population than "eligible").
+  StatsCollector limit_ratios_applied;
+  StatsCollector filter_ratios_applied;
+
+  // Partition-weighted filter pruning over predicated queries.
+  int64_t filter_total_partitions = 0;
+  int64_t filter_pruned_partitions = 0;
+  double FilterPartitionWeightedRatio() const {
+    return filter_total_partitions == 0
+               ? 0.0
+               : static_cast<double>(filter_pruned_partitions) /
+                     static_cast<double>(filter_total_partitions);
+  }
+
+  // Table 1 mix.
+  std::map<QueryClass, int64_t> class_counts;
+  int64_t total_queries = 0;
+
+  // Table 2.
+  LimitBreakdown limit_with_predicate;
+  LimitBreakdown limit_without_predicate;
+
+  // Figure 11 flow: queries where a technique pruned >= 1 partition.
+  int64_t flow_filter = 0;
+  int64_t flow_limit = 0;
+  int64_t flow_join = 0;
+  int64_t flow_topk = 0;
+  /// Key = technique subset string like "filter+join"; value = query count.
+  std::map<std::string, int64_t> flow_combinations;
+
+  // Headline (§1): partition-weighted global pruning.
+  int64_t total_partitions = 0;
+  int64_t total_pruned = 0;
+  double OverallPruningRatio() const {
+    return total_partitions == 0
+               ? 0.0
+               : static_cast<double>(total_pruned) /
+                     static_cast<double>(total_partitions);
+  }
+
+  // Figure 12: occurrences per plan shape.
+  std::map<std::string, int64_t> shape_occurrences;
+};
+
+/// Runs a sampled query population through the engine and aggregates
+/// pruning statistics. The paper's measurement conventions are preserved:
+/// ratios are relative to all partitions the query would otherwise process,
+/// and each technique's distribution only includes queries where the
+/// technique was applicable.
+class Simulator {
+ public:
+  Simulator(QueryGenerator* generator, Engine* engine)
+      : generator_(generator), engine_(engine) {}
+
+  SimulationResult Run(size_t num_queries);
+
+ private:
+  QueryGenerator* generator_;
+  Engine* engine_;
+};
+
+}  // namespace workload
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_WORKLOAD_SIMULATOR_H_

@@ -1,0 +1,78 @@
+#include "workload/table_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace snowprune {
+namespace workload {
+
+const char* ToString(Layout layout) {
+  switch (layout) {
+    case Layout::kSorted: return "sorted";
+    case Layout::kClustered: return "clustered";
+    case Layout::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::shared_ptr<Table> SyntheticTable(const TableGenConfig& config) {
+  Rng rng(config.seed);
+  const size_t total_rows = config.num_partitions * config.rows_per_partition;
+  const double span =
+      static_cast<double>(config.domain_max - config.domain_min);
+
+  // Key sequence per layout. Sorted/clustered keys ascend with row position
+  // so consecutive partitions cover consecutive (noisy) ranges.
+  std::vector<int64_t> keys(total_rows);
+  for (size_t i = 0; i < total_rows; ++i) {
+    double position = total_rows <= 1
+                          ? 0.0
+                          : static_cast<double>(i) /
+                                static_cast<double>(total_rows - 1);
+    switch (config.layout) {
+      case Layout::kSorted:
+        keys[i] = config.domain_min + static_cast<int64_t>(position * span);
+        break;
+      case Layout::kClustered: {
+        double noisy = position * span + rng.Normal(0.0, config.overlap * span);
+        noisy = std::clamp(noisy, 0.0, span);
+        keys[i] = config.domain_min + static_cast<int64_t>(noisy);
+        break;
+      }
+      case Layout::kRandom:
+        keys[i] = rng.UniformInt(config.domain_min, config.domain_max);
+        break;
+    }
+  }
+
+  Schema schema({
+      Field{"id", DataType::kInt64, /*nullable=*/false},
+      Field{"key", DataType::kInt64, /*nullable=*/false},
+      Field{"val", DataType::kFloat64, /*nullable=*/true},
+      Field{"cat", DataType::kString, /*nullable=*/false},
+      Field{"ts", DataType::kInt64, /*nullable=*/false},
+  });
+  TableBuilder builder(config.name, schema, config.rows_per_partition);
+  ZipfSampler cat_sampler(std::max<size_t>(1, config.num_categories), 1.1);
+  char cat_buf[16];
+  for (size_t i = 0; i < total_rows; ++i) {
+    Value val = rng.Bernoulli(config.null_fraction)
+                    ? Value::Null()
+                    : Value(rng.Uniform() * 1000.0);
+    std::snprintf(cat_buf, sizeof(cat_buf), "c%04zu",
+                  cat_sampler.Sample(&rng) - 1);
+    Status s = builder.AppendRow({
+        Value(static_cast<int64_t>(i)),
+        Value(keys[i]),
+        val,
+        Value(std::string(cat_buf)),
+        Value(static_cast<int64_t>(i)),
+    });
+    (void)s;
+  }
+  return builder.Finish();
+}
+
+}  // namespace workload
+}  // namespace snowprune

@@ -1,0 +1,56 @@
+#ifndef SNOWPRUNE_WORKLOAD_TABLE_GEN_H_
+#define SNOWPRUNE_WORKLOAD_TABLE_GEN_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/table.h"
+
+namespace snowprune {
+namespace workload {
+
+/// Physical data layout of the generated `key` column — the knob that
+/// controls how much zone maps overlap and therefore how prunable the table
+/// is. The paper (§1) deliberately treats layout as given; these three
+/// layouts span the spectrum its experiments encounter.
+enum class Layout {
+  kSorted,     ///< Perfectly sorted: disjoint zone maps, ideal pruning.
+  kClustered,  ///< Sorted with noise (natural ingestion order, e.g. event
+               ///< time): mostly-disjoint zone maps.
+  kRandom,     ///< Uniformly shuffled: every zone map spans the domain.
+};
+
+const char* ToString(Layout layout);
+
+/// Configuration for SyntheticTable().
+struct TableGenConfig {
+  std::string name = "t";
+  size_t num_partitions = 100;
+  size_t rows_per_partition = 1000;
+  Layout layout = Layout::kClustered;
+  /// Clustering noise as a fraction of the whole domain (kClustered only):
+  /// each key is displaced by a normal with this relative stddev.
+  double overlap = 0.01;
+  int64_t domain_min = 0;
+  int64_t domain_max = 1'000'000;
+  /// Fraction of NULLs in the nullable measure column `val`.
+  double null_fraction = 0.0;
+  /// Number of distinct categories in the `cat` column (zipf-distributed).
+  size_t num_categories = 1000;
+  uint64_t seed = 42;
+};
+
+/// Generates a synthetic table with schema
+///   id   int64   — unique, ascending (never null)
+///   key  int64   — layout-controlled prunable column
+///   val  float64 — uniform measure, null_fraction NULLs
+///   cat  string  — zipf-distributed category "c0000".."cNNNN"
+///   ts   int64   — ingestion timestamp, ascending (sorted layout)
+/// partitioned into num_partitions micro-partitions.
+std::shared_ptr<Table> SyntheticTable(const TableGenConfig& config);
+
+}  // namespace workload
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_WORKLOAD_TABLE_GEN_H_

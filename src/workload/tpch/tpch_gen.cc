@@ -1,0 +1,323 @@
+#include "workload/tpch/tpch_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace snowprune {
+namespace workload {
+namespace tpch {
+
+namespace {
+
+/// Howard Hinnant's days-from-civil algorithm, rebased to 1992-01-01.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153 * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<int64_t>(doe) - 719468LL;
+}
+
+const char* kTypes1[] = {"STANDARD", "SMALL", "MEDIUM",
+                         "LARGE",    "ECONOMY", "PROMO"};
+const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                         "BRUSHED"};
+const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainers1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainers2[] = {"CASE", "BOX", "BAG", "JAR",
+                              "PKG",  "PACK", "CAN", "DRUM"};
+const char* kShipModes[] = {"REG AIR", "AIR",   "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kColors[] = {"almond", "antique", "aquamarine", "azure",  "beige",
+                         "bisque", "black",   "blanched",   "blue",   "blush",
+                         "brown",  "burlywood", "chartreuse", "chiffon",
+                         "chocolate", "coral", "cornflower", "cream", "cyan",
+                         "dark",   "deep",    "dim",        "dodger", "drab",
+                         "firebrick", "floral", "forest",    "frosted",
+                         "gainsboro", "ghost", "goldenrod",  "green", "grey",
+                         "honeydew",  "hot",   "hunter",     "indian", "ivory",
+                         "khaki",  "lace",    "lavender",   "lawn",   "lemon"};
+const char* kNations[] = {"ALGERIA",   "ARGENTINA",  "BRAZIL", "CANADA",
+                          "EGYPT",     "ETHIOPIA",   "FRANCE", "GERMANY",
+                          "INDIA",     "INDONESIA",  "IRAN",   "IRAQ",
+                          "JAPAN",     "JORDAN",     "KENYA",  "MOROCCO",
+                          "MOZAMBIQUE", "PERU",      "CHINA",  "ROMANIA",
+                          "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+                          "UNITED STATES"};
+// region of each nation (TPC-H mapping).
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* (&arr)[N]) {
+  return arr[rng->UniformInt(0, static_cast<int64_t>(N) - 1)];
+}
+
+struct LineitemRow {
+  int64_t orderkey, partkey, suppkey;
+  double quantity, extendedprice, discount, tax;
+  std::string returnflag, linestatus;
+  int64_t shipdate, commitdate, receiptdate;
+  std::string shipmode, shipinstruct;
+};
+
+}  // namespace
+
+int64_t DateToDays(int year, int month, int day) {
+  return DaysFromCivil(year, month, day) - DaysFromCivil(1992, 1, 1);
+}
+
+Status TpchTables::RegisterAll(Catalog* catalog) const {
+  for (const auto& t : {lineitem, orders, customer, part, supplier, partsupp,
+                        nation, region}) {
+    Status s = catalog->RegisterTable(t);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+TpchTables GenerateTpch(const TpchConfig& config) {
+  Rng rng(config.seed);
+  const double sf = config.scale_factor;
+  const int64_t num_orders = std::max<int64_t>(100, static_cast<int64_t>(1500000 * sf));
+  const int64_t num_customers = std::max<int64_t>(50, static_cast<int64_t>(150000 * sf));
+  const int64_t num_parts = std::max<int64_t>(50, static_cast<int64_t>(200000 * sf));
+  const int64_t num_suppliers = std::max<int64_t>(10, static_cast<int64_t>(10000 * sf));
+  const int64_t kStartDate = 0;                        // 1992-01-01
+  const int64_t kEndDate = DateToDays(1998, 8, 2);     // dbgen's last orderdate
+  const int64_t kCurrentDate = DateToDays(1995, 6, 17);
+
+  TpchTables out;
+
+  // --- region & nation ------------------------------------------------------
+  {
+    Schema schema({Field{"r_regionkey", DataType::kInt64, false},
+                   Field{"r_name", DataType::kString, false}});
+    TableBuilder b("region", schema, 8);
+    for (int64_t i = 0; i < 5; ++i) {
+      (void)b.AppendRow({Value(i), Value(std::string(kRegions[i]))});
+    }
+    out.region = b.Finish();
+  }
+  {
+    Schema schema({Field{"n_nationkey", DataType::kInt64, false},
+                   Field{"n_name", DataType::kString, false},
+                   Field{"n_regionkey", DataType::kInt64, false}});
+    TableBuilder b("nation", schema, 32);
+    for (int64_t i = 0; i < 25; ++i) {
+      (void)b.AppendRow({Value(i), Value(std::string(kNations[i])),
+                         Value(static_cast<int64_t>(kNationRegion[i]))});
+    }
+    out.nation = b.Finish();
+  }
+
+  // --- supplier --------------------------------------------------------------
+  {
+    Schema schema({Field{"s_suppkey", DataType::kInt64, false},
+                   Field{"s_nationkey", DataType::kInt64, false},
+                   Field{"s_acctbal", DataType::kFloat64, false}});
+    TableBuilder b("supplier", schema,
+                   std::max<size_t>(64, static_cast<size_t>(num_suppliers / 8)));
+    for (int64_t i = 1; i <= num_suppliers; ++i) {
+      (void)b.AppendRow({Value(i), Value(rng.UniformInt(0, 24)),
+                         Value(rng.Uniform() * 11000.0 - 1000.0)});
+    }
+    out.supplier = b.Finish();
+  }
+
+  // --- customer --------------------------------------------------------------
+  {
+    Schema schema({Field{"c_custkey", DataType::kInt64, false},
+                   Field{"c_nationkey", DataType::kInt64, false},
+                   Field{"c_mktsegment", DataType::kString, false},
+                   Field{"c_acctbal", DataType::kFloat64, false},
+                   Field{"c_phone", DataType::kString, false}});
+    TableBuilder b("customer", schema,
+                   std::max<size_t>(256, static_cast<size_t>(num_customers / 16)));
+    char phone[24];
+    for (int64_t i = 1; i <= num_customers; ++i) {
+      int64_t nation = rng.UniformInt(0, 24);
+      std::snprintf(phone, sizeof(phone), "%02lld-%03lld-%03lld-%04lld",
+                    static_cast<long long>(nation + 10),
+                    static_cast<long long>(rng.UniformInt(100, 999)),
+                    static_cast<long long>(rng.UniformInt(100, 999)),
+                    static_cast<long long>(rng.UniformInt(1000, 9999)));
+      (void)b.AppendRow({Value(i), Value(nation),
+                         Value(std::string(Pick(&rng, kSegments))),
+                         Value(rng.Uniform() * 10998.0 - 999.0),
+                         Value(std::string(phone))});
+    }
+    out.customer = b.Finish();
+  }
+
+  // --- part ------------------------------------------------------------------
+  {
+    Schema schema({Field{"p_partkey", DataType::kInt64, false},
+                   Field{"p_name", DataType::kString, false},
+                   Field{"p_brand", DataType::kString, false},
+                   Field{"p_type", DataType::kString, false},
+                   Field{"p_size", DataType::kInt64, false},
+                   Field{"p_container", DataType::kString, false},
+                   Field{"p_retailprice", DataType::kFloat64, false}});
+    TableBuilder b("part", schema,
+                   std::max<size_t>(256, static_cast<size_t>(num_parts / 16)));
+    char brand[16];
+    for (int64_t i = 1; i <= num_parts; ++i) {
+      std::string name = std::string(Pick(&rng, kColors)) + " " +
+                         Pick(&rng, kColors);
+      std::snprintf(brand, sizeof(brand), "Brand#%lld%lld",
+                    static_cast<long long>(rng.UniformInt(1, 5)),
+                    static_cast<long long>(rng.UniformInt(1, 5)));
+      std::string type = std::string(Pick(&rng, kTypes1)) + " " +
+                         Pick(&rng, kTypes2) + " " + Pick(&rng, kTypes3);
+      std::string container = std::string(Pick(&rng, kContainers1)) + " " +
+                              Pick(&rng, kContainers2);
+      (void)b.AppendRow({Value(i), Value(std::move(name)),
+                         Value(std::string(brand)), Value(std::move(type)),
+                         Value(rng.UniformInt(1, 50)),
+                         Value(std::move(container)),
+                         Value(900.0 + (i % 1000) + rng.Uniform() * 100.0)});
+    }
+    out.part = b.Finish();
+  }
+
+  // --- partsupp --------------------------------------------------------------
+  {
+    Schema schema({Field{"ps_partkey", DataType::kInt64, false},
+                   Field{"ps_suppkey", DataType::kInt64, false},
+                   Field{"ps_availqty", DataType::kInt64, false},
+                   Field{"ps_supplycost", DataType::kFloat64, false}});
+    TableBuilder b("partsupp", schema,
+                   std::max<size_t>(512, static_cast<size_t>(num_parts / 4)));
+    for (int64_t i = 1; i <= num_parts; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        (void)b.AppendRow({Value(i),
+                           Value(rng.UniformInt(1, num_suppliers)),
+                           Value(rng.UniformInt(1, 9999)),
+                           Value(rng.Uniform() * 999.0 + 1.0)});
+      }
+    }
+    out.partsupp = b.Finish();
+  }
+
+  // --- orders + lineitem ------------------------------------------------------
+  {
+    Schema orders_schema({Field{"o_orderkey", DataType::kInt64, false},
+                          Field{"o_custkey", DataType::kInt64, false},
+                          Field{"o_orderstatus", DataType::kString, false},
+                          Field{"o_totalprice", DataType::kFloat64, false},
+                          Field{"o_orderdate", DataType::kInt64, false},
+                          Field{"o_comment", DataType::kString, false}});
+    Schema lineitem_schema({Field{"l_orderkey", DataType::kInt64, false},
+                            Field{"l_partkey", DataType::kInt64, false},
+                            Field{"l_suppkey", DataType::kInt64, false},
+                            Field{"l_quantity", DataType::kFloat64, false},
+                            Field{"l_extendedprice", DataType::kFloat64, false},
+                            Field{"l_discount", DataType::kFloat64, false},
+                            Field{"l_tax", DataType::kFloat64, false},
+                            Field{"l_returnflag", DataType::kString, false},
+                            Field{"l_linestatus", DataType::kString, false},
+                            Field{"l_shipdate", DataType::kInt64, false},
+                            Field{"l_commitdate", DataType::kInt64, false},
+                            Field{"l_receiptdate", DataType::kInt64, false},
+                            Field{"l_shipmode", DataType::kString, false},
+                            Field{"l_shipinstruct", DataType::kString, false}});
+
+    struct OrderRow {
+      int64_t orderkey, custkey, orderdate;
+      std::string status, comment;
+      double totalprice;
+    };
+    std::vector<OrderRow> orders;
+    orders.reserve(static_cast<size_t>(num_orders));
+    std::vector<LineitemRow> lineitems;
+    lineitems.reserve(static_cast<size_t>(num_orders) * 4);
+
+    for (int64_t i = 1; i <= num_orders; ++i) {
+      OrderRow o;
+      o.orderkey = i;
+      o.custkey = rng.UniformInt(1, num_customers);
+      o.orderdate = rng.UniformInt(kStartDate, kEndDate - 151);
+      o.totalprice = 0.0;
+      // ~1% of comments carry the Q13 "special ... requests" motif.
+      o.comment = rng.Bernoulli(0.01) ? "special deposits requests"
+                                      : "regular pending accounts";
+      int nlines = static_cast<int>(rng.UniformInt(1, 7));
+      bool all_filled = true;
+      for (int l = 0; l < nlines; ++l) {
+        LineitemRow li;
+        li.orderkey = i;
+        li.partkey = rng.UniformInt(1, num_parts);
+        li.suppkey = rng.UniformInt(1, num_suppliers);
+        li.quantity = static_cast<double>(rng.UniformInt(1, 50));
+        li.extendedprice = li.quantity * (900.0 + rng.Uniform() * 1200.0);
+        li.discount = rng.UniformInt(0, 10) / 100.0;
+        li.tax = rng.UniformInt(0, 8) / 100.0;
+        li.shipdate = o.orderdate + rng.UniformInt(1, 121);
+        li.commitdate = o.orderdate + rng.UniformInt(30, 90);
+        li.receiptdate = li.shipdate + rng.UniformInt(1, 30);
+        li.returnflag = li.receiptdate <= kCurrentDate
+                            ? (rng.Bernoulli(0.5) ? "R" : "A")
+                            : "N";
+        li.linestatus = li.shipdate > kCurrentDate ? "O" : "F";
+        li.shipmode = Pick(&rng, kShipModes);
+        li.shipinstruct = Pick(&rng, kShipInstruct);
+        o.totalprice += li.extendedprice;
+        if (li.shipdate > kCurrentDate) all_filled = false;
+        lineitems.push_back(std::move(li));
+      }
+      o.status = all_filled ? "F" : (rng.Bernoulli(0.5) ? "O" : "P");
+      orders.push_back(std::move(o));
+    }
+
+    if (config.clustered) {
+      // The paper's §8.3 setup: cluster by l_shipdate and o_orderdate.
+      std::sort(orders.begin(), orders.end(),
+                [](const OrderRow& a, const OrderRow& b) {
+                  return a.orderdate < b.orderdate;
+                });
+      std::sort(lineitems.begin(), lineitems.end(),
+                [](const LineitemRow& a, const LineitemRow& b) {
+                  return a.shipdate < b.shipdate;
+                });
+    }
+
+    TableBuilder ob("orders", orders_schema, config.orders_rows_per_partition);
+    for (const auto& o : orders) {
+      (void)ob.AppendRow({Value(o.orderkey), Value(o.custkey), Value(o.status),
+                          Value(o.totalprice), Value(o.orderdate),
+                          Value(o.comment)});
+    }
+    out.orders = ob.Finish();
+
+    TableBuilder lb("lineitem", lineitem_schema,
+                    config.lineitem_rows_per_partition);
+    for (const auto& li : lineitems) {
+      (void)lb.AppendRow({Value(li.orderkey), Value(li.partkey),
+                          Value(li.suppkey), Value(li.quantity),
+                          Value(li.extendedprice), Value(li.discount),
+                          Value(li.tax), Value(li.returnflag),
+                          Value(li.linestatus), Value(li.shipdate),
+                          Value(li.commitdate), Value(li.receiptdate),
+                          Value(li.shipmode), Value(li.shipinstruct)});
+    }
+    out.lineitem = lb.Finish();
+  }
+
+  return out;
+}
+
+}  // namespace tpch
+}  // namespace workload
+}  // namespace snowprune

@@ -1,0 +1,212 @@
+#include "workload/tpch/tpch_queries.h"
+
+#include "expr/builder.h"
+#include "workload/tpch/tpch_gen.h"
+
+namespace snowprune {
+namespace workload {
+namespace tpch {
+
+namespace {
+
+Value D(int y, int m, int d) { return Value(DateToDays(y, m, d)); }
+
+ScanProfile Scan(std::string table, ExprPtr pred = nullptr) {
+  return ScanProfile{std::move(table), std::move(pred)};
+}
+
+}  // namespace
+
+std::vector<QueryProfile> AllQueryProfiles() {
+  std::vector<QueryProfile> out;
+
+  // Q1: pricing summary report — ships nearly everything.
+  out.push_back({1,
+                 {Scan("lineitem", Le(Col("l_shipdate"),
+                                      Lit(Value(DateToDays(1998, 12, 1) - 90))))}});
+
+  // Q2: minimum cost supplier — no date predicates anywhere.
+  out.push_back({2,
+                 {Scan("part", And({Eq(Col("p_size"), Lit(15)),
+                                    Like(Col("p_type"), "%BRASS")})),
+                  Scan("supplier"), Scan("partsupp"), Scan("nation"),
+                  Scan("region", Eq(Col("r_name"), Lit("EUROPE")))}});
+
+  // Q3: shipping priority.
+  out.push_back({3,
+                 {Scan("customer", Eq(Col("c_mktsegment"), Lit("BUILDING"))),
+                  Scan("orders", Lt(Col("o_orderdate"), Lit(D(1995, 3, 15)))),
+                  Scan("lineitem", Gt(Col("l_shipdate"), Lit(D(1995, 3, 15))))}});
+
+  // Q4: order priority checking.
+  out.push_back({4,
+                 {Scan("orders", And({Ge(Col("o_orderdate"), Lit(D(1993, 7, 1))),
+                                      Lt(Col("o_orderdate"), Lit(D(1993, 10, 1)))})),
+                  Scan("lineitem",
+                       Lt(Col("l_commitdate"), Col("l_receiptdate")))}});
+
+  // Q5: local supplier volume.
+  out.push_back({5,
+                 {Scan("customer"),
+                  Scan("orders", And({Ge(Col("o_orderdate"), Lit(D(1994, 1, 1))),
+                                      Lt(Col("o_orderdate"), Lit(D(1995, 1, 1)))})),
+                  Scan("lineitem"), Scan("supplier"), Scan("nation"),
+                  Scan("region", Eq(Col("r_name"), Lit("ASIA")))}});
+
+  // Q6: forecasting revenue change — the classic pruning showcase.
+  out.push_back({6,
+                 {Scan("lineitem",
+                       And({Ge(Col("l_shipdate"), Lit(D(1994, 1, 1))),
+                            Lt(Col("l_shipdate"), Lit(D(1995, 1, 1))),
+                            Between(Col("l_discount"), Value(0.05), Value(0.07)),
+                            Lt(Col("l_quantity"), Lit(24))}))}});
+
+  // Q7: volume shipping.
+  out.push_back({7,
+                 {Scan("supplier"),
+                  Scan("lineitem", Between(Col("l_shipdate"), D(1995, 1, 1),
+                                           D(1996, 12, 31))),
+                  Scan("orders"), Scan("customer"),
+                  Scan("nation",
+                       Or({Eq(Col("n_name"), Lit("FRANCE")),
+                           Eq(Col("n_name"), Lit("GERMANY"))}))}});
+
+  // Q8: national market share.
+  out.push_back({8,
+                 {Scan("part", Eq(Col("p_type"), Lit("ECONOMY ANODIZED STEEL"))),
+                  Scan("supplier"), Scan("lineitem"),
+                  Scan("orders", Between(Col("o_orderdate"), D(1995, 1, 1),
+                                         D(1996, 12, 31))),
+                  Scan("customer"), Scan("nation"),
+                  Scan("region", Eq(Col("r_name"), Lit("AMERICA")))}});
+
+  // Q9: product type profit measure — like '%green%' is unprunable.
+  out.push_back({9,
+                 {Scan("part", Like(Col("p_name"), "%green%")),
+                  Scan("supplier"), Scan("lineitem"), Scan("partsupp"),
+                  Scan("orders"), Scan("nation")}});
+
+  // Q10: returned item reporting.
+  out.push_back({10,
+                 {Scan("customer"),
+                  Scan("orders", And({Ge(Col("o_orderdate"), Lit(D(1993, 10, 1))),
+                                      Lt(Col("o_orderdate"), Lit(D(1994, 1, 1)))})),
+                  Scan("lineitem", Eq(Col("l_returnflag"), Lit("R"))),
+                  Scan("nation")}});
+
+  // Q11: important stock identification.
+  out.push_back({11,
+                 {Scan("partsupp"), Scan("supplier"),
+                  Scan("nation", Eq(Col("n_name"), Lit("GERMANY")))}});
+
+  // Q12: shipping modes and order priority.
+  out.push_back({12,
+                 {Scan("orders"),
+                  Scan("lineitem",
+                       And({In(Col("l_shipmode"), {Value("MAIL"), Value("SHIP")}),
+                            Lt(Col("l_commitdate"), Col("l_receiptdate")),
+                            Lt(Col("l_shipdate"), Col("l_commitdate")),
+                            Ge(Col("l_receiptdate"), Lit(D(1994, 1, 1))),
+                            Lt(Col("l_receiptdate"), Lit(D(1995, 1, 1)))}))}});
+
+  // Q13: customer distribution — NOT LIKE on comments, unprunable.
+  out.push_back({13,
+                 {Scan("customer"),
+                  Scan("orders",
+                       Not(Like(Col("o_comment"), "%special%requests%")))}});
+
+  // Q14: promotion effect — one month of shipdate.
+  out.push_back({14,
+                 {Scan("lineitem", And({Ge(Col("l_shipdate"), Lit(D(1995, 9, 1))),
+                                        Lt(Col("l_shipdate"), Lit(D(1995, 10, 1)))})),
+                  Scan("part")}});
+
+  // Q15: top supplier — three months of shipdate.
+  out.push_back({15,
+                 {Scan("lineitem", And({Ge(Col("l_shipdate"), Lit(D(1996, 1, 1))),
+                                        Lt(Col("l_shipdate"), Lit(D(1996, 4, 1)))})),
+                  Scan("supplier")}});
+
+  // Q16: parts/supplier relationship — anti-selective part predicates.
+  out.push_back({16,
+                 {Scan("partsupp"),
+                  Scan("part",
+                       And({Ne(Col("p_brand"), Lit("Brand#45")),
+                            Not(Like(Col("p_type"), "MEDIUM POLISHED%")),
+                            In(Col("p_size"),
+                               {Value(int64_t{49}), Value(int64_t{14}),
+                                Value(int64_t{23}), Value(int64_t{45}),
+                                Value(int64_t{19}), Value(int64_t{3}),
+                                Value(int64_t{36}), Value(int64_t{9})})})),
+                  Scan("supplier")}});
+
+  // Q17: small-quantity-order revenue.
+  out.push_back({17,
+                 {Scan("lineitem"),
+                  Scan("part", And({Eq(Col("p_brand"), Lit("Brand#23")),
+                                    Eq(Col("p_container"), Lit("MED BOX"))}))}});
+
+  // Q18: large volume customer — only a HAVING over an aggregate.
+  out.push_back({18, {Scan("customer"), Scan("orders"), Scan("lineitem")}});
+
+  // Q19: discounted revenue — OR of brand/container/quantity conjuncts.
+  {
+    auto quantity_clause = [](int lo, int hi) {
+      return And({Ge(Col("l_quantity"), Lit(lo)), Le(Col("l_quantity"), Lit(hi)),
+                  In(Col("l_shipmode"), {Value("AIR"), Value("REG AIR")}),
+                  Eq(Col("l_shipinstruct"), Lit("DELIVER IN PERSON"))});
+    };
+    auto part_clause = [](const char* brand, const char* c1, const char* c2,
+                          int size_hi) {
+      return And({Eq(Col("p_brand"), Lit(brand)),
+                  In(Col("p_container"), {Value(c1), Value(c2)}),
+                  Between(Col("p_size"), Value(int64_t{1}),
+                          Value(static_cast<int64_t>(size_hi)))});
+    };
+    out.push_back(
+        {19,
+         {Scan("lineitem", Or({quantity_clause(1, 11), quantity_clause(10, 20),
+                               quantity_clause(20, 30)})),
+          Scan("part",
+               Or({part_clause("Brand#12", "SM CASE", "SM BOX", 5),
+                   part_clause("Brand#23", "MED BAG", "MED BOX", 10),
+                   part_clause("Brand#34", "LG CASE", "LG BOX", 15)}))}});
+  }
+
+  // Q20: potential part promotion.
+  out.push_back({20,
+                 {Scan("supplier"),
+                  Scan("nation", Eq(Col("n_name"), Lit("CANADA"))),
+                  Scan("partsupp"),
+                  Scan("part", Like(Col("p_name"), "forest%")),
+                  Scan("lineitem", And({Ge(Col("l_shipdate"), Lit(D(1994, 1, 1))),
+                                        Lt(Col("l_shipdate"), Lit(D(1995, 1, 1)))}))}});
+
+  // Q21: suppliers who kept orders waiting (lineitem referenced 3x).
+  out.push_back({21,
+                 {Scan("supplier"),
+                  Scan("lineitem",
+                       Gt(Col("l_receiptdate"), Col("l_commitdate"))),
+                  Scan("lineitem"), Scan("lineitem"),
+                  Scan("orders", Eq(Col("o_orderstatus"), Lit("F"))),
+                  Scan("nation", Eq(Col("n_name"), Lit("SAUDI ARABIA")))}});
+
+  // Q22: global sales opportunity — phone-prefix membership.
+  out.push_back({22,
+                 {Scan("customer",
+                       And({Gt(Col("c_acctbal"), Lit(0.0)),
+                            Or({StartsWith(Col("c_phone"), "13"),
+                                StartsWith(Col("c_phone"), "31"),
+                                StartsWith(Col("c_phone"), "23"),
+                                StartsWith(Col("c_phone"), "29"),
+                                StartsWith(Col("c_phone"), "30"),
+                                StartsWith(Col("c_phone"), "18"),
+                                StartsWith(Col("c_phone"), "17")})})),
+                  Scan("orders")}});
+
+  return out;
+}
+
+}  // namespace tpch
+}  // namespace workload
+}  // namespace snowprune

@@ -1,0 +1,39 @@
+#ifndef SNOWPRUNE_WORKLOAD_TPCH_TPCH_QUERIES_H_
+#define SNOWPRUNE_WORKLOAD_TPCH_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace snowprune {
+namespace workload {
+namespace tpch {
+
+/// One base-table scan of a TPC-H query: the table and the scan's
+/// pruning-relevant predicate (null for unfiltered scans — they still count
+/// in the query's pruning-ratio denominator, Figure 13's convention).
+struct ScanProfile {
+  std::string table;
+  ExprPtr predicate;
+};
+
+/// The scan/predicate profile of one TPC-H query.
+struct QueryProfile {
+  int id = 0;
+  std::vector<ScanProfile> scans;
+};
+
+/// Scan/predicate profiles for all 22 TPC-H queries with the standard
+/// validation substitution parameters — the inputs to the Figure 13
+/// per-query pruning-ratio measurement. (Join-derived pruning such as Q2's
+/// region->nation chain is out of scope here, matching the paper's finding
+/// that TPC-H pruning comes almost entirely from date filters on LINEITEM
+/// and ORDERS.)
+std::vector<QueryProfile> AllQueryProfiles();
+
+}  // namespace tpch
+}  // namespace workload
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_WORKLOAD_TPCH_TPCH_QUERIES_H_

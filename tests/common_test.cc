@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/interval.h"
+#include "common/rng.h"
+#include "common/stats_collector.h"
+#include "common/tribool.h"
+#include "common/value.h"
+
+namespace snowprune {
+namespace {
+
+// ---------------------------------------------------------------- Value ----
+
+TEST(ValueTest, NullAndTypes) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value(int64_t{5}).is_int64());
+  EXPECT_TRUE(Value(2.5).is_float64());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_EQ(Value(int64_t{5}).type(), DataType::kInt64);
+}
+
+TEST(ValueTest, NumericCrossCompare) {
+  EXPECT_EQ(Value::Compare(Value(int64_t{2}), Value(2.0)), 0);
+  EXPECT_LT(Value::Compare(Value(int64_t{2}), Value(2.5)), 0);
+  EXPECT_GT(Value::Compare(Value(3.1), Value(int64_t{3})), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value::Compare(Value("abc"), Value("abd")), 0);
+  EXPECT_EQ(Value::Compare(Value("x"), Value("x")), 0);
+}
+
+TEST(ValueTest, EqualityTreatsNullAsNull) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(int64_t{0}));
+  EXPECT_EQ(Value(int64_t{7}), Value(7.0));
+  EXPECT_NE(Value("7"), Value(int64_t{7}));
+}
+
+TEST(ValueTest, HashIntegralNumericsCollide) {
+  EXPECT_EQ(HashValue(Value(int64_t{42})), HashValue(Value(42.0)));
+  EXPECT_NE(HashValue(Value(int64_t{42})), HashValue(Value(int64_t{43})));
+  EXPECT_NE(HashValue(Value("a")), HashValue(Value("b")));
+}
+
+TEST(ValueTest, ToStringRendersSqlStyle) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{3}).ToString(), "3");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value(true).ToString(), "true");
+}
+
+// -------------------------------------------------------------- TriBool ----
+
+TEST(TriBoolTest, KleeneTables) {
+  EXPECT_EQ(TriAnd(TriBool::kTrue, TriBool::kMaybe), TriBool::kMaybe);
+  EXPECT_EQ(TriAnd(TriBool::kFalse, TriBool::kMaybe), TriBool::kFalse);
+  EXPECT_EQ(TriOr(TriBool::kTrue, TriBool::kMaybe), TriBool::kTrue);
+  EXPECT_EQ(TriOr(TriBool::kFalse, TriBool::kMaybe), TriBool::kMaybe);
+  EXPECT_EQ(TriNot(TriBool::kMaybe), TriBool::kMaybe);
+  EXPECT_EQ(TriNot(TriBool::kTrue), TriBool::kFalse);
+}
+
+// ------------------------------------------------------------- Interval ----
+
+TEST(IntervalTest, PointAndRange) {
+  Interval p = Interval::Point(Value(int64_t{5}));
+  EXPECT_TRUE(p.IsConstant());
+  Interval r = Interval::Range(Value(int64_t{1}), Value(int64_t{9}), false);
+  EXPECT_FALSE(r.IsConstant());
+  EXPECT_TRUE(Interval::Point(Value::Null()).all_null);
+}
+
+TEST(IntervalTest, UnionTakesHull) {
+  Interval a = Interval::Range(Value(int64_t{0}), Value(int64_t{10}), false);
+  Interval b = Interval::Range(Value(int64_t{5}), Value(int64_t{20}), true);
+  Interval u = Union(a, b);
+  EXPECT_EQ(u.lo->int64_value(), 0);
+  EXPECT_EQ(u.hi->int64_value(), 20);
+  EXPECT_TRUE(u.maybe_null);
+}
+
+TEST(IntervalTest, AddExactInt) {
+  Interval a = Interval::Range(Value(int64_t{1}), Value(int64_t{2}), false);
+  Interval b = Interval::Range(Value(int64_t{10}), Value(int64_t{20}), false);
+  Interval sum = Add(a, b);
+  EXPECT_EQ(sum.lo->int64_value(), 11);
+  EXPECT_EQ(sum.hi->int64_value(), 22);
+}
+
+TEST(IntervalTest, MulCoversSignCombinations) {
+  Interval a = Interval::Range(Value(int64_t{-3}), Value(int64_t{2}), false);
+  Interval b = Interval::Range(Value(int64_t{-5}), Value(int64_t{4}), false);
+  Interval prod = Mul(a, b);
+  // Candidates: 15, -12, -10, 8 -> [-12, 15].
+  EXPECT_EQ(prod.lo->int64_value(), -12);
+  EXPECT_EQ(prod.hi->int64_value(), 15);
+}
+
+TEST(IntervalTest, MulWidensFloatConservatively) {
+  Interval a = Interval::Range(Value(0.1), Value(0.3), false);
+  Interval b = Interval::Point(Value(3.0));
+  Interval prod = Mul(a, b);
+  EXPECT_LE(prod.lo->AsDouble(), 0.1 * 3.0);
+  EXPECT_GE(prod.hi->AsDouble(), 0.3 * 3.0);
+}
+
+TEST(IntervalTest, DivByRangeContainingZeroIsUnbounded) {
+  Interval a = Interval::Range(Value(int64_t{1}), Value(int64_t{2}), false);
+  Interval b = Interval::Range(Value(int64_t{-1}), Value(int64_t{1}), false);
+  Interval q = Div(a, b);
+  EXPECT_FALSE(q.lo.has_value());
+  EXPECT_FALSE(q.hi.has_value());
+}
+
+TEST(IntervalTest, AddOverflowDegradesToDouble) {
+  Interval a = Interval::Point(Value(std::numeric_limits<int64_t>::max()));
+  Interval b = Interval::Point(Value(int64_t{10}));
+  Interval sum = Add(a, b);
+  ASSERT_TRUE(sum.hi.has_value());
+  EXPECT_TRUE(sum.hi->is_float64());
+  EXPECT_GE(sum.hi->AsDouble(), 9.2e18);
+}
+
+TEST(IntervalTest, CompareDisjointRanges) {
+  Interval a = Interval::Range(Value(int64_t{0}), Value(int64_t{9}), false);
+  Interval b = Interval::Range(Value(int64_t{10}), Value(int64_t{19}), false);
+  EXPECT_EQ(CompareIntervals(a, CompareOp::kLt, b), TriBool::kTrue);
+  EXPECT_EQ(CompareIntervals(a, CompareOp::kGe, b), TriBool::kFalse);
+  EXPECT_EQ(CompareIntervals(a, CompareOp::kEq, b), TriBool::kFalse);
+  EXPECT_EQ(CompareIntervals(a, CompareOp::kNe, b), TriBool::kTrue);
+}
+
+TEST(IntervalTest, CompareOverlappingRangesIsMaybe) {
+  Interval a = Interval::Range(Value(int64_t{0}), Value(int64_t{15}), false);
+  Interval b = Interval::Range(Value(int64_t{10}), Value(int64_t{19}), false);
+  EXPECT_EQ(CompareIntervals(a, CompareOp::kLt, b), TriBool::kMaybe);
+  EXPECT_EQ(CompareIntervals(a, CompareOp::kEq, b), TriBool::kMaybe);
+}
+
+TEST(IntervalTest, NullDegradesTrueToMaybe) {
+  Interval a = Interval::Range(Value(int64_t{0}), Value(int64_t{9}), true);
+  Interval b = Interval::Point(Value(int64_t{100}));
+  // All non-null values are < 100, but NULL rows don't satisfy it.
+  EXPECT_EQ(CompareIntervals(a, CompareOp::kLt, b), TriBool::kMaybe);
+  // False stays false: no value (null or not) satisfies >.
+  EXPECT_EQ(CompareIntervals(a, CompareOp::kGt, b), TriBool::kFalse);
+}
+
+TEST(IntervalTest, AllNullComparesFalse) {
+  EXPECT_EQ(CompareIntervals(Interval::AllNull(), CompareOp::kEq,
+                             Interval::Point(Value(int64_t{1}))),
+            TriBool::kFalse);
+}
+
+TEST(IntervalTest, EqOnEqualConstants) {
+  Interval a = Interval::Point(Value("feet"));
+  Interval b = Interval::Point(Value("feet"));
+  EXPECT_EQ(CompareIntervals(a, CompareOp::kEq, b), TriBool::kTrue);
+  EXPECT_EQ(CompareIntervals(a, CompareOp::kNe, b), TriBool::kFalse);
+}
+
+TEST(IntervalTest, MixedKindsAreMaybe) {
+  Interval a = Interval::Point(Value("abc"));
+  Interval b = Interval::Point(Value(int64_t{3}));
+  EXPECT_EQ(CompareIntervals(a, CompareOp::kEq, b), TriBool::kMaybe);
+}
+
+TEST(CompareOpTest, InvertAndMirror) {
+  EXPECT_EQ(Invert(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(Invert(CompareOp::kEq), CompareOp::kNe);
+  EXPECT_EQ(Mirror(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(Mirror(CompareOp::kEq), CompareOp::kEq);
+}
+
+// ------------------------------------------------------------------ Rng ----
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(2);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(3);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Discrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 2);
+}
+
+TEST(ZipfTest, RankOneDominates) {
+  Rng rng(4);
+  ZipfSampler zipf(100, 1.2);
+  int64_t first = 0, total = 0;
+  for (int i = 0; i < 10000; ++i) {
+    size_t r = zipf.Sample(&rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+    if (r == 1) ++first;
+    ++total;
+  }
+  EXPECT_GT(first, total / 10);
+}
+
+// ------------------------------------------------------- StatsCollector ----
+
+TEST(StatsCollectorTest, PercentilesAndMean) {
+  StatsCollector c;
+  for (int i = 1; i <= 100; ++i) c.Add(i);
+  EXPECT_DOUBLE_EQ(c.Mean(), 50.5);
+  EXPECT_NEAR(c.Median(), 50.5, 0.5);
+  EXPECT_DOUBLE_EQ(c.Percentile(0), 1);
+  EXPECT_DOUBLE_EQ(c.Percentile(100), 100);
+  EXPECT_NEAR(c.Percentile(90), 90.1, 0.5);
+}
+
+TEST(StatsCollectorTest, CdfAt) {
+  StatsCollector c;
+  c.AddAll({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(c.CdfAt(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(c.CdfAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.CdfAt(4), 1.0);
+}
+
+TEST(StatsCollectorTest, BoxPlotRowMarksMedianAndMean) {
+  StatsCollector c;
+  c.AddAll({0, 0.5, 1});
+  std::string row = c.BoxPlotRow(0, 1, 21);
+  EXPECT_EQ(row.size(), 21u);
+  EXPECT_NE(row.find('#'), std::string::npos);
+  EXPECT_EQ(row.front(), '|');
+  EXPECT_EQ(row.back(), '|');
+}
+
+}  // namespace
+}  // namespace snowprune

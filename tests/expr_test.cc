@@ -1,0 +1,461 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "expr/builder.h"
+#include "expr/evaluator.h"
+#include "expr/like.h"
+#include "expr/range_analysis.h"
+#include "expr/rewrite.h"
+#include "test_util.h"
+
+namespace snowprune {
+namespace {
+
+using testing_util::MakeTable;
+
+// ----------------------------------------------------------------- LIKE ----
+
+TEST(LikeTest, BasicWildcards) {
+  EXPECT_TRUE(LikeMatch("Marked-North-Ridge", "Marked-%-Ridge"));
+  EXPECT_FALSE(LikeMatch("Marked-North-Peak", "Marked-%-Ridge"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abbc", "a_c"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("Alpine Ibex", "Alpine%"));
+  EXPECT_TRUE(LikeMatch("a%b", "a%b"));  // % in text matches literally via %
+}
+
+TEST(LikeTest, GreedyBacktracking) {
+  EXPECT_TRUE(LikeMatch("xayaz", "%a%z"));
+  EXPECT_TRUE(LikeMatch("aaa", "%a"));
+  EXPECT_FALSE(LikeMatch("abc", "%d%"));
+}
+
+TEST(LikeTest, PrefixExtraction) {
+  EXPECT_EQ(LikePrefix("Marked-%-Ridge"), "Marked-");
+  EXPECT_EQ(LikePrefix("%suffix"), "");
+  EXPECT_EQ(LikePrefix("exact"), "exact");
+  EXPECT_TRUE(IsPurePrefixPattern("Alpine%"));
+  EXPECT_FALSE(IsPurePrefixPattern("Alpine%x"));
+  EXPECT_FALSE(IsPurePrefixPattern("Al%pine%"));
+  EXPECT_TRUE(IsExactPattern("exact"));
+  EXPECT_FALSE(IsExactPattern("ex_ct"));
+}
+
+TEST(LikeTest, PrefixSuccessor) {
+  EXPECT_EQ(PrefixSuccessor("abc").value(), "abd");
+  EXPECT_EQ(PrefixSuccessor(std::string("a\xff")).value(), "b");
+  EXPECT_FALSE(PrefixSuccessor(std::string("\xff\xff")).has_value());
+  // Every string with prefix p is < successor(p).
+  EXPECT_LT(std::string("abczzzz"), PrefixSuccessor("abc").value());
+}
+
+// ----------------------------------------------------------- Evaluation ----
+
+Schema TrailSchema() {
+  return Schema({Field{"unit", DataType::kString, true},
+                 Field{"altit", DataType::kFloat64, true},
+                 Field{"name", DataType::kString, true}});
+}
+
+TEST(EvalTest, PaperGuidingExample) {
+  // The §3 query: IF(unit='feet', altit*0.3048, altit) > 1500
+  //               AND name LIKE 'Marked-%-Ridge'
+  auto pred = And(
+      {Gt(If(Eq(Col("unit"), Lit("feet")), Mul(Col("altit"), Lit(0.3048)),
+             Col("altit")),
+          Lit(1500)),
+       Like(Col("name"), "Marked-%-Ridge")});
+  auto table = MakeTable(
+      "trails", TrailSchema(),
+      {
+          {Value("feet"), Value(6000.0), Value("Marked-East-Ridge")},   // 1828m
+          {Value("meters"), Value(1400.0), Value("Marked-East-Ridge")}, // low
+          {Value("feet"), Value(6000.0), Value("Unmarked-Path")},       // name
+          {Value("meters"), Value(2000.0), Value("Marked-West-Ridge")}, // match
+      },
+      4);
+  ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+  const MicroPartition& part = table->partition_metadata(0);
+  EXPECT_EQ(CountMatches(*pred, part), 2);
+  auto mask = EvalPredicateMask(*pred, part);
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[1], 0);
+  EXPECT_EQ(mask[2], 0);
+  EXPECT_EQ(mask[3], 1);
+}
+
+TEST(EvalTest, NullPropagation) {
+  Schema schema({Field{"x", DataType::kInt64, true}});
+  auto table = MakeTable("t", schema, {{Value::Null()}, {Value(int64_t{5})}}, 2);
+  const MicroPartition& part = table->partition_metadata(0);
+  auto gt = Gt(Col("x"), Lit(3));
+  ASSERT_TRUE(BindExpr(gt, schema).ok());
+  EXPECT_FALSE(EvalPredicate(*gt, part, 0).has_value());  // NULL
+  EXPECT_TRUE(*EvalPredicate(*gt, part, 1));
+  // x IS NULL never returns NULL.
+  auto isnull = IsNull(Col("x"));
+  ASSERT_TRUE(BindExpr(isnull, schema).ok());
+  EXPECT_TRUE(*EvalPredicate(*isnull, part, 0));
+  EXPECT_FALSE(*EvalPredicate(*isnull, part, 1));
+}
+
+TEST(EvalTest, ThreeValuedConnectives) {
+  Schema schema({Field{"x", DataType::kInt64, true}});
+  auto table = MakeTable("t", schema, {{Value::Null()}}, 1);
+  const MicroPartition& part = table->partition_metadata(0);
+  // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE; NULL AND TRUE = NULL.
+  auto null_cmp = Gt(Col("x"), Lit(0));
+  ASSERT_TRUE(BindExpr(null_cmp, schema).ok());
+  EXPECT_FALSE(*EvalPredicate(*And({null_cmp, Lit(false)}), part, 0));
+  EXPECT_TRUE(*EvalPredicate(*Or({null_cmp, Lit(true)}), part, 0));
+  EXPECT_FALSE(EvalPredicate(*And({null_cmp, Lit(true)}), part, 0).has_value());
+  // NOT NULL = NULL; (NULL) IS NOT TRUE = TRUE.
+  EXPECT_FALSE(EvalPredicate(*Not(null_cmp), part, 0).has_value());
+  EXPECT_TRUE(*EvalPredicate(*NotTrue(null_cmp), part, 0));
+}
+
+TEST(EvalTest, DivisionByZeroIsNull) {
+  Schema schema({Field{"x", DataType::kInt64, true}});
+  auto table = MakeTable("t", schema, {{Value(int64_t{10})}}, 1);
+  auto expr = Div(Col("x"), Lit(0));
+  ASSERT_TRUE(BindExpr(expr, schema).ok());
+  EXPECT_TRUE(EvalScalar(*expr, table->partition_metadata(0), 0).is_null());
+}
+
+TEST(EvalTest, InListAndStartsWith) {
+  Schema schema({Field{"s", DataType::kString, true}});
+  auto table = MakeTable("t", schema, {{Value("MAIL")}, {Value("TRUCK")}}, 2);
+  const MicroPartition& part = table->partition_metadata(0);
+  auto in = In(Col("s"), {Value("MAIL"), Value("SHIP")});
+  ASSERT_TRUE(BindExpr(in, schema).ok());
+  EXPECT_TRUE(*EvalPredicate(*in, part, 0));
+  EXPECT_FALSE(*EvalPredicate(*in, part, 1));
+  auto sw = StartsWith(Col("s"), "TRU");
+  ASSERT_TRUE(BindExpr(sw, schema).ok());
+  EXPECT_FALSE(*EvalPredicate(*sw, part, 0));
+  EXPECT_TRUE(*EvalPredicate(*sw, part, 1));
+}
+
+TEST(EvalTest, BindFailsOnMissingColumn) {
+  EXPECT_FALSE(BindExpr(Col("nope"), TrailSchema()).ok());
+  EXPECT_TRUE(BindExpr(Col("unit"), TrailSchema()).ok());
+}
+
+TEST(EvalTest, ReferencedColumnsDeduplicates) {
+  auto e = And({Gt(Col("a"), Lit(1)), Lt(Col("a"), Col("b"))});
+  auto cols = ReferencedColumns(e);
+  EXPECT_EQ(cols.size(), 2u);
+}
+
+// -------------------------------------------------------- Range analysis ----
+
+std::vector<ColumnStats> StatsOf(const Table& table, PartitionId pid) {
+  return table.partition_metadata(pid).all_stats();
+}
+
+TEST(RangeAnalysisTest, PaperSection31WorkedExample) {
+  // Metadata from the paper's table: unit in ["feet","meters"],
+  // altit in [934, 7674], name in ["Basecamp-...", "Unmarked-..."].
+  Schema schema = TrailSchema();
+  std::vector<ColumnStats> stats(3);
+  stats[0] = {true, Value("feet"), Value("meters"), 0, 100};
+  stats[1] = {true, Value(934.0), Value(7674.0), 0, 100};
+  stats[2] = {true, Value("Basecamp-Trail"), Value("Unmarked-Peak"), 0, 100};
+
+  auto altitude = If(Eq(Col("unit"), Lit("feet")),
+                     Mul(Col("altit"), Lit(0.3048)), Col("altit"));
+  auto pred = And({Gt(altitude, Lit(1500)), Like(Col("name"), "Marked-%-Ridge")});
+  ASSERT_TRUE(BindExpr(pred, schema).ok());
+
+  // The altitude range must be the union of both branches:
+  // [934*0.3048, 7674] ~= [284.68, 7674].
+  Interval alt = DeriveInterval(*altitude, stats);
+  EXPECT_NEAR(alt.lo->AsDouble(), 284.68, 0.01);
+  EXPECT_NEAR(alt.hi->AsDouble(), 7674.0, 0.01);
+
+  // The paper's conclusion: this partition cannot be pruned.
+  BoolRange r = AnalyzePredicate(*pred, stats);
+  EXPECT_FALSE(r.prunable());
+  EXPECT_FALSE(r.fully_matching());
+
+  // With unit pinned to 'meters' (min == max) the IF branch is decided and
+  // altit > 1500 becomes possible but not certain.
+  stats[0] = {true, Value("meters"), Value("meters"), 0, 100};
+  alt = DeriveInterval(*altitude, stats);
+  EXPECT_NEAR(alt.lo->AsDouble(), 934.0, 0.01);
+
+  // Pin unit to 'feet' and lower the altitude so no row converts above 1500m:
+  // 4000ft * 0.3048 = 1219m -> prunable.
+  stats[0] = {true, Value("feet"), Value("feet"), 0, 100};
+  stats[1] = {true, Value(934.0), Value(4000.0), 0, 100};
+  r = AnalyzePredicate(*pred, stats);
+  EXPECT_TRUE(r.prunable());
+}
+
+TEST(RangeAnalysisTest, FullyMatchingDetection) {
+  std::vector<ColumnStats> stats(1);
+  stats[0] = {true, Value(int64_t{50}), Value(int64_t{80}), 0, 10};
+  auto schema = Schema({Field{"s", DataType::kInt64, true}});
+  auto pred = Ge(Col("s"), Lit(50));
+  ASSERT_TRUE(BindExpr(pred, schema).ok());
+  BoolRange r = AnalyzePredicate(*pred, stats);
+  EXPECT_TRUE(r.fully_matching());
+  // NULLs spoil fully-matching but not pruning.
+  stats[0].null_count = 1;
+  r = AnalyzePredicate(*pred, stats);
+  EXPECT_FALSE(r.fully_matching());
+  EXPECT_FALSE(r.prunable());
+}
+
+TEST(RangeAnalysisTest, LikePrefixPruning) {
+  Schema schema({Field{"species", DataType::kString, true}});
+  auto pred = Like(Col("species"), "Alpine%");
+  ASSERT_TRUE(BindExpr(pred, schema).ok());
+  // Partition entirely within the Alpine prefix: fully matching.
+  std::vector<ColumnStats> stats(1);
+  stats[0] = {true, Value("Alpine Goat"), Value("Alpine Sheep"), 0, 3};
+  EXPECT_TRUE(AnalyzePredicate(*pred, stats).fully_matching());
+  // Partition below the prefix range: prunable.
+  stats[0] = {true, Value("Aardvark"), Value("Albatross"), 0, 3};
+  EXPECT_TRUE(AnalyzePredicate(*pred, stats).prunable());
+  // Partition above: prunable.
+  stats[0] = {true, Value("Bear"), Value("Zebra"), 0, 3};
+  EXPECT_TRUE(AnalyzePredicate(*pred, stats).prunable());
+  // Straddling: partially matching.
+  stats[0] = {true, Value("Aardvark"), Value("Bear"), 0, 3};
+  BoolRange r = AnalyzePredicate(*pred, stats);
+  EXPECT_FALSE(r.prunable());
+  EXPECT_FALSE(r.fully_matching());
+}
+
+TEST(RangeAnalysisTest, ImpreciseLikeNeverClaimsFullyMatching) {
+  Schema schema({Field{"name", DataType::kString, true}});
+  auto pred = Like(Col("name"), "Marked-%-Ridge");
+  ASSERT_TRUE(BindExpr(pred, schema).ok());
+  std::vector<ColumnStats> stats(1);
+  // All values start with "Marked-" but may not end with "-Ridge".
+  stats[0] = {true, Value("Marked-A"), Value("Marked-Z"), 0, 5};
+  BoolRange r = AnalyzePredicate(*pred, stats);
+  EXPECT_FALSE(r.prunable());
+  EXPECT_FALSE(r.fully_matching());  // widening must not certify
+}
+
+TEST(RangeAnalysisTest, MissingStatsMeanUnknown) {
+  Schema schema({Field{"x", DataType::kInt64, true}});
+  auto pred = Gt(Col("x"), Lit(100));
+  ASSERT_TRUE(BindExpr(pred, schema).ok());
+  std::vector<ColumnStats> stats(1);  // has_stats = false (§8.1)
+  stats[0].row_count = 7;
+  BoolRange r = AnalyzePredicate(*pred, stats);
+  EXPECT_FALSE(r.prunable());
+  EXPECT_FALSE(r.fully_matching());
+}
+
+TEST(RangeAnalysisTest, InListAndIsNull) {
+  Schema schema({Field{"x", DataType::kInt64, true}});
+  auto in = In(Col("x"), {Value(int64_t{5}), Value(int64_t{50})});
+  ASSERT_TRUE(BindExpr(in, schema).ok());
+  std::vector<ColumnStats> stats(1);
+  stats[0] = {true, Value(int64_t{10}), Value(int64_t{20}), 0, 4};
+  EXPECT_TRUE(AnalyzePredicate(*in, stats).prunable());
+  stats[0] = {true, Value(int64_t{5}), Value(int64_t{5}), 0, 4};
+  EXPECT_TRUE(AnalyzePredicate(*in, stats).fully_matching());
+
+  auto isnull = IsNull(Col("x"));
+  ASSERT_TRUE(BindExpr(isnull, schema).ok());
+  stats[0] = {true, Value(int64_t{1}), Value(int64_t{2}), 0, 4};
+  EXPECT_TRUE(AnalyzePredicate(*isnull, stats).prunable());
+  stats[0].null_count = 4;
+  stats[0].min = Value::Null();
+  stats[0].max = Value::Null();
+  EXPECT_TRUE(AnalyzePredicate(*isnull, stats).fully_matching());
+}
+
+TEST(RangeAnalysisTest, BoolRangeCombinators) {
+  BoolRange t = BoolRange::Exactly(true);
+  BoolRange f = BoolRange::Exactly(false);
+  BoolRange n = BoolRange::AlwaysNull();
+  EXPECT_TRUE(AndRanges(t, t).fully_matching());
+  EXPECT_TRUE(AndRanges(t, f).prunable());
+  EXPECT_TRUE(AndRanges(f, n).prunable());   // FALSE dominates NULL
+  EXPECT_TRUE(OrRanges(t, n).fully_matching());  // TRUE dominates NULL
+  EXPECT_TRUE(OrRanges(f, n).prunable());
+  EXPECT_FALSE(OrRanges(f, n).can_false);    // outcome is NULL, not FALSE
+  EXPECT_TRUE(NotRange(f).fully_matching());
+  EXPECT_TRUE(NotTrueRange(n).fully_matching());
+  EXPECT_TRUE(NotTrueRange(t).prunable());
+}
+
+// --------------------------------------------------------------- Rewrite ----
+
+TEST(RewriteTest, LikeRewrites) {
+  auto pure = RewriteForPruning(Like(Col("s"), "Alpine%"));
+  EXPECT_EQ(pure->kind(), ExprKind::kStartsWith);
+  auto widened = RewriteForPruning(Like(Col("s"), "Marked-%-Ridge"));
+  EXPECT_EQ(widened->kind(), ExprKind::kStartsWith);
+  EXPECT_EQ(static_cast<StartsWithExpr&>(*widened).prefix(), "Marked-");
+  auto exact = RewriteForPruning(Like(Col("s"), "exact"));
+  EXPECT_EQ(exact->kind(), ExprKind::kCompare);
+  auto hopeless = RewriteForPruning(Like(Col("s"), "%Ridge"));
+  EXPECT_EQ(hopeless->kind(), ExprKind::kLiteral);
+}
+
+TEST(RewriteTest, NotSubtreesAreLeftIntact) {
+  auto e = Not(Like(Col("s"), "a%b"));
+  auto rewritten = RewriteForPruning(e);
+  EXPECT_EQ(rewritten.get(), e.get());
+}
+
+TEST(RewriteTest, InvertedPredicateDeMorgan) {
+  auto pred = And({Gt(Col("a"), Lit(1)), Lt(Col("b"), Lit(2))});
+  auto inverted = BuildInvertedPredicate(pred);
+  EXPECT_EQ(inverted->kind(), ExprKind::kOr);
+  auto terms = inverted->children();
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0]->kind(), ExprKind::kNotTrue);
+}
+
+TEST(RewriteTest, SimplifyFlattensAndFolds) {
+  auto e = And({And({Gt(Col("a"), Lit(1)), Lit(true)}), Gt(Col("b"), Lit(2))});
+  auto s = Simplify(e);
+  EXPECT_EQ(s->kind(), ExprKind::kAnd);
+  EXPECT_EQ(s->children().size(), 2u);
+  EXPECT_EQ(Simplify(Not(Not(Col("x"))))->kind(), ExprKind::kColumnRef);
+  EXPECT_EQ(Simplify(Or({Lit(false), Lit(false)}))->kind(), ExprKind::kLiteral);
+  // Dominating element collapses the whole connective.
+  auto dom = Simplify(And({Gt(Col("a"), Lit(1)), Lit(false)}));
+  ASSERT_EQ(dom->kind(), ExprKind::kLiteral);
+  EXPECT_FALSE(static_cast<LiteralExpr&>(*dom).value().bool_value());
+}
+
+// ------------------------------------------- Property: no false negatives ----
+
+/// Generates a random predicate over schema {x int64, s string}.
+ExprPtr RandomPredicate(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.45)) {
+    switch (rng->UniformInt(0, 5)) {
+      case 0:
+        return Cmp(static_cast<CompareOp>(rng->UniformInt(0, 5)), Col("x"),
+                   Lit(rng->UniformInt(-50, 150)));
+      case 1:
+        return Between(Col("x"), Value(rng->UniformInt(-50, 50)),
+                       Value(rng->UniformInt(50, 150)));
+      case 2:
+        return Like(Col("s"), rng->Bernoulli(0.5) ? "a%" : "a%z");
+      case 3:
+        return In(Col("x"), {Value(rng->UniformInt(0, 99)),
+                             Value(rng->UniformInt(0, 99))});
+      case 4:
+        return rng->Bernoulli(0.5) ? IsNull(Col("x")) : IsNotNull(Col("x"));
+      default:
+        return Gt(Add(Col("x"), Lit(rng->UniformInt(-10, 10))),
+                  Lit(rng->UniformInt(-40, 140)));
+    }
+  }
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      return And({RandomPredicate(rng, depth - 1), RandomPredicate(rng, depth - 1)});
+    case 1:
+      return Or({RandomPredicate(rng, depth - 1), RandomPredicate(rng, depth - 1)});
+    default:
+      return Not(RandomPredicate(rng, depth - 1));
+  }
+}
+
+class RangeAnalysisPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RangeAnalysisPropertyTest, AnalysisIsSoundAgainstBruteForce) {
+  Rng rng(GetParam());
+  Schema schema({Field{"x", DataType::kInt64, true},
+                 Field{"s", DataType::kString, true}});
+  // Random partition contents.
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::vector<Value>> rows;
+    int n = static_cast<int>(rng.UniformInt(1, 30));
+    for (int i = 0; i < n; ++i) {
+      Value x = rng.Bernoulli(0.15) ? Value::Null()
+                                    : Value(rng.UniformInt(-60, 160));
+      std::string s(1, static_cast<char>('a' + rng.UniformInt(0, 25)));
+      if (rng.Bernoulli(0.5)) s += static_cast<char>('a' + rng.UniformInt(0, 25));
+      rows.push_back({x, rng.Bernoulli(0.1) ? Value::Null() : Value(s)});
+    }
+    auto table = testing_util::MakeTable("t", schema, rows, rows.size());
+    const MicroPartition& part = table->partition_metadata(0);
+
+    ExprPtr pred = RandomPredicate(&rng, 2);
+    ASSERT_TRUE(BindExpr(pred, schema).ok());
+    BoolRange r = AnalyzePredicate(*pred, part.all_stats());
+    int64_t matches = CountMatches(*pred, part);
+
+    // Soundness: a prunable verdict implies zero matching rows.
+    if (r.prunable()) {
+      EXPECT_EQ(matches, 0) << pred->ToString();
+    }
+    // A fully-matching verdict implies every row matches.
+    if (r.fully_matching()) {
+      EXPECT_EQ(matches, part.row_count()) << pred->ToString();
+    }
+    // Sound outcome sets: observed row outcomes must be contained.
+    for (int i = 0; i < n; ++i) {
+      auto outcome = EvalPredicate(*pred, part, static_cast<size_t>(i));
+      if (!outcome.has_value()) {
+        EXPECT_TRUE(r.can_null) << pred->ToString();
+      } else if (*outcome) {
+        EXPECT_TRUE(r.can_true) << pred->ToString();
+      } else {
+        EXPECT_TRUE(r.can_false) << pred->ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeAnalysisPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+/// The §4.2 equivalence: two-pass inverted-predicate identification agrees
+/// with direct tri-state analysis.
+class InvertedPassPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InvertedPassPropertyTest, InvertedPassMatchesDirectAnalysis) {
+  Rng rng(GetParam() * 977);
+  Schema schema({Field{"x", DataType::kInt64, true},
+                 Field{"s", DataType::kString, true}});
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::vector<Value>> rows;
+    int n = static_cast<int>(rng.UniformInt(1, 20));
+    for (int i = 0; i < n; ++i) {
+      rows.push_back({rng.Bernoulli(0.1) ? Value::Null()
+                                         : Value(rng.UniformInt(-30, 130)),
+                      Value(std::string(1, static_cast<char>(
+                                               'a' + rng.UniformInt(0, 25))))});
+    }
+    auto table = testing_util::MakeTable("t", schema, rows, rows.size());
+    const auto& stats = table->partition_metadata(0).all_stats();
+
+    ExprPtr pred = RandomPredicate(&rng, 2);
+    ASSERT_TRUE(BindExpr(pred, schema).ok());
+    ExprPtr inverted = BuildInvertedPredicate(pred);
+    ASSERT_TRUE(BindExpr(inverted, schema).ok());
+
+    bool direct_fully = AnalyzePredicate(*pred, stats).fully_matching();
+    bool twopass_fully = AnalyzePredicate(*inverted, stats).prunable();
+    // The inverted pass may be more conservative on widened/complex shapes
+    // but must never claim fully-matching when the direct analysis (which
+    // is itself validated against brute force above) denies it.
+    if (twopass_fully) {
+      EXPECT_TRUE(direct_fully) << pred->ToString();
+      int64_t matches = CountMatches(*pred, table->partition_metadata(0));
+      EXPECT_EQ(matches, table->partition_metadata(0).row_count())
+          << pred->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvertedPassPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace snowprune

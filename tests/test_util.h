@@ -1,0 +1,65 @@
+#ifndef SNOWPRUNE_TESTS_TEST_UTIL_H_
+#define SNOWPRUNE_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace snowprune {
+namespace testing_util {
+
+/// Builds a table from boxed rows, cutting partitions at
+/// `rows_per_partition`.
+inline std::shared_ptr<Table> MakeTable(
+    const std::string& name, const Schema& schema,
+    const std::vector<std::vector<Value>>& rows, size_t rows_per_partition) {
+  TableBuilder builder(name, schema, rows_per_partition);
+  for (const auto& row : rows) {
+    Status s = builder.AppendRow(row);
+    if (!s.ok()) std::abort();
+  }
+  return builder.Finish();
+}
+
+/// Brute-force oracle: number of rows matching `predicate` per partition.
+/// The predicate must be bound to the table's schema.
+inline std::vector<int64_t> MatchCountsPerPartition(const Table& table,
+                                                    const ExprPtr& predicate) {
+  std::vector<int64_t> counts;
+  for (size_t pid = 0; pid < table.num_partitions(); ++pid) {
+    const MicroPartition& part =
+        table.partition_metadata(static_cast<PartitionId>(pid));
+    counts.push_back(predicate ? CountMatches(*predicate, part)
+                               : part.row_count());
+  }
+  return counts;
+}
+
+/// A compact single-column int64 table: `partitions` lists each partition's
+/// values in order.
+inline std::shared_ptr<Table> IntTable(
+    const std::string& name, const std::string& column,
+    const std::vector<std::vector<int64_t>>& partitions) {
+  Schema schema({Field{column, DataType::kInt64, true}});
+  size_t max_rows = 1;
+  for (const auto& p : partitions) max_rows = std::max(max_rows, p.size());
+  TableBuilder builder(name, schema, max_rows);
+  std::shared_ptr<Table> table = std::make_shared<Table>(name, schema);
+  for (const auto& p : partitions) {
+    ColumnVector col(DataType::kInt64);
+    for (int64_t v : p) col.AppendInt64(v);
+    table->AppendPartition(
+        MicroPartition(static_cast<PartitionId>(table->num_partitions()),
+                       {std::move(col)}));
+  }
+  return table;
+}
+
+}  // namespace testing_util
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_TESTS_TEST_UTIL_H_

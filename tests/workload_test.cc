@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "core/filter_pruner.h"
+#include "exec/engine.h"
+#include "workload/production_model.h"
+#include "workload/query_gen.h"
+#include "workload/simulator.h"
+#include "workload/table_gen.h"
+#include "workload/tpch/tpch_gen.h"
+#include "workload/tpch/tpch_queries.h"
+
+namespace snowprune {
+namespace {
+
+using namespace snowprune::workload;  // NOLINT
+
+TEST(TableGenTest, LayoutsControlZoneMapOverlap) {
+  TableGenConfig cfg;
+  cfg.num_partitions = 20;
+  cfg.rows_per_partition = 100;
+  cfg.seed = 5;
+
+  cfg.layout = Layout::kSorted;
+  cfg.name = "sorted";
+  auto sorted = SyntheticTable(cfg);
+  cfg.layout = Layout::kRandom;
+  cfg.name = "random";
+  auto random = SyntheticTable(cfg);
+
+  ASSERT_EQ(sorted->num_partitions(), 20u);
+  ASSERT_EQ(sorted->num_rows(), 2000);
+  // Sorted layout: consecutive partitions have non-overlapping key ranges.
+  for (size_t p = 1; p < sorted->num_partitions(); ++p) {
+    EXPECT_LE(sorted->stats(p - 1, 1).max.int64_value(),
+              sorted->stats(p, 1).min.int64_value());
+  }
+  // Random layout: partitions span nearly the whole domain.
+  int64_t span0 = random->stats(0, 1).max.int64_value() -
+                  random->stats(0, 1).min.int64_value();
+  EXPECT_GT(span0, (cfg.domain_max - cfg.domain_min) / 2);
+}
+
+TEST(TableGenTest, NullFractionIsHonored) {
+  TableGenConfig cfg;
+  cfg.num_partitions = 5;
+  cfg.rows_per_partition = 200;
+  cfg.null_fraction = 0.3;
+  auto table = SyntheticTable(cfg);
+  int64_t nulls = 0;
+  for (size_t p = 0; p < table->num_partitions(); ++p) {
+    nulls += table->stats(static_cast<PartitionId>(p), 2).null_count;
+  }
+  double frac = static_cast<double>(nulls) / table->num_rows();
+  EXPECT_NEAR(frac, 0.3, 0.05);
+}
+
+TEST(ProductionModelTest, LimitKMatchesFigure6Shape) {
+  ProductionModel model;
+  Rng rng(17);
+  int64_t le_10k = 0, le_2m = 0, total = 20000;
+  for (int64_t i = 0; i < total; ++i) {
+    int64_t k = model.SampleLimitK(&rng);
+    ASSERT_GE(k, 0);
+    if (k <= 10000) ++le_10k;
+    if (k <= 2000000) ++le_2m;
+  }
+  // Paper: 97% of k <= 10,000 and 99.9% <= 2,000,000.
+  EXPECT_NEAR(static_cast<double>(le_10k) / total, 0.97, 0.02);
+  EXPECT_GT(static_cast<double>(le_2m) / total, 0.99);
+}
+
+TEST(ProductionModelTest, SelectivityIsHeavilySkewedHigh) {
+  ProductionModel model;
+  Rng rng(18);
+  int highly_selective = 0, total = 10000;
+  for (int i = 0; i < total; ++i) {
+    if (model.SampleSelectivity(&rng) < 0.01) ++highly_selective;
+  }
+  EXPECT_GT(highly_selective, total / 3);
+}
+
+TEST(ProductionModelTest, ClassMixFollowsTable1) {
+  ProductionModel model;
+  Rng rng(19);
+  std::map<QueryClass, int> counts;
+  const int total = 50000;
+  for (int i = 0; i < total; ++i) ++counts[model.SampleClass(&rng)];
+  auto pct = [&](QueryClass c) {
+    return 100.0 * counts[c] / total;
+  };
+  EXPECT_NEAR(pct(QueryClass::kLimitWithPredicate), 2.23, 0.5);
+  EXPECT_NEAR(pct(QueryClass::kTopK), 4.47, 0.7);
+  EXPECT_NEAR(pct(QueryClass::kLimitNoPredicate), 0.37, 0.2);
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableGenConfig cfg;
+    cfg.num_partitions = 40;
+    cfg.rows_per_partition = 100;
+    cfg.seed = 3;
+    cfg.name = "probe_clustered";
+    cfg.layout = Layout::kClustered;
+    ASSERT_TRUE(catalog_.RegisterTable(SyntheticTable(cfg)).ok());
+    cfg.name = "probe_random";
+    cfg.layout = Layout::kRandom;
+    cfg.seed = 4;
+    ASSERT_TRUE(catalog_.RegisterTable(SyntheticTable(cfg)).ok());
+    cfg.name = "build_small";
+    cfg.num_partitions = 2;
+    cfg.layout = Layout::kRandom;
+    cfg.seed = 5;
+    ASSERT_TRUE(catalog_.RegisterTable(SyntheticTable(cfg)).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(SimulatorTest, EndToEndPopulationRun) {
+  Engine engine(&catalog_);
+  QueryGenerator::Config gcfg;
+  gcfg.seed = 99;
+  QueryGenerator gen(&catalog_, {"probe_clustered", "probe_random"},
+                     {"build_small"}, ProductionModel(), gcfg);
+  Simulator sim(&gen, &engine);
+  SimulationResult result = sim.Run(300);
+  EXPECT_EQ(result.total_queries, 300);
+  EXPECT_GT(result.filter_ratios.count(), 100u);
+  EXPECT_GT(result.total_partitions, 0);
+  // The population is dominated by selective predicates on clusterable
+  // layouts: the global pruning ratio must be substantial.
+  EXPECT_GT(result.OverallPruningRatio(), 0.3);
+  // Flow: filter pruning fires for more queries than any other technique.
+  EXPECT_GE(result.flow_filter, result.flow_limit);
+  EXPECT_GE(result.flow_filter, result.flow_topk);
+}
+
+TEST_F(SimulatorTest, TechniquesProduceNoFalseResults) {
+  // Every generated query must produce identical results with and without
+  // pruning — the end-to-end no-false-negatives property.
+  EngineConfig off;
+  off.enable_filter_pruning = false;
+  off.enable_limit_pruning = false;
+  off.enable_topk_pruning = false;
+  off.enable_join_pruning = false;
+  Engine pruned_engine(&catalog_);
+  Engine raw_engine(&catalog_, off);
+  QueryGenerator::Config gcfg;
+  gcfg.seed = 1234;
+  QueryGenerator gen(&catalog_, {"probe_clustered", "probe_random"},
+                     {"build_small"}, ProductionModel(), gcfg);
+  for (int i = 0; i < 60; ++i) {
+    GeneratedQuery q = gen.Generate();
+    auto a = pruned_engine.Execute(q.plan);
+    auto b = raw_engine.Execute(q.plan);
+    ASSERT_TRUE(a.ok() && b.ok());
+    const bool is_plain_limit =
+        q.query_class == QueryClass::kLimitNoPredicate ||
+        q.query_class == QueryClass::kLimitWithPredicate;
+    if (is_plain_limit) {
+      // LIMIT picks arbitrary rows; only the count is deterministic.
+      EXPECT_EQ(a.value().rows.size(), b.value().rows.size());
+    } else if (q.query_class == QueryClass::kTopK) {
+      // Tie-breaks may differ; compare the ordered key multiset.
+      ASSERT_EQ(a.value().rows.size(), b.value().rows.size());
+      auto key_idx = a.value().schema.FindColumn(
+          static_cast<const PlanNode&>(*q.plan).order_column);
+      ASSERT_TRUE(key_idx.has_value());
+      for (size_t r = 0; r < a.value().rows.size(); ++r) {
+        EXPECT_EQ(Value::Compare(a.value().rows[r][*key_idx],
+                                 b.value().rows[r][*key_idx]),
+                  0);
+      }
+    } else {
+      EXPECT_EQ(a.value().rows.size(), b.value().rows.size())
+          << ToString(q.query_class);
+    }
+  }
+}
+
+// --------------------------------------------------------------- TPC-H ----
+
+TEST(TpchTest, DateToDaysIsCivil) {
+  using workload::tpch::DateToDays;
+  EXPECT_EQ(DateToDays(1992, 1, 1), 0);
+  EXPECT_EQ(DateToDays(1992, 1, 2), 1);
+  EXPECT_EQ(DateToDays(1993, 1, 1), 366);  // 1992 is a leap year
+  EXPECT_EQ(DateToDays(1998, 12, 1) - 90, DateToDays(1998, 9, 2));
+}
+
+TEST(TpchTest, GeneratedTablesHaveExpectedShape) {
+  workload::tpch::TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  auto tables = workload::tpch::GenerateTpch(cfg);
+  EXPECT_EQ(tables.nation->num_rows(), 25);
+  EXPECT_EQ(tables.region->num_rows(), 5);
+  EXPECT_GT(tables.lineitem->num_rows(), tables.orders->num_rows());
+  // Clustered: lineitem partitions are ordered by shipdate.
+  auto col = tables.lineitem->schema().FindColumn("l_shipdate");
+  ASSERT_TRUE(col.has_value());
+  for (size_t p = 1; p < tables.lineitem->num_partitions(); ++p) {
+    EXPECT_LE(tables.lineitem->stats(p - 1, *col).max.int64_value(),
+              tables.lineitem->stats(p, *col).min.int64_value());
+  }
+  Catalog catalog;
+  EXPECT_TRUE(tables.RegisterAll(&catalog).ok());
+  EXPECT_EQ(catalog.num_tables(), 8u);
+}
+
+TEST(TpchTest, Figure13ShapeHolds) {
+  workload::tpch::TpchConfig cfg;
+  cfg.scale_factor = 0.01;
+  cfg.lineitem_rows_per_partition = 500;
+  cfg.orders_rows_per_partition = 250;
+  auto tables = workload::tpch::GenerateTpch(cfg);
+  Catalog catalog;
+  ASSERT_TRUE(tables.RegisterAll(&catalog).ok());
+
+  std::map<int, double> ratios;
+  for (const auto& profile : workload::tpch::AllQueryProfiles()) {
+    int64_t total = 0, pruned = 0;
+    for (const auto& scan : profile.scans) {
+      auto table = catalog.GetTable(scan.table);
+      ASSERT_NE(table, nullptr) << scan.table;
+      if (scan.predicate) {
+        ASSERT_TRUE(BindExpr(scan.predicate, table->schema()).ok())
+            << "Q" << profile.id;
+      }
+      FilterPruner pruner(scan.predicate);
+      auto result = pruner.Prune(*table, table->FullScanSet());
+      total += result.input_partitions;
+      pruned += result.pruned;
+    }
+    ratios[profile.id] = total == 0 ? 0.0 : static_cast<double>(pruned) / total;
+  }
+  ASSERT_EQ(ratios.size(), 22u);
+  // Paper Figure 13 shape: Q6/Q14/Q15 prune heavily on the clustered dates;
+  // Q1/Q9/Q13/Q16/Q17/Q18 prune (almost) nothing.
+  EXPECT_GT(ratios[6], 0.6);
+  EXPECT_GT(ratios[14], 0.8);
+  EXPECT_GT(ratios[15], 0.8);
+  EXPECT_LT(ratios[1], 0.1);
+  EXPECT_LT(ratios[9], 0.05);
+  EXPECT_LT(ratios[13], 0.05);
+  EXPECT_LT(ratios[18], 0.05);
+  // Date-range queries land in between.
+  EXPECT_GT(ratios[3], 0.2);
+  EXPECT_GT(ratios[12], 0.4);
+  // Whole-workload average far below the production model's (§8.3 takeaway).
+  double avg = 0;
+  for (auto& [id, r] : ratios) avg += r;
+  avg /= 22.0;
+  EXPECT_LT(avg, 0.5);
+  EXPECT_GT(avg, 0.1);
+}
+
+TEST(TpchTest, UnclusteredLayoutKillsPruning) {
+  workload::tpch::TpchConfig cfg;
+  cfg.scale_factor = 0.005;
+  cfg.clustered = false;
+  auto tables = workload::tpch::GenerateTpch(cfg);
+  Catalog catalog;
+  ASSERT_TRUE(tables.RegisterAll(&catalog).ok());
+  // Q6 on unclustered lineitem: zone maps all span the full date range.
+  auto profiles = workload::tpch::AllQueryProfiles();
+  const auto& q6 = profiles[5];
+  ASSERT_EQ(q6.id, 6);
+  auto table = catalog.GetTable("lineitem");
+  ASSERT_TRUE(BindExpr(q6.scans[0].predicate, table->schema()).ok());
+  FilterPruner pruner(q6.scans[0].predicate);
+  auto result = pruner.Prune(*table, table->FullScanSet());
+  EXPECT_EQ(result.pruned, 0);  // "no pruning happened with default
+                                // data clustering" (§8.3)
+}
+
+}  // namespace
+}  // namespace snowprune
