@@ -7,6 +7,7 @@ namespace snowprune {
 void PredicateCache::Insert(const std::string& fingerprint, const Table& table,
                             std::string order_column,
                             std::vector<PartitionId> partitions) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::sort(partitions.begin(), partitions.end());
   partitions.erase(std::unique(partitions.begin(), partitions.end()),
                    partitions.end());
@@ -22,6 +23,7 @@ void PredicateCache::Insert(const std::string& fingerprint, const Table& table,
 
 std::optional<std::vector<PartitionId>> PredicateCache::Lookup(
     const std::string& fingerprint, const Table& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(fingerprint);
   if (it == entries_.end() || it->second.table_name != table.name()) {
     ++misses_;
@@ -44,6 +46,7 @@ void PredicateCache::OnInsert(const Table& table) {
 }
 
 void PredicateCache::OnUpdate(const Table& table, const std::string& column) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.table_name == table.name() &&
         it->second.order_column == column) {
@@ -56,6 +59,7 @@ void PredicateCache::OnUpdate(const Table& table, const std::string& column) {
 }
 
 void PredicateCache::OnDelete(const Table& table, PartitionId deleted_pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     Entry& e = it->second;
     if (e.table_name != table.name()) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,6 +27,15 @@ namespace snowprune {
 ///                                  partition (the k+1-th row may live
 ///                                  elsewhere); other entries get their
 ///                                  partition ids remapped.
+///
+/// Thread safety: the cache is shared by every engine pointed at it, and
+/// engines may run queries concurrently; all operations (including the
+/// hit/miss counters) synchronize on one internal mutex. Lookup/Insert are
+/// individually atomic but a miss→recompute→Insert sequence is not: two
+/// threads missing the same fingerprint may both recompute before one
+/// inserts. That race window is benign (last insert wins, entries are
+/// equivalent) and mirrors the paper's cache, which never blocks a query on
+/// another's population.
 class PredicateCache {
  public:
   explicit PredicateCache(size_t capacity = 1024) : capacity_(capacity) {}
@@ -46,9 +56,18 @@ class PredicateCache {
   void OnUpdate(const Table& table, const std::string& column);
   void OnDelete(const Table& table, PartitionId deleted_pid);
 
-  size_t size() const { return entries_.size(); }
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  int64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  int64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
 
  private:
   struct Entry {
@@ -58,8 +77,10 @@ class PredicateCache {
     size_t table_partitions_at_insert;
   };
 
+  /// Caller must hold mutex_.
   void EvictIfNeeded();
 
+  mutable std::mutex mutex_;
   size_t capacity_;
   std::map<std::string, Entry> entries_;
   std::list<std::string> insertion_order_;  // FIFO eviction

@@ -16,6 +16,13 @@ struct PruningStats {
   int64_t pruned_by_topk = 0;     ///< §5 runtime top-k pruning.
   int64_t scanned_partitions = 0; ///< Actually loaded from storage.
   int64_t scanned_rows = 0;
+  /// Partitions a parallel scan worker loaded ahead of the consumer that the
+  /// serial engine would have skipped under its (later, tighter) top-k
+  /// boundary. Such loads are *not* counted in scanned_partitions — the
+  /// partition is accounted as pruned_by_topk, keeping every other counter
+  /// identical to serial execution — but the wasted background work is worth
+  /// observing. Always 0 when num_threads == 1.
+  int64_t speculative_loads = 0;
 
   int64_t TotalPruned() const {
     return pruned_by_filter + pruned_by_limit + pruned_by_join +
@@ -42,6 +49,7 @@ struct PruningStats {
     pruned_by_topk += other.pruned_by_topk;
     scanned_partitions += other.scanned_partitions;
     scanned_rows += other.scanned_rows;
+    speculative_loads += other.speculative_loads;
   }
 
  private:

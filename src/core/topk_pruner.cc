@@ -144,16 +144,24 @@ bool TopKPruner::ShouldSkip(const Table& table, PartitionId pid) const {
   if (!s.has_stats) return false;  // no metadata, no pruning (§8.1)
   const Value& extreme = config_.descending ? s.max : s.min;
   if (extreme.is_null()) return true;  // all-NULL keys never qualify
-  if (!boundary_) return false;
-  int c = Value::Compare(extreme, *boundary_);
-  if (config_.descending) {
-    return inclusive_ ? c <= 0 : c < 0;
+  std::optional<Value> boundary;
+  bool inclusive;
+  {
+    std::lock_guard<std::mutex> lock(boundary_mutex_);
+    boundary = boundary_;
+    inclusive = inclusive_;
   }
-  return inclusive_ ? c >= 0 : c > 0;
+  if (!boundary) return false;
+  int c = Value::Compare(extreme, *boundary);
+  if (config_.descending) {
+    return inclusive ? c <= 0 : c < 0;
+  }
+  return inclusive ? c >= 0 : c > 0;
 }
 
 void TopKPruner::UpdateBoundary(const Value& v) {
   if (v.is_null()) return;
+  std::lock_guard<std::mutex> lock(boundary_mutex_);
   if (!boundary_ || Stricter(v, *boundary_) ||
       (!inclusive_ && config_.inclusive_updates &&
        Value::Compare(v, *boundary_) == 0)) {

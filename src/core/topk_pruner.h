@@ -2,6 +2,7 @@
 #define SNOWPRUNE_CORE_TOPK_PRUNER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -49,6 +50,14 @@ struct TopKPrunerConfig {
 /// Rows whose order key is NULL never qualify for the top-k heap (the engine
 /// excludes NULL keys from results); partitions whose key column is entirely
 /// NULL are therefore always skippable.
+///
+/// Thread safety: ShouldSkip() and UpdateBoundary() may race — under
+/// partition-parallel execution, scan workers consult the boundary while the
+/// consumer thread tightens it — and synchronize on an internal mutex. A
+/// worker may observe a slightly stale boundary; that only delays a skip,
+/// never causes one that serial execution would reject. Prepare(),
+/// boundary() and boundary_inclusive() are single-threaded (compile time /
+/// consumer thread only).
 class TopKPruner {
  public:
   TopKPruner(TopKPrunerConfig config, size_t order_column);
@@ -84,6 +93,7 @@ class TopKPruner {
 
   TopKPrunerConfig config_;
   size_t order_column_;
+  mutable std::mutex boundary_mutex_;
   std::optional<Value> boundary_;
   bool inclusive_ = false;
 };

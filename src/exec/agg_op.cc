@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace snowprune {
 
@@ -50,6 +51,15 @@ HashAggregateOp::HashAggregateOp(OperatorPtr input,
   schema_ = Schema(std::move(fields));
 }
 
+HashAggregateOp::~HashAggregateOp() {
+  // The worker-side morsel transform reads this operator's members
+  // (group_columns_, aggregates_), which member-destruction order tears
+  // down *before* input_ (and with it the scan's scheduler + workers).
+  // Close() normally joins the workers first, but exception unwinding can
+  // skip it — join here; TableScanOp::Close() is idempotent.
+  if (scan_input_ != nullptr) scan_input_->Close();
+}
+
 void HashAggregateOp::EnableGroupLimit(size_t order_group_index,
                                        bool descending, int64_t k,
                                        TopKPruner* pruner) {
@@ -62,10 +72,104 @@ void HashAggregateOp::EnableGroupLimit(size_t order_group_index,
   pruner_ = pruner;
 }
 
+bool HashAggregateOp::AggsMergeExactly(const TableScanOp& scan) const {
+  // Every intermediate double sum must stay an exactly-representable
+  // integer (|sum| < 2^53); only then is accumulation associative and the
+  // morsel-merge order guaranteed to reproduce serial results bit-for-bit.
+  constexpr double kExactLimit = 9007199254740992.0;  // 2^53
+  for (const AggSpec& spec : aggregates_) {
+    if (spec.func != AggFunc::kSum && spec.func != AggFunc::kAvg) continue;
+    // Float inputs could differ in the last ulp under any reassociation.
+    if (input_->output_schema().field(spec.column).type != DataType::kInt64) {
+      return false;
+    }
+    // Bound the worst-case running |sum| from zone maps: if the scan's
+    // partitions could push any prefix past 2^53, stay serial. (spec.column
+    // indexes the scan's output schema, which is the table schema.)
+    double bound = 0.0;
+    const Table& table = *scan.table();
+    for (PartitionId pid : scan.scan_set()) {
+      const ColumnStats& s = table.stats(pid, spec.column);
+      if (!s.has_stats) return false;  // §8.1 external file: no proof
+      if (s.min.is_null()) continue;   // all-NULL column contributes 0
+      double extreme =
+          std::max(std::abs(s.min.AsDouble()), std::abs(s.max.AsDouble()));
+      bound += extreme * static_cast<double>(s.row_count - s.null_count);
+      if (bound >= kExactLimit) return false;
+    }
+  }
+  return true;
+}
+
 void HashAggregateOp::Open() {
   groups_.clear();
   emitted_ = false;
-  input_->Open();
+  parallel_path_ = false;
+  scan_input_ = nullptr;
+  auto* scan = dynamic_cast<TableScanOp*>(input_.get());
+  // The group-limit shape (Figure 7d) stays serial: its boundary feedback
+  // depends on seeing rows in scan order. Likewise a scan with a top-k
+  // pruner attached: pre-aggregated morsels cannot be un-accumulated if the
+  // consumer-side boundary re-check would have dropped them.
+  if (parallel_preagg_allowed_ && scan != nullptr && scan->parallel_enabled() &&
+      !scan->has_topk_pruner() && !group_limit_enabled_ &&
+      AggsMergeExactly(*scan)) {
+    parallel_path_ = true;
+    scan_input_ = scan;
+    // Worker-side morsel reduction: rows never reach the consumer thread.
+    scan->set_morsel_transform(
+        [this](Batch&& batch) -> TableScanOp::MorselPayload {
+          auto partial = std::make_shared<GroupMap>();
+          for (const Row& row : batch.rows) {
+            Row key;
+            key.reserve(group_columns_.size());
+            for (size_t col : group_columns_) key.push_back(row[col]);
+            Accumulate(&FindOrCreateGroup(partial.get(), std::move(key)), row);
+          }
+          return partial;
+        });
+  }
+  input_->Open();  // parallel scans start their scheduler here
+}
+
+void HashAggregateOp::MergePartial(GroupMap* partial) {
+  for (auto& [key, state] : *partial) {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      groups_.emplace(key, std::move(state));
+      continue;
+    }
+    GroupState& dst = it->second;
+    dst.group_rows += state.group_rows;
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      dst.counts[i] += state.counts[i];
+      dst.sums[i] += state.sums[i];
+      const Value& v = state.min_max[i];
+      if (v.is_null()) continue;
+      if (dst.min_max[i].is_null()) {
+        dst.min_max[i] = v;
+      } else if (aggregates_[i].func == AggFunc::kMin
+                     ? Value::Compare(v, dst.min_max[i]) < 0
+                     : Value::Compare(v, dst.min_max[i]) > 0) {
+        dst.min_max[i] = v;
+      }
+    }
+  }
+}
+
+HashAggregateOp::GroupState& HashAggregateOp::FindOrCreateGroup(
+    GroupMap* groups, Row key, bool* created) {
+  auto it = groups->find(key);
+  if (it == groups->end()) {
+    GroupState state;
+    state.key = key;
+    state.min_max.assign(aggregates_.size(), Value::Null());
+    state.sums.assign(aggregates_.size(), 0.0);
+    state.counts.assign(aggregates_.size(), 0);
+    it = groups->emplace(std::move(key), std::move(state)).first;
+    if (created != nullptr) *created = true;
+  }
+  return it->second;
 }
 
 void HashAggregateOp::Accumulate(GroupState* state, const Row& row) {
@@ -150,6 +254,15 @@ void HashAggregateOp::PublishGroupBoundary() {
 
 bool HashAggregateOp::Next(Batch* out) {
   if (emitted_) return false;
+  if (parallel_path_) {
+    TableScanOp::MorselPayload payload;
+    while (scan_input_->NextPayload(&payload)) {
+      if (payload != nullptr) {
+        MergePartial(static_cast<GroupMap*>(payload.get()));
+      }
+    }
+    return EmitGroups(out);
+  }
   Batch in;
   while (input_->Next(&in)) {
     for (const Row& row : in.rows) {
@@ -166,20 +279,16 @@ bool HashAggregateOp::Next(Batch* out) {
           if (order_descending_ ? c < 0 : c > 0) continue;
         }
       }
-      auto it = groups_.find(key);
-      if (it == groups_.end()) {
-        GroupState state;
-        state.key = key;
-        state.min_max.assign(aggregates_.size(), Value::Null());
-        state.sums.assign(aggregates_.size(), 0.0);
-        state.counts.assign(aggregates_.size(), 0);
-        it = groups_.emplace(std::move(key), std::move(state)).first;
-        if (group_limit_enabled_) PublishGroupBoundary();
-      }
-      Accumulate(&it->second, row);
+      bool created = false;
+      GroupState& state = FindOrCreateGroup(&groups_, std::move(key), &created);
+      if (created && group_limit_enabled_) PublishGroupBoundary();
+      Accumulate(&state, row);
     }
   }
+  return EmitGroups(out);
+}
 
+bool HashAggregateOp::EmitGroups(Batch* out) {
   out->rows.clear();
   out->source.clear();
   std::vector<Row> result;

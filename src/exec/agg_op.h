@@ -7,6 +7,7 @@
 
 #include "core/topk_pruner.h"
 #include "exec/operator.h"
+#include "exec/scan_op.h"
 
 namespace snowprune {
 
@@ -35,11 +36,23 @@ class HashAggregateOp : public Operator {
  public:
   HashAggregateOp(OperatorPtr input, std::vector<size_t> group_columns,
                   std::vector<AggSpec> aggregates);
+  /// Joins any in-flight parallel-scan workers whose morsel transform
+  /// reads this operator's members (Close() may be skipped by unwinding).
+  ~HashAggregateOp() override;
 
   /// `order_group_index` indexes into group_columns. The pruner (owned by
   /// the planner) must have inclusive_updates == false.
   void EnableGroupLimit(size_t order_group_index, bool descending, int64_t k,
                         TopKPruner* pruner);
+
+  /// Engine hook: permit scan+aggregate fusion when the input is a parallel
+  /// TableScanOp. Workers then pre-aggregate each morsel into a partial
+  /// group map which the consumer merges in scan-set order. Only taken when
+  /// every aggregate merges exactly (COUNT/MIN/MAX always; SUM/AVG only
+  /// over int64 inputs, whose double accumulation is exact), so results
+  /// stay byte-identical to serial execution; otherwise the operator
+  /// silently falls back to consuming row batches.
+  void EnableParallelPreAgg() { parallel_preagg_allowed_ = true; }
 
   void Open() override;
   bool Next(Batch* out) override;
@@ -59,10 +72,26 @@ class HashAggregateOp : public Operator {
     bool operator()(const Row& a, const Row& b) const;
   };
 
+  using GroupMap = std::map<Row, GroupState, KeyLess>;
+
+  /// Looks `key` up in `groups`, inserting a zero-initialized state on
+  /// first sight (`created` set true then, if provided). Shared by the
+  /// serial accumulation loop and the worker-side morsel transform so the
+  /// two paths cannot drift apart.
+  GroupState& FindOrCreateGroup(GroupMap* groups, Row key,
+                                bool* created = nullptr);
   void Accumulate(GroupState* state, const Row& row);
   Row Finalize(const GroupState& state) const;
   /// Recomputes the k-th best group key and publishes it (strictly).
   void PublishGroupBoundary();
+  /// True when merging per-morsel partials reproduces serial accumulation
+  /// bit-for-bit: SUM/AVG inputs are int64 AND the zone-map-derived bound
+  /// on every running sum stays below 2^53 (exact double integers).
+  bool AggsMergeExactly(const TableScanOp& scan) const;
+  /// Folds a worker-produced partial group map into groups_.
+  void MergePartial(GroupMap* partial);
+  /// Finalizes groups_ into the single output batch (sort/limit included).
+  bool EmitGroups(Batch* out);
 
   OperatorPtr input_;
   std::vector<size_t> group_columns_;
@@ -75,7 +104,11 @@ class HashAggregateOp : public Operator {
   int64_t group_limit_k_ = 0;
   TopKPruner* pruner_ = nullptr;
 
-  std::map<Row, GroupState, KeyLess> groups_;
+  bool parallel_preagg_allowed_ = false;
+  bool parallel_path_ = false;
+  TableScanOp* scan_input_ = nullptr;  ///< Set iff parallel_path_.
+
+  GroupMap groups_;
   bool emitted_ = false;
 };
 

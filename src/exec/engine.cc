@@ -5,6 +5,7 @@
 #include <map>
 
 #include "exec/ops.h"
+#include "exec/parallel/thread_pool.h"
 #include "exec/scan_op.h"
 #include "exec/topk_op.h"
 
@@ -225,6 +226,8 @@ bool IsScanProjectChain(const PlanPtr& plan) {
 
 Engine::Engine(Catalog* catalog, EngineConfig config)
     : catalog_(catalog), config_(std::move(config)) {}
+
+Engine::~Engine() = default;
 
 Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
   switch (plan->kind) {
@@ -525,6 +528,31 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan) {
   auto compiled = Compile(plan, &ctx);
   if (!compiled.ok()) return compiled.status();
   OperatorPtr root = std::move(compiled).value();
+
+  // Partition-parallel execution (§2's "highly parallel execution layer"):
+  // fan every scan's post-pruning scan set out across the worker pool.
+  // num_threads == 1 leaves the scans untouched — the serial path runs
+  // bit-for-bit as before, with no pool or scheduler involved.
+  const size_t num_threads = config_.exec.num_threads > 0
+                                 ? static_cast<size_t>(config_.exec.num_threads)
+                                 : ThreadPool::DefaultConcurrency();
+  if (num_threads > 1) {
+    if (!pool_ || pool_->num_threads() != num_threads) {
+      pool_ = std::make_unique<ThreadPool>(num_threads);
+    }
+    const size_t window = config_.exec.morsel_window > 0
+                              ? config_.exec.morsel_window
+                              : num_threads * 4;
+    for (auto& [node, info] : ctx.scans) {
+      info.op->EnableParallel(pool_.get(), window);
+    }
+    if (config_.exec.parallel_preagg) {
+      // Aggregates sitting directly on a parallel scan may fuse: workers
+      // pre-aggregate their morsel and ship a partial group map instead of
+      // rows. The operator itself checks the exact-merge eligibility rules.
+      for (auto& [node, agg] : ctx.agg_ops) agg->EnableParallelPreAgg();
+    }
+  }
 
   for (const auto& [node, info] : ctx.scans) {
     result.scan_set_bytes +=

@@ -27,6 +27,31 @@ namespace snowprune {
 /// sets with complex predicates.
 enum class FilterPruningPhase { kCompileTime, kRuntime };
 
+class ThreadPool;
+
+/// Execution-layer configuration: how the post-pruning scan sets are fanned
+/// out across worker threads ("the highly parallel execution layer", §2).
+struct ExecConfig {
+  /// Worker threads per query. 0 = hardware concurrency. 1 runs today's
+  /// serial path bit-for-bit (no pool, no scheduler); >1 enables
+  /// partition-parallel scans, which return byte-identical results AND
+  /// identical PruningStats (batches are delivered in scan-set order and
+  /// the consumer re-checks the top-k boundary at delivery time; wasted
+  /// worker lookahead is surfaced as PruningStats::speculative_loads).
+  /// Exception: the opt-in time-based PruningTree cutoff makes filter
+  /// stats timing-dependent regardless of thread count (see scan_op.h).
+  int num_threads = 0;
+  /// Morsels buffered or in flight ahead of the consumer per scan
+  /// (memory bound). 0 = 4 * num_threads.
+  size_t morsel_window = 0;
+  /// Allow worker-side partial aggregation (scan+aggregate fusion) for
+  /// GROUP BY plans whose aggregates merge exactly (COUNT/MIN/MAX always;
+  /// SUM/AVG only over int64 inputs whose zone-map-bounded running sum
+  /// provably stays below 2^53, where double accumulation is exact and
+  /// therefore merge-order-independent).
+  bool parallel_preagg = true;
+};
+
 /// Engine-wide configuration: which pruning techniques run and how they are
 /// parameterized. Defaults mirror the paper's production setup (everything
 /// on); benches toggle individual techniques for ablations.
@@ -48,6 +73,8 @@ struct EngineConfig {
 
   /// Optional §8.2 top-k predicate cache (not owned).
   PredicateCache* predicate_cache = nullptr;
+
+  ExecConfig exec;
 };
 
 /// How a LIMIT query fared under LIMIT pruning — the categories of the
@@ -83,6 +110,7 @@ struct QueryResult {
 class Engine {
  public:
   explicit Engine(Catalog* catalog, EngineConfig config = EngineConfig());
+  ~Engine();
 
   /// Compiles and runs `plan`. The plan's expressions get (re)bound to the
   /// referenced tables' schemas as a side effect.
@@ -98,6 +126,9 @@ class Engine {
 
   Catalog* catalog_;
   EngineConfig config_;
+  /// Lazily created worker pool, shared across this engine's queries;
+  /// recreated when ExecConfig::num_threads changes between executions.
+  std::unique_ptr<ThreadPool> pool_;
   /// Actions deferred to after execution (predicate-cache population).
   std::vector<std::function<void()>> post_run_hooks_;
 };

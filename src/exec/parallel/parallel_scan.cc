@@ -1,0 +1,69 @@
+#include "exec/parallel/parallel_scan.h"
+
+#include <algorithm>
+
+namespace snowprune {
+
+ParallelScanScheduler::ParallelScanScheduler(ThreadPool* pool,
+                                            size_t num_morsels, MorselFn fn,
+                                            size_t window)
+    : pool_(pool), fn_(std::move(fn)), window_(std::max<size_t>(1, window)) {
+  slots_.resize(num_morsels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ScheduleLocked();
+}
+
+ParallelScanScheduler::~ParallelScanScheduler() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cancelled_ = true;
+  slot_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ParallelScanScheduler::ScheduleLocked() {
+  while (!cancelled_ && next_to_schedule_ < slots_.size() &&
+         next_to_schedule_ < next_to_consume_ + window_) {
+    size_t index = next_to_schedule_++;
+    slots_[index].state = SlotState::kScheduled;
+    ++outstanding_;
+    pool_->Submit([this, index] { RunMorsel(index); });
+  }
+}
+
+void ParallelScanScheduler::RunMorsel(size_t index) {
+  bool run = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    run = !cancelled_;
+  }
+  MorselResult result;
+  if (run) result = fn_(index);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[index].result = std::move(result);
+    slots_[index].state = SlotState::kDone;
+    --outstanding_;
+    // Wake both the consumer (possibly waiting on this slot) and a
+    // destructor waiting for outstanding tasks to drain. The notify must
+    // happen *under* the mutex: once it is released with outstanding_ == 0
+    // the destructor's wait can return and free this object, so this is
+    // the last touch. (A sibling worker's notify can also wake the
+    // consumer into tearing the scheduler down; the held mutex blocks the
+    // destructor until this worker is fully out.)
+    slot_done_.notify_all();
+  }
+}
+
+bool ParallelScanScheduler::Next(MorselResult* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (next_to_consume_ >= slots_.size()) return false;
+  size_t index = next_to_consume_;
+  slot_done_.wait(lock,
+                  [this, index] { return slots_[index].state == SlotState::kDone; });
+  *out = std::move(slots_[index].result);
+  slots_[index].result = MorselResult();
+  ++next_to_consume_;
+  ScheduleLocked();
+  return true;
+}
+
+}  // namespace snowprune

@@ -1,0 +1,89 @@
+#ifndef SNOWPRUNE_EXEC_PARALLEL_PARALLEL_SCAN_H_
+#define SNOWPRUNE_EXEC_PARALLEL_PARALLEL_SCAN_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/pruning_stats.h"
+#include "exec/batch.h"
+#include "exec/parallel/thread_pool.h"
+
+namespace snowprune {
+
+/// The outcome of processing one morsel (one micro-partition of a scan set).
+/// `loaded == false` means runtime pruning skipped the partition before it
+/// touched storage; `stats` carries the per-morsel pruning/scan deltas either
+/// way, and is merged into the query's PruningStats by the consumer, in
+/// scan-set order.
+struct MorselResult {
+  bool loaded = false;
+  Batch batch;
+  PruningStats stats;
+  /// Optional worker-side reduction output (e.g. a partial aggregation
+  /// state) produced instead of `batch` when a transform is installed.
+  std::shared_ptr<void> payload;
+};
+
+/// Fans a post-pruning scan set out across a ThreadPool, morsel-style: each
+/// micro-partition is one task. Results are delivered to the (single)
+/// consumer strictly in scan-set order, which keeps downstream operators —
+/// and therefore query results — bit-identical to serial execution; only the
+/// loading, row materialization, filtering, and optional per-morsel
+/// reduction move off the consumer thread.
+///
+/// A bounded scheduling window (results buffered or in flight ahead of the
+/// consumer) caps memory: morsel `i + window` is only submitted once morsel
+/// `i` has been consumed.
+class ParallelScanScheduler {
+ public:
+  /// Processes morsel `index` (an index into the scan set, not a partition
+  /// id). Runs on pool workers; must be safe to call concurrently for
+  /// distinct indexes.
+  using MorselFn = std::function<MorselResult(size_t index)>;
+
+  ParallelScanScheduler(ThreadPool* pool, size_t num_morsels, MorselFn fn,
+                        size_t window);
+  /// Cancels all unstarted morsels and waits for running ones.
+  ~ParallelScanScheduler();
+
+  ParallelScanScheduler(const ParallelScanScheduler&) = delete;
+  ParallelScanScheduler& operator=(const ParallelScanScheduler&) = delete;
+
+  /// Blocks until the next morsel (in scan-set order) completes and moves
+  /// its result out. Returns false once every morsel has been consumed.
+  bool Next(MorselResult* out);
+
+  size_t num_morsels() const { return slots_.size(); }
+
+ private:
+  enum class SlotState : char { kUnscheduled, kScheduled, kDone };
+
+  struct Slot {
+    SlotState state = SlotState::kUnscheduled;
+    MorselResult result;
+  };
+
+  /// Submits morsels while the window allows. Caller holds `mutex_`.
+  void ScheduleLocked();
+  void RunMorsel(size_t index);
+
+  ThreadPool* pool_;
+  MorselFn fn_;
+  size_t window_;
+
+  std::mutex mutex_;
+  std::condition_variable slot_done_;
+  std::vector<Slot> slots_;
+  size_t next_to_schedule_ = 0;
+  size_t next_to_consume_ = 0;
+  size_t outstanding_ = 0;  ///< Submitted but not yet finished tasks.
+  bool cancelled_ = false;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXEC_PARALLEL_PARALLEL_SCAN_H_

@@ -1,0 +1,53 @@
+#ifndef SNOWPRUNE_EXEC_PARALLEL_THREAD_POOL_H_
+#define SNOWPRUNE_EXEC_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snowprune {
+
+/// A fixed-size worker pool with a single FIFO task queue — deliberately
+/// work-stealing-free: morsels (one micro-partition each) are coarse enough
+/// that a shared queue is not a bottleneck, and FIFO dispatch keeps the
+/// completion order close to the scan-set order the consumer wants, which
+/// minimizes result buffering in ParallelScanScheduler.
+///
+/// The pool is owned by the Engine and shared across queries; schedulers
+/// submit tasks and track their own completion.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Safe from any thread,
+  /// including from within a running task.
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits 0 for "unknown").
+  static size_t DefaultConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXEC_PARALLEL_THREAD_POOL_H_

@@ -11,12 +11,31 @@ TableScanOp::TableScanOp(std::shared_ptr<Table> table, ScanSet scan_set,
       filter_(std::move(filter)),
       stats_(stats) {}
 
-void TableScanOp::Open() { cursor_ = 0; }
+TableScanOp::~TableScanOp() = default;
+
+void TableScanOp::EnableParallel(ThreadPool* pool, size_t window) {
+  pool_ = pool;
+  morsel_window_ = window;
+}
+
+void TableScanOp::Open() {
+  cursor_ = 0;
+  scheduler_.reset();
+  if (pool_ != nullptr) {
+    // The scan set is final here: LIMIT/top-k/cache restrictions happen at
+    // compile time and join summaries are applied before the probe side
+    // opens (HashJoinOp::Open), so fan-out can start immediately.
+    scheduler_ = std::make_unique<ParallelScanScheduler>(
+        pool_, scan_set_.size(),
+        [this](size_t index) { return ProcessMorsel(index); }, morsel_window_);
+  }
+}
 
 int64_t TableScanOp::ApplyJoinSummary(const BuildSummary& summary,
                                       size_t key_column) {
   // Only the unscanned tail is eligible; in practice joins install the
-  // summary at Open() before any probe-side partition was read.
+  // summary at Open() before any probe-side partition was read (and, in
+  // parallel mode, before this scan's scheduler exists).
   ScanSet remaining(std::vector<PartitionId>(
       scan_set_.ids().begin() + static_cast<long>(cursor_),
       scan_set_.ids().end()));
@@ -31,48 +50,104 @@ int64_t TableScanOp::ApplyJoinSummary(const BuildSummary& summary,
   return pruned.pruned;
 }
 
+bool TableScanOp::ScanPartition(PartitionId pid, Batch* out,
+                                PruningStats* stats) {
+  // Deferred filter pruning (§3.2): the same zone-map check the compile
+  // phase would have done, executed just before the load. The adaptive tree
+  // keeps per-node counters, so concurrent workers must take turns.
+  if (runtime_filter_pruner_ != nullptr) {
+    std::lock_guard<std::mutex> lock(runtime_prune_mutex_);
+    if (runtime_filter_pruner_->CanPrune(*table_, pid)) {
+      if (stats != nullptr) ++stats->pruned_by_filter;
+      return false;
+    }
+  }
+  // Runtime top-k pruning: consult the boundary *before* loading (§5.2).
+  if (topk_pruner_ != nullptr && topk_pruner_->ShouldSkip(*table_, pid)) {
+    if (stats != nullptr) ++stats->pruned_by_topk;
+    return false;
+  }
+  const MicroPartition& part = table_->LoadPartition(pid);
+  if (stats != nullptr) {
+    ++stats->scanned_partitions;
+    stats->scanned_rows += part.row_count();
+  }
+  const size_t n = static_cast<size_t>(part.row_count());
+  const size_t num_cols = part.num_columns();
+  for (size_t r = 0; r < n; ++r) {
+    Row row;
+    row.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      row.push_back(part.column(c).ValueAt(r));
+    }
+    if (filter_) {
+      auto keep = EvalRowPredicate(*filter_, row);
+      if (!keep.has_value() || !*keep) continue;
+    }
+    out->rows.push_back(std::move(row));
+    if (track_source_) out->source.push_back(pid);
+  }
+  return true;
+}
+
+MorselResult TableScanOp::ProcessMorsel(size_t index) {
+  MorselResult result;
+  result.loaded = ScanPartition(scan_set_[index], &result.batch, &result.stats);
+  if (result.loaded && morsel_transform_) {
+    result.payload = morsel_transform_(std::move(result.batch));
+    result.batch = Batch();
+  }
+  return result;
+}
+
 bool TableScanOp::Next(Batch* out) {
   out->rows.clear();
   out->source.clear();
+  if (scheduler_ != nullptr) {
+    MorselResult morsel;
+    while (scheduler_->Next(&morsel)) {
+      // Ordered delivery: this morsel is scan_set_[cursor_].
+      PartitionId pid = scan_set_[cursor_++];
+      if (morsel.loaded && topk_pruner_ != nullptr &&
+          topk_pruner_->ShouldSkip(*table_, pid)) {
+        // The worker loaded this partition under a stale (looser) boundary.
+        // Re-checking here — after every earlier batch has been consumed —
+        // sees exactly the boundary state the serial engine would have had
+        // before loading it, so dropping the batch now reproduces serial
+        // pruning decisions (and stats) bit-for-bit. The wasted background
+        // load is surfaced as speculative_loads.
+        morsel.stats.speculative_loads += morsel.stats.scanned_partitions;
+        morsel.stats.scanned_partitions = 0;
+        morsel.stats.scanned_rows = 0;
+        morsel.stats.pruned_by_topk += 1;
+        morsel.loaded = false;
+      }
+      // Per-worker stats merge on the consumer thread, in scan-set order.
+      if (stats_ != nullptr) stats_->Merge(morsel.stats);
+      if (!morsel.loaded) continue;
+      *out = std::move(morsel.batch);
+      return true;  // one batch per partition, even if all rows were filtered
+    }
+    return false;
+  }
   while (cursor_ < scan_set_.size()) {
     PartitionId pid = scan_set_[cursor_++];
-    // Deferred filter pruning (§3.2): the same zone-map check the compile
-    // phase would have done, executed just before the load.
-    if (runtime_filter_pruner_ != nullptr &&
-        runtime_filter_pruner_->CanPrune(*table_, pid)) {
-      if (stats_ != nullptr) ++stats_->pruned_by_filter;
-      continue;
-    }
-    // Runtime top-k pruning: consult the boundary *before* loading (§5.2).
-    if (topk_pruner_ != nullptr && topk_pruner_->ShouldSkip(*table_, pid)) {
-      if (stats_ != nullptr) ++stats_->pruned_by_topk;
-      continue;
-    }
-    const MicroPartition& part = table_->LoadPartition(pid);
-    if (stats_ != nullptr) {
-      ++stats_->scanned_partitions;
-      stats_->scanned_rows += part.row_count();
-    }
-    const size_t n = static_cast<size_t>(part.row_count());
-    const size_t num_cols = part.num_columns();
-    for (size_t r = 0; r < n; ++r) {
-      Row row;
-      row.reserve(num_cols);
-      for (size_t c = 0; c < num_cols; ++c) {
-        row.push_back(part.column(c).ValueAt(r));
-      }
-      if (filter_) {
-        auto keep = EvalRowPredicate(*filter_, row);
-        if (!keep.has_value() || !*keep) continue;
-      }
-      out->rows.push_back(std::move(row));
-      if (track_source_) out->source.push_back(pid);
-    }
-    return true;  // one batch per partition, even if all rows were filtered
+    if (ScanPartition(pid, out, stats_)) return true;
   }
   return false;
 }
 
-void TableScanOp::Close() {}
+bool TableScanOp::NextPayload(MorselPayload* out) {
+  MorselResult morsel;
+  while (scheduler_ != nullptr && scheduler_->Next(&morsel)) {
+    if (stats_ != nullptr) stats_->Merge(morsel.stats);
+    if (!morsel.loaded) continue;
+    *out = std::move(morsel.payload);
+    return true;
+  }
+  return false;
+}
+
+void TableScanOp::Close() { scheduler_.reset(); }
 
 }  // namespace snowprune

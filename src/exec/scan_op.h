@@ -1,13 +1,17 @@
 #ifndef SNOWPRUNE_EXEC_SCAN_OP_H_
 #define SNOWPRUNE_EXEC_SCAN_OP_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 
 #include "core/filter_pruner.h"
 #include "core/join_pruner.h"
 #include "core/pruning_stats.h"
 #include "core/topk_pruner.h"
 #include "exec/operator.h"
+#include "exec/parallel/parallel_scan.h"
+#include "exec/parallel/thread_pool.h"
 #include "expr/expr.h"
 #include "storage/table.h"
 
@@ -21,14 +25,37 @@ namespace snowprune {
 ///     the remaining scan set (§6.1, step 4).
 /// The optional row-level `filter` is the query's WHERE clause; it runs
 /// after the load (the part pruning could not avoid).
+///
+/// Parallel execution: when the engine attaches a ThreadPool via
+/// EnableParallel(), Open() fans the scan set out across workers
+/// morsel-style (one partition per task, see ParallelScanScheduler). Loading,
+/// row materialization, the WHERE filter, runtime pruning checks, and an
+/// optional per-morsel reduction run on workers; batches are still delivered
+/// to the consumer in scan-set order, so every downstream operator — and the
+/// query result — is bit-identical to serial execution. Per-worker
+/// PruningStats are merged into the query's stats on the consumer thread.
+///
+/// One stats-parity exception: with runtime filter pruning AND the adaptive
+/// tree's time-based cutoff opted in (PruningTreeConfig::enable_cutoff,
+/// default off), CanPrune outcomes depend on wall-clock measurements, so
+/// pruned_by_filter/scanned_partitions become timing-dependent under any
+/// thread count — results stay correct (cutoff only ever keeps more
+/// partitions), but exact stats parity is only guaranteed with the cutoff
+/// at its default (disabled).
 class TableScanOp : public Operator {
  public:
+  /// A worker-side reduction result (type-erased; producer and consumer
+  /// agree on the concrete type, e.g. HashAggregateOp's partial group map).
+  using MorselPayload = std::shared_ptr<void>;
+
   TableScanOp(std::shared_ptr<Table> table, ScanSet scan_set, ExprPtr filter,
               PruningStats* stats);
+  ~TableScanOp() override;
 
   /// Planner hook (§5): the TopK operator in the same pipeline publishes
   /// boundary updates through this pruner.
   void AttachTopKPruner(TopKPruner* pruner) { topk_pruner_ = pruner; }
+  bool has_topk_pruner() const { return topk_pruner_ != nullptr; }
 
   /// Planner hook (§3.2): deferred filter pruning. When compile-time
   /// pruning was skipped (FilterPruningPhase::kRuntime), the scan checks
@@ -49,6 +76,23 @@ class TableScanOp : public Operator {
   /// top-k ordering/initialization, predicate-cache restriction).
   void ReplaceScanSet(ScanSet scan_set) { scan_set_ = std::move(scan_set); }
 
+  /// Engine hook: execute this scan partition-parallel on `pool`. Must be
+  /// called before Open(). `window` bounds how many morsels may be buffered
+  /// or in flight ahead of the consumer.
+  void EnableParallel(ThreadPool* pool, size_t window);
+  bool parallel_enabled() const { return pool_ != nullptr; }
+
+  /// Installs a worker-side reduction: each loaded morsel's batch is handed
+  /// to `fn` on the worker and only the payload is shipped to the consumer
+  /// (via NextPayload). Parallel mode only; must be set before Open().
+  void set_morsel_transform(std::function<MorselPayload(Batch&&)> fn) {
+    morsel_transform_ = std::move(fn);
+  }
+
+  /// Consumer loop for transformed scans: delivers the next morsel's payload
+  /// in scan-set order (skipping pruned partitions). False at end of scan.
+  bool NextPayload(MorselPayload* out);
+
   void Open() override;
   bool Next(Batch* out) override;
   void Close() override;
@@ -58,6 +102,13 @@ class TableScanOp : public Operator {
   const std::shared_ptr<Table>& table() const { return table_; }
 
  private:
+  /// Worker body: prune checks + load + materialize + filter for the
+  /// partition at scan-set position `index`.
+  MorselResult ProcessMorsel(size_t index);
+  /// The shared serial/parallel per-partition scan body. Returns false when
+  /// runtime pruning skipped the partition (stats deltas still recorded).
+  bool ScanPartition(PartitionId pid, Batch* out, PruningStats* stats);
+
   std::shared_ptr<Table> table_;
   ScanSet scan_set_;
   ExprPtr filter_;
@@ -66,6 +117,14 @@ class TableScanOp : public Operator {
   FilterPruner* runtime_filter_pruner_ = nullptr;
   bool track_source_ = false;
   size_t cursor_ = 0;
+
+  ThreadPool* pool_ = nullptr;
+  size_t morsel_window_ = 0;
+  /// Serializes FilterPruner::CanPrune across workers (the adaptive
+  /// PruningTree mutates per-node statistics on every probe).
+  std::mutex runtime_prune_mutex_;
+  std::function<MorselPayload(Batch&&)> morsel_transform_;
+  std::unique_ptr<ParallelScanScheduler> scheduler_;
 };
 
 }  // namespace snowprune

@@ -1,6 +1,7 @@
 #ifndef SNOWPRUNE_STORAGE_TABLE_H_
 #define SNOWPRUNE_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -40,18 +41,25 @@ class Table {
   }
 
   /// Data access: returns the partition and increments the load meter.
+  /// Safe to call from concurrent scan workers (the meters are atomic;
+  /// partitions themselves are immutable during execution).
   const MicroPartition& LoadPartition(PartitionId pid) const {
-    ++load_count_;
-    loaded_rows_ += partitions_[pid].row_count();
+    load_count_.fetch_add(1, std::memory_order_relaxed);
+    loaded_rows_.fetch_add(partitions_[pid].row_count(),
+                           std::memory_order_relaxed);
     return partitions_[pid];
   }
 
   /// Number of partition loads since the last ResetMeters().
-  int64_t load_count() const { return load_count_; }
-  int64_t loaded_rows() const { return loaded_rows_; }
+  int64_t load_count() const {
+    return load_count_.load(std::memory_order_relaxed);
+  }
+  int64_t loaded_rows() const {
+    return loaded_rows_.load(std::memory_order_relaxed);
+  }
   void ResetMeters() const {
-    load_count_ = 0;
-    loaded_rows_ = 0;
+    load_count_.store(0, std::memory_order_relaxed);
+    loaded_rows_.store(0, std::memory_order_relaxed);
   }
 
   /// Appends a partition (INSERT path; partitions are immutable once added).
@@ -86,8 +94,8 @@ class Table {
   Schema schema_;
   std::vector<MicroPartition> partitions_;
   uint64_t dml_version_ = 0;
-  mutable int64_t load_count_ = 0;
-  mutable int64_t loaded_rows_ = 0;
+  mutable std::atomic<int64_t> load_count_{0};
+  mutable std::atomic<int64_t> loaded_rows_{0};
 };
 
 /// Builds a table row-by-row, cutting micro-partitions at a target row count

@@ -145,7 +145,7 @@ TpchTables GenerateTpch(const TpchConfig& config) {
                    Field{"c_phone", DataType::kString, false}});
     TableBuilder b("customer", schema,
                    std::max<size_t>(256, static_cast<size_t>(num_customers / 16)));
-    char phone[24];
+    char phone[48];
     for (int64_t i = 1; i <= num_customers; ++i) {
       int64_t nation = rng.UniformInt(0, 24);
       std::snprintf(phone, sizeof(phone), "%02lld-%03lld-%03lld-%04lld",

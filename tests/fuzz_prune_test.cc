@@ -1,0 +1,503 @@
+/// Randomized pruning-oracle suite: generates hundreds of random tables and
+/// predicates and checks, against the brute-force row-level oracle
+/// (MatchCountsPerPartition / full unpruned execution), that no pruning
+/// technique ever drops a micro-partition the query still needs — the
+/// paper's core "no false negatives" invariant — and that partition-parallel
+/// execution returns byte-identical results to serial.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/filter_pruner.h"
+#include "core/limit_pruner.h"
+#include "exec/engine.h"
+#include "exec/row_eval.h"
+#include "expr/range_analysis.h"
+#include "expr/builder.h"
+#include "test_util.h"
+#include "workload/production_model.h"
+#include "workload/query_gen.h"
+#include "workload/table_gen.h"
+
+namespace snowprune {
+namespace {
+
+using testing_util::MatchCountsPerPartition;
+
+// --------------------------------------------------------------------------
+// Random tables and predicates
+// --------------------------------------------------------------------------
+
+std::shared_ptr<Table> RandomTable(Rng* rng, const std::string& name) {
+  workload::TableGenConfig cfg;
+  cfg.name = name;
+  cfg.num_partitions = static_cast<size_t>(rng->UniformInt(3, 40));
+  cfg.rows_per_partition = static_cast<size_t>(rng->UniformInt(5, 60));
+  switch (rng->UniformInt(0, 2)) {
+    case 0: cfg.layout = workload::Layout::kSorted; break;
+    case 1: cfg.layout = workload::Layout::kClustered; break;
+    default: cfg.layout = workload::Layout::kRandom; break;
+  }
+  cfg.overlap = rng->Uniform() * 0.2;
+  // Narrow domains make exact boundary collisions (predicate constant ==
+  // partition min/max) common — the classic false-pruning hot spot.
+  cfg.domain_min = rng->UniformInt(-50, 50);
+  cfg.domain_max = cfg.domain_min + rng->UniformInt(10, 2000);
+  double nf = rng->Uniform();
+  cfg.null_fraction = nf < 0.4 ? 0.0 : (nf < 0.8 ? 0.15 : 0.6);
+  cfg.num_categories = static_cast<size_t>(rng->UniformInt(2, 30));
+  cfg.seed = rng->Next();
+  return workload::SyntheticTable(cfg);
+}
+
+/// A literal biased (50%) toward an exact zone-map boundary of `column` in
+/// some partition, occasionally nudged by ±1 to sit just inside/outside.
+Value BoundaryBiasedLiteral(Rng* rng, const Table& table, size_t column,
+                            bool integer) {
+  if (table.num_partitions() > 0 && rng->Bernoulli(0.5)) {
+    auto pid = static_cast<PartitionId>(
+        rng->UniformInt(0, static_cast<int64_t>(table.num_partitions()) - 1));
+    const ColumnStats& s = table.stats(pid, column);
+    const Value& v = rng->Bernoulli(0.5) ? s.min : s.max;
+    if (!v.is_null()) {
+      if (integer && v.is_int64() && rng->Bernoulli(0.3)) {
+        return Value(v.int64_value() + rng->UniformInt(-1, 1));
+      }
+      return v;
+    }
+  }
+  if (integer) return Value(rng->UniformInt(-100, 2100));
+  return Value(rng->Uniform() * 2.0 - 0.5);
+}
+
+CompareOp RandomOp(Rng* rng) {
+  switch (rng->UniformInt(0, 5)) {
+    case 0: return CompareOp::kEq;
+    case 1: return CompareOp::kNe;
+    case 2: return CompareOp::kLt;
+    case 3: return CompareOp::kLe;
+    case 4: return CompareOp::kGt;
+    default: return CompareOp::kGe;
+  }
+}
+
+/// Schema: id(int64) key(int64) val(float64, nullable) cat(string) ts(int64).
+ExprPtr RandomPredicate(Rng* rng, const Table& table, int depth) {
+  if (depth > 0 && rng->Bernoulli(0.45)) {
+    int n = rng->Bernoulli(0.3) ? 3 : 2;
+    std::vector<ExprPtr> terms;
+    for (int i = 0; i < n; ++i) {
+      terms.push_back(RandomPredicate(rng, table, depth - 1));
+    }
+    ExprPtr combo =
+        rng->Bernoulli(0.5) ? And(std::move(terms)) : Or(std::move(terms));
+    if (rng->Bernoulli(0.2)) return Not(std::move(combo));
+    return combo;
+  }
+  switch (rng->UniformInt(0, 8)) {
+    case 0:  // int column vs boundary constant
+    case 1: {
+      bool use_key = rng->Bernoulli(0.6);
+      return Cmp(RandomOp(rng), Col(use_key ? "key" : "ts"),
+                 Lit(BoundaryBiasedLiteral(rng, table, use_key ? 1 : 4, true)));
+    }
+    case 2:  // float column vs constant (nullable column)
+      return Cmp(RandomOp(rng), Col("val"),
+                 Lit(BoundaryBiasedLiteral(rng, table, 2, false)));
+    case 3: {  // BETWEEN spanning a boundary
+      Value a = BoundaryBiasedLiteral(rng, table, 1, true);
+      Value b = BoundaryBiasedLiteral(rng, table, 1, true);
+      if (Value::Compare(a, b) > 0) std::swap(a, b);
+      return Between(Col("key"), a, b);
+    }
+    case 4: {  // arithmetic on the pruning column
+      ExprPtr lhs = rng->Bernoulli(0.5)
+                        ? Add(Col("key"), Lit(rng->UniformInt(-20, 20)))
+                        : Mul(Col("key"), Lit(int64_t{2}));
+      return Cmp(RandomOp(rng), std::move(lhs),
+                 Lit(BoundaryBiasedLiteral(rng, table, 1, true)));
+    }
+    case 5: {  // NULL tests, division, IF, and mixed-type comparisons
+      switch (rng->UniformInt(0, 4)) {
+        case 0:
+          return rng->Bernoulli(0.5) ? IsNull(Col("val"))
+                                     : IsNotNull(Col("val"));
+        case 1:  // division (result may be NULL on divide-by-zero)
+          return Cmp(RandomOp(rng),
+                     Div(Col("key"), Lit(rng->UniformInt(-2, 3))),
+                     Lit(rng->UniformInt(-50, 500)));
+        case 2:  // int column against a fractional constant
+          return Cmp(RandomOp(rng), Col("key"),
+                     Lit(static_cast<double>(rng->UniformInt(0, 2000)) + 0.5));
+        case 3:  // float column against an int constant
+          return Cmp(RandomOp(rng), Col("val"), Lit(rng->UniformInt(0, 1)));
+        default:  // IF used as a value (§3's altitude example shape)
+          return Cmp(RandomOp(rng),
+                     If(Gt(Col("ts"), Lit(BoundaryBiasedLiteral(rng, table, 4,
+                                                                true))),
+                        Mul(Col("key"), Lit(int64_t{2})), Col("key")),
+                     Lit(BoundaryBiasedLiteral(rng, table, 1, true)));
+      }
+    }
+    case 6: {  // string prefix / LIKE on cat ("c0000".."cNNNN")
+      std::string prefix = rng->Bernoulli(0.5) ? "c0" : "c000";
+      return rng->Bernoulli(0.5) ? StartsWith(Col("cat"), prefix)
+                                 : Like(Col("cat"), prefix + "%");
+    }
+    case 7: {  // IN list with boundary values
+      std::vector<Value> vals;
+      int n = static_cast<int>(rng->UniformInt(1, 4));
+      for (int i = 0; i < n; ++i) {
+        vals.push_back(BoundaryBiasedLiteral(rng, table, 1, true));
+      }
+      return In(Col("key"), std::move(vals));
+    }
+    default:  // column-to-column, or string ordering on cat
+      if (rng->Bernoulli(0.3)) {
+        Value v = BoundaryBiasedLiteral(rng, table, 3, false);
+        if (!v.is_string()) v = Value(std::string("c0100"));
+        return Cmp(RandomOp(rng), Col("cat"), Lit(std::move(v)));
+      }
+      return Cmp(RandomOp(rng), Col("key"), Col("ts"));
+  }
+}
+
+std::string Serialize(const std::vector<Row>& rows) {
+  std::string s;
+  for (const auto& row : rows) {
+    for (const auto& v : row) {
+      s += std::to_string(static_cast<int>(v.type()));
+      s += ':';
+      s += v.ToString();
+      s += ',';
+    }
+    s += '\n';
+  }
+  return s;
+}
+
+// --------------------------------------------------------------------------
+// Pruner-level oracles
+// --------------------------------------------------------------------------
+
+TEST(FuzzPruneTest, FilterPrunerNeverDropsAMatchingPartition) {
+  for (int iter = 0; iter < 140; ++iter) {
+    Rng rng(9000 + iter);
+    auto table = RandomTable(&rng, "f" + std::to_string(iter));
+    ExprPtr pred = RandomPredicate(&rng, *table, 2);
+    ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+    std::vector<int64_t> oracle = MatchCountsPerPartition(*table, pred);
+
+    FilterPruner pruner(pred);
+    FilterPruneResult res = pruner.Prune(*table, table->FullScanSet());
+    std::set<PartitionId> kept(res.scan_set.begin(), res.scan_set.end());
+
+    for (size_t pid = 0; pid < table->num_partitions(); ++pid) {
+      if (oracle[pid] > 0) {
+        ASSERT_TRUE(kept.count(static_cast<PartitionId>(pid)) > 0)
+            << "iter " << iter << ": partition " << pid << " with "
+            << oracle[pid] << " matching rows was falsely pruned";
+      }
+    }
+    // Fully-matching partitions must match on *every* row (§4.2 precision).
+    for (PartitionId pid : res.fully_matching) {
+      ASSERT_TRUE(kept.count(pid) > 0);
+      ASSERT_EQ(oracle[pid], table->partition_metadata(pid).row_count())
+          << "iter " << iter << ": partition " << pid
+          << " misclassified as fully matching";
+    }
+    // The runtime path (§3.2) must agree with the oracle too.
+    FilterPruner runtime(pred);
+    for (size_t pid = 0; pid < table->num_partitions(); ++pid) {
+      if (runtime.CanPrune(*table, static_cast<PartitionId>(pid))) {
+        ASSERT_EQ(oracle[pid], 0)
+            << "iter " << iter << ": runtime CanPrune dropped partition "
+            << pid << " with matches";
+      }
+    }
+  }
+}
+
+/// The sharpest oracle: AnalyzePredicate's three outcome-set flags, checked
+/// per partition against a row-by-row evaluation histogram. Every cleared
+/// flag is a metadata *proof* ("no row produces this outcome") and must
+/// never be contradicted by an actual row — this is where open-vs-closed
+/// boundary mistakes at partition min/max surface first.
+TEST(FuzzPruneTest, AnalyzePredicateFlagsMatchRowOutcomes) {
+  for (int iter = 0; iter < 220; ++iter) {
+    Rng rng(61000 + iter);
+    auto table = RandomTable(&rng, "a" + std::to_string(iter));
+    ExprPtr pred = RandomPredicate(&rng, *table, 2);
+    ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+
+    for (size_t pid = 0; pid < table->num_partitions(); ++pid) {
+      const MicroPartition& part =
+          table->partition_metadata(static_cast<PartitionId>(pid));
+      std::vector<ColumnStats> stats;
+      for (size_t c = 0; c < part.num_columns(); ++c) {
+        stats.push_back(part.stats(c));
+      }
+      BoolRange range = AnalyzePredicate(*pred, stats);
+
+      int64_t true_rows = 0, false_rows = 0, null_rows = 0;
+      const size_t n = static_cast<size_t>(part.row_count());
+      for (size_t r = 0; r < n; ++r) {
+        Row row;
+        for (size_t c = 0; c < part.num_columns(); ++c) {
+          row.push_back(part.column(c).ValueAt(r));
+        }
+        auto outcome = EvalRowPredicate(*pred, row);
+        if (!outcome.has_value()) {
+          ++null_rows;
+        } else if (*outcome) {
+          ++true_rows;
+        } else {
+          ++false_rows;
+        }
+      }
+      ASSERT_TRUE(range.can_true || true_rows == 0)
+          << "iter " << iter << " partition " << pid << ": " << true_rows
+          << " TRUE rows but analysis claims none (" << range.ToString()
+          << ") — this partition would be falsely pruned";
+      ASSERT_TRUE(range.can_false || false_rows == 0)
+          << "iter " << iter << " partition " << pid << ": " << false_rows
+          << " FALSE rows but analysis claims none (" << range.ToString()
+          << ") — this partition would be falsely fully-matching";
+      ASSERT_TRUE(range.can_null || null_rows == 0)
+          << "iter " << iter << " partition " << pid << ": " << null_rows
+          << " NULL rows but analysis claims none (" << range.ToString()
+          << ")";
+    }
+  }
+}
+
+TEST(FuzzPruneTest, LimitPrunerAlwaysKeepsEnoughMatchingRows) {
+  for (int iter = 0; iter < 120; ++iter) {
+    Rng rng(17000 + iter);
+    auto table = RandomTable(&rng, "l" + std::to_string(iter));
+    ExprPtr pred =
+        rng.Bernoulli(0.15) ? nullptr : RandomPredicate(&rng, *table, 2);
+    if (pred) ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+    std::vector<int64_t> oracle = MatchCountsPerPartition(*table, pred);
+    int64_t total_matches = 0;
+    for (int64_t c : oracle) total_matches += c;
+
+    FilterPruner pruner(pred);
+    FilterPruneResult filtered = pruner.Prune(*table, table->FullScanSet());
+    for (int64_t k :
+         {int64_t{0}, int64_t{1}, int64_t{7}, rng.UniformInt(1, 500)}) {
+      LimitPruneResult res = LimitPruner::Prune(*table, filtered, k);
+      int64_t kept_matches = 0;
+      for (PartitionId pid : res.scan_set) kept_matches += oracle[pid];
+      ASSERT_GE(kept_matches, std::min(k, total_matches))
+          << "iter " << iter << " k=" << k << " outcome "
+          << ToString(res.outcome)
+          << ": LIMIT pruning kept too few matching rows";
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Engine-level oracle: pruning on == pruning off, parallel == serial
+// --------------------------------------------------------------------------
+
+class FuzzEngine {
+ public:
+  explicit FuzzEngine(std::shared_ptr<Table> table) {
+    EXPECT_TRUE(catalog_.RegisterTable(std::move(table)).ok());
+  }
+
+  Catalog* catalog() { return &catalog_; }
+
+  std::vector<Row> Run(const PlanPtr& plan, bool pruning, int threads) {
+    EngineConfig config;
+    config.enable_filter_pruning = pruning;
+    config.enable_limit_pruning = pruning;
+    config.enable_topk_pruning = pruning;
+    config.enable_join_pruning = pruning;
+    config.exec.num_threads = threads;
+    Engine engine(&catalog_, config);
+    auto result = engine.Execute(plan);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value().rows;
+  }
+
+ private:
+  Catalog catalog_;
+};
+
+/// All-pruning-on results must be byte-identical across thread counts.
+void ExpectParallelIdentical(FuzzEngine* engine, const PlanPtr& plan,
+                             const std::vector<Row>& serial_rows,
+                             const std::string& context) {
+  std::string serial = Serialize(serial_rows);
+  for (int threads : {2, 8}) {
+    ASSERT_EQ(serial, Serialize(engine->Run(plan, true, threads)))
+        << context << ": parallel rows diverged at num_threads=" << threads;
+  }
+}
+
+TEST(FuzzPruneTest, EngineAgreesWithUnprunedExecution) {
+  for (int iter = 0; iter < 70; ++iter) {
+    Rng rng(31000 + iter);
+    auto table = RandomTable(&rng, "t");
+    const std::string ctx = "iter " + std::to_string(iter);
+    FuzzEngine engine(table);
+
+    ExprPtr pred = RandomPredicate(&rng, *table, 2);
+    ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+    std::vector<int64_t> oracle = MatchCountsPerPartition(*table, pred);
+    int64_t total_matches = 0;
+    for (int64_t c : oracle) total_matches += c;
+
+    // --- Filtered scan: pruning must not change the row stream at all. ---
+    auto scan = ScanPlan("t", pred);
+    std::vector<Row> pruned_rows = engine.Run(scan, true, 1);
+    ASSERT_EQ(Serialize(engine.Run(scan, false, 1)), Serialize(pruned_rows))
+        << ctx << ": filter pruning changed scan results";
+    ASSERT_EQ(static_cast<int64_t>(pruned_rows.size()), total_matches) << ctx;
+    ExpectParallelIdentical(&engine, scan, pruned_rows, ctx);
+
+    // --- Top-k: the k best order values are unique even with ties. -------
+    const char* order_col =
+        rng.Bernoulli(0.4) ? "key" : (rng.Bernoulli(0.5) ? "ts" : "val");
+    bool desc = rng.Bernoulli(0.5);
+    int64_t k = rng.UniformInt(1, 30);
+    auto topk = TopKPlan(ScanPlan("t", pred), order_col, desc, k);
+    std::vector<Row> topk_on = engine.Run(topk, true, 1);
+    std::vector<Row> topk_off = engine.Run(topk, false, 1);
+    ASSERT_EQ(topk_on.size(), topk_off.size()) << ctx;
+    auto order_idx = table->schema().FindColumn(order_col);
+    ASSERT_TRUE(order_idx.has_value());
+    auto order_values = [&](const std::vector<Row>& rows) {
+      std::vector<std::string> v;
+      for (const auto& r : rows) v.push_back(r[*order_idx].ToString());
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    ASSERT_EQ(order_values(topk_on), order_values(topk_off))
+        << ctx << ": top-k pruning changed the winning order values";
+    for (const auto& row : topk_on) {
+      auto keep = EvalRowPredicate(*pred, row);
+      ASSERT_TRUE(keep.has_value() && *keep)
+          << ctx << ": top-k returned a row failing the predicate";
+    }
+    ExpectParallelIdentical(&engine, topk, topk_on, ctx);
+
+    // --- LIMIT: any min(k, matches) matching rows are a valid answer. ----
+    auto limit = LimitPlan(ScanPlan("t", pred), k);
+    std::vector<Row> limit_on = engine.Run(limit, true, 1);
+    ASSERT_EQ(static_cast<int64_t>(limit_on.size()),
+              std::min(k, total_matches))
+        << ctx << ": LIMIT pruning returned the wrong row count";
+    for (const auto& row : limit_on) {
+      auto keep = EvalRowPredicate(*pred, row);
+      ASSERT_TRUE(keep.has_value() && *keep) << ctx;
+    }
+    ExpectParallelIdentical(&engine, limit, limit_on, ctx);
+
+    // --- Aggregation: emission order is key-sorted, so exact equality. ---
+    auto agg = AggregatePlan(ScanPlan("t", pred), {"cat"},
+                             {AggPlanSpec{AggFunc::kCount, "", "n"},
+                              AggPlanSpec{AggFunc::kSum, "key", "key_sum"},
+                              AggPlanSpec{AggFunc::kMin, "ts", "ts_min"}});
+    std::vector<Row> agg_on = engine.Run(agg, true, 1);
+    ASSERT_EQ(Serialize(engine.Run(agg, false, 1)), Serialize(agg_on)) << ctx;
+    ExpectParallelIdentical(&engine, agg, agg_on, ctx);
+  }
+}
+
+TEST(FuzzPruneTest, JoinPruningNeverDropsMatchingProbePartitions) {
+  for (int iter = 0; iter < 50; ++iter) {
+    Rng rng(47000 + iter);
+    auto probe = RandomTable(&rng, "probe");
+    FuzzEngine engine(probe);
+    // Small build side over a random slice of the probe key domain; ~15%
+    // chance of an empty build (the paper's 100%-pruned join case).
+    workload::TableGenConfig bcfg;
+    bcfg.name = "build";
+    bcfg.num_partitions = static_cast<size_t>(rng.UniformInt(1, 4));
+    bcfg.rows_per_partition = static_cast<size_t>(rng.UniformInt(2, 20));
+    bcfg.domain_min = rng.UniformInt(-50, 1000);
+    bcfg.domain_max = bcfg.domain_min + rng.UniformInt(5, 500);
+    bcfg.seed = rng.Next();
+    auto build = workload::SyntheticTable(bcfg);
+    ASSERT_TRUE(engine.catalog()->RegisterTable(build).ok());
+
+    ExprPtr build_pred = rng.Bernoulli(0.15)
+                             ? Lt(Col("key"), Lit(int64_t{-10000}))
+                             : RandomPredicate(&rng, *build, 1);
+
+    auto join = JoinPlan(ScanPlan("probe"),
+                         ScanPlan("build", std::move(build_pred)), "key",
+                         "key");
+    const std::string ctx = "iter " + std::to_string(iter);
+    std::vector<Row> on_rows = engine.Run(join, true, 1);
+    std::vector<Row> off_rows = engine.Run(join, false, 1);
+    ASSERT_EQ(Serialize(off_rows), Serialize(on_rows))
+        << ctx << ": join pruning changed inner-join results";
+    ExpectParallelIdentical(&engine, join, on_rows, ctx);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Production-mix queries via workload/query_gen
+// --------------------------------------------------------------------------
+
+TEST(FuzzPruneTest, GeneratedProductionQueriesAreParallelSafe) {
+  Catalog catalog;
+  Rng seed_rng(555);
+  for (const char* name : {"probe_a", "probe_b"}) {
+    workload::TableGenConfig cfg;
+    cfg.name = name;
+    cfg.num_partitions = 30;
+    cfg.rows_per_partition = 50;
+    cfg.layout = name[6] == 'a' ? workload::Layout::kClustered
+                                : workload::Layout::kRandom;
+    cfg.null_fraction = 0.1;
+    cfg.seed = seed_rng.Next();
+    ASSERT_TRUE(catalog.RegisterTable(workload::SyntheticTable(cfg)).ok());
+  }
+  {
+    workload::TableGenConfig cfg;
+    cfg.name = "build_small";
+    cfg.num_partitions = 2;
+    cfg.rows_per_partition = 30;
+    cfg.seed = seed_rng.Next();
+    ASSERT_TRUE(catalog.RegisterTable(workload::SyntheticTable(cfg)).ok());
+  }
+
+  workload::QueryGenerator::Config gcfg;
+  gcfg.seed = 8844;
+  workload::QueryGenerator gen(&catalog, {"probe_a", "probe_b"},
+                               {"build_small"}, workload::ProductionModel(),
+                               gcfg);
+
+  EngineConfig serial_config;
+  serial_config.exec.num_threads = 1;
+  Engine serial(&catalog, serial_config);
+  EngineConfig parallel_config;
+  parallel_config.exec.num_threads = 8;
+  Engine parallel(&catalog, parallel_config);
+
+  for (int i = 0; i < 120; ++i) {
+    workload::GeneratedQuery q = gen.Generate();
+    auto r1 = serial.Execute(q.plan);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    auto r2 = parallel.Execute(q.plan);
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    ASSERT_EQ(Serialize(r1.value().rows), Serialize(r2.value().rows))
+        << "query " << i << " (" << ToString(q.query_class)
+        << ") diverged between serial and 8-thread execution";
+    ASSERT_EQ(r1.value().stats.scanned_partitions,
+              r2.value().stats.scanned_partitions)
+        << "query " << i << " (" << ToString(q.query_class) << ")";
+  }
+}
+
+}  // namespace
+}  // namespace snowprune

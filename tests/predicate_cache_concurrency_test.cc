@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/predicate_cache.h"
+#include "test_util.h"
+
+namespace snowprune {
+namespace {
+
+using testing_util::IntTable;
+
+std::shared_ptr<Table> CacheTable(const std::string& name, int partitions) {
+  std::vector<std::vector<int64_t>> parts;
+  for (int p = 0; p < partitions; ++p) {
+    parts.push_back({p * 10 + 1, p * 10 + 5, p * 10 + 9});
+  }
+  return IntTable(name, "key", parts);
+}
+
+/// N threads hammering distinct and shared fingerprints: every lookup must
+/// be counted exactly once in hits+misses (no torn counters) and every hit
+/// must return a sane scan set.
+TEST(PredicateCacheConcurrencyTest, CountersConsistentUnderContention) {
+  PredicateCache cache(/*capacity=*/1024);
+  auto table = CacheTable("t", 16);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  constexpr int kFingerprints = 32;
+
+  std::atomic<int64_t> observed_hits{0};
+  std::atomic<int64_t> observed_misses{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        std::string fp = "q" + std::to_string((t + i) % kFingerprints);
+        auto cached = cache.Lookup(fp, *table);
+        if (cached.has_value()) {
+          observed_hits.fetch_add(1);
+          // Entries only ever contain partitions of this 16-partition
+          // table (the table is never mutated, so no lookup-time appends).
+          for (PartitionId pid : *cached) {
+            ASSERT_LT(pid, static_cast<PartitionId>(16));
+          }
+        } else {
+          observed_misses.fetch_add(1);
+          cache.Insert(fp, *table, "key",
+                       {static_cast<PartitionId>(i % 16),
+                        static_cast<PartitionId>((i + 7) % 16)});
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(cache.hits() + cache.misses(), int64_t{kThreads} * kIters);
+  EXPECT_EQ(cache.hits(), observed_hits.load());
+  EXPECT_EQ(cache.misses(), observed_misses.load());
+  EXPECT_LE(cache.size(), size_t{kFingerprints});
+  // The allowed race window: several threads may miss the same fingerprint
+  // before the first Insert lands. Once it has landed every later lookup
+  // hits, so with 32 fingerprints and 16000 lookups hits must dominate.
+  EXPECT_GT(cache.hits(), cache.misses());
+}
+
+/// Lookups racing DML invalidation: OnUpdate/OnDelete rewrite the entry map
+/// while readers iterate it. Correctness here is "no crash, no torn entry,
+/// counters add up" — the cache may legitimately answer hit or miss on
+/// either side of the invalidation.
+TEST(PredicateCacheConcurrencyTest, LookupsRaceInvalidation) {
+  PredicateCache cache(/*capacity=*/256);
+  auto table = CacheTable("t", 16);
+  auto other = CacheTable("other", 16);
+  constexpr int kThreads = 6;
+  constexpr int kIters = 1500;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads - 1; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        std::string fp = "q" + std::to_string((t * 31 + i) % 24);
+        if (!cache.Lookup(fp, *table).has_value()) {
+          cache.Insert(fp, *table, (i % 2 == 0) ? "key" : "other_col",
+                       {static_cast<PartitionId>(i % 16)});
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIters; ++i) {
+      switch (i % 3) {
+        case 0: cache.OnUpdate(*table, "key"); break;
+        case 1: cache.OnDelete(*table, static_cast<PartitionId>(i % 16)); break;
+        default: cache.OnUpdate(*other, "key"); break;
+      }
+    }
+  });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(cache.hits() + cache.misses(), int64_t{kThreads - 1} * kIters);
+}
+
+/// Single-threaded sanity: after one Insert, repeats hit; eviction respects
+/// capacity FIFO; size() never exceeds capacity under churn.
+TEST(PredicateCacheConcurrencyTest, CapacityRespectedUnderChurn) {
+  PredicateCache cache(/*capacity=*/8);
+  auto table = CacheTable("t", 4);
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert("q" + std::to_string(i), *table, "key", {0, 1});
+    EXPECT_LE(cache.size(), size_t{8});
+  }
+  EXPECT_EQ(cache.size(), size_t{8});
+  EXPECT_FALSE(cache.Lookup("q0", *table).has_value());
+  EXPECT_TRUE(cache.Lookup("q99", *table).has_value());
+}
+
+}  // namespace
+}  // namespace snowprune
