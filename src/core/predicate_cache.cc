@@ -19,17 +19,17 @@ void PredicateCache::Insert(const std::string& fingerprint, const Table& table,
     insertion_order_.push_back(fingerprint);
     EvictIfNeeded();
   }
+  // Publishing resolves any coalesced population of this fingerprint:
+  // blocked waiters wake and hit the fresh entry.
+  ResolveInFlightLocked(fingerprint);
 }
 
-std::optional<std::vector<PartitionId>> PredicateCache::Lookup(
+std::optional<std::vector<PartitionId>> PredicateCache::EntryScanSetLocked(
     const std::string& fingerprint, const Table& table) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(fingerprint);
   if (it == entries_.end() || it->second.table_name != table.name()) {
-    ++misses_;
     return std::nullopt;
   }
-  ++hits_;
   std::vector<PartitionId> result = it->second.partitions;
   // INSERTs are safe (§8.2) but their partitions must be scanned too.
   for (size_t pid = it->second.table_partitions_at_insert;
@@ -37,6 +37,74 @@ std::optional<std::vector<PartitionId>> PredicateCache::Lookup(
     result.push_back(static_cast<PartitionId>(pid));
   }
   return result;
+}
+
+std::optional<std::vector<PartitionId>> PredicateCache::Lookup(
+    const std::string& fingerprint, const Table& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto result = EntryScanSetLocked(fingerprint, table);
+  if (result.has_value()) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return result;
+}
+
+std::optional<std::vector<PartitionId>> PredicateCache::LookupOrPopulate(
+    const std::string& fingerprint, const Table& table,
+    PopulateTicket* ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool waited = false;
+  for (;;) {
+    auto result = EntryScanSetLocked(fingerprint, table);
+    if (result.has_value()) {
+      ++hits_;
+      return result;
+    }
+    auto it = inflight_.find(fingerprint);
+    if (it == inflight_.end()) {
+      // First to miss: become the populating owner.
+      auto state = std::make_shared<InFlight>();
+      inflight_.emplace(fingerprint, state);
+      ++misses_;
+      *ticket = PopulateTicket(this, fingerprint, std::move(state));
+      return std::nullopt;
+    }
+    // Another thread is computing this entry; wait for it to publish or
+    // abandon, then re-check (an abandon makes this thread re-race for
+    // ownership).
+    if (!waited) {
+      ++coalesced_waits_;
+      waited = true;
+    }
+    std::shared_ptr<InFlight> state = it->second;
+    state->cv.wait(lock, [&] { return state->resolved; });
+  }
+}
+
+void PredicateCache::ResolveInFlightLocked(const std::string& fingerprint) {
+  auto it = inflight_.find(fingerprint);
+  if (it == inflight_.end()) return;
+  it->second->resolved = true;
+  it->second->cv.notify_all();
+  inflight_.erase(it);
+}
+
+void PredicateCache::AbandonPopulate(const std::string& fingerprint,
+                                     const std::shared_ptr<InFlight>& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = inflight_.find(fingerprint);
+  if (it != inflight_.end() && it->second == state) {
+    ResolveInFlightLocked(fingerprint);
+  }
+}
+
+void PredicateCache::PopulateTicket::Abandon() {
+  if (cache_ == nullptr) return;
+  cache_->AbandonPopulate(fingerprint_, state_);
+  cache_ = nullptr;
+  state_.reset();
 }
 
 void PredicateCache::OnInsert(const Table& table) {

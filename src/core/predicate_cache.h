@@ -1,12 +1,15 @@
 #ifndef SNOWPRUNE_CORE_PREDICATE_CACHE_H_
 #define SNOWPRUNE_CORE_PREDICATE_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/table.h"
@@ -30,14 +33,73 @@ namespace snowprune {
 ///
 /// Thread safety: the cache is shared by every engine pointed at it, and
 /// engines may run queries concurrently; all operations (including the
-/// hit/miss counters) synchronize on one internal mutex. Lookup/Insert are
-/// individually atomic but a miss→recompute→Insert sequence is not: two
-/// threads missing the same fingerprint may both recompute before one
-/// inserts. That race window is benign (last insert wins, entries are
-/// equivalent) and mirrors the paper's cache, which never blocks a query on
-/// another's population.
+/// hit/miss counters) synchronize on one internal mutex.
+///
+/// Population is *coalesced*: a plain Lookup/Insert pair is individually
+/// atomic but a miss→recompute→Insert sequence is not, so concurrent
+/// identical queries used to recompute the same entry in parallel (benign —
+/// last insert wins — but duplicated work). LookupOrPopulate closes that
+/// window: the first thread to miss a fingerprint becomes the populating
+/// owner (it receives a PopulateTicket and is expected to Insert), and
+/// every other thread asking for the same fingerprint blocks until the
+/// owner publishes — then hits — or abandons the ticket — then one waiter
+/// takes over as the new owner.
 class PredicateCache {
+  /// An in-flight coalesced population: waiters block on `cv` until the
+  /// owner publishes (Insert) or abandons (ticket destruction). Private;
+  /// declared first so PopulateTicket can hold a reference to one.
+  struct InFlight {
+    std::condition_variable cv;
+    bool resolved = false;
+  };
+
  public:
+  /// Ownership handle for a coalesced population (see LookupOrPopulate).
+  /// Destroying an unpublished ticket abandons the population and releases
+  /// any waiters, so error paths can never strand them. Move-only.
+  class PopulateTicket {
+   public:
+    PopulateTicket() = default;
+    ~PopulateTicket() { Abandon(); }
+    PopulateTicket(PopulateTicket&& other) noexcept
+        : cache_(other.cache_),
+          fingerprint_(std::move(other.fingerprint_)),
+          state_(std::move(other.state_)) {
+      other.cache_ = nullptr;
+    }
+    PopulateTicket& operator=(PopulateTicket&& other) noexcept {
+      if (this != &other) {
+        Abandon();
+        cache_ = other.cache_;
+        fingerprint_ = std::move(other.fingerprint_);
+        state_ = std::move(other.state_);
+        other.cache_ = nullptr;
+      }
+      return *this;
+    }
+    PopulateTicket(const PopulateTicket&) = delete;
+    PopulateTicket& operator=(const PopulateTicket&) = delete;
+
+    /// True while this ticket owns an in-flight population (the holder is
+    /// expected to Insert under the same fingerprint).
+    bool owns() const { return cache_ != nullptr; }
+
+   private:
+    friend class PredicateCache;
+    PopulateTicket(PredicateCache* cache, std::string fingerprint,
+                   std::shared_ptr<InFlight> state)
+        : cache_(cache),
+          fingerprint_(std::move(fingerprint)),
+          state_(std::move(state)) {}
+    void Abandon();
+
+    PredicateCache* cache_ = nullptr;
+    std::string fingerprint_;
+    /// Identifies *this* population generation, so a late abandon cannot
+    /// disturb a successor population of the same fingerprint.
+    std::shared_ptr<InFlight> state_;
+  };
+
   explicit PredicateCache(size_t capacity = 1024) : capacity_(capacity) {}
 
   /// Records the contributing partitions of a finished top-k query.
@@ -50,6 +112,17 @@ class PredicateCache {
   /// miss or after invalidation.
   std::optional<std::vector<PartitionId>> Lookup(const std::string& fingerprint,
                                                  const Table& table) const;
+
+  /// Coalescing lookup. On a hit, behaves like Lookup. On a miss, the first
+  /// caller receives the populating ticket (`ticket->owns()` true) and must
+  /// eventually Insert under the same fingerprint (or let the ticket die);
+  /// concurrent callers for the same fingerprint block until the owner
+  /// resolves, then hit (after Insert) or re-race for ownership (after an
+  /// abandon). Waits are bounded by the owner's query: one computation per
+  /// population instead of one per concurrent identical query.
+  std::optional<std::vector<PartitionId>> LookupOrPopulate(
+      const std::string& fingerprint, const Table& table,
+      PopulateTicket* ticket);
 
   /// DML notifications (the engine calls these alongside Table mutations).
   void OnInsert(const Table& table);
@@ -68,6 +141,12 @@ class PredicateCache {
     std::lock_guard<std::mutex> lock(mutex_);
     return misses_;
   }
+  /// Number of lookups that blocked behind another thread's population
+  /// (each would have been a duplicate computation without coalescing).
+  int64_t coalesced_waits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return coalesced_waits_;
+  }
 
  private:
   struct Entry {
@@ -79,13 +158,28 @@ class PredicateCache {
 
   /// Caller must hold mutex_.
   void EvictIfNeeded();
+  /// The entry's scan set (with post-insert partitions appended), or
+  /// nullopt. No counter updates. Caller must hold mutex_.
+  std::optional<std::vector<PartitionId>> EntryScanSetLocked(
+      const std::string& fingerprint, const Table& table) const;
+  /// Wakes waiters and retires the in-flight record, if any. Caller must
+  /// hold mutex_.
+  void ResolveInFlightLocked(const std::string& fingerprint);
+  /// Entry point for PopulateTicket::Abandon (takes the lock itself); only
+  /// resolves when `state` still is the fingerprint's current population.
+  void AbandonPopulate(const std::string& fingerprint,
+                       const std::shared_ptr<InFlight>& state);
 
   mutable std::mutex mutex_;
   size_t capacity_;
   std::map<std::string, Entry> entries_;
   std::list<std::string> insertion_order_;  // FIFO eviction
+  /// Fingerprints currently being populated (shared_ptr so waiters survive
+  /// the record's removal from the map).
+  std::map<std::string, std::shared_ptr<InFlight>> inflight_;
   mutable int64_t hits_ = 0;
   mutable int64_t misses_ = 0;
+  int64_t coalesced_waits_ = 0;
 };
 
 }  // namespace snowprune

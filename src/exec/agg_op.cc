@@ -106,33 +106,39 @@ void HashAggregateOp::Open() {
   emitted_ = false;
   parallel_path_ = false;
   scan_input_ = nullptr;
+  columnar_input_ = nullptr;
   auto* scan = dynamic_cast<TableScanOp*>(input_.get());
-  // The group-limit shape (Figure 7d) stays serial: its boundary feedback
-  // depends on seeing rows in scan order. Likewise a scan with a top-k
-  // pruner attached: pre-aggregated morsels cannot be un-accumulated if the
-  // consumer-side boundary re-check would have dropped them.
+  // A scan input is consumed unboxed (NextColumns) unless the group-limit
+  // shape (Figure 7d) is active — its boundary feedback filters and
+  // publishes per row, which stays on the boxed path.
+  if (scan != nullptr && !group_limit_enabled_) columnar_input_ = scan;
+  // The group-limit shape also stays serial for fusion: its boundary
+  // feedback depends on seeing rows in scan order. Likewise a scan with a
+  // top-k pruner attached: pre-aggregated morsels cannot be un-accumulated
+  // if the consumer-side boundary re-check would have dropped them.
   if (parallel_preagg_allowed_ && scan != nullptr && scan->parallel_enabled() &&
       !scan->has_topk_pruner() && !group_limit_enabled_ &&
       AggsMergeExactly(*scan)) {
     parallel_path_ = true;
     scan_input_ = scan;
-    // Worker-side morsel reduction: rows never reach the consumer thread.
-    scan->set_morsel_transform(
-        [this](Batch&& batch) -> TableScanOp::MorselPayload {
-          auto partial = std::make_shared<GroupMap>();
-          for (const Row& row : batch.rows) {
-            Row key;
-            key.reserve(group_columns_.size());
-            for (size_t col : group_columns_) key.push_back(row[col]);
-            Accumulate(&FindOrCreateGroup(partial.get(), std::move(key)), row);
-          }
-          return partial;
+    // Worker-side morsel reduction: columns never reach the consumer
+    // thread; each loaded batch folds into the morsel's partial group map.
+    scan->set_morsel_fold(
+        [this](ColumnBatch&& batch, TableScanOp::MorselPayload* payload) {
+          if (*payload == nullptr) *payload = std::make_shared<GroupMap>();
+          AccumulateColumns(static_cast<GroupMap*>(payload->get()), batch);
         });
   }
   input_->Open();  // parallel scans start their scheduler here
 }
 
 void HashAggregateOp::MergePartial(GroupMap* partial) {
+  if (groups_.empty()) {
+    // First partial (typically the largest share of the groups): adopt the
+    // whole map instead of merging entry by entry.
+    groups_ = std::move(*partial);
+    return;
+  }
   for (auto& [key, state] : *partial) {
     auto it = groups_.find(key);
     if (it == groups_.end()) {
@@ -170,6 +176,120 @@ HashAggregateOp::GroupState& HashAggregateOp::FindOrCreateGroup(
     if (created != nullptr) *created = true;
   }
   return it->second;
+}
+
+namespace {
+
+/// Three-way comparison of physical row `r` of `col` against a boxed value
+/// previously taken from the *same column* (so the kinds always match),
+/// without constructing a Value. Mirrors Value::Compare.
+int CompareColumnVsValue(const ColumnVector& col, uint32_t r, const Value& v) {
+  switch (col.type()) {
+    case DataType::kInt64: {
+      const int64_t x = col.Int64At(r), y = v.int64_value();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kFloat64: {
+      const double x = col.Float64At(r), y = v.float64_value();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kString:
+      return col.StringAt(r).compare(v.string_value());
+    case DataType::kBool:
+      return static_cast<int>(col.BoolAt(r)) -
+             static_cast<int>(v.bool_value());
+  }
+  return 0;
+}
+
+/// Unboxed equality of two physical rows of one column (NULLs compare
+/// equal, matching the NULL grouping rule of HashAggregateOp::KeyLess).
+bool ColumnRowsEqual(const ColumnVector& col, uint32_t a, uint32_t b) {
+  const bool an = col.IsNull(a), bn = col.IsNull(b);
+  if (an || bn) return an == bn;
+  switch (col.type()) {
+    case DataType::kInt64: return col.Int64At(a) == col.Int64At(b);
+    case DataType::kFloat64: return col.Float64At(a) == col.Float64At(b);
+    case DataType::kString: return col.StringAt(a) == col.StringAt(b);
+    case DataType::kBool: return col.BoolAt(a) == col.BoolAt(b);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HashAggregateOp::SameGroupKeys(const ColumnBatch& batch, uint32_t a,
+                                    uint32_t b) const {
+  for (size_t col : group_columns_) {
+    if (!ColumnRowsEqual(batch.column(col), a, b)) return false;
+  }
+  return true;
+}
+
+void HashAggregateOp::AccumulateUnboxed(GroupState* state,
+                                        const ColumnBatch& batch, uint32_t r) {
+  ++state->group_rows;
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    const AggSpec& spec = aggregates_[i];
+    if (spec.func == AggFunc::kCount) {
+      ++state->counts[i];
+      continue;
+    }
+    const ColumnVector& col = batch.column(spec.column);
+    if (col.IsNull(r)) continue;
+    ++state->counts[i];
+    switch (spec.func) {
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        // Mirrors Value::AsDouble() on the boxed path; a non-numeric input
+        // column takes the boxed accessor (and throws) exactly as before.
+        if (col.type() == DataType::kInt64) {
+          state->sums[i] += static_cast<double>(col.Int64At(r));
+        } else if (col.type() == DataType::kFloat64) {
+          state->sums[i] += col.Float64At(r);
+        } else {
+          state->sums[i] += col.ValueAt(r).AsDouble();
+        }
+        break;
+      case AggFunc::kMin:
+        if (state->min_max[i].is_null() ||
+            CompareColumnVsValue(col, r, state->min_max[i]) < 0) {
+          state->min_max[i] = col.ValueAt(r);
+        }
+        break;
+      case AggFunc::kMax:
+        if (state->min_max[i].is_null() ||
+            CompareColumnVsValue(col, r, state->min_max[i]) > 0) {
+          state->min_max[i] = col.ValueAt(r);
+        }
+        break;
+      case AggFunc::kCount:
+        break;
+    }
+  }
+}
+
+void HashAggregateOp::AccumulateColumns(GroupMap* groups,
+                                        const ColumnBatch& batch) {
+  const size_t n = batch.num_rows();
+  GroupState* state = nullptr;
+  uint32_t prev_row = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = batch.row_index(i);
+    // Group-key run detection: clustered/sorted inputs repeat the same key
+    // for long stretches, so comparing unboxed against the previous row
+    // skips key construction and the map lookup for every repeat.
+    if (state == nullptr || !SameGroupKeys(batch, r, prev_row)) {
+      Row key;
+      key.reserve(group_columns_.size());
+      for (size_t col : group_columns_) {
+        key.push_back(batch.column(col).ValueAt(r));
+      }
+      state = &FindOrCreateGroup(groups, std::move(key));
+    }
+    prev_row = r;
+    AccumulateUnboxed(state, batch, r);
+  }
 }
 
 void HashAggregateOp::Accumulate(GroupState* state, const Row& row) {
@@ -260,6 +380,17 @@ bool HashAggregateOp::Next(Batch* out) {
       if (payload != nullptr) {
         MergePartial(static_cast<GroupMap*>(payload.get()));
       }
+    }
+    return EmitGroups(out);
+  }
+  if (columnar_input_ != nullptr) {
+    // The unboxed hot path: consume the scan's ColumnBatches directly
+    // (serial, or parallel in-order delivery when fusion was not exact —
+    // either way the accumulation order equals serial execution, so the
+    // result is bit-identical).
+    ColumnBatch columns;
+    while (columnar_input_->NextColumns(&columns)) {
+      AccumulateColumns(&groups_, columns);
     }
     return EmitGroups(out);
   }

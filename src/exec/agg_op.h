@@ -51,7 +51,7 @@ class HashAggregateOp : public Operator {
   /// every aggregate merges exactly (COUNT/MIN/MAX always; SUM/AVG only
   /// over int64 inputs, whose double accumulation is exact), so results
   /// stay byte-identical to serial execution; otherwise the operator
-  /// silently falls back to consuming row batches.
+  /// silently falls back to consuming ordered column batches.
   void EnableParallelPreAgg() { parallel_preagg_allowed_ = true; }
 
   void Open() override;
@@ -81,6 +81,17 @@ class HashAggregateOp : public Operator {
   GroupState& FindOrCreateGroup(GroupMap* groups, Row key,
                                 bool* created = nullptr);
   void Accumulate(GroupState* state, const Row& row);
+  /// Unboxed accumulation over a ColumnBatch (the scan→aggregate hot
+  /// path): group keys are boxed only when they change between consecutive
+  /// rows (run detection), aggregate inputs are read straight from the
+  /// typed column vectors. Bit-identical to Accumulate() row-by-row.
+  void AccumulateColumns(GroupMap* groups, const ColumnBatch& batch);
+  /// Accumulates physical row `r` of `batch` into `state` without boxing.
+  void AccumulateUnboxed(GroupState* state, const ColumnBatch& batch,
+                         uint32_t r);
+  /// True when the group-key columns compare equal between physical rows
+  /// `a` and `b` of `batch` (NULLs equal, matching KeyLess grouping).
+  bool SameGroupKeys(const ColumnBatch& batch, uint32_t a, uint32_t b) const;
   Row Finalize(const GroupState& state) const;
   /// Recomputes the k-th best group key and publishes it (strictly).
   void PublishGroupBoundary();
@@ -107,6 +118,11 @@ class HashAggregateOp : public Operator {
   bool parallel_preagg_allowed_ = false;
   bool parallel_path_ = false;
   TableScanOp* scan_input_ = nullptr;  ///< Set iff parallel_path_.
+  /// Set when the input is a TableScanOp whose batches this operator
+  /// consumes unboxed via NextColumns() (serial, or parallel ordered
+  /// delivery when fusion is not exact). Group-limit queries stay on the
+  /// boxed path (their per-row boundary feedback is row-oriented).
+  TableScanOp* columnar_input_ = nullptr;
 
   GroupMap groups_;
   bool emitted_ = false;

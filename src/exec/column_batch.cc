@@ -1,0 +1,25 @@
+#include "exec/column_batch.h"
+
+namespace snowprune {
+
+void ColumnBatch::MaterializeInto(Batch* out, bool track_source) const {
+  out->rows.clear();
+  out->source.clear();
+  if (partition_ == nullptr) return;
+  const size_t n = num_rows();
+  const size_t num_cols = partition_->num_columns();
+  out->rows.reserve(n);
+  if (track_source) out->source.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = row_index(i);
+    Row row;
+    row.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      row.push_back(partition_->column(c).ValueAt(r));
+    }
+    out->rows.push_back(std::move(row));
+    if (track_source) out->source.push_back(source_);
+  }
+}
+
+}  // namespace snowprune

@@ -64,6 +64,12 @@ struct Engine::CompileContext {
   std::vector<std::unique_ptr<FilterPruner>> runtime_filter_pruners;
   std::vector<PendingTopK> pending_topk;
   bool track_source = false;
+  /// True once this compile owns a predicate-cache population ticket.
+  /// Later cache-eligible scans in the same plan then use the
+  /// non-blocking lookup: a compile may wait on a fingerprint only while
+  /// holding no ticket, so two queries can never hold-and-wait on each
+  /// other's populations (ABBA deadlock).
+  bool cache_populate_held = false;
 
   PendingTopK* FindPendingForScan(const PlanNode* scan_node) {
     for (auto& p : pending_topk) {
@@ -363,11 +369,28 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
       OperatorPtr input = std::move(child).value();
 
       std::string cache_fingerprint;
+      std::shared_ptr<PredicateCache::PopulateTicket> cache_ticket;
       if (cache_eligible) {
         cache_fingerprint = plan->Fingerprint();
         auto& info = ctx->scans.at(trace.scan);
-        auto cached =
-            config_.predicate_cache->Lookup(cache_fingerprint, *info.table);
+        // Coalesced lookup: concurrent identical queries block here while
+        // the first one computes and publishes, instead of all recomputing.
+        // The ticket is held by the post-run hook so the population is
+        // released (publish via Insert, or abandon on any error path) no
+        // matter how execution ends. Only the first cache-eligible scan of
+        // a plan may coalesce (own a ticket or wait); any further one
+        // falls back to the non-blocking lookup, so a compile never waits
+        // while holding a ticket — see CompileContext::cache_populate_held.
+        std::optional<std::vector<PartitionId>> cached;
+        if (!ctx->cache_populate_held) {
+          cache_ticket = std::make_shared<PredicateCache::PopulateTicket>();
+          cached = config_.predicate_cache->LookupOrPopulate(
+              cache_fingerprint, *info.table, cache_ticket.get());
+          if (cache_ticket->owns()) ctx->cache_populate_held = true;
+        } else {
+          cached =
+              config_.predicate_cache->Lookup(cache_fingerprint, *info.table);
+        }
         if (cached.has_value()) {
           // Restrict the scan set to cached ∪ newly-added partitions,
           // preserving the pruner-prepared order.
@@ -408,11 +431,13 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
                                            plan->descending, plan->limit_k,
                                            publisher);
       if (cache_eligible) {
-        // Record contributions post-execution; stash what we need.
+        // Record contributions post-execution; stash what we need. Insert
+        // publishes the coalesced population; if the hook is destroyed
+        // without running, the captured ticket abandons it instead.
         TopKOp* topk_ptr = topk.get();
         auto& info = ctx->scans.at(trace.scan);
         post_run_hooks_.push_back([this, topk_ptr, cache_fingerprint,
-                                   table = info.table,
+                                   cache_ticket, table = info.table,
                                    column = trace.column]() {
           config_.predicate_cache->Insert(cache_fingerprint, *table, column,
                                           topk_ptr->contributing_partitions());
@@ -526,7 +551,12 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan) {
   post_run_hooks_.clear();
 
   auto compiled = Compile(plan, &ctx);
-  if (!compiled.ok()) return compiled.status();
+  if (!compiled.ok()) {
+    // Dropping the hooks releases any coalescing ticket a partial compile
+    // acquired, so cache waiters are never stranded by a failed query.
+    post_run_hooks_.clear();
+    return compiled.status();
+  }
   OperatorPtr root = std::move(compiled).value();
 
   // Partition-parallel execution (§2's "highly parallel execution layer"):
@@ -536,7 +566,7 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan) {
   const size_t num_threads = config_.exec.num_threads > 0
                                  ? static_cast<size_t>(config_.exec.num_threads)
                                  : ThreadPool::DefaultConcurrency();
-  if (num_threads > 1) {
+  if (num_threads > 1 || config_.exec.force_parallel) {
     if (!pool_ || pool_->num_threads() != num_threads) {
       pool_ = std::make_unique<ThreadPool>(num_threads);
     }
@@ -544,7 +574,8 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan) {
                               ? config_.exec.morsel_window
                               : num_threads * 4;
     for (auto& [node, info] : ctx.scans) {
-      info.op->EnableParallel(pool_.get(), window);
+      info.op->EnableParallel(pool_.get(), window,
+                              config_.exec.morsel_min_rows);
     }
     if (config_.exec.parallel_preagg) {
       // Aggregates sitting directly on a parallel scan may fuse: workers

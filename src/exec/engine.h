@@ -44,6 +44,15 @@ struct ExecConfig {
   /// Morsels buffered or in flight ahead of the consumer per scan
   /// (memory bound). 0 = 4 * num_threads.
   size_t morsel_window = 0;
+  /// Row budget for morsel formation: consecutive scan-set partitions are
+  /// batched into one morsel until their combined (zone-map) row count
+  /// reaches this, so many tiny post-pruning partitions amortize scheduling
+  /// overhead instead of drowning in it. 0 = one partition per morsel.
+  size_t morsel_min_rows = 4096;
+  /// Run the morsel machinery even when num_threads == 1 (a pool with one
+  /// worker). Off by default — the serial path needs no pool at all; this
+  /// exists to measure pure parallel-path overhead (bench_headline).
+  bool force_parallel = false;
   /// Allow worker-side partial aggregation (scan+aggregate fusion) for
   /// GROUP BY plans whose aggregates merge exactly (COUNT/MIN/MAX always;
   /// SUM/AVG only over int64 inputs whose zone-map-bounded running sum

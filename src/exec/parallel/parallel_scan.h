@@ -9,40 +9,50 @@
 #include <vector>
 
 #include "core/pruning_stats.h"
-#include "exec/batch.h"
+#include "exec/column_batch.h"
 #include "exec/parallel/thread_pool.h"
 
 namespace snowprune {
 
-/// The outcome of processing one morsel (one micro-partition of a scan set).
+/// The outcome of scanning one micro-partition within a morsel.
 /// `loaded == false` means runtime pruning skipped the partition before it
-/// touched storage; `stats` carries the per-morsel pruning/scan deltas either
-/// way, and is merged into the query's PruningStats by the consumer, in
-/// scan-set order.
-struct MorselResult {
+/// touched storage; `stats` carries the per-partition pruning/scan deltas
+/// either way, and is merged into the query's PruningStats by the consumer,
+/// in scan-set order.
+struct MorselItem {
   bool loaded = false;
-  Batch batch;
+  ColumnBatch batch;
   PruningStats stats;
+};
+
+/// The outcome of processing one morsel: a consecutive run of scan-set
+/// partitions (small partitions are batched up to a row budget so
+/// post-pruning scan sets of many tiny partitions do not drown in
+/// scheduling overhead). `items` holds one entry per scan-set position in
+/// the morsel's range, in order.
+struct MorselResult {
+  std::vector<MorselItem> items;
   /// Optional worker-side reduction output (e.g. a partial aggregation
-  /// state) produced instead of `batch` when a transform is installed.
+  /// state) folded over the morsel's loaded batches when a fold is
+  /// installed; the batches themselves are then cleared.
   std::shared_ptr<void> payload;
 };
 
 /// Fans a post-pruning scan set out across a ThreadPool, morsel-style: each
-/// micro-partition is one task. Results are delivered to the (single)
-/// consumer strictly in scan-set order, which keeps downstream operators —
-/// and therefore query results — bit-identical to serial execution; only the
-/// loading, row materialization, filtering, and optional per-morsel
-/// reduction move off the consumer thread.
+/// morsel covers one or more consecutive micro-partitions. Results are
+/// delivered to the (single) consumer strictly in scan-set order, which
+/// keeps downstream operators — and therefore query results — bit-identical
+/// to serial execution; only the loading, predicate evaluation, and optional
+/// per-morsel reduction move off the consumer thread.
 ///
 /// A bounded scheduling window (results buffered or in flight ahead of the
 /// consumer) caps memory: morsel `i + window` is only submitted once morsel
 /// `i` has been consumed.
 class ParallelScanScheduler {
  public:
-  /// Processes morsel `index` (an index into the scan set, not a partition
-  /// id). Runs on pool workers; must be safe to call concurrently for
-  /// distinct indexes.
+  /// Processes morsel `index` (an index into the morsel list, not a
+  /// partition id). Runs on pool workers; must be safe to call concurrently
+  /// for distinct indexes.
   using MorselFn = std::function<MorselResult(size_t index)>;
 
   ParallelScanScheduler(ThreadPool* pool, size_t num_morsels, MorselFn fn,

@@ -1,6 +1,8 @@
 #include "exec/scan_op.h"
 
-#include "exec/row_eval.h"
+#include <algorithm>
+
+#include "expr/evaluator.h"
 
 namespace snowprune {
 
@@ -13,20 +15,57 @@ TableScanOp::TableScanOp(std::shared_ptr<Table> table, ScanSet scan_set,
 
 TableScanOp::~TableScanOp() = default;
 
-void TableScanOp::EnableParallel(ThreadPool* pool, size_t window) {
+void TableScanOp::EnableParallel(ThreadPool* pool, size_t window,
+                                 size_t morsel_min_rows) {
   pool_ = pool;
   morsel_window_ = window;
+  morsel_min_rows_ = morsel_min_rows;
+}
+
+void TableScanOp::PlanMorsels() {
+  morsel_ranges_.clear();
+  int64_t budget = static_cast<int64_t>(morsel_min_rows_);
+  if (morsel_fold_) {
+    // Folded scans pay a per-morsel reduction cost (a partial group map
+    // built and merged per morsel), so they want far coarser morsels than
+    // plain scans: target ~2 morsels per worker, floored at the configured
+    // budget. Plain scans keep fine morsels — their per-morsel handoff is
+    // just a selection vector.
+    int64_t total_rows = 0;
+    for (PartitionId pid : scan_set_) {
+      total_rows += table_->partition_metadata(pid).row_count();
+    }
+    budget = std::max(
+        budget,
+        total_rows / static_cast<int64_t>(2 * pool_->num_threads()));
+  }
+  size_t i = 0;
+  while (i < scan_set_.size()) {
+    const size_t begin = i;
+    int64_t rows = 0;
+    // Batch consecutive partitions until the (metadata, load-free) row
+    // budget is met; budget 0 degenerates to one partition per morsel.
+    do {
+      rows += table_->partition_metadata(scan_set_[i]).row_count();
+      ++i;
+    } while (i < scan_set_.size() && rows < budget);
+    morsel_ranges_.emplace_back(begin, i);
+  }
 }
 
 void TableScanOp::Open() {
   cursor_ = 0;
+  item_cursor_ = 0;
+  current_morsel_ = MorselResult();
   scheduler_.reset();
+  morsel_ranges_.clear();
   if (pool_ != nullptr) {
     // The scan set is final here: LIMIT/top-k/cache restrictions happen at
     // compile time and join summaries are applied before the probe side
     // opens (HashJoinOp::Open), so fan-out can start immediately.
+    PlanMorsels();
     scheduler_ = std::make_unique<ParallelScanScheduler>(
-        pool_, scan_set_.size(),
+        pool_, morsel_ranges_.size(),
         [this](size_t index) { return ProcessMorsel(index); }, morsel_window_);
   }
 }
@@ -50,7 +89,7 @@ int64_t TableScanOp::ApplyJoinSummary(const BuildSummary& summary,
   return pruned.pruned;
 }
 
-bool TableScanOp::ScanPartition(PartitionId pid, Batch* out,
+bool TableScanOp::ScanPartition(PartitionId pid, ColumnBatch* out,
                                 PruningStats* stats) {
   // Deferred filter pruning (§3.2): the same zone-map check the compile
   // phase would have done, executed just before the load. The adaptive tree
@@ -72,63 +111,66 @@ bool TableScanOp::ScanPartition(PartitionId pid, Batch* out,
     ++stats->scanned_partitions;
     stats->scanned_rows += part.row_count();
   }
-  const size_t n = static_cast<size_t>(part.row_count());
-  const size_t num_cols = part.num_columns();
-  for (size_t r = 0; r < n; ++r) {
-    Row row;
-    row.reserve(num_cols);
-    for (size_t c = 0; c < num_cols; ++c) {
-      row.push_back(part.column(c).ValueAt(r));
-    }
-    if (filter_) {
-      auto keep = EvalRowPredicate(*filter_, row);
-      if (!keep.has_value() || !*keep) continue;
-    }
-    out->rows.push_back(std::move(row));
-    if (track_source_) out->source.push_back(pid);
+  if (filter_) {
+    std::vector<uint32_t> selection;
+    ComputeSelection(*filter_, part, &selection);
+    *out = ColumnBatch::Selected(part, pid, std::move(selection));
+  } else {
+    *out = ColumnBatch::AllOf(part, pid);
   }
   return true;
 }
 
-MorselResult TableScanOp::ProcessMorsel(size_t index) {
+MorselResult TableScanOp::ProcessMorsel(size_t morsel_index) {
   MorselResult result;
-  result.loaded = ScanPartition(scan_set_[index], &result.batch, &result.stats);
-  if (result.loaded && morsel_transform_) {
-    result.payload = morsel_transform_(std::move(result.batch));
-    result.batch = Batch();
+  const auto range = morsel_ranges_[morsel_index];
+  result.items.resize(range.second - range.first);
+  for (size_t pos = range.first; pos < range.second; ++pos) {
+    MorselItem& item = result.items[pos - range.first];
+    item.loaded = ScanPartition(scan_set_[pos], &item.batch, &item.stats);
+    if (item.loaded && morsel_fold_) {
+      // Fold in scan-set order within the morsel; morsels themselves are
+      // merged in order by the consumer, so the overall accumulation order
+      // equals serial execution.
+      morsel_fold_(std::move(item.batch), &result.payload);
+      item.batch.Clear();
+    }
   }
   return result;
 }
 
-bool TableScanOp::Next(Batch* out) {
-  out->rows.clear();
-  out->source.clear();
+bool TableScanOp::NextColumns(ColumnBatch* out) {
+  out->Clear();
   if (scheduler_ != nullptr) {
-    MorselResult morsel;
-    while (scheduler_->Next(&morsel)) {
-      // Ordered delivery: this morsel is scan_set_[cursor_].
-      PartitionId pid = scan_set_[cursor_++];
-      if (morsel.loaded && topk_pruner_ != nullptr &&
-          topk_pruner_->ShouldSkip(*table_, pid)) {
-        // The worker loaded this partition under a stale (looser) boundary.
-        // Re-checking here — after every earlier batch has been consumed —
-        // sees exactly the boundary state the serial engine would have had
-        // before loading it, so dropping the batch now reproduces serial
-        // pruning decisions (and stats) bit-for-bit. The wasted background
-        // load is surfaced as speculative_loads.
-        morsel.stats.speculative_loads += morsel.stats.scanned_partitions;
-        morsel.stats.scanned_partitions = 0;
-        morsel.stats.scanned_rows = 0;
-        morsel.stats.pruned_by_topk += 1;
-        morsel.loaded = false;
+    for (;;) {
+      while (item_cursor_ < current_morsel_.items.size()) {
+        MorselItem& item = current_morsel_.items[item_cursor_++];
+        // Ordered delivery: this item is scan_set_[cursor_].
+        PartitionId pid = scan_set_[cursor_++];
+        if (item.loaded && topk_pruner_ != nullptr &&
+            topk_pruner_->ShouldSkip(*table_, pid)) {
+          // The worker loaded this partition under a stale (looser)
+          // boundary. Re-checking here — after every earlier batch has been
+          // consumed — sees exactly the boundary state the serial engine
+          // would have had before loading it, so dropping the batch now
+          // reproduces serial pruning decisions (and stats) bit-for-bit.
+          // The wasted background load is surfaced as speculative_loads.
+          item.stats.speculative_loads += item.stats.scanned_partitions;
+          item.stats.scanned_partitions = 0;
+          item.stats.scanned_rows = 0;
+          item.stats.pruned_by_topk += 1;
+          item.loaded = false;
+        }
+        // Per-partition stats merge on the consumer thread, in scan-set
+        // order.
+        if (stats_ != nullptr) stats_->Merge(item.stats);
+        if (!item.loaded) continue;
+        *out = std::move(item.batch);
+        return true;  // one batch per partition, even with no surviving rows
       }
-      // Per-worker stats merge on the consumer thread, in scan-set order.
-      if (stats_ != nullptr) stats_->Merge(morsel.stats);
-      if (!morsel.loaded) continue;
-      *out = std::move(morsel.batch);
-      return true;  // one batch per partition, even if all rows were filtered
+      if (!scheduler_->Next(&current_morsel_)) return false;
+      item_cursor_ = 0;
     }
-    return false;
   }
   while (cursor_ < scan_set_.size()) {
     PartitionId pid = scan_set_[cursor_++];
@@ -137,17 +179,36 @@ bool TableScanOp::Next(Batch* out) {
   return false;
 }
 
+bool TableScanOp::Next(Batch* out) {
+  ColumnBatch columns;
+  if (!NextColumns(&columns)) {
+    out->rows.clear();
+    out->source.clear();
+    return false;
+  }
+  columns.MaterializeInto(out, track_source_);
+  return true;
+}
+
 bool TableScanOp::NextPayload(MorselPayload* out) {
-  MorselResult morsel;
-  while (scheduler_ != nullptr && scheduler_->Next(&morsel)) {
-    if (stats_ != nullptr) stats_->Merge(morsel.stats);
-    if (!morsel.loaded) continue;
-    *out = std::move(morsel.payload);
+  while (scheduler_ != nullptr && scheduler_->Next(&current_morsel_)) {
+    for (MorselItem& item : current_morsel_.items) {
+      ++cursor_;
+      if (stats_ != nullptr) stats_->Merge(item.stats);
+    }
+    // Folded scans never have a top-k pruner attached (the aggregate only
+    // fuses without one), so no delivery-time re-check is needed here.
+    if (current_morsel_.payload == nullptr) continue;
+    *out = std::move(current_morsel_.payload);
     return true;
   }
   return false;
 }
 
-void TableScanOp::Close() { scheduler_.reset(); }
+void TableScanOp::Close() {
+  scheduler_.reset();
+  current_morsel_ = MorselResult();
+  item_cursor_ = 0;
+}
 
 }  // namespace snowprune

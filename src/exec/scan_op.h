@@ -4,11 +4,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "core/filter_pruner.h"
 #include "core/join_pruner.h"
 #include "core/pruning_stats.h"
 #include "core/topk_pruner.h"
+#include "exec/column_batch.h"
 #include "exec/operator.h"
 #include "exec/parallel/parallel_scan.h"
 #include "exec/parallel/thread_pool.h"
@@ -26,14 +29,23 @@ namespace snowprune {
 /// The optional row-level `filter` is the query's WHERE clause; it runs
 /// after the load (the part pruning could not avoid).
 ///
+/// Data flow is unboxed: the scan's native output is a ColumnBatch — the
+/// partition's own typed column vectors plus a selection vector filled by
+/// vectorized predicate evaluation (NextColumns()). The Operator-interface
+/// Next() materializes boxed rows through ColumnBatch::Materialize() for
+/// consumers outside the scan→filter→aggregate hot path.
+///
 /// Parallel execution: when the engine attaches a ThreadPool via
 /// EnableParallel(), Open() fans the scan set out across workers
-/// morsel-style (one partition per task, see ParallelScanScheduler). Loading,
-/// row materialization, the WHERE filter, runtime pruning checks, and an
-/// optional per-morsel reduction run on workers; batches are still delivered
-/// to the consumer in scan-set order, so every downstream operator — and the
-/// query result — is bit-identical to serial execution. Per-worker
-/// PruningStats are merged into the query's stats on the consumer thread.
+/// morsel-style. A morsel covers one or more *consecutive* scan-set
+/// partitions — small post-pruning partitions are batched until their
+/// combined (metadata) row count reaches `morsel_min_rows`, so scheduling
+/// overhead amortizes. Loading, predicate evaluation, runtime pruning
+/// checks, and an optional per-morsel reduction run on workers; batches are
+/// still delivered to the consumer in scan-set order, so every downstream
+/// operator — and the query result — is bit-identical to serial execution.
+/// Per-partition PruningStats are merged into the query's stats on the
+/// consumer thread, in scan-set order.
 ///
 /// One stats-parity exception: with runtime filter pruning AND the adaptive
 /// tree's time-based cutoff opted in (PruningTreeConfig::enable_cutoff,
@@ -47,6 +59,9 @@ class TableScanOp : public Operator {
   /// A worker-side reduction result (type-erased; producer and consumer
   /// agree on the concrete type, e.g. HashAggregateOp's partial group map).
   using MorselPayload = std::shared_ptr<void>;
+  /// Folds one loaded batch into the morsel's payload on the worker
+  /// (*payload is null on the first call for each morsel).
+  using MorselFold = std::function<void(ColumnBatch&&, MorselPayload*)>;
 
   TableScanOp(std::shared_ptr<Table> table, ScanSet scan_set, ExprPtr filter,
               PruningStats* stats);
@@ -69,7 +84,9 @@ class TableScanOp : public Operator {
   /// Returns the number of partitions pruned.
   int64_t ApplyJoinSummary(const BuildSummary& summary, size_t key_column);
 
-  /// Emit per-row provenance (source partition ids) for the predicate cache.
+  /// Emit per-row provenance (source partition ids) for the predicate cache
+  /// when materializing boxed batches (NextColumns() always carries
+  /// provenance — it is the batch's partition id).
   void set_track_source(bool track) { track_source_ = track; }
 
   /// Planner hook: replaces the scan set before execution (LIMIT pruning,
@@ -78,20 +95,28 @@ class TableScanOp : public Operator {
 
   /// Engine hook: execute this scan partition-parallel on `pool`. Must be
   /// called before Open(). `window` bounds how many morsels may be buffered
-  /// or in flight ahead of the consumer.
-  void EnableParallel(ThreadPool* pool, size_t window);
+  /// or in flight ahead of the consumer; `morsel_min_rows` is the row
+  /// budget below which consecutive partitions are batched into one morsel
+  /// (0 = one partition per morsel).
+  void EnableParallel(ThreadPool* pool, size_t window, size_t morsel_min_rows);
   bool parallel_enabled() const { return pool_ != nullptr; }
 
-  /// Installs a worker-side reduction: each loaded morsel's batch is handed
-  /// to `fn` on the worker and only the payload is shipped to the consumer
-  /// (via NextPayload). Parallel mode only; must be set before Open().
-  void set_morsel_transform(std::function<MorselPayload(Batch&&)> fn) {
-    morsel_transform_ = std::move(fn);
-  }
+  /// Installs a worker-side reduction: each loaded batch is folded into the
+  /// morsel's payload on the worker and only the payload is shipped to the
+  /// consumer (via NextPayload). Parallel mode only; must be set before
+  /// Open().
+  void set_morsel_fold(MorselFold fn) { morsel_fold_ = std::move(fn); }
 
-  /// Consumer loop for transformed scans: delivers the next morsel's payload
-  /// in scan-set order (skipping pruned partitions). False at end of scan.
+  /// Consumer loop for folded scans: delivers the next morsel's payload in
+  /// scan-set order (skipping pruned/empty morsels). False at end of scan.
   bool NextPayload(MorselPayload* out);
+
+  /// The native, unboxed pull API: the next partition's surviving rows as a
+  /// ColumnBatch (possibly with an empty selection — one batch is emitted
+  /// per loaded partition even if the filter kept no rows). Works in serial
+  /// and parallel mode; parallel delivery is in scan-set order with the
+  /// consumer-side top-k boundary re-check applied. False at end of scan.
+  bool NextColumns(ColumnBatch* out);
 
   void Open() override;
   bool Next(Batch* out) override;
@@ -100,14 +125,20 @@ class TableScanOp : public Operator {
 
   const ScanSet& scan_set() const { return scan_set_; }
   const std::shared_ptr<Table>& table() const { return table_; }
+  /// Observability: how many morsels the last Open() planned (parallel
+  /// mode; 0 before Open or in serial mode).
+  size_t num_morsels() const { return morsel_ranges_.size(); }
 
  private:
-  /// Worker body: prune checks + load + materialize + filter for the
-  /// partition at scan-set position `index`.
-  MorselResult ProcessMorsel(size_t index);
+  /// Worker body: prune checks + load + vectorized filter for every
+  /// partition in morsel `morsel_index`'s scan-set range.
+  MorselResult ProcessMorsel(size_t morsel_index);
   /// The shared serial/parallel per-partition scan body. Returns false when
   /// runtime pruning skipped the partition (stats deltas still recorded).
-  bool ScanPartition(PartitionId pid, Batch* out, PruningStats* stats);
+  bool ScanPartition(PartitionId pid, ColumnBatch* out, PruningStats* stats);
+  /// Groups consecutive scan-set positions into morsel ranges under the
+  /// row-count budget.
+  void PlanMorsels();
 
   std::shared_ptr<Table> table_;
   ScanSet scan_set_;
@@ -120,10 +151,16 @@ class TableScanOp : public Operator {
 
   ThreadPool* pool_ = nullptr;
   size_t morsel_window_ = 0;
+  size_t morsel_min_rows_ = 0;
+  /// Morsel i covers scan-set positions [first, second).
+  std::vector<std::pair<size_t, size_t>> morsel_ranges_;
+  /// Consumer-side iteration state over the current morsel's items.
+  MorselResult current_morsel_;
+  size_t item_cursor_ = 0;
   /// Serializes FilterPruner::CanPrune across workers (the adaptive
   /// PruningTree mutates per-node statistics on every probe).
   std::mutex runtime_prune_mutex_;
-  std::function<MorselPayload(Batch&&)> morsel_transform_;
+  MorselFold morsel_fold_;
   std::unique_ptr<ParallelScanScheduler> scheduler_;
 };
 

@@ -1,5 +1,6 @@
 #include "expr/evaluator.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "expr/like.h"
@@ -87,6 +88,410 @@ Value EvalConnective(const BoolConnectiveExpr& e, const MicroPartition& part,
   }
   if (saw_null) return Value::Null();
   return Value(is_and);
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized predicate evaluation (the ColumnBatch hot path)
+// ---------------------------------------------------------------------------
+
+void EvalMask(const Expr& expr, const MicroPartition& part,
+              std::vector<uint8_t>* out);
+
+/// Per-row scalar fallback for nodes the vectorized evaluator does not
+/// specialize (arithmetic, IF, nested value expressions). Boxes only the
+/// values this subtree touches; the batch's data flow stays unboxed.
+void FallbackMask(const Expr& expr, const MicroPartition& part,
+                  std::vector<uint8_t>* out) {
+  const size_t n = out->size();
+  for (size_t r = 0; r < n; ++r) {
+    Value v = EvalScalar(expr, part, r);
+    (*out)[r] = v.is_null() ? kPredNull
+                            : (v.bool_value() ? kPredTrue : kPredFalse);
+  }
+}
+
+const ColumnVector* AsBoundColumn(const Expr& e, const MicroPartition& part) {
+  if (e.kind() != ExprKind::kColumnRef) return nullptr;
+  const auto& ref = static_cast<const ColumnRefExpr&>(e);
+  if (!ref.bound() || ref.index() >= part.num_columns()) return nullptr;
+  return &part.column(ref.index());
+}
+
+const Value* AsLiteral(const Expr& e) {
+  if (e.kind() != ExprKind::kLiteral) return nullptr;
+  return &static_cast<const LiteralExpr&>(e).value();
+}
+
+bool ApplyCmp(CompareOp op, int c) {
+  switch (op) {
+    case CompareOp::kEq: return c == 0;
+    case CompareOp::kNe: return c != 0;
+    case CompareOp::kLt: return c < 0;
+    case CompareOp::kLe: return c <= 0;
+    case CompareOp::kGt: return c > 0;
+    case CompareOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+int CmpDouble(double x, double y) { return x < y ? -1 : (x > y ? 1 : 0); }
+int CmpInt(int64_t x, int64_t y) { return x < y ? -1 : (x > y ? 1 : 0); }
+
+/// Column-vs-literal comparison, typed loops per (column type, literal
+/// kind). `flip` means the literal was the *left* operand. Mirrors
+/// EvalCompare exactly: NULL on either side → NULL, cross-kind (string vs
+/// numeric, bool vs anything else) → NULL.
+void CompareColumnLiteral(const ColumnVector& col, const Value& lit,
+                          CompareOp op, bool flip, std::vector<uint8_t>* out) {
+  const size_t n = out->size();
+  const auto& nulls = col.null_mask();
+  auto run = [&](auto&& cmp_at) {
+    for (size_t r = 0; r < n; ++r) {
+      if (nulls[r]) {
+        (*out)[r] = kPredNull;
+        continue;
+      }
+      int c = cmp_at(r);
+      if (flip) c = -c;
+      (*out)[r] = ApplyCmp(op, c) ? kPredTrue : kPredFalse;
+    }
+  };
+  switch (col.type()) {
+    case DataType::kInt64:
+      if (lit.is_int64()) {
+        const int64_t y = lit.int64_value();
+        const auto& xs = col.int64_data();
+        run([&](size_t r) { return CmpInt(xs[r], y); });
+        return;
+      }
+      if (lit.is_float64()) {
+        const double y = lit.float64_value();
+        const auto& xs = col.int64_data();
+        run([&](size_t r) { return CmpDouble(static_cast<double>(xs[r]), y); });
+        return;
+      }
+      break;
+    case DataType::kFloat64:
+      if (lit.is_numeric()) {
+        const double y = lit.AsDouble();
+        const auto& xs = col.float64_data();
+        run([&](size_t r) { return CmpDouble(xs[r], y); });
+        return;
+      }
+      break;
+    case DataType::kString:
+      if (lit.is_string()) {
+        const std::string& y = lit.string_value();
+        const auto& xs = col.string_data();
+        run([&](size_t r) { return xs[r].compare(y); });
+        return;
+      }
+      break;
+    case DataType::kBool:
+      if (lit.is_bool()) {
+        const int y = lit.bool_value() ? 1 : 0;
+        const auto& xs = col.bool_data();
+        run([&](size_t r) { return static_cast<int>(xs[r]) - y; });
+        return;
+      }
+      break;
+  }
+  // Cross-kind comparison: NULL for every row, matching EvalCompare.
+  std::fill(out->begin(), out->end(), kPredNull);
+}
+
+void CompareColumnColumn(const ColumnVector& a, const ColumnVector& b,
+                         CompareOp op, std::vector<uint8_t>* out) {
+  const size_t n = out->size();
+  const auto& an = a.null_mask();
+  const auto& bn = b.null_mask();
+  auto run = [&](auto&& cmp_at) {
+    for (size_t r = 0; r < n; ++r) {
+      if (an[r] || bn[r]) {
+        (*out)[r] = kPredNull;
+        continue;
+      }
+      (*out)[r] = ApplyCmp(op, cmp_at(r)) ? kPredTrue : kPredFalse;
+    }
+  };
+  const bool a_num = a.type() == DataType::kInt64 || a.type() == DataType::kFloat64;
+  const bool b_num = b.type() == DataType::kInt64 || b.type() == DataType::kFloat64;
+  if (a_num && b_num) {
+    if (a.type() == DataType::kInt64 && b.type() == DataType::kInt64) {
+      const auto& xs = a.int64_data();
+      const auto& ys = b.int64_data();
+      run([&](size_t r) { return CmpInt(xs[r], ys[r]); });
+    } else {
+      auto at = [](const ColumnVector& c, size_t r) {
+        return c.type() == DataType::kInt64
+                   ? static_cast<double>(c.int64_data()[r])
+                   : c.float64_data()[r];
+      };
+      run([&](size_t r) { return CmpDouble(at(a, r), at(b, r)); });
+    }
+    return;
+  }
+  if (a.type() == DataType::kString && b.type() == DataType::kString) {
+    const auto& xs = a.string_data();
+    const auto& ys = b.string_data();
+    run([&](size_t r) { return xs[r].compare(ys[r]); });
+    return;
+  }
+  if (a.type() == DataType::kBool && b.type() == DataType::kBool) {
+    const auto& xs = a.bool_data();
+    const auto& ys = b.bool_data();
+    run([&](size_t r) {
+      return static_cast<int>(xs[r]) - static_cast<int>(ys[r]);
+    });
+    return;
+  }
+  std::fill(out->begin(), out->end(), kPredNull);
+}
+
+void CompareMask(const CompareExpr& e, const MicroPartition& part,
+                 std::vector<uint8_t>* out) {
+  const ColumnVector* lc = AsBoundColumn(*e.left(), part);
+  const ColumnVector* rc = AsBoundColumn(*e.right(), part);
+  const Value* lv = AsLiteral(*e.left());
+  const Value* rv = AsLiteral(*e.right());
+  if (lc != nullptr && rv != nullptr) {
+    if (rv->is_null()) {
+      std::fill(out->begin(), out->end(), kPredNull);
+      return;
+    }
+    CompareColumnLiteral(*lc, *rv, e.op(), /*flip=*/false, out);
+    return;
+  }
+  if (lv != nullptr && rc != nullptr) {
+    if (lv->is_null()) {
+      std::fill(out->begin(), out->end(), kPredNull);
+      return;
+    }
+    CompareColumnLiteral(*rc, *lv, e.op(), /*flip=*/true, out);
+    return;
+  }
+  if (lc != nullptr && rc != nullptr) {
+    CompareColumnColumn(*lc, *rc, e.op(), out);
+    return;
+  }
+  FallbackMask(e, part, out);
+}
+
+void ConnectiveMask(const BoolConnectiveExpr& e, const MicroPartition& part,
+                    std::vector<uint8_t>* out) {
+  const bool is_and = e.kind() == ExprKind::kAnd;
+  const size_t n = out->size();
+  std::fill(out->begin(), out->end(), is_and ? kPredTrue : kPredFalse);
+  std::vector<uint8_t> term(n);
+  for (const auto& t : e.terms()) {
+    EvalMask(*t, part, &term);
+    if (is_and) {
+      for (size_t r = 0; r < n; ++r) {
+        uint8_t& o = (*out)[r];
+        if (term[r] == kPredFalse) {
+          o = kPredFalse;  // FALSE dominates AND
+        } else if (term[r] == kPredNull && o == kPredTrue) {
+          o = kPredNull;
+        }
+      }
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        uint8_t& o = (*out)[r];
+        if (term[r] == kPredTrue) {
+          o = kPredTrue;  // TRUE dominates OR
+        } else if (term[r] == kPredNull && o == kPredFalse) {
+          o = kPredNull;
+        }
+      }
+    }
+  }
+}
+
+void InListMask(const InListExpr& e, const MicroPartition& part,
+                std::vector<uint8_t>* out) {
+  const ColumnVector* col = AsBoundColumn(*e.input(), part);
+  if (col == nullptr) {
+    FallbackMask(e, part, out);
+    return;
+  }
+  const size_t n = out->size();
+  const auto& nulls = col->null_mask();
+  const auto& vals = e.values();
+  auto run = [&](auto&& match_at) {
+    for (size_t r = 0; r < n; ++r) {
+      if (nulls[r]) {
+        (*out)[r] = kPredNull;
+        continue;
+      }
+      (*out)[r] = match_at(r) ? kPredTrue : kPredFalse;
+    }
+  };
+  switch (col->type()) {
+    case DataType::kInt64: {
+      const auto& xs = col->int64_data();
+      run([&](size_t r) {
+        for (const Value& cand : vals) {
+          if (cand.is_null() || cand.is_string() || cand.is_bool()) continue;
+          if (cand.is_int64() ? xs[r] == cand.int64_value()
+                              : static_cast<double>(xs[r]) ==
+                                    cand.float64_value()) {
+            return true;
+          }
+        }
+        return false;
+      });
+      return;
+    }
+    case DataType::kFloat64: {
+      const auto& xs = col->float64_data();
+      run([&](size_t r) {
+        for (const Value& cand : vals) {
+          if (cand.is_null() || cand.is_string() || cand.is_bool()) continue;
+          if (xs[r] == cand.AsDouble()) return true;
+        }
+        return false;
+      });
+      return;
+    }
+    case DataType::kString: {
+      const auto& xs = col->string_data();
+      run([&](size_t r) {
+        for (const Value& cand : vals) {
+          if (cand.is_string() && xs[r] == cand.string_value()) return true;
+        }
+        return false;
+      });
+      return;
+    }
+    case DataType::kBool: {
+      const auto& xs = col->bool_data();
+      run([&](size_t r) {
+        for (const Value& cand : vals) {
+          if (cand.is_bool() && (xs[r] != 0) == cand.bool_value()) return true;
+        }
+        return false;
+      });
+      return;
+    }
+  }
+  FallbackMask(e, part, out);
+}
+
+/// LIKE / STARTSWITH over a string column; non-string columns yield NULL
+/// for every row (matching the scalar evaluator's !is_string() path).
+template <typename MatchFn>
+void StringMatchMask(const Expr& input, const MicroPartition& part,
+                     MatchFn match, const Expr& whole,
+                     std::vector<uint8_t>* out) {
+  const ColumnVector* col = AsBoundColumn(input, part);
+  if (col == nullptr) {
+    FallbackMask(whole, part, out);
+    return;
+  }
+  if (col->type() != DataType::kString) {
+    std::fill(out->begin(), out->end(), kPredNull);
+    return;
+  }
+  const size_t n = out->size();
+  const auto& nulls = col->null_mask();
+  const auto& xs = col->string_data();
+  for (size_t r = 0; r < n; ++r) {
+    (*out)[r] = nulls[r] ? kPredNull
+                         : (match(xs[r]) ? kPredTrue : kPredFalse);
+  }
+}
+
+void EvalMask(const Expr& expr, const MicroPartition& part,
+              std::vector<uint8_t>* out) {
+  switch (expr.kind()) {
+    case ExprKind::kCompare:
+      CompareMask(static_cast<const CompareExpr&>(expr), part, out);
+      return;
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      ConnectiveMask(static_cast<const BoolConnectiveExpr&>(expr), part, out);
+      return;
+    case ExprKind::kNot: {
+      EvalMask(*static_cast<const NotExpr&>(expr).input(), part, out);
+      for (auto& m : *out) {
+        if (m != kPredNull) m = m == kPredTrue ? kPredFalse : kPredTrue;
+      }
+      return;
+    }
+    case ExprKind::kNotTrue: {
+      EvalMask(*static_cast<const NotTrueExpr&>(expr).input(), part, out);
+      for (auto& m : *out) m = m == kPredTrue ? kPredFalse : kPredTrue;
+      return;
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(expr);
+      const ColumnVector* col = AsBoundColumn(*e.input(), part);
+      if (col == nullptr) {
+        FallbackMask(expr, part, out);
+        return;
+      }
+      const auto& nulls = col->null_mask();
+      for (size_t r = 0; r < out->size(); ++r) {
+        const bool is_null = nulls[r] != 0;
+        (*out)[r] =
+            (e.negate() ? !is_null : is_null) ? kPredTrue : kPredFalse;
+      }
+      return;
+    }
+    case ExprKind::kLike: {
+      const auto& e = static_cast<const LikeExpr&>(expr);
+      StringMatchMask(
+          *e.input(), part,
+          [&](const std::string& s) { return LikeMatch(s, e.pattern()); },
+          expr, out);
+      return;
+    }
+    case ExprKind::kStartsWith: {
+      const auto& e = static_cast<const StartsWithExpr&>(expr);
+      StringMatchMask(
+          *e.input(), part,
+          [&](const std::string& s) {
+            return s.compare(0, e.prefix().size(), e.prefix()) == 0;
+          },
+          expr, out);
+      return;
+    }
+    case ExprKind::kInList:
+      InListMask(static_cast<const InListExpr&>(expr), part, out);
+      return;
+    case ExprKind::kColumnRef: {
+      const ColumnVector* col = AsBoundColumn(expr, part);
+      if (col != nullptr && col->type() == DataType::kBool) {
+        const auto& nulls = col->null_mask();
+        const auto& xs = col->bool_data();
+        for (size_t r = 0; r < out->size(); ++r) {
+          (*out)[r] = nulls[r] ? kPredNull
+                               : (xs[r] != 0 ? kPredTrue : kPredFalse);
+        }
+        return;
+      }
+      FallbackMask(expr, part, out);
+      return;
+    }
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(expr).value();
+      if (v.is_null()) {
+        std::fill(out->begin(), out->end(), kPredNull);
+        return;
+      }
+      if (v.is_bool()) {
+        std::fill(out->begin(), out->end(),
+                  v.bool_value() ? kPredTrue : kPredFalse);
+        return;
+      }
+      FallbackMask(expr, part, out);
+      return;
+    }
+    default:
+      // kArith / kIf as a predicate root: scalar semantics per row.
+      FallbackMask(expr, part, out);
+      return;
+  }
 }
 
 }  // namespace
@@ -182,6 +587,24 @@ int64_t CountMatches(const Expr& expr, const MicroPartition& partition) {
   int64_t n = 0;
   for (uint8_t m : EvalPredicateMask(expr, partition)) n += m;
   return n;
+}
+
+void EvalPredicateOutcomes(const Expr& expr, const MicroPartition& partition,
+                           std::vector<uint8_t>* out) {
+  out->assign(static_cast<size_t>(partition.row_count()), kPredFalse);
+  EvalMask(expr, partition, out);
+}
+
+void ComputeSelection(const Expr& expr, const MicroPartition& partition,
+                      std::vector<uint32_t>* selection) {
+  selection->clear();
+  std::vector<uint8_t> outcomes;
+  EvalPredicateOutcomes(expr, partition, &outcomes);
+  for (size_t r = 0; r < outcomes.size(); ++r) {
+    if (outcomes[r] == kPredTrue) {
+      selection->push_back(static_cast<uint32_t>(r));
+    }
+  }
 }
 
 }  // namespace snowprune

@@ -21,9 +21,34 @@ std::optional<bool> EvalPredicate(const Expr& expr,
                                   const MicroPartition& partition, size_t row);
 
 /// Evaluates a predicate over all rows of a partition; mask[i] == 1 iff the
-/// row satisfies the predicate (NULL counts as not satisfied).
+/// row satisfies the predicate (NULL counts as not satisfied). Row-by-row
+/// scalar evaluation — kept brute-force on purpose, as the oracle the
+/// vectorized path is property-tested against.
 std::vector<uint8_t> EvalPredicateMask(const Expr& expr,
                                        const MicroPartition& partition);
+
+/// Three-valued outcome encoding used by the vectorized predicate path.
+enum PredicateOutcome : uint8_t {
+  kPredFalse = 0,
+  kPredTrue = 1,
+  kPredNull = 2,
+};
+
+/// Vectorized predicate evaluation (the ColumnBatch hot path): fills `out`
+/// with one PredicateOutcome per partition row. Semantics are identical to
+/// EvalPredicate row-by-row; comparisons against literals, column-column
+/// comparisons, AND/OR/NOT, IS [NOT] NULL, IN, LIKE and STARTSWITH over
+/// column inputs run unboxed column-at-a-time, any other node (arithmetic,
+/// IF, nested value expressions) falls back to the scalar evaluator for
+/// that subtree's rows.
+void EvalPredicateOutcomes(const Expr& expr, const MicroPartition& partition,
+                           std::vector<uint8_t>* out);
+
+/// Fills `selection` (replacing its contents) with the physical indexes of
+/// the rows of `partition` satisfying `expr`, in ascending order — the
+/// selection-vector form consumed by ColumnBatch.
+void ComputeSelection(const Expr& expr, const MicroPartition& partition,
+                      std::vector<uint32_t>* selection);
 
 /// Number of rows in `partition` satisfying `expr` (brute force; the test
 /// oracle that pruning results are validated against).

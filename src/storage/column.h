@@ -52,6 +52,15 @@ class ColumnVector {
   double Float64At(size_t i) const { return doubles_[i]; }
   const std::string& StringAt(size_t i) const { return strings_[i]; }
 
+  /// Raw typed storage for vectorized consumers (the ColumnBatch hot path).
+  /// Only the vector matching type() is populated; NULL rows hold a
+  /// default-valued slot, so indexes align with the null mask.
+  const std::vector<uint8_t>& null_mask() const { return null_mask_; }
+  const std::vector<uint8_t>& bool_data() const { return bools_; }
+  const std::vector<int64_t>& int64_data() const { return ints_; }
+  const std::vector<double>& float64_data() const { return doubles_; }
+  const std::vector<std::string>& string_data() const { return strings_; }
+
   /// Boxed accessor (returns Value::Null() for null rows).
   Value ValueAt(size_t i) const;
 

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "exec/column_batch.h"
 #include "exec/engine.h"
 #include "exec/row_eval.h"
+#include "exec/scan_op.h"
 #include "expr/builder.h"
 #include "expr/evaluator.h"
 #include "test_util.h"
@@ -317,6 +319,158 @@ TEST(RowEvalTest, AgreesWithPartitionEvaluator) {
       EXPECT_EQ(EvalRow(*e, row), EvalScalar(*e, part, i)) << e->ToString();
     }
   }
+}
+
+// ------------------------------------- ColumnBatch (unboxed scan path) ----
+
+/// A small mixed-type partition: int64 (with NULL), string (with NULL),
+/// bool.
+std::shared_ptr<Table> MixedTable() {
+  Schema schema({Field{"x", DataType::kInt64, true},
+                 Field{"s", DataType::kString, true},
+                 Field{"b", DataType::kBool, true}});
+  return MakeTable("mix", schema,
+                   {{Value(int64_t{4}), Value("abc"), Value(true)},
+                    {Value::Null(), Value("zzz"), Value(false)},
+                    {Value(int64_t{-2}), Value::Null(), Value(true)},
+                    {Value(int64_t{7}), Value("abd"), Value::Null()}},
+                   4);
+}
+
+TEST(ColumnBatchTest, AllOfCoversEveryRowAndMaterializesBoxed) {
+  auto table = MixedTable();
+  const MicroPartition& part = table->partition_metadata(0);
+  ColumnBatch batch = ColumnBatch::AllOf(part, /*source=*/0);
+  ASSERT_EQ(batch.num_rows(), 4u);
+  EXPECT_EQ(batch.num_columns(), 3u);
+  EXPECT_EQ(batch.source(), PartitionId{0});
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(batch.row_index(i), i);
+
+  Batch boxed = batch.Materialize(/*track_source=*/true);
+  ASSERT_EQ(boxed.rows.size(), 4u);
+  ASSERT_TRUE(boxed.has_source());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(boxed.source[i], PartitionId{0});
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_TRUE(boxed.rows[i][c] == part.column(c).ValueAt(i))
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(ColumnBatchTest, SelectionSubsetsAndPreservesOrder) {
+  auto table = MixedTable();
+  const MicroPartition& part = table->partition_metadata(0);
+  ColumnBatch batch = ColumnBatch::Selected(part, /*source=*/0, {1, 3});
+  ASSERT_EQ(batch.num_rows(), 2u);
+  EXPECT_EQ(batch.row_index(0), 1u);
+  EXPECT_EQ(batch.row_index(1), 3u);
+
+  Batch boxed = batch.Materialize(/*track_source=*/false);
+  ASSERT_EQ(boxed.rows.size(), 2u);
+  EXPECT_FALSE(boxed.has_source());
+  EXPECT_TRUE(boxed.rows[0][1] == Value("zzz"));
+  EXPECT_TRUE(boxed.rows[1][0] == Value(int64_t{7}));
+}
+
+TEST(ColumnBatchTest, EmptySelectionAndDefaultBatch) {
+  auto table = MixedTable();
+  const MicroPartition& part = table->partition_metadata(0);
+  ColumnBatch empty_sel = ColumnBatch::Selected(part, /*source=*/0, {});
+  EXPECT_EQ(empty_sel.num_rows(), 0u);
+  Batch boxed = empty_sel.Materialize(true);
+  EXPECT_TRUE(boxed.rows.empty());
+  EXPECT_TRUE(boxed.source.empty());
+
+  ColumnBatch unset;
+  EXPECT_FALSE(unset.valid());
+  EXPECT_EQ(unset.num_rows(), 0u);
+  unset.MaterializeInto(&boxed, true);
+  EXPECT_TRUE(boxed.rows.empty());
+}
+
+/// The vectorized selection path must agree row-for-row with the scalar
+/// oracle, across vectorized shapes (comparisons, connectives, IN, LIKE,
+/// IS NULL, column-column, bool column) AND shapes that take the scalar
+/// fallback (arithmetic, IF).
+TEST(ColumnBatchTest, VectorizedSelectionAgreesWithScalarMask) {
+  auto table = MixedTable();
+  Schema schema({Field{"x", DataType::kInt64, true},
+                 Field{"s", DataType::kString, true},
+                 Field{"b", DataType::kBool, true}});
+  std::vector<ExprPtr> preds = {
+      Gt(Col("x"), Lit(0)),
+      Lt(Lit(0), Col("x")),                      // literal on the left
+      Eq(Col("s"), Lit("abc")),
+      Eq(Col("x"), Lit("abc")),                  // cross-kind → NULL
+      Eq(Col("b"), Lit(true)),
+      Col("b"),                                  // bare bool column
+      And({Gt(Col("x"), Lit(-10)), Like(Col("s"), "ab%")}),
+      Or({IsNull(Col("x")), StartsWith(Col("s"), "z")}),
+      Not(Eq(Col("s"), Lit("abc"))),
+      NotTrue(Gt(Col("x"), Lit(5))),
+      In(Col("x"), {Value(int64_t{4}), Value(2.0), Value("x")}),
+      In(Col("s"), {Value("zzz"), Value(int64_t{1})}),
+      Eq(Col("x"), Col("x")),
+      Lt(Col("x"), Col("x")),
+      Gt(Add(Col("x"), Lit(1)), Lit(2)),         // arithmetic → fallback
+      Gt(If(Col("b"), Col("x"), Lit(0)), Lit(1)),  // IF → fallback
+      Le(Col("x"), Lit(4.5)),                    // int column vs float lit
+  };
+  const MicroPartition& part = table->partition_metadata(0);
+  for (const auto& p : preds) {
+    ASSERT_TRUE(BindExpr(p, schema).ok());
+    std::vector<uint8_t> oracle = EvalPredicateMask(*p, part);
+    std::vector<uint32_t> selection;
+    ComputeSelection(*p, part, &selection);
+    std::vector<uint32_t> expected;
+    for (uint32_t r = 0; r < oracle.size(); ++r) {
+      if (oracle[r]) expected.push_back(r);
+    }
+    EXPECT_EQ(selection, expected) << p->ToString();
+    // The three-valued outcomes must also match the scalar evaluator.
+    std::vector<uint8_t> outcomes;
+    EvalPredicateOutcomes(*p, part, &outcomes);
+    for (size_t r = 0; r < outcomes.size(); ++r) {
+      auto scalar = EvalPredicate(*p, part, r);
+      uint8_t want = !scalar.has_value() ? kPredNull
+                                         : (*scalar ? kPredTrue : kPredFalse);
+      EXPECT_EQ(outcomes[r], want) << p->ToString() << " row " << r;
+    }
+  }
+}
+
+/// TableScanOp's native output: one ColumnBatch per partition whose
+/// selection equals the scalar predicate mask.
+TEST_F(ExecTest, ScanEmitsColumnBatchesMatchingScalarOracle) {
+  auto pred = Between(Col("key"), Value(int64_t{10000}), Value(int64_t{30000}));
+  ASSERT_TRUE(BindExpr(pred, fact_->schema()).ok());
+  PruningStats stats;
+  TableScanOp scan(fact_, fact_->FullScanSet(), pred, &stats);
+  scan.Open();
+  ColumnBatch batch;
+  size_t batches = 0;
+  int64_t selected_rows = 0;
+  while (scan.NextColumns(&batch)) {
+    ++batches;
+    ASSERT_TRUE(batch.valid());
+    std::vector<uint8_t> oracle =
+        EvalPredicateMask(*pred, *batch.partition());
+    size_t oracle_count = 0;
+    for (size_t r = 0; r < oracle.size(); ++r) {
+      if (oracle[r]) ++oracle_count;
+    }
+    ASSERT_EQ(batch.num_rows(), oracle_count);
+    for (size_t i = 0; i < batch.num_rows(); ++i) {
+      EXPECT_TRUE(oracle[batch.row_index(i)]);
+    }
+    selected_rows += static_cast<int64_t>(batch.num_rows());
+  }
+  scan.Close();
+  EXPECT_EQ(batches, fact_->num_partitions());  // one batch per partition
+  EXPECT_GT(selected_rows, 0);
+  EXPECT_EQ(stats.scanned_partitions,
+            static_cast<int64_t>(fact_->num_partitions()));
 }
 
 // ----------------------------------------------------- Engine misc ----------

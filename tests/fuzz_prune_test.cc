@@ -16,6 +16,7 @@
 #include "core/limit_pruner.h"
 #include "exec/engine.h"
 #include "exec/row_eval.h"
+#include "expr/evaluator.h"
 #include "expr/range_analysis.h"
 #include "expr/builder.h"
 #include "test_util.h"
@@ -178,6 +179,33 @@ std::string Serialize(const std::vector<Row>& rows) {
     s += '\n';
   }
   return s;
+}
+
+/// A random micro-partition matching the synthetic schema
+/// (id int64, key int64, val float64 nullable, cat string, ts int64) —
+/// the INSERT/UPDATE payload for the DML-churn fuzz.
+MicroPartition RandomPartition(Rng* rng, PartitionId id) {
+  const size_t rows = static_cast<size_t>(rng->UniformInt(3, 50));
+  ColumnVector ids(DataType::kInt64), key(DataType::kInt64),
+      val(DataType::kFloat64), cat(DataType::kString), ts(DataType::kInt64);
+  for (size_t r = 0; r < rows; ++r) {
+    ids.AppendInt64(rng->UniformInt(0, 1000000));
+    key.AppendInt64(rng->UniformInt(-100, 2100));
+    if (rng->Bernoulli(0.2)) {
+      val.AppendNull();
+    } else {
+      val.AppendFloat64(rng->Uniform() * 2.0 - 0.5);
+    }
+    cat.AppendString("c" + std::to_string(rng->UniformInt(0, 30)));
+    ts.AppendInt64(rng->UniformInt(-100, 2100));
+  }
+  std::vector<ColumnVector> cols;
+  cols.push_back(std::move(ids));
+  cols.push_back(std::move(key));
+  cols.push_back(std::move(val));
+  cols.push_back(std::move(cat));
+  cols.push_back(std::move(ts));
+  return MicroPartition(id, std::move(cols));
 }
 
 // --------------------------------------------------------------------------
@@ -408,6 +436,172 @@ TEST(FuzzPruneTest, EngineAgreesWithUnprunedExecution) {
     std::vector<Row> agg_on = engine.Run(agg, true, 1);
     ASSERT_EQ(Serialize(engine.Run(agg, false, 1)), Serialize(agg_on)) << ctx;
     ExpectParallelIdentical(&engine, agg, agg_on, ctx);
+  }
+}
+
+/// The vectorized selection path (ColumnBatch hot path) must agree with the
+/// brute-force scalar mask on every random table × predicate — including
+/// the shapes that take the per-row fallback (arithmetic, IF).
+TEST(FuzzPruneTest, VectorizedSelectionAgreesWithScalarOracle) {
+  for (int iter = 0; iter < 150; ++iter) {
+    Rng rng(73000 + iter);
+    auto table = RandomTable(&rng, "v" + std::to_string(iter));
+    ExprPtr pred = RandomPredicate(&rng, *table, 2);
+    ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+    for (size_t pid = 0; pid < table->num_partitions(); ++pid) {
+      const MicroPartition& part =
+          table->partition_metadata(static_cast<PartitionId>(pid));
+      std::vector<uint8_t> oracle = EvalPredicateMask(*pred, part);
+      std::vector<uint32_t> selection;
+      ComputeSelection(*pred, part, &selection);
+      std::vector<uint32_t> expected;
+      for (uint32_t r = 0; r < oracle.size(); ++r) {
+        if (oracle[r]) expected.push_back(r);
+      }
+      ASSERT_EQ(selection, expected)
+          << "iter " << iter << " partition " << pid << " predicate "
+          << pred->ToString();
+    }
+  }
+}
+
+/// §8.1: partitions whose zone maps were dropped (external files without
+/// metadata) must never be pruned — there is no proof — and query results
+/// must stay identical to unpruned execution, serially and in parallel.
+TEST(FuzzPruneTest, MissingMetadataIsNeverFalselyPruned) {
+  for (int iter = 0; iter < 60; ++iter) {
+    Rng rng(83000 + iter);
+    auto table = RandomTable(&rng, "m");
+    const double fraction = 0.2 + rng.Uniform() * 0.6;
+    const size_t dropped = table->DropStatsOnFraction(fraction, rng.Next());
+    const std::string ctx =
+        "iter " + std::to_string(iter) + " (" + std::to_string(dropped) +
+        " partitions without stats)";
+
+    ExprPtr pred = RandomPredicate(&rng, *table, 2);
+    ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+    std::vector<int64_t> oracle = MatchCountsPerPartition(*table, pred);
+
+    // Pruner level: a stats-less partition can never be pruned (no proof),
+    // and no matching partition may be dropped regardless of stats.
+    FilterPruner pruner(pred);
+    FilterPruneResult res = pruner.Prune(*table, table->FullScanSet());
+    std::set<PartitionId> kept(res.scan_set.begin(), res.scan_set.end());
+    for (size_t pid = 0; pid < table->num_partitions(); ++pid) {
+      const auto id = static_cast<PartitionId>(pid);
+      if (!table->partition_metadata(id).has_stats()) {
+        ASSERT_TRUE(kept.count(id) > 0)
+            << ctx << ": stats-less partition " << pid << " was pruned";
+      }
+      if (oracle[pid] > 0) {
+        ASSERT_TRUE(kept.count(id) > 0)
+            << ctx << ": matching partition " << pid << " was pruned";
+      }
+    }
+    // Fully-matching classification still needs to be row-exact.
+    for (PartitionId pid : res.fully_matching) {
+      ASSERT_EQ(oracle[pid], table->partition_metadata(pid).row_count())
+          << ctx;
+    }
+
+    // Engine level: pruning on == off, parallel == serial, for the shapes
+    // §8.1 stresses (scan, top-k, LIMIT).
+    FuzzEngine engine(table);
+    auto scan = ScanPlan("m", pred);
+    std::vector<Row> rows = engine.Run(scan, true, 1);
+    ASSERT_EQ(Serialize(engine.Run(scan, false, 1)), Serialize(rows)) << ctx;
+    ExpectParallelIdentical(&engine, scan, rows, ctx);
+
+    int64_t k = rng.UniformInt(1, 20);
+    auto topk = TopKPlan(ScanPlan("m", pred), "key", rng.Bernoulli(0.5), k);
+    std::vector<Row> topk_rows = engine.Run(topk, true, 1);
+    ASSERT_EQ(engine.Run(topk, false, 1).size(), topk_rows.size()) << ctx;
+    ExpectParallelIdentical(&engine, topk, topk_rows, ctx);
+
+    int64_t total_matches = 0;
+    for (int64_t c : oracle) total_matches += c;
+    auto limit = LimitPlan(ScanPlan("m", pred), k);
+    std::vector<Row> limit_rows = engine.Run(limit, true, 1);
+    ASSERT_EQ(static_cast<int64_t>(limit_rows.size()),
+              std::min(k, total_matches))
+        << ctx;
+    ExpectParallelIdentical(&engine, limit, limit_rows, ctx);
+  }
+}
+
+/// DML churn between queries: inserts, whole-partition deletes, and
+/// replaces (plus occasional zone-map drops) must never desynchronize
+/// pruned execution from the brute-force row oracle, serially or in
+/// parallel.
+TEST(FuzzPruneTest, DmlChurnKeepsOracleAgreement) {
+  for (int iter = 0; iter < 25; ++iter) {
+    Rng rng(91000 + iter);
+    auto table = RandomTable(&rng, "d");
+    FuzzEngine engine(table);
+
+    for (int round = 0; round < 6; ++round) {
+      // One DML operation between queries.
+      switch (rng.UniformInt(0, 3)) {
+        case 0:  // INSERT: append a fresh partition
+          table->AppendPartition(RandomPartition(
+              &rng, static_cast<PartitionId>(table->num_partitions())));
+          break;
+        case 1:  // DELETE: drop a random partition (ids compact)
+          if (table->num_partitions() > 1) {
+            table->DeletePartition(static_cast<PartitionId>(rng.UniformInt(
+                0, static_cast<int64_t>(table->num_partitions()) - 1)));
+          }
+          break;
+        case 2:  // UPDATE: replace a random partition's contents
+          if (table->num_partitions() > 0) {
+            auto pid = static_cast<PartitionId>(rng.UniformInt(
+                0, static_cast<int64_t>(table->num_partitions()) - 1));
+            table->ReplacePartition(pid, RandomPartition(&rng, pid));
+          }
+          break;
+        default:  // §8.1 drift: some new files arrive without metadata
+          table->DropStatsOnFraction(0.2, rng.Next());
+          break;
+      }
+
+      ExprPtr pred = RandomPredicate(&rng, *table, 2);
+      ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+      std::vector<int64_t> oracle = MatchCountsPerPartition(*table, pred);
+      int64_t total_matches = 0;
+      for (int64_t c : oracle) total_matches += c;
+      const std::string ctx =
+          "iter " + std::to_string(iter) + " round " + std::to_string(round);
+
+      auto scan = ScanPlan("d", pred);
+      std::vector<Row> rows = engine.Run(scan, true, 1);
+      ASSERT_EQ(static_cast<int64_t>(rows.size()), total_matches)
+          << ctx << ": pruned scan disagrees with the row oracle after DML";
+      ASSERT_EQ(Serialize(engine.Run(scan, false, 1)), Serialize(rows))
+          << ctx;
+      ExpectParallelIdentical(&engine, scan, rows, ctx);
+
+      int64_t k = rng.UniformInt(1, 15);
+      auto limit = LimitPlan(ScanPlan("d", pred), k);
+      ASSERT_EQ(static_cast<int64_t>(engine.Run(limit, true, 1).size()),
+                std::min(k, total_matches))
+          << ctx;
+
+      auto topk = TopKPlan(ScanPlan("d", pred), "key", rng.Bernoulli(0.5), k);
+      std::vector<Row> topk_rows = engine.Run(topk, true, 1);
+      std::vector<Row> topk_off = engine.Run(topk, false, 1);
+      // Ties in the order column make several row sets equally valid; the
+      // winning order values must agree (multiset equality), as in
+      // EngineAgreesWithUnprunedExecution.
+      ASSERT_EQ(topk_rows.size(), topk_off.size()) << ctx;
+      auto order_values = [&](const std::vector<Row>& rows) {
+        std::vector<std::string> v;
+        for (const auto& r : rows) v.push_back(r[1].ToString());  // key
+        std::sort(v.begin(), v.end());
+        return v;
+      };
+      ASSERT_EQ(order_values(topk_rows), order_values(topk_off)) << ctx;
+      ExpectParallelIdentical(&engine, topk, topk_rows, ctx);
+    }
   }
 }
 

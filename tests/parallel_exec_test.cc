@@ -65,16 +65,19 @@ TEST(ThreadPoolTest, DefaultConcurrencyIsAtLeastOne) {
 // ParallelScanScheduler
 // --------------------------------------------------------------------------
 
-/// A morsel function that tags each result with its index; odd indexes are
-/// "pruned" (loaded = false).
+/// A morsel function that tags each result with its index (via the
+/// scanned_rows stat, since ColumnBatch payloads need a real partition);
+/// odd indexes are "pruned" (loaded = false).
 MorselResult IndexMorsel(size_t index) {
   MorselResult r;
-  r.loaded = (index % 2 == 0);
-  if (r.loaded) {
-    r.batch.rows.push_back({Value(static_cast<int64_t>(index))});
-    r.stats.scanned_partitions = 1;
+  r.items.resize(1);
+  MorselItem& item = r.items[0];
+  item.loaded = (index % 2 == 0);
+  if (item.loaded) {
+    item.stats.scanned_partitions = 1;
+    item.stats.scanned_rows = static_cast<int64_t>(index);
   } else {
-    r.stats.pruned_by_filter = 1;
+    item.stats.pruned_by_filter = 1;
   }
   return r;
 }
@@ -87,10 +90,10 @@ TEST(ParallelScanSchedulerTest, DeliversAllMorselsInOrder) {
     int64_t expected = 0;
     PruningStats stats;
     while (sched.Next(&morsel)) {
-      stats.Merge(morsel.stats);
-      if (morsel.loaded) {
-        ASSERT_EQ(morsel.batch.rows.size(), 1u);
-        EXPECT_EQ(morsel.batch.rows[0][0].int64_value(), expected);
+      ASSERT_EQ(morsel.items.size(), 1u);
+      stats.Merge(morsel.items[0].stats);
+      if (morsel.items[0].loaded) {
+        EXPECT_EQ(morsel.items[0].stats.scanned_rows, expected);
       }
       ++expected;
     }
@@ -314,6 +317,90 @@ TEST_F(ParallelEquivalenceTest, SpeculativeLoadsStaySerialEquivalent) {
   EXPECT_EQ(Serialize(serial), Serialize(parallel));
   ExpectSameStats(serial.stats, parallel.stats);
   EXPECT_GE(parallel.stats.speculative_loads, 0);
+}
+
+TEST_F(ParallelEquivalenceTest, SpeculativeLoadsAccountExactlyForWastedLoads) {
+  // The accounting audit: under the columnar path, every partition load the
+  // table meters must be either a delivered scan (scanned_partitions) or a
+  // re-check drop (speculative_loads) — never both, never neither — and
+  // every partition of a single-scan top-k query must end up scanned or
+  // pruned. Checked across thread counts, windows, and morsel budgets,
+  // with the topk-hostile config that maximizes speculation.
+  auto table = catalog_.GetTable("fact");
+  ASSERT_NE(table, nullptr);
+  auto plan = TopKPlan(ScanPlan("fact"), "key", true, 5);
+  for (bool hostile : {false, true}) {
+    EngineConfig config;
+    if (hostile) {
+      config.topk_order_strategy = OrderStrategy::kNone;
+      config.topk_boundary_init = BoundaryInitMode::kNone;
+    }
+    table->ResetMeters();
+    QueryResult serial = Run(plan, 1, config);
+    EXPECT_EQ(serial.stats.speculative_loads, 0);
+    EXPECT_EQ(table->load_count(), serial.stats.scanned_partitions);
+
+    for (size_t morsel_min_rows : {size_t{0}, size_t{250}, size_t{100000}}) {
+      for (int threads : {2, 8}) {
+        EngineConfig pconfig = config;
+        pconfig.exec.morsel_min_rows = morsel_min_rows;
+        table->ResetMeters();
+        QueryResult parallel = Run(plan, threads, pconfig);
+        ExpectSameStats(serial.stats, parallel.stats);
+        EXPECT_EQ(table->load_count(), parallel.stats.scanned_partitions +
+                                           parallel.stats.speculative_loads)
+            << "threads=" << threads << " morsel_min_rows=" << morsel_min_rows
+            << " hostile=" << hostile;
+        EXPECT_EQ(parallel.stats.scanned_partitions +
+                      parallel.stats.TotalPruned(),
+                  parallel.stats.total_partitions);
+      }
+    }
+  }
+  table->ResetMeters();
+}
+
+TEST_F(ParallelEquivalenceTest, MorselBatchingMatchesSerialAtEveryBudget) {
+  // Small partitions batched into multi-partition morsels must not change
+  // results or stats for any budget (0 = one partition per morsel; huge =
+  // the whole scan set in one morsel).
+  auto scan = ScanPlan(
+      "fact", Between(Col("key"), Value(int64_t{50000}),
+                      Value(int64_t{700000})));
+  auto agg = AggregatePlan(ScanPlan("fact"), {"cat"},
+                           {AggPlanSpec{AggFunc::kCount, "", "n"},
+                            AggPlanSpec{AggFunc::kSum, "key", "key_sum"}});
+  for (const auto& plan : {scan, agg}) {
+    QueryResult serial = Run(plan, 1);
+    for (size_t budget : {size_t{0}, size_t{100}, size_t{500},
+                          size_t{1000000}}) {
+      EngineConfig config;
+      config.exec.morsel_min_rows = budget;
+      QueryResult parallel = Run(plan, 4, config);
+      EXPECT_EQ(Serialize(serial), Serialize(parallel))
+          << "morsel_min_rows=" << budget;
+      ExpectSameStats(serial.stats, parallel.stats);
+    }
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, ForceParallelSingleWorkerMatchesSerial) {
+  // force_parallel runs the whole morsel machinery on a one-worker pool —
+  // the configuration bench_headline uses to meter pure parallel-path
+  // overhead. Must be byte-identical to the poolless serial path.
+  for (const auto& plan :
+       {ScanPlan("fact"),
+        AggregatePlan(ScanPlan("fact"), {"cat"},
+                      {AggPlanSpec{AggFunc::kCount, "", "n"},
+                       AggPlanSpec{AggFunc::kMax, "key", "key_max"}}),
+        TopKPlan(ScanPlan("fact"), "key", true, 10)}) {
+    QueryResult serial = Run(plan, 1);
+    EngineConfig config;
+    config.exec.force_parallel = true;
+    QueryResult forced = Run(plan, 1, config);
+    EXPECT_EQ(Serialize(serial), Serialize(forced));
+    ExpectSameStats(serial.stats, forced.stats);
+  }
 }
 
 }  // namespace

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/predicate_cache.h"
+#include "exec/engine.h"
+#include "expr/builder.h"
 #include "test_util.h"
+#include "workload/table_gen.h"
 
 namespace snowprune {
 namespace {
@@ -103,6 +107,178 @@ TEST(PredicateCacheConcurrencyTest, LookupsRaceInvalidation) {
   for (auto& th : threads) th.join();
 
   EXPECT_EQ(cache.hits() + cache.misses(), int64_t{kThreads - 1} * kIters);
+}
+
+// --------------------------------------------------------------------------
+// Request coalescing (LookupOrPopulate)
+// --------------------------------------------------------------------------
+
+/// Concurrent identical queries must trigger exactly ONE population: the
+/// first thread owns the computation, every other thread blocks and then
+/// hits the freshly published entry.
+TEST(PredicateCacheConcurrencyTest, CoalescingYieldsSinglePopulation) {
+  PredicateCache cache(/*capacity=*/64);
+  auto table = CacheTable("t", 16);
+  constexpr int kWaiters = 6;
+
+  // The owner (this thread) acquires the population ticket first.
+  PredicateCache::PopulateTicket ticket;
+  auto first = cache.LookupOrPopulate("fp", *table, &ticket);
+  ASSERT_FALSE(first.has_value());
+  ASSERT_TRUE(ticket.owns());
+
+  std::atomic<int> populations{0};
+  std::atomic<int> hits_seen{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    threads.emplace_back([&] {
+      PredicateCache::PopulateTicket mine;
+      auto cached = cache.LookupOrPopulate("fp", *table, &mine);
+      if (mine.owns()) {
+        populations.fetch_add(1);
+        cache.Insert("fp", *table, "key", {1, 2});
+      } else {
+        ASSERT_TRUE(cached.has_value());
+        hits_seen.fetch_add(1);
+      }
+    });
+  }
+  // Let the waiters pile up on the in-flight population, then publish.
+  while (cache.coalesced_waits() < kWaiters) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  cache.Insert("fp", *table, "key", {0, 3});
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(populations.load(), 0);  // only this thread computed
+  EXPECT_EQ(hits_seen.load(), kWaiters);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), kWaiters);
+  EXPECT_EQ(cache.coalesced_waits(), kWaiters);
+}
+
+/// An abandoned population (query failed, ticket destroyed without Insert)
+/// must release the waiters and let exactly one of them take over.
+TEST(PredicateCacheConcurrencyTest, AbandonedPopulationHandsOffOwnership) {
+  PredicateCache cache(/*capacity=*/64);
+  auto table = CacheTable("t", 16);
+  constexpr int kWaiters = 4;
+
+  auto ticket = std::make_unique<PredicateCache::PopulateTicket>();
+  auto first = cache.LookupOrPopulate("fp", *table, ticket.get());
+  ASSERT_FALSE(first.has_value());
+
+  std::atomic<int> populations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWaiters; ++t) {
+    threads.emplace_back([&] {
+      PredicateCache::PopulateTicket mine;
+      auto cached = cache.LookupOrPopulate("fp", *table, &mine);
+      if (mine.owns()) {
+        populations.fetch_add(1);
+        cache.Insert("fp", *table, "key", {5});
+      } else {
+        ASSERT_TRUE(cached.has_value());
+      }
+    });
+  }
+  while (cache.coalesced_waits() < kWaiters) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ticket.reset();  // abandon without publishing
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(populations.load(), 1);  // exactly one waiter took over
+  EXPECT_EQ(cache.misses(), 2);      // original owner + successor
+  EXPECT_EQ(cache.hits(), kWaiters - 1);
+}
+
+/// End-to-end through the engine: two engines sharing one cache run the
+/// same top-k query concurrently. Coalescing must make the second query
+/// wait for (and reuse) the first one's population — one miss, one hit —
+/// with byte-identical results.
+TEST(PredicateCacheConcurrencyTest, ConcurrentIdenticalQueriesCoalesce) {
+  Catalog catalog;
+  workload::TableGenConfig cfg;
+  cfg.name = "t";
+  cfg.num_partitions = 24;
+  cfg.rows_per_partition = 80;
+  cfg.layout = workload::Layout::kClustered;
+  cfg.seed = 321;
+  ASSERT_TRUE(catalog.RegisterTable(workload::SyntheticTable(cfg)).ok());
+
+  PredicateCache cache(/*capacity=*/64);
+  auto plan = TopKPlan(ScanPlan("t"), "key", /*descending=*/true, 7);
+
+  auto run = [&]() {
+    EngineConfig config;
+    config.predicate_cache = &cache;
+    config.exec.num_threads = 1;
+    Engine engine(&catalog, config);
+    auto result = engine.Execute(plan);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  };
+
+  QueryResult r1, r2;
+  std::thread t1([&] { r1 = run(); });
+  std::thread t2([&] { r2 = run(); });
+  t1.join();
+  t2.join();
+
+  // Exactly one population: one engine missed (and computed), the other
+  // either waited on the in-flight population or arrived after the publish
+  // — a hit either way.
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 1);
+  ASSERT_EQ(r1.rows.size(), r2.rows.size());
+  for (size_t i = 0; i < r1.rows.size(); ++i) {
+    ASSERT_EQ(r1.rows[i].size(), r2.rows[i].size());
+    for (size_t j = 0; j < r1.rows[i].size(); ++j) {
+      EXPECT_TRUE(r1.rows[i][j] == r2.rows[i][j]);
+    }
+  }
+  EXPECT_TRUE(r1.predicate_cache_hit || r2.predicate_cache_hit);
+}
+
+/// Regression: a plan with TWO cache-eligible top-k scans must not
+/// hold-and-wait across fingerprints. Two engines compiling mirror-image
+/// join-of-top-k plans concurrently would ABBA-deadlock if a compile could
+/// block on one fingerprint while owning another's population ticket; the
+/// engine therefore coalesces only the first cache-eligible scan per plan.
+/// (A regression here shows up as this test hanging.)
+TEST(PredicateCacheConcurrencyTest, MirrorJoinTopKPlansDoNotDeadlock) {
+  Catalog catalog;
+  for (const char* name : {"a", "b"}) {
+    workload::TableGenConfig cfg;
+    cfg.name = name;
+    cfg.num_partitions = 8;
+    cfg.rows_per_partition = 40;
+    cfg.seed = name[0];
+    ASSERT_TRUE(catalog.RegisterTable(workload::SyntheticTable(cfg)).ok());
+  }
+  PredicateCache cache(/*capacity=*/64);
+  auto plan1 = JoinPlan(TopKPlan(ScanPlan("a"), "key", true, 5),
+                        TopKPlan(ScanPlan("b"), "key", true, 5), "key", "key");
+  auto plan2 = JoinPlan(TopKPlan(ScanPlan("b"), "key", true, 5),
+                        TopKPlan(ScanPlan("a"), "key", true, 5), "key", "key");
+
+  auto run = [&](const PlanPtr& plan) {
+    for (int i = 0; i < 25; ++i) {
+      EngineConfig config;
+      config.predicate_cache = &cache;
+      config.exec.num_threads = 1;
+      Engine engine(&catalog, config);
+      auto result = engine.Execute(plan);
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+    }
+  };
+  std::thread t1([&] { run(plan1); });
+  std::thread t2([&] { run(plan2); });
+  t1.join();
+  t2.join();
+  EXPECT_GT(cache.hits() + cache.misses(), 0);
 }
 
 /// Single-threaded sanity: after one Insert, repeats hit; eviction respects
