@@ -1,0 +1,24 @@
+#ifndef SNOWPRUNE_COMMON_CLOCK_H_
+#define SNOWPRUNE_COMMON_CLOCK_H_
+
+#include <chrono>
+
+namespace snowprune {
+
+/// Milliseconds between two steady-clock points, at nanosecond precision —
+/// the one latency/wall-time conversion used engine- and service-wide.
+inline double MsBetween(std::chrono::steady_clock::time_point t0,
+                        std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+             .count() /
+         1e6;
+}
+
+/// Milliseconds elapsed since `t0`.
+inline double MsSince(std::chrono::steady_clock::time_point t0) {
+  return MsBetween(t0, std::chrono::steady_clock::now());
+}
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_COMMON_CLOCK_H_

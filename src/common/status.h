@@ -15,6 +15,8 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kResourceExhausted,  ///< Admission rejection: a bounded queue is full.
+  kUnavailable,        ///< The serving component is shutting down.
 };
 
 /// A lightweight success-or-error carrier, modeled after the Status idiom
@@ -42,6 +44,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -58,6 +66,10 @@ class Status {
       case StatusCode::kOutOfRange: name = "OutOfRange"; break;
       case StatusCode::kUnimplemented: name = "Unimplemented"; break;
       case StatusCode::kInternal: name = "Internal"; break;
+      case StatusCode::kResourceExhausted:
+        name = "ResourceExhausted";
+        break;
+      case StatusCode::kUnavailable: name = "Unavailable"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -12,7 +12,7 @@ void PredicateCache::Insert(const std::string& fingerprint, const Table& table,
   partitions.erase(std::unique(partitions.begin(), partitions.end()),
                    partitions.end());
   Entry entry{table.name(), std::move(order_column), std::move(partitions),
-              table.num_partitions()};
+              table.num_partitions(), table.instance_id()};
   auto [it, inserted] = entries_.insert_or_assign(fingerprint, std::move(entry));
   (void)it;
   if (inserted) {
@@ -27,7 +27,10 @@ void PredicateCache::Insert(const std::string& fingerprint, const Table& table,
 std::optional<std::vector<PartitionId>> PredicateCache::EntryScanSetLocked(
     const std::string& fingerprint, const Table& table) const {
   auto it = entries_.find(fingerprint);
-  if (it == entries_.end() || it->second.table_name != table.name()) {
+  if (it == entries_.end() || it->second.table_name != table.name() ||
+      it->second.table_instance != table.instance_id()) {
+    // Name or version mismatch: a replaced table (new instance under the
+    // same name) must never be served the old version's scan set.
     return std::nullopt;
   }
   std::vector<PartitionId> result = it->second.partitions;

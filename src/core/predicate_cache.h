@@ -148,12 +148,37 @@ class PredicateCache {
     return coalesced_waits_;
   }
 
+  /// A mutually consistent view of all counters. Under inter-query
+  /// concurrency the individual accessors can tear against each other
+  /// (hits sampled before a query, misses after); service-layer reporting
+  /// reads everything under one lock acquisition instead of four.
+  struct Counters {
+    size_t size = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t coalesced_waits = 0;
+    double HitRate() const {
+      const int64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  Counters snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Counters{entries_.size(), hits_, misses_, coalesced_waits_};
+  }
+
  private:
   struct Entry {
     std::string table_name;
     std::string order_column;
     std::vector<PartitionId> partitions;
     size_t table_partitions_at_insert;
+    /// Table *version* identity: a ReplaceTable swap installs a new Table
+    /// object under the same name, whose data owes nothing to this entry's
+    /// partitions — lookups validate the instance and miss on mismatch.
+    uint64_t table_instance = 0;
   };
 
   /// Caller must hold mutex_.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 
+#include "common/clock.h"
 #include "exec/ops.h"
 #include "exec/parallel/thread_pool.h"
 #include "exec/scan_op.h"
@@ -35,6 +36,33 @@ struct ColumnTrace {
   const PlanNode* build_join_node = nullptr; ///< Figure 7c (build-outer join).
 };
 
+/// Per-query table snapshot: every table name the plan references is
+/// resolved against the (shared, mutable) catalog exactly once, before
+/// compilation; every later compile step — plan analysis included — reads
+/// the snapshot. A concurrent Catalog::ReplaceTable/DropTable therefore can
+/// never hand one query two versions of a table, or a mid-compile nullptr.
+using TableSnapshot = std::map<std::string, std::shared_ptr<Table>>;
+
+std::shared_ptr<Table> FindTable(const TableSnapshot& tables,
+                                 const std::string& name) {
+  auto it = tables.find(name);
+  return it == tables.end() ? nullptr : it->second;
+}
+
+/// Missing tables are simply left out; the scan compile reports NotFound.
+void CollectTables(const Catalog& catalog, const PlanPtr& plan,
+                   TableSnapshot* out) {
+  if (!plan) return;
+  if (plan->kind == PlanNode::Kind::kScan &&
+      out->find(plan->table) == out->end()) {
+    auto table = catalog.GetTable(plan->table);
+    if (table) (*out)[plan->table] = std::move(table);
+  }
+  CollectTables(catalog, plan->child, out);
+  CollectTables(catalog, plan->left, out);
+  CollectTables(catalog, plan->right, out);
+}
+
 }  // namespace
 
 /// Per-query compilation state: scan bookkeeping, pending runtime-pruning
@@ -58,6 +86,8 @@ struct Engine::CompileContext {
 
   PruningStats stats;
   QueryResult* result = nullptr;
+  /// The query's catalog snapshot (see TableSnapshot above).
+  TableSnapshot tables;
   std::map<const PlanNode*, ScanInfo> scans;
   std::map<const PlanNode*, HashAggregateOp*> agg_ops;
   std::vector<std::unique_ptr<TopKPruner>> pruners;
@@ -88,19 +118,19 @@ struct Engine::CompileContext {
 namespace {
 
 /// Does the subtree's output contain a column named `name`?
-bool PlanOutputsColumn(const Catalog& catalog, const PlanPtr& plan,
+bool PlanOutputsColumn(const TableSnapshot& tables, const PlanPtr& plan,
                        const std::string& name) {
   switch (plan->kind) {
     case PlanNode::Kind::kScan: {
-      auto table = catalog.GetTable(plan->table);
+      auto table = FindTable(tables, plan->table);
       return table && table->schema().FindColumn(name).has_value();
     }
     case PlanNode::Kind::kProject:
       return std::find(plan->names.begin(), plan->names.end(), name) !=
              plan->names.end();
     case PlanNode::Kind::kJoin:
-      return PlanOutputsColumn(catalog, plan->left, name) ||
-             PlanOutputsColumn(catalog, plan->right, name);
+      return PlanOutputsColumn(tables, plan->left, name) ||
+             PlanOutputsColumn(tables, plan->right, name);
     case PlanNode::Kind::kAggregate: {
       if (std::find(plan->group_columns.begin(), plan->group_columns.end(),
                     name) != plan->group_columns.end()) {
@@ -112,18 +142,18 @@ bool PlanOutputsColumn(const Catalog& catalog, const PlanPtr& plan,
       return false;
     }
     default:
-      return PlanOutputsColumn(catalog, plan->child, name);
+      return PlanOutputsColumn(tables, plan->child, name);
   }
 }
 
 /// Traces `column` from the top of `plan` down to a producing scan,
 /// validating the Figure 7 / §5.2 legality rules along the way. Returns an
 /// empty trace (scan == nullptr) when the shape is unsupported.
-ColumnTrace TraceColumnToScan(const Catalog& catalog, const PlanPtr& plan,
+ColumnTrace TraceColumnToScan(const TableSnapshot& tables, const PlanPtr& plan,
                               const std::string& column) {
   switch (plan->kind) {
     case PlanNode::Kind::kScan: {
-      auto table = catalog.GetTable(plan->table);
+      auto table = FindTable(tables, plan->table);
       if (table && table->schema().FindColumn(column).has_value()) {
         ColumnTrace t;
         t.scan = plan.get();
@@ -138,24 +168,24 @@ ColumnTrace TraceColumnToScan(const Catalog& catalog, const PlanPtr& plan,
       size_t idx = static_cast<size_t>(it - plan->names.begin());
       if (plan->exprs[idx]->kind() != ExprKind::kColumnRef) return {};
       const auto& ref = static_cast<const ColumnRefExpr&>(*plan->exprs[idx]);
-      return TraceColumnToScan(catalog, plan->child, ref.name());
+      return TraceColumnToScan(tables, plan->child, ref.name());
     }
     case PlanNode::Kind::kLimit:
     case PlanNode::Kind::kTopK:
     case PlanNode::Kind::kSort:
-      return TraceColumnToScan(catalog, plan->child, column);
+      return TraceColumnToScan(tables, plan->child, column);
     case PlanNode::Kind::kJoin: {
-      if (PlanOutputsColumn(catalog, plan->left, column)) {
+      if (PlanOutputsColumn(tables, plan->left, column)) {
         // Probe side: boundary-based skipping is safe for any join kind —
         // rows below the boundary cannot enter the heap even if they
         // survive the join (Figure 7b).
-        return TraceColumnToScan(catalog, plan->left, column);
+        return TraceColumnToScan(tables, plan->left, column);
       }
-      if (PlanOutputsColumn(catalog, plan->right, column)) {
+      if (PlanOutputsColumn(tables, plan->right, column)) {
         // Build side: only legal when the build side is preserved by the
         // join, where the TopK can be replicated below it (Figure 7c).
         if (plan->join_kind != JoinKind::kBuildOuter) return {};
-        ColumnTrace t = TraceColumnToScan(catalog, plan->right, column);
+        ColumnTrace t = TraceColumnToScan(tables, plan->right, column);
         if (t.scan != nullptr && t.build_join_node == nullptr) {
           t.build_join_node = plan.get();
         }
@@ -170,7 +200,7 @@ ColumnTrace TraceColumnToScan(const Catalog& catalog, const PlanPtr& plan,
                     column) == plan->group_columns.end()) {
         return {};
       }
-      ColumnTrace t = TraceColumnToScan(catalog, plan->child, column);
+      ColumnTrace t = TraceColumnToScan(tables, plan->child, column);
       if (t.scan != nullptr) {
         if (t.via_aggregate) return {};  // nested aggregates unsupported
         t.via_aggregate = true;
@@ -238,7 +268,7 @@ Engine::~Engine() = default;
 Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
   switch (plan->kind) {
     case PlanNode::Kind::kScan: {
-      auto table = catalog_->GetTable(plan->table);
+      auto table = FindTable(ctx->tables, plan->table);
       if (!table) return Status::NotFound("no table named " + plan->table);
       if (plan->predicate) {
         Status s = BindExpr(plan->predicate, table->schema());
@@ -330,7 +360,7 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
       ColumnTrace trace;
       TopKPruner* pruner = nullptr;
       if (config_.enable_topk_pruning) {
-        trace = TraceColumnToScan(*catalog_, plan->child, plan->order_column);
+        trace = TraceColumnToScan(ctx->tables, plan->child, plan->order_column);
         if (trace.scan != nullptr) {
           TopKPrunerConfig pcfg;
           pcfg.k = plan->limit_k;
@@ -338,7 +368,9 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
           pcfg.order_strategy = config_.topk_order_strategy;
           pcfg.boundary_init = config_.topk_boundary_init;
           pcfg.inclusive_updates = !trace.via_aggregate;
-          auto table = catalog_->GetTable(trace.scan->table);
+          // Snapshot lookup can't fail: a non-null trace.scan means the
+          // trace already found this table in the snapshot.
+          auto table = FindTable(ctx->tables, trace.scan->table);
           auto col = table->schema().FindColumn(trace.column);
           ctx->pruners.push_back(
               std::make_unique<TopKPruner>(pcfg, col.value()));
@@ -494,7 +526,7 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
       // §6: wire the probe-side scan for partition-level summary pruning.
       if (config_.enable_join_pruning) {
         ColumnTrace key_trace =
-            TraceColumnToScan(*catalog_, plan->left, plan->left_key);
+            TraceColumnToScan(ctx->tables, plan->left, plan->left_key);
         if (key_trace.scan != nullptr && key_trace.agg_node == nullptr &&
             key_trace.build_join_node == nullptr) {
           auto it = ctx->scans.find(key_trace.scan);
@@ -550,6 +582,10 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan) {
   ctx.result = &result;
   post_run_hooks_.clear();
 
+  // Snapshot every referenced table once: DML (ReplaceTable/DropTable) that
+  // lands after this point does not affect this query.
+  CollectTables(*catalog_, plan, &ctx.tables);
+
   auto compiled = Compile(plan, &ctx);
   if (!compiled.ok()) {
     // Dropping the hooks releases any coalescing ticket a partial compile
@@ -560,22 +596,32 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan) {
   OperatorPtr root = std::move(compiled).value();
 
   // Partition-parallel execution (§2's "highly parallel execution layer"):
-  // fan every scan's post-pruning scan set out across the worker pool.
-  // num_threads == 1 leaves the scans untouched — the serial path runs
+  // fan every scan's post-pruning scan set out across the worker pool. An
+  // injected pool (service mode) is shared with other queries and its width
+  // overrides num_threads; otherwise the engine lazily owns a private pool.
+  // A one-worker fleet leaves the scans untouched — the serial path runs
   // bit-for-bit as before, with no pool or scheduler involved.
-  const size_t num_threads = config_.exec.num_threads > 0
-                                 ? static_cast<size_t>(config_.exec.num_threads)
-                                 : ThreadPool::DefaultConcurrency();
+  ThreadPool* pool = config_.exec.pool;
+  const size_t num_threads =
+      pool != nullptr ? pool->num_threads()
+      : config_.exec.num_threads > 0
+          ? static_cast<size_t>(config_.exec.num_threads)
+          : ThreadPool::DefaultConcurrency();
   if (num_threads > 1 || config_.exec.force_parallel) {
-    if (!pool_ || pool_->num_threads() != num_threads) {
-      pool_ = std::make_unique<ThreadPool>(num_threads);
+    if (pool == nullptr) {
+      if (!pool_ || pool_->num_threads() != num_threads) {
+        pool_ = std::make_unique<ThreadPool>(num_threads);
+      }
+      pool = pool_.get();
     }
+    // The default window budgets against the executing pool's real width —
+    // for a shared pool that is the service-wide worker fleet, not the
+    // per-query thread knob.
     const size_t window = config_.exec.morsel_window > 0
                               ? config_.exec.morsel_window
-                              : num_threads * 4;
+                              : pool->num_threads() * 4;
     for (auto& [node, info] : ctx.scans) {
-      info.op->EnableParallel(pool_.get(), window,
-                              config_.exec.morsel_min_rows);
+      info.op->EnableParallel(pool, window, config_.exec.morsel_min_rows);
     }
     if (config_.exec.parallel_preagg) {
       // Aggregates sitting directly on a parallel scan may fuse: workers
@@ -597,10 +643,7 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan) {
     for (auto& row : batch.rows) result.rows.push_back(std::move(row));
   }
   root->Close();
-  auto t1 = std::chrono::steady_clock::now();
-  result.wall_ms =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
-      1e6;
+  result.wall_ms = MsSince(t0);
 
   for (auto& hook : post_run_hooks_) hook();
   post_run_hooks_.clear();

@@ -40,9 +40,19 @@ struct ExecConfig {
   /// worker lookahead is surfaced as PruningStats::speculative_loads).
   /// Exception: the opt-in time-based PruningTree cutoff makes filter
   /// stats timing-dependent regardless of thread count (see scan_op.h).
+  /// Ignored when `pool` is injected (the pool's width decides).
   int num_threads = 0;
+  /// Injected worker pool (not owned; must outlive the engine). Service
+  /// mode: many engines run queries concurrently against ONE shared pool
+  /// instead of each constructing its own, so total worker-thread count —
+  /// and the morsel backlog competing for it — is bounded service-wide.
+  /// nullptr (default): the engine lazily creates a private pool of
+  /// `num_threads` workers, as before.
+  ThreadPool* pool = nullptr;
   /// Morsels buffered or in flight ahead of the consumer per scan
-  /// (memory bound). 0 = 4 * num_threads.
+  /// (memory bound). 0 = 4 * the executing pool's width — the *shared*
+  /// pool's thread count when one is injected, so service-mode memory
+  /// bounds follow the real worker fleet, not a per-query knob.
   size_t morsel_window = 0;
   /// Row budget for morsel formation: consecutive scan-set partitions are
   /// batched into one morsel until their combined (zone-map) row count

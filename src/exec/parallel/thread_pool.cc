@@ -29,6 +29,11 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 size_t ThreadPool::DefaultConcurrency() {
   return std::max(1u, std::thread::hardware_concurrency());
 }

@@ -34,6 +34,12 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker — the shared-queue
+  /// backlog. With several queries sharing one pool this is the head-of-line
+  /// pressure the per-query morsel-window budget bounds (each in-flight
+  /// query can contribute at most its window's worth of queued morsels).
+  size_t queue_depth() const;
+
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// permits 0 for "unknown").
   static size_t DefaultConcurrency();
@@ -41,7 +47,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::deque<std::function<void()>> queue_;
   bool shutting_down_ = false;

@@ -90,7 +90,7 @@ int64_t TableScanOp::ApplyJoinSummary(const BuildSummary& summary,
 }
 
 bool TableScanOp::ScanPartition(PartitionId pid, ColumnBatch* out,
-                                PruningStats* stats) {
+                                PruningStats* stats, EvalScratch* scratch) {
   // Deferred filter pruning (§3.2): the same zone-map check the compile
   // phase would have done, executed just before the load. The adaptive tree
   // keeps per-node counters, so concurrent workers must take turns.
@@ -113,7 +113,7 @@ bool TableScanOp::ScanPartition(PartitionId pid, ColumnBatch* out,
   }
   if (filter_) {
     std::vector<uint32_t> selection;
-    ComputeSelection(*filter_, part, &selection);
+    ComputeSelection(*filter_, part, &selection, scratch);
     *out = ColumnBatch::Selected(part, pid, std::move(selection));
   } else {
     *out = ColumnBatch::AllOf(part, pid);
@@ -122,12 +122,17 @@ bool TableScanOp::ScanPartition(PartitionId pid, ColumnBatch* out,
 }
 
 MorselResult TableScanOp::ProcessMorsel(size_t morsel_index) {
+  // One eval scratch per pool worker, living as long as the thread: morsels
+  // of every scan, query, and client stream that lands on this worker reuse
+  // the same mask/selection buffers (ROADMAP allocator-pressure note).
+  thread_local EvalScratch worker_scratch;
   MorselResult result;
   const auto range = morsel_ranges_[morsel_index];
   result.items.resize(range.second - range.first);
   for (size_t pos = range.first; pos < range.second; ++pos) {
     MorselItem& item = result.items[pos - range.first];
-    item.loaded = ScanPartition(scan_set_[pos], &item.batch, &item.stats);
+    item.loaded = ScanPartition(scan_set_[pos], &item.batch, &item.stats,
+                                &worker_scratch);
     if (item.loaded && morsel_fold_) {
       // Fold in scan-set order within the morsel; morsels themselves are
       // merged in order by the consumer, so the overall accumulation order
@@ -174,7 +179,7 @@ bool TableScanOp::NextColumns(ColumnBatch* out) {
   }
   while (cursor_ < scan_set_.size()) {
     PartitionId pid = scan_set_[cursor_++];
-    if (ScanPartition(pid, out, stats_)) return true;
+    if (ScanPartition(pid, out, stats_, &eval_scratch_)) return true;
   }
   return false;
 }

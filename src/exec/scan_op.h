@@ -15,6 +15,7 @@
 #include "exec/operator.h"
 #include "exec/parallel/parallel_scan.h"
 #include "exec/parallel/thread_pool.h"
+#include "expr/evaluator.h"
 #include "expr/expr.h"
 #include "storage/table.h"
 
@@ -135,7 +136,11 @@ class TableScanOp : public Operator {
   MorselResult ProcessMorsel(size_t morsel_index);
   /// The shared serial/parallel per-partition scan body. Returns false when
   /// runtime pruning skipped the partition (stats deltas still recorded).
-  bool ScanPartition(PartitionId pid, ColumnBatch* out, PruningStats* stats);
+  /// `scratch` is the calling thread's reusable predicate-eval buffer set —
+  /// per-partition mask/selection allocations hit the allocator hard on the
+  /// hot path, so each evaluating thread keeps one scratch for its lifetime.
+  bool ScanPartition(PartitionId pid, ColumnBatch* out, PruningStats* stats,
+                     EvalScratch* scratch);
   /// Groups consecutive scan-set positions into morsel ranges under the
   /// row-count budget.
   void PlanMorsels();
@@ -148,6 +153,9 @@ class TableScanOp : public Operator {
   FilterPruner* runtime_filter_pruner_ = nullptr;
   bool track_source_ = false;
   size_t cursor_ = 0;
+  /// Consumer-thread predicate-eval scratch (serial path; workers use a
+  /// thread-local scratch that outlives queries — see ProcessMorsel).
+  EvalScratch eval_scratch_;
 
   ThreadPool* pool_ = nullptr;
   size_t morsel_window_ = 0;

@@ -95,7 +95,7 @@ Value EvalConnective(const BoolConnectiveExpr& e, const MicroPartition& part,
 // ---------------------------------------------------------------------------
 
 void EvalMask(const Expr& expr, const MicroPartition& part,
-              std::vector<uint8_t>* out);
+              std::vector<uint8_t>* out, EvalScratch* scratch);
 
 /// Per-row scalar fallback for nodes the vectorized evaluator does not
 /// specialize (arithmetic, IF, nested value expressions). Boxes only the
@@ -278,13 +278,21 @@ void CompareMask(const CompareExpr& e, const MicroPartition& part,
 }
 
 void ConnectiveMask(const BoolConnectiveExpr& e, const MicroPartition& part,
-                    std::vector<uint8_t>* out) {
+                    std::vector<uint8_t>* out, EvalScratch* scratch) {
   const bool is_and = e.kind() == ExprKind::kAnd;
   const size_t n = out->size();
   std::fill(out->begin(), out->end(), is_and ? kPredTrue : kPredFalse);
-  std::vector<uint8_t> term(n);
+  // One term buffer per connective nesting level, borrowed from the scratch
+  // for the duration of this connective (the deque keeps the reference
+  // stable while nested connectives extend the pool).
+  if (scratch->term_depth == scratch->term_buffers.size()) {
+    scratch->term_buffers.emplace_back();
+  }
+  std::vector<uint8_t>& term = scratch->term_buffers[scratch->term_depth];
+  ++scratch->term_depth;
+  term.resize(n);  // EvalMask overwrites every element per term
   for (const auto& t : e.terms()) {
-    EvalMask(*t, part, &term);
+    EvalMask(*t, part, &term, scratch);
     if (is_and) {
       for (size_t r = 0; r < n; ++r) {
         uint8_t& o = (*out)[r];
@@ -305,6 +313,7 @@ void ConnectiveMask(const BoolConnectiveExpr& e, const MicroPartition& part,
       }
     }
   }
+  --scratch->term_depth;
 }
 
 void InListMask(const InListExpr& e, const MicroPartition& part,
@@ -402,24 +411,26 @@ void StringMatchMask(const Expr& input, const MicroPartition& part,
 }
 
 void EvalMask(const Expr& expr, const MicroPartition& part,
-              std::vector<uint8_t>* out) {
+              std::vector<uint8_t>* out, EvalScratch* scratch) {
   switch (expr.kind()) {
     case ExprKind::kCompare:
       CompareMask(static_cast<const CompareExpr&>(expr), part, out);
       return;
     case ExprKind::kAnd:
     case ExprKind::kOr:
-      ConnectiveMask(static_cast<const BoolConnectiveExpr&>(expr), part, out);
+      ConnectiveMask(static_cast<const BoolConnectiveExpr&>(expr), part, out,
+                     scratch);
       return;
     case ExprKind::kNot: {
-      EvalMask(*static_cast<const NotExpr&>(expr).input(), part, out);
+      EvalMask(*static_cast<const NotExpr&>(expr).input(), part, out, scratch);
       for (auto& m : *out) {
         if (m != kPredNull) m = m == kPredTrue ? kPredFalse : kPredTrue;
       }
       return;
     }
     case ExprKind::kNotTrue: {
-      EvalMask(*static_cast<const NotTrueExpr&>(expr).input(), part, out);
+      EvalMask(*static_cast<const NotTrueExpr&>(expr).input(), part, out,
+               scratch);
       for (auto& m : *out) m = m == kPredTrue ? kPredFalse : kPredTrue;
       return;
     }
@@ -591,15 +602,27 @@ int64_t CountMatches(const Expr& expr, const MicroPartition& partition) {
 
 void EvalPredicateOutcomes(const Expr& expr, const MicroPartition& partition,
                            std::vector<uint8_t>* out) {
+  EvalScratch scratch;
+  EvalPredicateOutcomes(expr, partition, out, &scratch);
+}
+
+void EvalPredicateOutcomes(const Expr& expr, const MicroPartition& partition,
+                           std::vector<uint8_t>* out, EvalScratch* scratch) {
   out->assign(static_cast<size_t>(partition.row_count()), kPredFalse);
-  EvalMask(expr, partition, out);
+  EvalMask(expr, partition, out, scratch);
 }
 
 void ComputeSelection(const Expr& expr, const MicroPartition& partition,
                       std::vector<uint32_t>* selection) {
+  EvalScratch scratch;
+  ComputeSelection(expr, partition, selection, &scratch);
+}
+
+void ComputeSelection(const Expr& expr, const MicroPartition& partition,
+                      std::vector<uint32_t>* selection, EvalScratch* scratch) {
   selection->clear();
-  std::vector<uint8_t> outcomes;
-  EvalPredicateOutcomes(expr, partition, &outcomes);
+  std::vector<uint8_t>& outcomes = scratch->outcomes;
+  EvalPredicateOutcomes(expr, partition, &outcomes, scratch);
   for (size_t r = 0; r < outcomes.size(); ++r) {
     if (outcomes[r] == kPredTrue) {
       selection->push_back(static_cast<uint32_t>(r));

@@ -2,6 +2,7 @@
 #define SNOWPRUNE_EXPR_EVALUATOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <vector>
 
@@ -34,6 +35,21 @@ enum PredicateOutcome : uint8_t {
   kPredNull = 2,
 };
 
+/// Reusable buffers for the vectorized predicate path. Evaluating a
+/// connective needs one term buffer per nesting level, and ComputeSelection
+/// needs an outcome buffer; without a scratch both are heap-allocated anew
+/// for every partition, which the scan hot path feels as allocator pressure.
+/// Callers keep one scratch per evaluating thread and pass it to every
+/// partition's evaluation; buffers grow to the high-water partition size and
+/// stay. A deque keeps term-buffer references stable while nested
+/// connectives extend the pool mid-recursion. Not thread-safe: one scratch
+/// must never serve two concurrent evaluations.
+struct EvalScratch {
+  std::vector<uint8_t> outcomes;                ///< ComputeSelection's mask.
+  std::deque<std::vector<uint8_t>> term_buffers;///< One per connective depth.
+  size_t term_depth = 0;                        ///< Currently acquired count.
+};
+
 /// Vectorized predicate evaluation (the ColumnBatch hot path): fills `out`
 /// with one PredicateOutcome per partition row. Semantics are identical to
 /// EvalPredicate row-by-row; comparisons against literals, column-column
@@ -43,12 +59,19 @@ enum PredicateOutcome : uint8_t {
 /// that subtree's rows.
 void EvalPredicateOutcomes(const Expr& expr, const MicroPartition& partition,
                            std::vector<uint8_t>* out);
+/// Scratch-reusing variant: connective term buffers come from `scratch`
+/// instead of per-call allocations (the scan hot path's form).
+void EvalPredicateOutcomes(const Expr& expr, const MicroPartition& partition,
+                           std::vector<uint8_t>* out, EvalScratch* scratch);
 
 /// Fills `selection` (replacing its contents) with the physical indexes of
 /// the rows of `partition` satisfying `expr`, in ascending order — the
 /// selection-vector form consumed by ColumnBatch.
 void ComputeSelection(const Expr& expr, const MicroPartition& partition,
                       std::vector<uint32_t>* selection);
+/// Scratch-reusing variant (see EvalScratch).
+void ComputeSelection(const Expr& expr, const MicroPartition& partition,
+                      std::vector<uint32_t>* selection, EvalScratch* scratch);
 
 /// Number of rows in `partition` satisfying `expr` (brute force; the test
 /// oracle that pruning results are validated against).

@@ -1,0 +1,191 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace snowprune {
+namespace service {
+
+// ---------------------------------------------------------------------------
+// Handle
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> QueryService::Handle::Await() {
+  if (!state_) return Status::Internal("empty query handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->consumed) {
+    return Status::Internal("query result already consumed by a prior Await");
+  }
+  state_->consumed = true;
+  return std::move(state_->result);
+}
+
+bool QueryService::Handle::done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+double QueryService::Handle::queue_ms() const {
+  if (!state_) return 0.0;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->queue_ms;
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------------
+
+QueryService::QueryService(Catalog* catalog, QueryServiceConfig config)
+    : config_(std::move(config)),
+      scan_pool_(config_.num_threads > 0 ? config_.num_threads
+                                         : ThreadPool::DefaultConcurrency()) {
+  if (config_.max_in_flight == 0) {
+    config_.max_in_flight = std::max<size_t>(2, scan_pool_.num_threads());
+  }
+  // Per-query morsel-window budgeting: an equal share of the service-wide
+  // in-flight-morsel budget, so the head-of-line queue pressure any single
+  // query (read: one huge scan) can put in front of everyone else is capped
+  // at its share regardless of its scan-set size.
+  if (config_.engine.exec.morsel_window > 0) {
+    per_query_window_ = config_.engine.exec.morsel_window;
+  } else {
+    const size_t budget = config_.morsel_window_budget > 0
+                              ? config_.morsel_window_budget
+                              : 4 * scan_pool_.num_threads();
+    per_query_window_ =
+        std::max<size_t>(2, budget / config_.max_in_flight);
+  }
+  engines_.reserve(config_.max_in_flight);
+  drivers_.reserve(config_.max_in_flight);
+  for (size_t i = 0; i < config_.max_in_flight; ++i) {
+    EngineConfig cfg = config_.engine;
+    cfg.exec.pool = &scan_pool_;
+    cfg.exec.morsel_window = per_query_window_;
+    engines_.push_back(std::make_unique<Engine>(catalog, cfg));
+  }
+  for (size_t i = 0; i < config_.max_in_flight; ++i) {
+    drivers_.emplace_back([this, i] { DriverLoop(i); });
+  }
+}
+
+QueryService::~QueryService() {
+  std::deque<Task> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+    orphaned.swap(queue_);
+  }
+  work_available_.notify_all();
+  for (Task& task : orphaned) {
+    Finish(task.state, Status::Unavailable("query service shutting down"),
+           MsSince(task.submitted_at));
+  }
+  for (std::thread& d : drivers_) d.join();
+}
+
+void QueryService::Finish(const std::shared_ptr<Handle::State>& state,
+                          Result<QueryResult> result, double queue_ms) {
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->result = std::move(result);
+    state->queue_ms = queue_ms;
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+Result<QueryService::Handle> QueryService::Submit(PlanPtr plan) {
+  if (!plan) return Status::InvalidArgument("null plan");
+  Task task;
+  task.plan = std::move(plan);
+  task.state = std::make_shared<Handle::State>();
+  task.submitted_at = std::chrono::steady_clock::now();
+  Handle handle(task.state);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return Status::Unavailable("query service shutting down");
+    }
+    if (config_.queue_capacity > 0 &&
+        queue_.size() >= config_.queue_capacity) {
+      ++stats_.rejected;
+      return Status::ResourceExhausted("admission queue full");
+    }
+    queue_.push_back(std::move(task));
+    ++stats_.submitted;
+    stats_.peak_queue_depth = std::max(
+        stats_.peak_queue_depth, static_cast<int64_t>(queue_.size()));
+  }
+  work_available_.notify_one();
+  return handle;
+}
+
+Result<QueryResult> QueryService::Execute(PlanPtr plan) {
+  Result<Handle> handle = Submit(std::move(plan));
+  if (!handle.ok()) return handle.status();
+  return handle.value().Await();
+}
+
+void QueryService::DriverLoop(size_t driver_index) {
+  Engine* engine = engines_[driver_index].get();
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [&] { return shutting_down_ || !queue_.empty(); });
+      if (shutting_down_) return;  // the destructor drained the queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      stats_.peak_in_flight = std::max(stats_.peak_in_flight,
+                                       static_cast<int64_t>(in_flight_));
+    }
+    const double queue_ms = MsSince(task.submitted_at);
+    Result<QueryResult> result = engine->Execute(task.plan);
+    {
+      // Completion counters settle before the waiter is released, so a
+      // client reading stats() right after Await() sees its own query
+      // completed...
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.completed;
+      if (!result.ok()) ++stats_.failed;
+    }
+    Finish(task.state, std::move(result), queue_ms);
+    {
+      // ...while the in-flight slot — what Drain() watches — only clears
+      // after the handle is done, so Drain returning guarantees every
+      // admitted query's Handle reports done.
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t QueryService::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace service
+}  // namespace snowprune

@@ -1,0 +1,176 @@
+#ifndef SNOWPRUNE_SERVICE_QUERY_SERVICE_H_
+#define SNOWPRUNE_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/engine.h"
+#include "exec/parallel/thread_pool.h"
+#include "storage/catalog.h"
+
+namespace snowprune {
+namespace service {
+
+/// Service sizing and admission policy.
+struct QueryServiceConfig {
+  /// Width of the ONE scan-worker pool shared by every query the service
+  /// runs (the paper's §2 "highly parallel execution layer", now also the
+  /// inter-query layer). 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Admission bound: queries executing at once (each on its own driver
+  /// thread; their scans share the worker pool). Work beyond the bound
+  /// queues FIFO. 0 = max(2, pool width).
+  size_t max_in_flight = 0;
+  /// Bounded admission queue: Submit is rejected with ResourceExhausted
+  /// when this many queries are already waiting. 0 = unbounded.
+  size_t queue_capacity = 0;
+  /// Sizing target for morsels buffered/in flight across concurrent
+  /// queries: each admitted query gets an equal share (budget /
+  /// max_in_flight, floored at 2) as its per-SCAN morsel window, so one
+  /// huge scan can only keep roughly its share of the shared pool's queue
+  /// busy and point lookups behind it stay bounded. Note this is a
+  /// per-query target, not a hard service-wide cap — the floor of 2 and
+  /// multi-scan plans (each scan gets the window) can push the aggregate
+  /// past the stated budget. 0 = 4 * pool width. Ignored when
+  /// `engine.exec.morsel_window` is explicitly set (that value then
+  /// applies per query).
+  size_t morsel_window_budget = 0;
+  /// Template for the per-driver engines. `exec.pool`, `exec.num_threads`
+  /// and (unless explicitly set) `exec.morsel_window` are overridden by the
+  /// service; everything else (pruning toggles, predicate cache, ...)
+  /// applies to every query as configured.
+  EngineConfig engine;
+};
+
+/// Monotonic service counters (all under one lock; read via stats()).
+struct ServiceStats {
+  int64_t submitted = 0;   ///< Admitted into the queue.
+  int64_t rejected = 0;    ///< Bounced by the bounded queue.
+  int64_t completed = 0;   ///< Finished executing (ok or failed).
+  int64_t failed = 0;      ///< Completed with a non-OK status.
+  int64_t peak_in_flight = 0;    ///< Max queries executing at once.
+  int64_t peak_queue_depth = 0;  ///< Max queries waiting at once.
+};
+
+/// A concurrent query service: ONE shared scan-worker pool, a FIFO
+/// admission queue, and a bounded set of driver threads executing many
+/// queries at once against a shared Catalog (and, when configured, a shared
+/// PredicateCache). This is the paper's production setting in miniature —
+/// millions of repetitive queries arriving concurrently is what makes §8.2
+/// predicate caching pay off — layered on the per-query parallel engine.
+///
+/// Correctness bar: a query's result and PruningStats are byte-identical to
+/// a serial solo run of the same query, no matter how many other queries
+/// are in flight (the per-query engines already guarantee parallel == serial
+/// and all cross-query state — catalog, cache, top-k boundaries — is either
+/// per-query or internally synchronized). The one caveat is shared-cache
+/// interplay: a PredicateCache hit legitimately shrinks the scan set, so
+/// solo-vs-service stats identity holds for cache-less configs (or equal
+/// cache states).
+///
+/// Plans are bound to table schemas during execution; a PlanPtr may be
+/// submitted again after its result arrives, but must not be in flight
+/// twice concurrently.
+class QueryService {
+ public:
+  /// Completion handle for a submitted query. Copyable (shared state);
+  /// Await() is single-shot — it blocks until the query finishes and moves
+  /// the result out.
+  class Handle {
+   public:
+    /// An empty handle (Result<Handle> plumbing); every meaningful handle
+    /// comes from Submit. Await on an empty handle returns an error.
+    Handle() = default;
+    /// Blocks until the query completes and returns its result. The second
+    /// call on the same underlying submission returns an error (the result
+    /// was moved out).
+    Result<QueryResult> Await();
+    bool done() const;
+    /// Milliseconds the query waited in the admission queue before a driver
+    /// picked it up. Valid once done.
+    double queue_ms() const;
+
+   private:
+    friend class QueryService;
+    struct State {
+      mutable std::mutex mutex;
+      std::condition_variable cv;
+      bool done = false;
+      bool consumed = false;
+      double queue_ms = 0.0;
+      Result<QueryResult> result = Status::Internal("pending");
+    };
+    explicit Handle(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  QueryService(Catalog* catalog, QueryServiceConfig config);
+  /// Fails all still-queued queries with Unavailable, waits for the
+  /// executing ones, then tears down drivers and the worker pool.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admission: enqueues the query FIFO. Fails with ResourceExhausted when
+  /// the bounded queue is full and Unavailable after shutdown began.
+  Result<Handle> Submit(PlanPtr plan);
+
+  /// Closed-loop convenience: Submit + Await on the calling thread.
+  Result<QueryResult> Execute(PlanPtr plan);
+
+  /// Blocks until every admitted query has completed.
+  void Drain();
+
+  ServiceStats stats() const;
+  /// Queries currently executing (dequeued, not yet completed).
+  size_t in_flight() const;
+  /// Queries waiting in the admission queue.
+  size_t queue_depth() const;
+
+  size_t pool_width() const { return scan_pool_.num_threads(); }
+  /// The per-query morsel window the budget resolved to.
+  size_t per_query_morsel_window() const { return per_query_window_; }
+  ThreadPool* scan_pool() { return &scan_pool_; }
+
+ private:
+  struct Task {
+    PlanPtr plan;
+    std::shared_ptr<Handle::State> state;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  void DriverLoop(size_t driver_index);
+  static void Finish(const std::shared_ptr<Handle::State>& state,
+                     Result<QueryResult> result, double queue_ms);
+
+  QueryServiceConfig config_;
+  ThreadPool scan_pool_;
+  size_t per_query_window_ = 0;
+  /// One engine per driver thread (engines are single-query at a time);
+  /// all point at the shared catalog, pool, and predicate cache.
+  std::vector<std::unique_ptr<Engine>> engines_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<Task> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  ServiceStats stats_;
+
+  std::vector<std::thread> drivers_;
+};
+
+}  // namespace service
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_SERVICE_QUERY_SERVICE_H_

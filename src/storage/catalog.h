@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -14,6 +15,12 @@ namespace snowprune {
 /// registry plus aggregate IO meters. Query compilation consults zone maps
 /// through the catalog without touching data; execution loads partitions
 /// through the owning Table, and the catalog aggregates the meters.
+///
+/// Thread safety: the registry is shared by every engine of a query service,
+/// so all operations synchronize on an internal mutex. Lookups hand out
+/// shared_ptr snapshots — a query that compiled against a table keeps that
+/// table alive and immutable-for-it even if ReplaceTable/DropTable swaps the
+/// name to a new version mid-flight (DML is snapshot-atomic per query).
 class Catalog {
  public:
   /// Registers a table; fails if the name is taken.
@@ -21,6 +28,12 @@ class Catalog {
 
   /// Drops a table by name; fails if absent.
   Status DropTable(const std::string& name);
+
+  /// Atomically swaps the name to a new table version (coarse
+  /// DML-as-replacement: CREATE OR REPLACE). In-flight queries holding the
+  /// previous shared_ptr are unaffected; new compiles see the new version.
+  /// Registers the name if it was absent.
+  Status ReplaceTable(std::shared_ptr<Table> table);
 
   /// Looks up a table by name; returns nullptr if absent.
   std::shared_ptr<Table> GetTable(const std::string& name) const;
@@ -32,9 +45,13 @@ class Catalog {
   int64_t TotalPartitions() const;
   void ResetMeters() const;
 
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tables_.size();
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Table>> tables_;
 };
 

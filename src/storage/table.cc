@@ -6,6 +6,11 @@
 
 namespace snowprune {
 
+uint64_t Table::NextInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 int64_t Table::num_rows() const {
   int64_t total = 0;
   for (const auto& p : partitions_) total += p.row_count();

@@ -23,10 +23,19 @@ namespace snowprune {
 class Table {
  public:
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        instance_id_(NextInstanceId()) {}
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
+
+  /// Process-unique identity of this table *object*. A replacement table
+  /// (Catalog::ReplaceTable, CREATE OR REPLACE) is a new object with a new
+  /// id even under the same name; consumers caching per-version state (the
+  /// predicate cache) validate against it so a swapped table can never be
+  /// served another version's cached scan sets.
+  uint64_t instance_id() const { return instance_id_; }
 
   size_t num_partitions() const { return partitions_.size(); }
   int64_t num_rows() const;
@@ -90,8 +99,11 @@ class Table {
   ScanSet FullScanSet() const { return ScanSet::AllOf(partitions_.size()); }
 
  private:
+  static uint64_t NextInstanceId();
+
   std::string name_;
   Schema schema_;
+  uint64_t instance_id_;
   std::vector<MicroPartition> partitions_;
   uint64_t dml_version_ = 0;
   mutable std::atomic<int64_t> load_count_{0};

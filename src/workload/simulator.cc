@@ -1,5 +1,11 @@
 #include "workload/simulator.h"
 
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+
 namespace snowprune {
 namespace workload {
 
@@ -102,6 +108,70 @@ SimulationResult Simulator::Run(size_t num_queries) {
     if (combo.empty()) combo = "none";
     ++result.flow_combinations[combo];
   }
+  return result;
+}
+
+StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
+                                          const StreamDriverConfig& config) {
+  StreamDriverResult result;
+  std::mutex merge_mutex;
+
+  /// One stream's private tallies, merged once at stream end so the hot
+  /// loop never contends on the shared result.
+  struct StreamLocal {
+    StatsCollector latency_ms;
+    StatsCollector queue_ms;
+    std::map<QueryClass, StatsCollector> latency_by_class;
+    int64_t ok = 0;
+    int64_t failed = 0;
+    int64_t cache_hits = 0;
+  };
+
+  auto run_stream = [&](size_t stream_index) {
+    QueryGenerator::Config gcfg = config.gen;
+    if (!config.identical_streams) gcfg.seed += stream_index;
+    QueryGenerator generator(catalog_, probe_tables_, build_tables_, model_,
+                             gcfg);
+    StreamLocal local;
+    for (size_t i = 0; i < config.queries_per_stream; ++i) {
+      GeneratedQuery q = generator.Generate();
+      const auto t0 = std::chrono::steady_clock::now();
+      auto submitted = service->Submit(std::move(q.plan));
+      if (!submitted.ok()) {
+        ++local.failed;
+        continue;
+      }
+      auto executed = submitted.value().Await();
+      const double ms = MsSince(t0);
+      if (!executed.ok()) {
+        ++local.failed;
+        continue;
+      }
+      ++local.ok;
+      if (executed.value().predicate_cache_hit) ++local.cache_hits;
+      local.latency_ms.Add(ms);
+      local.queue_ms.Add(submitted.value().queue_ms());
+      local.latency_by_class[q.query_class].Add(ms);
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    result.queries_ok += local.ok;
+    result.queries_failed += local.failed;
+    result.cache_hit_queries += local.cache_hits;
+    result.latency_ms.AddAll(local.latency_ms.samples());
+    result.queue_ms.AddAll(local.queue_ms.samples());
+    for (const auto& [cls, collector] : local.latency_by_class) {
+      result.latency_by_class[cls].AddAll(collector.samples());
+    }
+  };
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> streams;
+  streams.reserve(config.num_streams);
+  for (size_t s = 0; s < config.num_streams; ++s) {
+    streams.emplace_back(run_stream, s);
+  }
+  for (std::thread& s : streams) s.join();
+  result.wall_ms = MsSince(wall0);
   return result;
 }
 

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/stats_collector.h"
 #include "exec/engine.h"
+#include "service/query_service.h"
 #include "workload/query_gen.h"
 
 namespace snowprune {
@@ -94,6 +96,71 @@ class Simulator {
  private:
   QueryGenerator* generator_;
   Engine* engine_;
+};
+
+/// Multi-stream run parameters. Each client stream owns a QueryGenerator
+/// configured from `gen`; stream i runs with seed `gen.seed + i` so streams
+/// draw independent-but-reproducible query sequences. `identical_streams`
+/// instead gives every stream the SAME seed — all streams replay one query
+/// sequence, the extreme of the paper's §8.2 repetitive production traffic,
+/// which maximizes predicate-cache hits and coalesced populations.
+struct StreamDriverConfig {
+  size_t num_streams = 4;
+  size_t queries_per_stream = 200;
+  bool identical_streams = false;
+  QueryGenerator::Config gen;
+};
+
+/// What a multi-stream run measured, across all streams.
+struct StreamDriverResult {
+  double wall_ms = 0.0;  ///< First submit to last completion.
+  int64_t queries_ok = 0;
+  int64_t queries_failed = 0;
+  int64_t cache_hit_queries = 0;  ///< Queries served off the predicate cache.
+
+  /// Client-observed latency (admission-queue wait + execution), ms.
+  StatsCollector latency_ms;
+  /// Admission-queue wait alone, ms.
+  StatsCollector queue_ms;
+  /// Latency split by query class — the starvation check: p95 of point
+  /// lookups vs full scans under mixed load.
+  std::map<QueryClass, StatsCollector> latency_by_class;
+
+  /// Successfully served queries per second. Rejected submissions and
+  /// failed executions are excluded — they must not inflate throughput in
+  /// exactly the overload regime a sweep is meant to characterize.
+  double Qps() const {
+    return wall_ms <= 0.0
+               ? 0.0
+               : static_cast<double>(queries_ok) / (wall_ms / 1000.0);
+  }
+};
+
+/// Closed-loop multi-stream workload driver: N client threads, each
+/// replaying the production model against one shared QueryService with one
+/// query outstanding at a time (classic closed-loop client). The service's
+/// admission layer decides how many of the N streams actually execute
+/// concurrently; the driver records what the clients see — QPS and the
+/// latency distribution (p50/p95/p99 via StatsCollector::Percentile).
+class MultiStreamDriver {
+ public:
+  MultiStreamDriver(const Catalog* catalog,
+                    std::vector<std::string> probe_tables,
+                    std::vector<std::string> build_tables,
+                    ProductionModel model)
+      : catalog_(catalog),
+        probe_tables_(std::move(probe_tables)),
+        build_tables_(std::move(build_tables)),
+        model_(std::move(model)) {}
+
+  StreamDriverResult Run(service::QueryService* service,
+                         const StreamDriverConfig& config);
+
+ private:
+  const Catalog* catalog_;
+  std::vector<std::string> probe_tables_;
+  std::vector<std::string> build_tables_;
+  ProductionModel model_;
 };
 
 }  // namespace workload

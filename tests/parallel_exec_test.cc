@@ -14,7 +14,9 @@
 namespace snowprune {
 namespace {
 
+using testing_util::DiffStats;
 using testing_util::MakeTable;
+using testing_util::Serialize;
 
 // --------------------------------------------------------------------------
 // ThreadPool
@@ -132,32 +134,10 @@ TEST(ParallelScanSchedulerTest, AbandonedMidwayCancelsCleanly) {
 // Engine-level serial/parallel equivalence
 // --------------------------------------------------------------------------
 
-/// Serializes a result's row stream so byte-identity across configurations
-/// is a string comparison. Type tags distinguish e.g. int64 1 from bool
-/// true and from "1".
-std::string Serialize(const QueryResult& r) {
-  std::string s;
-  for (const auto& row : r.rows) {
-    for (const auto& v : row) {
-      s += std::to_string(static_cast<int>(v.type()));
-      s += ':';
-      s += v.ToString();
-      s += ',';
-    }
-    s += '\n';
-  }
-  return s;
-}
-
+/// Row serialization and deterministic-stats comparison live in
+/// tests/test_util.h (shared with the service concurrency suite).
 void ExpectSameStats(const PruningStats& a, const PruningStats& b) {
-  EXPECT_EQ(a.total_partitions, b.total_partitions);
-  EXPECT_EQ(a.pruned_by_filter, b.pruned_by_filter);
-  EXPECT_EQ(a.pruned_by_limit, b.pruned_by_limit);
-  EXPECT_EQ(a.pruned_by_join, b.pruned_by_join);
-  EXPECT_EQ(a.pruned_by_topk, b.pruned_by_topk);
-  EXPECT_EQ(a.scanned_partitions, b.scanned_partitions);
-  EXPECT_EQ(a.scanned_rows, b.scanned_rows);
-  // speculative_loads is the one legitimately nondeterministic counter.
+  EXPECT_EQ(DiffStats(a, b), "");
 }
 
 class ParallelEquivalenceTest : public ::testing::Test {

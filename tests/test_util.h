@@ -5,12 +5,64 @@
 #include <string>
 #include <vector>
 
+#include "exec/engine.h"
 #include "expr/evaluator.h"
 #include "expr/expr.h"
 #include "storage/table.h"
 
 namespace snowprune {
 namespace testing_util {
+
+/// Serializes a result's row stream so byte-identity across configurations
+/// is a string comparison. Type tags distinguish e.g. int64 1 from bool
+/// true and from "1".
+inline std::string Serialize(const QueryResult& r) {
+  std::string s;
+  for (const auto& row : r.rows) {
+    for (const auto& v : row) {
+      s += std::to_string(static_cast<int>(v.type()));
+      s += ':';
+      s += v.ToString();
+      s += ',';
+    }
+    s += '\n';
+  }
+  return s;
+}
+
+/// Compares every deterministic PruningStats counter (speculative_loads is
+/// the one legitimately nondeterministic field under parallel execution).
+/// Returns an empty string on match, a description of the first divergence
+/// otherwise — usable as `EXPECT_EQ(DiffStats(a, b), "")`.
+inline std::string DiffStats(const PruningStats& a, const PruningStats& b) {
+  auto diff = [](const char* name, int64_t x, int64_t y) {
+    return std::string(name) + ": " + std::to_string(x) +
+           " != " + std::to_string(y);
+  };
+  if (a.total_partitions != b.total_partitions) {
+    return diff("total_partitions", a.total_partitions, b.total_partitions);
+  }
+  if (a.pruned_by_filter != b.pruned_by_filter) {
+    return diff("pruned_by_filter", a.pruned_by_filter, b.pruned_by_filter);
+  }
+  if (a.pruned_by_limit != b.pruned_by_limit) {
+    return diff("pruned_by_limit", a.pruned_by_limit, b.pruned_by_limit);
+  }
+  if (a.pruned_by_join != b.pruned_by_join) {
+    return diff("pruned_by_join", a.pruned_by_join, b.pruned_by_join);
+  }
+  if (a.pruned_by_topk != b.pruned_by_topk) {
+    return diff("pruned_by_topk", a.pruned_by_topk, b.pruned_by_topk);
+  }
+  if (a.scanned_partitions != b.scanned_partitions) {
+    return diff("scanned_partitions", a.scanned_partitions,
+                b.scanned_partitions);
+  }
+  if (a.scanned_rows != b.scanned_rows) {
+    return diff("scanned_rows", a.scanned_rows, b.scanned_rows);
+  }
+  return "";
+}
 
 /// Builds a table from boxed rows, cutting partitions at
 /// `rows_per_partition`.
