@@ -1,8 +1,17 @@
 /// Reproduces the headline numbers: 99.4% of micro-partitions pruned across
 /// the platform (§1), and the per-technique averages for applicable queries
 /// (§9: filter 99%, LIMIT 70%, top-k 77%, join 79%).
+///
+/// Also the engine's perf dashboard: a per-query-class ns/row section (the
+/// residual execution cost pruning cannot remove) and the parallel sweep.
+/// `--json[=PATH]` emits the measurements machine-readably so the perf
+/// trajectory is tracked across PRs (BENCH_*.json); `--smoke` shrinks every
+/// size for CI.
+#include <vector>
+
 #include "bench_util.h"
 #include "exec/engine.h"
+#include "expr/builder.h"
 #include "workload/query_gen.h"
 #include "workload/simulator.h"
 
@@ -10,10 +19,94 @@ using namespace snowprune;           // NOLINT
 using namespace snowprune::bench;    // NOLINT
 using namespace snowprune::workload; // NOLINT
 
-int main() {
+namespace {
+
+/// One measured query class: a fixed representative plan, timed serially
+/// (best-of-N), normalized by the rows the execution layer actually chewed
+/// through (scanned rows — what is left after pruning).
+struct ClassPoint {
+  const char* cls;
+  double wall_ms = 0.0;
+  int64_t scanned_rows = 0;
+  int64_t result_rows = 0;
+
+  double NsPerRow() const {
+    return scanned_rows > 0 ? wall_ms * 1e6 / static_cast<double>(scanned_rows)
+                            : 0.0;
+  }
+};
+
+ClassPoint RunClass(Catalog* catalog, const char* cls, const PlanPtr& plan,
+                    int reps) {
+  EngineConfig config;
+  config.exec.num_threads = 1;  // single-thread ns/row: the kernel cost
+  Engine engine(catalog, config);
+  ClassPoint point;
+  point.cls = cls;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto result = engine.Execute(plan);
+    if (!result.ok()) {
+      std::printf("class %s failed: %s\n", cls,
+                  result.status().ToString().c_str());
+      std::abort();
+    }
+    if (rep == 0 || result.value().wall_ms < point.wall_ms) {
+      point.wall_ms = result.value().wall_ms;
+    }
+    point.scanned_rows = result.value().stats.scanned_rows;
+    point.result_rows = static_cast<int64_t>(result.value().rows.size());
+  }
+  return point;
+}
+
+/// The operator-pipeline latency sweep: one plan per query class, all over
+/// the random-layout probe table (worst case for pruning, so the number is
+/// pure execution cost). Join/top-k/sort are the classes the fully columnar
+/// pipeline (PR 4) targets; scan+agg is the PR 2 reference point.
+std::vector<ClassPoint> ClassLatencySweep(Catalog* catalog, int reps) {
+  std::vector<ClassPoint> points;
+  auto filter = Between(Col("key"), Value(int64_t{100000}),
+                        Value(int64_t{900000}));
+  points.push_back(RunClass(catalog, "scan_filter",
+                            ScanPlan("probe_random", filter), reps));
+  points.push_back(RunClass(
+      catalog, "scan_agg",
+      AggregatePlan(ScanPlan("probe_random"), {"cat"},
+                    {AggPlanSpec{AggFunc::kCount, "", "n"},
+                     AggPlanSpec{AggFunc::kSum, "key", "key_sum"},
+                     AggPlanSpec{AggFunc::kMin, "ts", "ts_min"},
+                     AggPlanSpec{AggFunc::kMax, "key", "key_max"}}),
+      reps));
+  points.push_back(RunClass(
+      catalog, "arith_filter",
+      ScanPlan("probe_random",
+               Gt(Add(Mul(Col("key"), Lit(int64_t{3})), Col("ts")),
+                  Lit(int64_t{2000000}))),
+      reps));
+  points.push_back(RunClass(
+      catalog, "join",
+      JoinPlan(ScanPlan("probe_random"), ScanPlan("build_small"), "key",
+               "key"),
+      reps));
+  points.push_back(RunClass(
+      catalog, "topk",
+      TopKPlan(ScanPlan("probe_random", filter), "key", /*descending=*/true,
+               100),
+      reps));
+  points.push_back(RunClass(catalog, "sort",
+                            SortPlan(ScanPlan("probe_random", filter), "key",
+                                     /*descending=*/false),
+                            reps));
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = ParseOptions(argc, argv);
   Banner("Headline", "Global partition-weighted pruning ratio",
          "99.4%% of micro-partitions pruned across all customer workloads");
-  auto catalog = StandardCatalog();
+  auto catalog = StandardCatalog(opts.smoke ? 0.05 : 1.0);
   Engine engine(catalog.get());
   QueryGenerator::Config gcfg;
   gcfg.seed = 994;
@@ -22,7 +115,7 @@ int main() {
                       "probe_clustered", "probe_random"},
                      {"build_small", "build_tiny"}, ProductionModel(), gcfg);
   Simulator sim(&gen, &engine);
-  SimulationResult r = sim.Run(6000);
+  SimulationResult r = sim.Run(opts.smoke ? 150 : 6000);
 
   std::printf("partitions considered: %lld\n",
               static_cast<long long>(r.total_partitions));
@@ -48,6 +141,16 @@ int main() {
       "population's high predicate selectivity plus clustered layouts push\n"
       "the partition-weighted ratio far above what TPC-H suggests\n"
       "(compare bench_fig13_tpch).\n");
+
+  // --- Per-query-class execution cost ------------------------------------
+  const int reps = opts.smoke ? 1 : 5;
+  std::printf("\n%-14s %12s %12s %14s   (serial, best of %d)\n", "class",
+              "wall ms", "ns/row", "scanned rows", reps);
+  std::vector<ClassPoint> classes = ClassLatencySweep(catalog.get(), reps);
+  for (const ClassPoint& p : classes) {
+    std::printf("%-14s %12.2f %12.1f %14lld\n", p.cls, p.wall_ms, p.NsPerRow(),
+                static_cast<long long>(p.scanned_rows));
+  }
 
   // --- Partition-parallel execution sweep ---------------------------------
   // The headline scan workload: what pruning cannot skip, the execution
@@ -100,5 +203,32 @@ int main() {
       "(speedup tracks the machine's core count; \"1 (serial)\" is the\n"
       "bit-for-bit poolless path, \"1 (parallel)\" runs the morsel\n"
       "scheduler on a one-worker pool to expose pure scheduling overhead)\n");
+
+  if (opts.json) {
+    JsonWriter json;
+    json.Key("bench").String("bench_headline");
+    json.Key("smoke").Int(opts.smoke ? 1 : 0);
+    json.Key("pruning").BeginObject();
+    json.Key("global_ratio").Number(r.OverallPruningRatio());
+    json.Key("filter_partition_weighted")
+        .Number(r.FilterPartitionWeightedRatio());
+    json.Key("filter_applied_mean").Number(r.filter_ratios_applied.Mean());
+    json.Key("limit_applied_mean").Number(r.limit_ratios_applied.Mean());
+    json.Key("topk_mean").Number(r.topk_ratios.Mean());
+    json.Key("join_mean").Number(r.join_ratios.Mean());
+    json.EndObject();
+    json.Key("classes").BeginArray();
+    for (const ClassPoint& p : classes) {
+      json.BeginObject();
+      json.Key("class").String(p.cls);
+      json.Key("wall_ms").Number(p.wall_ms);
+      json.Key("ns_per_row").Number(p.NsPerRow());
+      json.Key("scanned_rows").Int(p.scanned_rows);
+      json.Key("result_rows").Int(p.result_rows);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Write(opts);
+  }
   return 0;
 }

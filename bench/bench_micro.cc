@@ -186,6 +186,127 @@ void BM_FilterPartitionVectorized(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterPartitionVectorized)->Arg(0)->Arg(1);
 
+/// Typed arithmetic lanes (PR 4): a pure-arithmetic comparison that used to
+/// take the per-row scalar fallback. Arg 0 = vectorized ComputeSelection,
+/// Arg 1 = the brute-force scalar oracle it replaced on this shape.
+void BM_ArithCompare(benchmark::State& state) {
+  auto table = BenchTable();
+  auto pred = Gt(Add(Mul(Col("key"), Lit(int64_t{3})), Col("key")),
+                 Lit(int64_t{500000}));
+  (void)BindExpr(pred, table->schema());
+  const MicroPartition& part = table->partition_metadata(42);
+  std::vector<uint32_t> selection;
+  EvalScratch scratch;
+  for (auto _ : state) {
+    if (state.range(0) == 0) {
+      ComputeSelection(*pred, part, &selection, &scratch);
+      benchmark::DoNotOptimize(selection);
+    } else {
+      benchmark::DoNotOptimize(EvalPredicateMask(*pred, part));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * part.row_count());
+}
+BENCHMARK(BM_ArithCompare)->Arg(0)->Arg(1);
+
+/// Vectorized IF as a value (the §3 guiding-example shape) — previously the
+/// scalar fallback, now condition-split typed lanes.
+void BM_IfValueCompare(benchmark::State& state) {
+  auto table = BenchTable();
+  auto pred = Gt(If(Eq(Col("cat"), Lit("c0000")),
+                    Mul(Col("key"), Lit(0.3048)), Col("key")),
+                 Lit(150000));
+  (void)BindExpr(pred, table->schema());
+  const MicroPartition& part = table->partition_metadata(42);
+  std::vector<uint32_t> selection;
+  EvalScratch scratch;
+  for (auto _ : state) {
+    ComputeSelection(*pred, part, &selection, &scratch);
+    benchmark::DoNotOptimize(selection);
+  }
+  state.SetItemsProcessed(state.iterations() * part.row_count());
+}
+BENCHMARK(BM_IfValueCompare);
+
+/// Selection-aware AND: the first term decides almost every row FALSE, so
+/// the expensive later terms (LIKE, arithmetic) now see only survivors.
+/// Arg 0 = selective leading term, Arg 1 = same terms, unselective leader
+/// (the worst case: selection-awareness saves nothing).
+void BM_SelectiveAnd(benchmark::State& state) {
+  auto table = BenchTable();
+  auto selective = Between(Col("key"), Value(int64_t{100000}),
+                           Value(int64_t{101000}));  // ~0.1% of the domain
+  auto wide = Between(Col("key"), Value(int64_t{0}),
+                      Value(int64_t{10000000}));  // everything
+  auto pred = And({state.range(0) == 0 ? selective : wide,
+                   Like(Col("cat"), "c0%"),
+                   Gt(Mul(Col("key"), Lit(int64_t{2})), Lit(int64_t{150000}))});
+  (void)BindExpr(pred, table->schema());
+  const MicroPartition& part = table->partition_metadata(42);
+  std::vector<uint32_t> selection;
+  EvalScratch scratch;
+  for (auto _ : state) {
+    ComputeSelection(*pred, part, &selection, &scratch);
+    benchmark::DoNotOptimize(selection);
+  }
+  state.SetItemsProcessed(state.iterations() * part.row_count());
+}
+BENCHMARK(BM_SelectiveAnd)->Arg(0)->Arg(1);
+
+/// End-to-end hash join through the engine: columnar build + columnar
+/// probe (PR 4), the full scan→join pipeline with no Materialize().
+void BM_JoinProbeColumnar(benchmark::State& state) {
+  TableGenConfig probe_cfg;
+  probe_cfg.name = "probe";
+  probe_cfg.num_partitions = 40;
+  probe_cfg.rows_per_partition = 1000;
+  probe_cfg.layout = Layout::kRandom;  // unprunable: pure probe cost
+  probe_cfg.seed = 21;
+  TableGenConfig build_cfg;
+  build_cfg.name = "build";
+  build_cfg.num_partitions = 2;
+  build_cfg.rows_per_partition = 1500;
+  build_cfg.seed = 22;
+  Catalog catalog;
+  if (!catalog.RegisterTable(SyntheticTable(probe_cfg)).ok()) return;
+  if (!catalog.RegisterTable(SyntheticTable(build_cfg)).ok()) return;
+  EngineConfig config;
+  config.exec.num_threads = 1;
+  Engine engine(&catalog, config);
+  auto plan = JoinPlan(ScanPlan("probe"), ScanPlan("build"), "key", "key");
+  for (auto _ : state) {
+    auto result = engine.Execute(plan);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 40 * 1000);
+}
+BENCHMARK(BM_JoinProbeColumnar);
+
+/// End-to-end top-k through the engine over an unprunable layout: the heap
+/// insert/boundary-reject path reads unboxed key cells (PR 4); only rows
+/// entering the heap are boxed.
+void BM_TopKInsertColumnar(benchmark::State& state) {
+  TableGenConfig cfg;
+  cfg.name = "topk_bench";
+  cfg.num_partitions = 40;
+  cfg.rows_per_partition = 1000;
+  cfg.layout = Layout::kRandom;
+  cfg.seed = 23;
+  Catalog catalog;
+  if (!catalog.RegisterTable(SyntheticTable(cfg)).ok()) return;
+  EngineConfig config;
+  config.exec.num_threads = 1;
+  Engine engine(&catalog, config);
+  auto plan = TopKPlan(ScanPlan("topk_bench"), "key", /*descending=*/true,
+                       static_cast<int64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = engine.Execute(plan);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 40 * 1000);
+}
+BENCHMARK(BM_TopKInsertColumnar)->Arg(10)->Arg(1000);
+
 /// End-to-end scan→filter→aggregate through the engine (the acceptance
 /// workload: unboxed from storage to the partial-aggregate maps).
 void BM_ScanFilterAggregate(benchmark::State& state) {

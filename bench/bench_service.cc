@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/predicate_cache.h"
@@ -24,7 +25,10 @@ using namespace snowprune::workload;  // NOLINT
 namespace {
 
 constexpr size_t kPoolWidth = 4;
-constexpr size_t kQueriesPerStream = 150;
+
+/// Set from --smoke (tiny CI sizes) in main().
+size_t g_queries_per_stream = 150;
+std::vector<size_t> g_stream_counts = {1, 2, 4, 8};
 
 void PrintHeader() {
   std::printf("%8s %9s %9s %9s %9s %9s %7s %7s %8s\n", "streams", "qps",
@@ -63,15 +67,16 @@ size_t MaxPoolBacklogWhile(service::QueryService* service, Fn&& fn) {
 
 /// Throughput sweep: independent streams (distinct seeds), no cache — the
 /// pure admission/shared-pool picture.
-void ThroughputSweep(Catalog* catalog) {
+void ThroughputSweep(Catalog* catalog, JsonWriter* json) {
   std::printf("\n--- closed-loop stream sweep (shared pool width %zu, "
               "%zu queries/stream) ---\n",
-              kPoolWidth, kQueriesPerStream);
+              kPoolWidth, g_queries_per_stream);
   PrintHeader();
   MultiStreamDriver driver(catalog, {"probe_sorted", "probe_clustered",
                                      "probe_random"},
                            {"build_small", "build_tiny"}, ProductionModel());
-  for (size_t streams : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+  if (json != nullptr) json->Key("stream_sweep").BeginArray();
+  for (size_t streams : g_stream_counts) {
     service::QueryServiceConfig scfg;
     scfg.num_threads = kPoolWidth;
     scfg.max_in_flight = streams;
@@ -79,7 +84,7 @@ void ThroughputSweep(Catalog* catalog) {
 
     StreamDriverConfig dcfg;
     dcfg.num_streams = streams;
-    dcfg.queries_per_stream = kQueriesPerStream;
+    dcfg.queries_per_stream = g_queries_per_stream;
     dcfg.gen.seed = 4242;
     StreamDriverResult result;
     const size_t max_backlog = MaxPoolBacklogWhile(
@@ -89,7 +94,20 @@ void ThroughputSweep(Catalog* catalog) {
       std::printf("         (%lld failed)\n",
                   static_cast<long long>(result.queries_failed));
     }
+    if (json != nullptr) {
+      json->BeginObject();
+      json->Key("streams").Int(static_cast<int64_t>(streams));
+      json->Key("qps").Number(result.Qps());
+      json->Key("p50_ms").Number(result.latency_ms.Percentile(50.0));
+      json->Key("p95_ms").Number(result.latency_ms.Percentile(95.0));
+      json->Key("p99_ms").Number(result.latency_ms.Percentile(99.0));
+      json->Key("queue_p95_ms").Number(result.queue_ms.Percentile(95.0));
+      json->Key("peak_in_flight")
+          .Int(static_cast<int64_t>(service.stats().peak_in_flight));
+      json->EndObject();
+    }
   }
+  if (json != nullptr) json->EndArray();
   std::printf("peak-q = deepest admission queue, peak-x = most queries "
               "executing at once,\nbacklog = deepest shared-pool morsel "
               "queue observed (bounded by the per-query\nmorsel windows). "
@@ -116,7 +134,7 @@ void StarvationCheck(Catalog* catalog) {
 
   StreamDriverConfig dcfg;
   dcfg.num_streams = 8;
-  dcfg.queries_per_stream = kQueriesPerStream;
+  dcfg.queries_per_stream = g_queries_per_stream;
   dcfg.gen.seed = 99;
   StreamDriverResult result = driver.Run(&service, dcfg);
   std::printf("%24s %8s %9s %9s\n", "class", "n", "p50 ms", "p95 ms");
@@ -129,7 +147,7 @@ void StarvationCheck(Catalog* catalog) {
 /// Identical repetitive streams + shared predicate cache: concurrency
 /// amplifies hits (stream 2 rides entries stream 1 populated; simultaneous
 /// identical queries coalesce into one population).
-void CacheAmplification(Catalog* catalog) {
+void CacheAmplification(Catalog* catalog, JsonWriter* json) {
   std::printf("\n--- predicate-cache hit amplification (identical top-k-heavy "
               "streams, shared cache) ---\n");
   std::printf("%8s %10s %8s %8s %10s %12s %14s\n", "streams", "hit-rate",
@@ -142,7 +160,8 @@ void CacheAmplification(Catalog* catalog) {
                                      "probe_random"},
                            {"build_small", "build_tiny"},
                            ProductionModel(mcfg));
-  for (size_t streams : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+  if (json != nullptr) json->Key("cache_amplification").BeginArray();
+  for (size_t streams : g_stream_counts) {
     PredicateCache cache(4096);
     service::QueryServiceConfig scfg;
     scfg.num_threads = kPoolWidth;
@@ -152,7 +171,7 @@ void CacheAmplification(Catalog* catalog) {
 
     StreamDriverConfig dcfg;
     dcfg.num_streams = streams;
-    dcfg.queries_per_stream = kQueriesPerStream;
+    dcfg.queries_per_stream = g_queries_per_stream;
     dcfg.identical_streams = true;  // every stream replays one sequence
     dcfg.gen.seed = 7;
     dcfg.gen.shape_pool_size = 60;  // dashboard-style repetitive traffic
@@ -160,15 +179,25 @@ void CacheAmplification(Catalog* catalog) {
     StreamDriverResult result = driver.Run(&service, dcfg);
     PredicateCache::Counters c = cache.snapshot();
     const int64_t executed = result.queries_ok + result.queries_failed;
+    const double loads_per_query =
+        executed > 0 ? static_cast<double>(catalog->TotalLoads()) /
+                           static_cast<double>(executed)
+                     : 0.0;
     std::printf("%8zu %9.1f%% %8lld %8lld %10lld %12lld %14.1f\n", streams,
                 100.0 * c.HitRate(), static_cast<long long>(c.hits),
                 static_cast<long long>(c.misses),
                 static_cast<long long>(c.coalesced_waits),
                 static_cast<long long>(result.cache_hit_queries),
-                executed > 0 ? static_cast<double>(catalog->TotalLoads()) /
-                                   static_cast<double>(executed)
-                             : 0.0);
+                loads_per_query);
+    if (json != nullptr) {
+      json->BeginObject();
+      json->Key("streams").Int(static_cast<int64_t>(streams));
+      json->Key("hit_rate").Number(c.HitRate());
+      json->Key("loads_per_query").Number(loads_per_query);
+      json->EndObject();
+    }
   }
+  if (json != nullptr) json->EndArray();
   std::printf("more streams replaying the same traffic -> higher hit rate "
               "and fewer partition\nloads per query: concurrency amplifies "
               "what one stream's first pass populated.\n");
@@ -176,12 +205,25 @@ void CacheAmplification(Catalog* catalog) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = ParseOptions(argc, argv);
+  if (opts.smoke) {
+    g_queries_per_stream = 10;
+    g_stream_counts = {1, 2};
+  }
   Banner("service", "Concurrent query service under multi-stream load",
          "§7 production setting: many repetitive queries in flight at once");
-  auto catalog = StandardCatalog(/*scale=*/0.5, /*seed=*/42);
-  ThroughputSweep(catalog.get());
+  auto catalog = StandardCatalog(/*scale=*/opts.smoke ? 0.1 : 0.5,
+                                 /*seed=*/42);
+  JsonWriter json;
+  JsonWriter* jp = opts.json ? &json : nullptr;
+  if (jp != nullptr) {
+    json.Key("bench").String("bench_service");
+    json.Key("smoke").Int(opts.smoke ? 1 : 0);
+  }
+  ThroughputSweep(catalog.get(), jp);
   StarvationCheck(catalog.get());
-  CacheAmplification(catalog.get());
+  CacheAmplification(catalog.get(), jp);
+  if (jp != nullptr) json.Write(opts);
   return 0;
 }

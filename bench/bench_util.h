@@ -2,6 +2,7 @@
 #define SNOWPRUNE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -11,6 +12,116 @@
 
 namespace snowprune {
 namespace bench {
+
+/// Shared command-line options for the population benches.
+///   --smoke        tiny tables / few queries: a compile-and-run check for
+///                  the perf-only paths (CI runs every bench this way under
+///                  -Werror and TSan, where full-size runs would time out).
+///   --json[=PATH]  additionally emit machine-readable results (query class,
+///                  ns/row, pruning ratios) to PATH, or to stdout when no
+///                  path is given — the BENCH_*.json perf trajectory files
+///                  are produced from this.
+struct BenchOptions {
+  bool smoke = false;
+  bool json = false;
+  std::string json_path;  ///< Empty: print the JSON to stdout.
+};
+
+inline BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opts.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opts.json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      opts.json = true;
+      opts.json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown option %s (expected --smoke, --json[=PATH])\n",
+                   argv[i]);
+    }
+  }
+  return opts;
+}
+
+/// Minimal JSON emitter for the --json bench mode. Call Key() before each
+/// value or container; strings are emitted verbatim (keys and values used
+/// here are identifier-like, no escaping needed).
+class JsonWriter {
+ public:
+  JsonWriter() { out_ = "{"; }
+
+  JsonWriter& Key(const std::string& k) {
+    MaybeComma();
+    out_ += '"';
+    out_ += k;
+    out_ += "\":";
+    return *this;
+  }
+  JsonWriter& String(const std::string& v) {
+    MaybeComma();
+    out_ += '"';
+    out_ += v;
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& Int(int64_t v) {
+    MaybeComma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Number(double v) {
+    MaybeComma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& BeginObject() {
+    MaybeComma();
+    out_ += '{';
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    MaybeComma();
+    out_ += '[';
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    out_ += ']';
+    return *this;
+  }
+
+  /// Closes the root object and writes it per the options (file or stdout).
+  void Write(const BenchOptions& opts) {
+    out_ += "}\n";
+    if (!opts.json_path.empty()) {
+      if (std::FILE* f = std::fopen(opts.json_path.c_str(), "w")) {
+        std::fputs(out_.c_str(), f);
+        std::fclose(f);
+        std::printf("json results written to %s\n", opts.json_path.c_str());
+        return;
+      }
+      std::fprintf(stderr, "cannot write %s; dumping to stdout\n",
+                   opts.json_path.c_str());
+    }
+    std::printf("%s", out_.c_str());
+  }
+
+ private:
+  void MaybeComma() {
+    if (out_.empty()) return;
+    const char last = out_.back();
+    if (last != '{' && last != '[' && last != ':') out_ += ',';
+  }
+
+  std::string out_;
+};
 
 /// Prints the standard figure/table banner.
 inline void Banner(const char* artifact, const char* title,

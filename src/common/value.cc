@@ -81,13 +81,13 @@ uint64_t HashBytes(const void* data, size_t len) {
 
 }  // namespace
 
-uint64_t HashValue(const Value& v) {
-  if (v.is_null()) return 0x9ae16a3b2f90404fULL;
-  if (v.is_bool()) return Mix64(v.bool_value() ? 3 : 5);
-  if (v.is_string()) {
-    return HashBytes(v.string_value().data(), v.string_value().size());
-  }
-  double d = v.AsDouble();
+uint64_t HashBoolValue(bool b) { return Mix64(b ? 3 : 5); }
+
+uint64_t HashStringValue(const std::string& s) {
+  return HashBytes(s.data(), s.size());
+}
+
+uint64_t HashFloat64Value(double d) {
   int64_t as_int = static_cast<int64_t>(d);
   if (static_cast<double>(as_int) == d) {
     // Integral numerics (2 and 2.0) hash identically.
@@ -98,6 +98,19 @@ uint64_t HashValue(const Value& v) {
   static_assert(sizeof(bits) == sizeof(d));
   __builtin_memcpy(&bits, &d, sizeof(bits));
   return Mix64(bits);
+}
+
+uint64_t HashInt64Value(int64_t v) {
+  // Through the same canonical-double funnel as the boxed path (AsDouble),
+  // so Value(2) and an int64 column cell of 2 hash identically.
+  return HashFloat64Value(static_cast<double>(v));
+}
+
+uint64_t HashValue(const Value& v) {
+  if (v.is_null()) return 0x9ae16a3b2f90404fULL;
+  if (v.is_bool()) return HashBoolValue(v.bool_value());
+  if (v.is_string()) return HashStringValue(v.string_value());
+  return HashFloat64Value(v.AsDouble());
 }
 
 }  // namespace snowprune

@@ -70,6 +70,14 @@ class Value {
 /// so Value(2) and Value(2.0) collide as equality demands.
 uint64_t HashValue(const Value& v);
 
+/// Component hashes of HashValue, one per physical type. HashValue
+/// dispatches to these, and the columnar (unboxed) join path calls them
+/// directly on raw column cells — the two can therefore never disagree.
+uint64_t HashBoolValue(bool b);
+uint64_t HashInt64Value(int64_t v);
+uint64_t HashFloat64Value(double d);
+uint64_t HashStringValue(const std::string& s);
+
 }  // namespace snowprune
 
 #endif  // SNOWPRUNE_COMMON_VALUE_H_

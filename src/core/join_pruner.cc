@@ -122,7 +122,10 @@ class BloomSummary : public BuildSummary {
   }
 
   bool MayContain(const Value& v) const override {
-    uint64_t h = HashValue(v);
+    return MayContainHash(HashValue(v));
+  }
+
+  bool MayContainHash(uint64_t h) const override {
     uint64_t h2 = (h >> 33) | 1;
     for (int i = 0; i < kNumHashes; ++i) {
       uint64_t bit = (h + static_cast<uint64_t>(i) * h2) % bits_;

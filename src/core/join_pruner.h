@@ -43,6 +43,14 @@ class BuildSummary {
   virtual bool MayContainInRange(const Value& lo, const Value& hi) const = 0;
   /// May the build side contain exactly `v`? (Row-level check.)
   virtual bool MayContain(const Value& v) const = 0;
+  /// MayContain by precomputed HashValue — the columnar probe path already
+  /// holds the key's hash, so the Bloom check reuses it instead of boxing
+  /// the cell. Hash-based summaries override; others answer a conservative
+  /// "maybe" (row-level checks are only ever an optimization).
+  virtual bool MayContainHash(uint64_t hash) const {
+    (void)hash;
+    return true;
+  }
   /// Number of distinct build values summarized.
   virtual int64_t num_values() const = 0;
 };

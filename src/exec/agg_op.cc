@@ -180,28 +180,6 @@ HashAggregateOp::GroupState& HashAggregateOp::FindOrCreateGroup(
 
 namespace {
 
-/// Three-way comparison of physical row `r` of `col` against a boxed value
-/// previously taken from the *same column* (so the kinds always match),
-/// without constructing a Value. Mirrors Value::Compare.
-int CompareColumnVsValue(const ColumnVector& col, uint32_t r, const Value& v) {
-  switch (col.type()) {
-    case DataType::kInt64: {
-      const int64_t x = col.Int64At(r), y = v.int64_value();
-      return x < y ? -1 : (x > y ? 1 : 0);
-    }
-    case DataType::kFloat64: {
-      const double x = col.Float64At(r), y = v.float64_value();
-      return x < y ? -1 : (x > y ? 1 : 0);
-    }
-    case DataType::kString:
-      return col.StringAt(r).compare(v.string_value());
-    case DataType::kBool:
-      return static_cast<int>(col.BoolAt(r)) -
-             static_cast<int>(v.bool_value());
-  }
-  return 0;
-}
-
 /// Unboxed equality of two physical rows of one column (NULLs compare
 /// equal, matching the NULL grouping rule of HashAggregateOp::KeyLess).
 bool ColumnRowsEqual(const ColumnVector& col, uint32_t a, uint32_t b) {
@@ -253,13 +231,13 @@ void HashAggregateOp::AccumulateUnboxed(GroupState* state,
         break;
       case AggFunc::kMin:
         if (state->min_max[i].is_null() ||
-            CompareColumnVsValue(col, r, state->min_max[i]) < 0) {
+            CompareCellVsValue(col, r, state->min_max[i]) < 0) {
           state->min_max[i] = col.ValueAt(r);
         }
         break;
       case AggFunc::kMax:
         if (state->min_max[i].is_null() ||
-            CompareColumnVsValue(col, r, state->min_max[i]) > 0) {
+            CompareCellVsValue(col, r, state->min_max[i]) > 0) {
           state->min_max[i] = col.ValueAt(r);
         }
         break;

@@ -1,8 +1,19 @@
 #include "exec/column_batch.h"
 
+#include <atomic>
+
 namespace snowprune {
 
+namespace {
+std::atomic<int64_t> g_materialize_calls{0};
+}  // namespace
+
+int64_t ColumnBatch::materialize_calls() {
+  return g_materialize_calls.load(std::memory_order_relaxed);
+}
+
 void ColumnBatch::MaterializeInto(Batch* out, bool track_source) const {
+  g_materialize_calls.fetch_add(1, std::memory_order_relaxed);
   out->rows.clear();
   out->source.clear();
   if (partition_ == nullptr) return;
@@ -19,6 +30,14 @@ void ColumnBatch::MaterializeInto(Batch* out, bool track_source) const {
     }
     out->rows.push_back(std::move(row));
     if (track_source) out->source.push_back(source_);
+  }
+}
+
+void ColumnBatch::AppendRowValues(uint32_t r, Row* out) const {
+  const size_t num_cols = partition_->num_columns();
+  out->reserve(out->size() + num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    out->push_back(partition_->column(c).ValueAt(r));
   }
 }
 

@@ -98,12 +98,48 @@ class ColumnBatch {
     return out;
   }
 
+  /// Boxes one physical row (all columns), appending to `out` — the bounded
+  /// per-row escape hatch for operators that keep only a few rows boxed at
+  /// a time (the top-k heap, join output assembly) instead of
+  /// materializing every batch.
+  void AppendRowValues(uint32_t r, Row* out) const;
+
+  /// Process-wide count of MaterializeInto() calls. Tests assert the boxed
+  /// adapter stays off the fully columnar pipelines (scan→aggregate,
+  /// scan→join, scan→top-k, scan→sort): the count must not move while one
+  /// of those plans executes.
+  static int64_t materialize_calls();
+
  private:
   const MicroPartition* partition_ = nullptr;
   PartitionId source_ = 0;
   bool select_all_ = false;
   std::vector<uint32_t> selection_;
 };
+
+/// Three-way comparison of physical row `r` of `col` against a boxed value
+/// previously taken from the *same column* (so the kinds always match),
+/// without constructing a Value. Mirrors Value::Compare. Inline: callers
+/// (aggregate min/max, top-k boundary checks) hit this once per row.
+inline int CompareCellVsValue(const ColumnVector& col, uint32_t r,
+                              const Value& v) {
+  switch (col.type()) {
+    case DataType::kInt64: {
+      const int64_t x = col.Int64At(r), y = v.int64_value();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kFloat64: {
+      const double x = col.Float64At(r), y = v.float64_value();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kString:
+      return col.StringAt(r).compare(v.string_value());
+    case DataType::kBool:
+      return static_cast<int>(col.BoolAt(r)) -
+             static_cast<int>(v.bool_value());
+  }
+  return 0;
+}
 
 }  // namespace snowprune
 

@@ -524,7 +524,11 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
                                                bidx.value(), plan->join_kind,
                                                jcfg);
       // §6: wire the probe-side scan for partition-level summary pruning.
-      if (config_.enable_join_pruning) {
+      // Not for probe-preserved (LEFT OUTER) joins: their unmatched probe
+      // rows are emitted null-padded, so a probe partition that cannot
+      // match the build side still contributes rows and must not be pruned.
+      if (config_.enable_join_pruning &&
+          plan->join_kind != JoinKind::kProbeOuter) {
         ColumnTrace key_trace =
             TraceColumnToScan(ctx->tables, plan->left, plan->left_key);
         if (key_trace.scan != nullptr && key_trace.agg_node == nullptr &&

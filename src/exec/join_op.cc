@@ -11,6 +11,74 @@ const char* ToString(JoinKind kind) {
   return "?";
 }
 
+namespace {
+
+/// HashValue of a non-null column cell, without boxing it. Dispatches to
+/// the per-type component hashes HashValue itself uses, so a cell and its
+/// boxed Value can never hash differently.
+uint64_t HashCell(const ColumnVector& col, uint32_t r) {
+  switch (col.type()) {
+    case DataType::kBool: return HashBoolValue(col.BoolAt(r));
+    case DataType::kInt64: return HashInt64Value(col.Int64At(r));
+    case DataType::kFloat64: return HashFloat64Value(col.Float64At(r));
+    case DataType::kString: return HashStringValue(col.StringAt(r));
+  }
+  return 0;
+}
+
+/// "Equal" exactly as Value::Compare reports 0 for doubles: neither less
+/// nor greater. This deliberately differs from operator== on NaN (NaN
+/// compares "equal" to everything under Value::Compare); the columnar and
+/// boxed join paths must make identical decisions on every input.
+bool DoubleCompareEqual(double x, double y) { return !(x < y) && !(x > y); }
+
+/// Join-key equality of two non-null cells; mirrors the boxed check
+/// (is_string/is_bool kind agreement, then Value::Compare == 0: int64 pairs
+/// compare exactly, mixed numerics through double).
+bool CellsJoinEqual(const ColumnVector& a, uint32_t ar, const ColumnVector& b,
+                    uint32_t br) {
+  const bool a_str = a.type() == DataType::kString;
+  const bool b_str = b.type() == DataType::kString;
+  const bool a_bool = a.type() == DataType::kBool;
+  const bool b_bool = b.type() == DataType::kBool;
+  if (a_str != b_str || a_bool != b_bool) return false;
+  if (a_str) return a.StringAt(ar) == b.StringAt(br);
+  if (a_bool) return a.BoolAt(ar) == b.BoolAt(br);
+  if (a.type() == DataType::kInt64 && b.type() == DataType::kInt64) {
+    return a.Int64At(ar) == b.Int64At(br);
+  }
+  const double x = a.type() == DataType::kInt64
+                       ? static_cast<double>(a.Int64At(ar))
+                       : a.Float64At(ar);
+  const double y = b.type() == DataType::kInt64
+                       ? static_cast<double>(b.Int64At(br))
+                       : b.Float64At(br);
+  return DoubleCompareEqual(x, y);
+}
+
+/// Join-key equality of a non-null cell against a non-null boxed key.
+bool CellJoinEqualsValue(const ColumnVector& col, uint32_t r, const Value& v) {
+  switch (col.type()) {
+    case DataType::kString:
+      return v.is_string() && col.StringAt(r) == v.string_value();
+    case DataType::kBool:
+      return v.is_bool() && col.BoolAt(r) == v.bool_value();
+    case DataType::kInt64:
+      if (v.is_int64()) return col.Int64At(r) == v.int64_value();
+      if (v.is_float64()) {
+        return DoubleCompareEqual(static_cast<double>(col.Int64At(r)),
+                                  v.float64_value());
+      }
+      return false;
+    case DataType::kFloat64:
+      return v.is_numeric() &&
+             DoubleCompareEqual(col.Float64At(r), v.AsDouble());
+  }
+  return false;
+}
+
+}  // namespace
+
 HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build, size_t probe_key,
                        size_t build_key, JoinKind kind, Config config)
     : probe_(std::move(probe)),
@@ -26,29 +94,56 @@ HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build, size_t probe_key,
 
 void HashJoinOp::Open() {
   build_rows_.clear();
+  build_batches_.clear();
+  build_refs_.clear();
   build_matched_.clear();
   hash_table_.clear();
   bloom_skipped_rows_ = 0;
   hash_probes_ = 0;
   emitted_unmatched_build_ = false;
+  build_columnar_ = false;
+  probe_columnar_ = nullptr;
 
   // --- Build phase: drain the build side, hash it, summarize it (§6.1
   // step 1). NULL keys never participate in an equi-join.
   build_->Open();
   SummaryBuilder summary_builder;
-  Batch batch;
-  while (build_->Next(&batch)) {
-    for (auto& row : batch.rows) {
-      const Value& key = row[build_key_];
-      if (!key.is_null()) {
-        summary_builder.Add(key);
-        hash_table_.emplace(HashValue(key), build_rows_.size());
+  if (auto* build_scan = dynamic_cast<TableScanOp*>(build_.get())) {
+    // Unboxed build: hash typed key cells straight out of the scan's
+    // ColumnBatches; entries are (batch, row) locators into the retained
+    // batches, so no build row is boxed until it appears in an output row.
+    build_columnar_ = true;
+    ColumnBatch batch;
+    while (build_scan->NextColumns(&batch)) {
+      const auto bidx = static_cast<uint32_t>(build_batches_.size());
+      const ColumnVector& keys = batch.column(build_key_);
+      const auto& nulls = keys.null_mask();
+      const size_t n = batch.num_rows();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = batch.row_index(i);
+        if (!nulls[r]) {
+          summary_builder.Add(keys.ValueAt(r));
+          hash_table_.emplace(HashCell(keys, r), build_refs_.size());
+        }
+        build_refs_.push_back(BuildRef{bidx, r});
       }
-      build_rows_.push_back(std::move(row));
+      build_batches_.push_back(std::move(batch));
+    }
+  } else {
+    Batch batch;
+    while (build_->Next(&batch)) {
+      for (auto& row : batch.rows) {
+        const Value& key = row[build_key_];
+        if (!key.is_null()) {
+          summary_builder.Add(key);
+          hash_table_.emplace(HashValue(key), build_rows_.size());
+        }
+        build_rows_.push_back(std::move(row));
+      }
     }
   }
   build_->Close();
-  build_matched_.assign(build_rows_.size(), false);
+  build_matched_.assign(BuildSize(), false);
 
   // --- Ship the summary to the probe side (§6.1 steps 2-4).
   if (config_.enable_partition_pruning) {
@@ -64,6 +159,7 @@ void HashJoinOp::Open() {
   }
 
   probe_->Open();
+  probe_columnar_ = dynamic_cast<TableScanOp*>(probe_.get());
 }
 
 Row HashJoinOp::NullBuildRow() const {
@@ -74,55 +170,138 @@ Row HashJoinOp::NullProbeRow() const {
   return Row(probe_->output_schema().num_columns(), Value::Null());
 }
 
+bool HashJoinOp::EntryKeyEqualsCell(const ColumnVector& pcol, uint32_t r,
+                                    size_t entry) const {
+  if (build_columnar_) {
+    const BuildRef& ref = build_refs_[entry];
+    return CellsJoinEqual(pcol, r,
+                          build_batches_[ref.batch].column(build_key_),
+                          ref.row);
+  }
+  return CellJoinEqualsValue(pcol, r, build_rows_[entry][build_key_]);
+}
+
+bool HashJoinOp::EntryKeyEqualsValue(const Value& key, size_t entry) const {
+  if (build_columnar_) {
+    const BuildRef& ref = build_refs_[entry];
+    return CellJoinEqualsValue(build_batches_[ref.batch].column(build_key_),
+                               ref.row, key);
+  }
+  const Value& bkey = build_rows_[entry][build_key_];
+  return bkey.is_string() == key.is_string() &&
+         bkey.is_bool() == key.is_bool() && Value::Compare(bkey, key) == 0;
+}
+
+void HashJoinOp::AppendBuildValues(size_t entry, Row* out) const {
+  if (build_columnar_) {
+    const BuildRef& ref = build_refs_[entry];
+    build_batches_[ref.batch].AppendRowValues(ref.row, out);
+    return;
+  }
+  const Row& row = build_rows_[entry];
+  out->insert(out->end(), row.begin(), row.end());
+}
+
+template <typename AppendProbe, typename KeyEqual>
+bool HashJoinOp::ProbeHash(uint64_t hash, Batch* out,
+                           AppendProbe&& append_probe, KeyEqual&& key_equal) {
+  auto [lo, hi] = hash_table_.equal_range(hash);
+  ++hash_probes_;
+  bool matched = false;
+  for (auto it = lo; it != hi; ++it) {
+    if (!key_equal(it->second)) continue;
+    matched = true;
+    build_matched_[it->second] = true;
+    Row joined;
+    joined.reserve(schema_.num_columns());
+    append_probe(&joined);
+    AppendBuildValues(it->second, &joined);
+    out->rows.push_back(std::move(joined));
+  }
+  return matched;
+}
+
 bool HashJoinOp::Next(Batch* out) {
-  Batch in;
-  while (probe_->Next(&in)) {
-    out->rows.clear();
-    out->source.clear();
-    for (auto& probe_row : in.rows) {
-      const Value& key = probe_row[probe_key_];
-      bool matched = false;
-      if (!key.is_null()) {
-        // Row-level bloom-join check: skip the hash-table probe entirely
-        // when the filter proves absence (CPU saving, not IO — §6.1).
-        if (bloom_ != nullptr && !bloom_->MayContain(key)) {
-          ++bloom_skipped_rows_;
-        } else {
-          auto [lo, hi] = hash_table_.equal_range(HashValue(key));
-          ++hash_probes_;
-          for (auto it = lo; it != hi; ++it) {
-            const Row& build_row = build_rows_[it->second];
-            const Value& bkey = build_row[build_key_];
-            if (bkey.is_string() == key.is_string() &&
-                bkey.is_bool() == key.is_bool() &&
-                Value::Compare(bkey, key) == 0) {
-              matched = true;
-              build_matched_[it->second] = true;
-              Row joined = probe_row;
-              joined.insert(joined.end(), build_row.begin(), build_row.end());
-              out->rows.push_back(std::move(joined));
-            }
+  if (probe_columnar_ != nullptr) {
+    // Columnar probe: the scan's selection vector drives the per-row
+    // probes; only surviving output rows are boxed, here at the join's
+    // output boundary.
+    ColumnBatch in;
+    while (probe_columnar_->NextColumns(&in)) {
+      out->rows.clear();
+      out->source.clear();
+      const ColumnVector& keys = in.column(probe_key_);
+      const auto& nulls = keys.null_mask();
+      const size_t n = in.num_rows();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = in.row_index(i);
+        bool matched = false;
+        if (!nulls[r]) {
+          const uint64_t h = HashCell(keys, r);
+          // Row-level bloom-join check: skip the hash-table probe entirely
+          // when the filter proves absence (CPU saving, not IO — §6.1).
+          if (bloom_ != nullptr && !bloom_->MayContainHash(h)) {
+            ++bloom_skipped_rows_;
+          } else {
+            matched = ProbeHash(
+                h, out, [&](Row* joined) { in.AppendRowValues(r, joined); },
+                [&](size_t entry) {
+                  return EntryKeyEqualsCell(keys, r, entry);
+                });
           }
         }
+        if (!matched && kind_ == JoinKind::kProbeOuter) {
+          Row joined;
+          joined.reserve(schema_.num_columns());
+          in.AppendRowValues(r, &joined);
+          Row nulls_row = NullBuildRow();
+          joined.insert(joined.end(), nulls_row.begin(), nulls_row.end());
+          out->rows.push_back(std::move(joined));
+        }
       }
-      if (!matched && kind_ == JoinKind::kProbeOuter) {
-        Row joined = std::move(probe_row);
-        Row nulls = NullBuildRow();
-        joined.insert(joined.end(), nulls.begin(), nulls.end());
-        out->rows.push_back(std::move(joined));
-      }
+      return true;
     }
-    return true;
+  } else {
+    Batch in;
+    while (probe_->Next(&in)) {
+      out->rows.clear();
+      out->source.clear();
+      for (auto& probe_row : in.rows) {
+        const Value& key = probe_row[probe_key_];
+        bool matched = false;
+        if (!key.is_null()) {
+          if (bloom_ != nullptr && !bloom_->MayContain(key)) {
+            ++bloom_skipped_rows_;
+          } else {
+            matched = ProbeHash(
+                HashValue(key), out,
+                [&](Row* joined) {
+                  joined->insert(joined->end(), probe_row.begin(),
+                                 probe_row.end());
+                },
+                [&](size_t entry) { return EntryKeyEqualsValue(key, entry); });
+          }
+        }
+        if (!matched && kind_ == JoinKind::kProbeOuter) {
+          Row joined = std::move(probe_row);
+          Row nulls = NullBuildRow();
+          joined.insert(joined.end(), nulls.begin(), nulls.end());
+          out->rows.push_back(std::move(joined));
+        }
+      }
+      return true;
+    }
   }
 
   if (kind_ == JoinKind::kBuildOuter && !emitted_unmatched_build_) {
     emitted_unmatched_build_ = true;
     out->rows.clear();
     out->source.clear();
-    for (size_t i = 0; i < build_rows_.size(); ++i) {
+    for (size_t i = 0; i < BuildSize(); ++i) {
       if (build_matched_[i]) continue;
       Row joined = NullProbeRow();
-      joined.insert(joined.end(), build_rows_[i].begin(), build_rows_[i].end());
+      joined.reserve(schema_.num_columns());
+      AppendBuildValues(i, &joined);
       out->rows.push_back(std::move(joined));
     }
     return !out->rows.empty();

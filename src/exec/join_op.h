@@ -29,6 +29,14 @@ const char* ToString(JoinKind kind);
 /// before they are loaded from storage. Optionally a row-level Bloom filter
 /// (the classic bloom-join the paper contrasts with) skips hash-table probes
 /// for rows that cannot match.
+///
+/// Data flow is unboxed end to end when a child is a table scan: the build
+/// phase hashes typed key-column cells out of ColumnBatches (keeping the
+/// batches and per-entry row locators instead of boxed rows), and the probe
+/// phase consumes the probe scan's ColumnBatches directly — the selection
+/// vector drives the per-row probes and only the *surviving* output rows
+/// are ever boxed, at this operator's output boundary (the pipeline's
+/// project/result boundary). Non-scan children use the classic boxed path.
 class HashJoinOp : public Operator {
  public:
   struct Config {
@@ -60,8 +68,31 @@ class HashJoinOp : public Operator {
   int64_t hash_probes() const { return hash_probes_; }
 
  private:
+  /// Locator of one build-side row inside build_batches_ (columnar build).
+  struct BuildRef {
+    uint32_t batch;
+    uint32_t row;
+  };
+
   Row NullBuildRow() const;
   Row NullProbeRow() const;
+
+  /// Number of build entries (either storage).
+  size_t BuildSize() const {
+    return build_columnar_ ? build_refs_.size() : build_rows_.size();
+  }
+  /// Does hash-table entry `entry`'s key equal the probe cell (pcol, r)?
+  bool EntryKeyEqualsCell(const ColumnVector& pcol, uint32_t r,
+                          size_t entry) const;
+  /// Boxed-probe variant: does entry `entry`'s key equal `key`?
+  bool EntryKeyEqualsValue(const Value& key, size_t entry) const;
+  /// Appends entry `entry`'s full build row to `out` (boxing on demand).
+  void AppendBuildValues(size_t entry, Row* out) const;
+  /// Probes one key hash and emits all matches; `append_probe` boxes the
+  /// probe-side columns into the output row. Returns true if any matched.
+  template <typename AppendProbe, typename KeyEqual>
+  bool ProbeHash(uint64_t hash, Batch* out, AppendProbe&& append_probe,
+                 KeyEqual&& key_equal);
 
   OperatorPtr probe_;
   OperatorPtr build_;
@@ -74,7 +105,17 @@ class HashJoinOp : public Operator {
   TableScanOp* probe_scan_ = nullptr;
   size_t probe_scan_key_column_ = 0;
 
+  /// Boxed build storage (non-scan build child).
   std::vector<Row> build_rows_;
+  /// Unboxed build storage (scan build child): the scan's surviving
+  /// batches, kept alive for the query, plus per-entry row locators.
+  std::vector<ColumnBatch> build_batches_;
+  std::vector<BuildRef> build_refs_;
+  bool build_columnar_ = false;
+  /// Set when the probe child is a table scan: probe ColumnBatches
+  /// directly instead of materialized rows.
+  TableScanOp* probe_columnar_ = nullptr;
+
   std::vector<bool> build_matched_;
   std::unordered_multimap<uint64_t, size_t> hash_table_;
   std::unique_ptr<BuildSummary> summary_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string_view>
 
+#include "exec/column_batch.h"
 #include "exec/row_eval.h"
+#include "exec/scan_op.h"
 
 namespace snowprune {
 
@@ -107,6 +110,88 @@ void SortOp::Open() {
 
 bool SortOp::Next(Batch* out) {
   if (done_) return false;
+  if (auto* scan = dynamic_cast<TableScanOp*>(input_.get())) {
+    // Columnar sort: buffer the scan's ColumnBatches (borrowed partitions,
+    // alive for the query) and stable-sort an index permutation over the
+    // unboxed order-key cells; rows are boxed once, in output order, at
+    // this pipeline-breaker's boundary. The permutation entries are
+    // decorated with the typed key (decorate-sort-undecorate), so the
+    // comparator never chases batch/column indirections. Same comparator
+    // semantics as the boxed path (NULLs last either direction) on the
+    // same input order, so the output is byte-identical.
+    std::vector<ColumnBatch> batches;
+    ColumnBatch cb;
+    while (scan->NextColumns(&cb)) batches.push_back(std::move(cb));
+    size_t total = 0;
+    for (const ColumnBatch& b : batches) total += b.num_rows();
+
+    // KeyT must order exactly like Value::Compare for the column's type.
+    auto sort_typed = [&](auto key_of, auto null_key) {
+      using KeyT = decltype(null_key);
+      struct Entry {
+        KeyT key;
+        uint8_t null;
+        uint32_t batch;
+        uint32_t row;  ///< Physical row index within the partition.
+      };
+      std::vector<Entry> order;
+      order.reserve(total);
+      for (size_t bi = 0; bi < batches.size(); ++bi) {
+        const ColumnVector& col = batches[bi].column(order_column_);
+        const auto& nulls = col.null_mask();
+        const size_t n = batches[bi].num_rows();
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t r = batches[bi].row_index(i);
+          order.push_back(Entry{nulls[r] ? null_key : key_of(col, r),
+                                nulls[r], static_cast<uint32_t>(bi), r});
+        }
+      }
+      const bool desc = descending_;
+      std::stable_sort(order.begin(), order.end(),
+                       [desc](const Entry& x, const Entry& y) {
+                         if (x.null) return false;  // NULLs sort last
+                         if (y.null) return true;
+                         return desc ? y.key < x.key : x.key < y.key;
+                       });
+      out->rows.clear();
+      out->source.clear();
+      out->rows.reserve(order.size());
+      for (const Entry& e : order) {
+        Row row;
+        batches[e.batch].AppendRowValues(e.row, &row);
+        out->rows.push_back(std::move(row));
+      }
+    };
+
+    const DataType type =
+        input_->output_schema().field(order_column_).type;
+    switch (type) {
+      case DataType::kInt64:
+        sort_typed([](const ColumnVector& c, uint32_t r) { return c.Int64At(r); },
+                   int64_t{0});
+        break;
+      case DataType::kFloat64:
+        sort_typed(
+            [](const ColumnVector& c, uint32_t r) { return c.Float64At(r); },
+            0.0);
+        break;
+      case DataType::kBool:
+        sort_typed([](const ColumnVector& c, uint32_t r) { return c.BoolAt(r); },
+                   false);
+        break;
+      case DataType::kString:
+        // Decorate with string views into the immutable partitions;
+        // std::string_view orders like std::string::compare.
+        sort_typed(
+            [](const ColumnVector& c, uint32_t r) {
+              return std::string_view(c.StringAt(r));
+            },
+            std::string_view());
+        break;
+    }
+    done_ = true;
+    return !out->rows.empty();
+  }
   Batch in;
   while (input_->Next(&in)) {
     for (auto& row : in.rows) buffered_.rows.push_back(std::move(row));

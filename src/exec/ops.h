@@ -68,6 +68,9 @@ class LimitOp : public Operator {
 
 /// Full in-memory sort (pipeline breaker); the non-pruning baseline for
 /// ORDER BY ... LIMIT and the final ordering stage of top-k results.
+/// A table-scan input is consumed as ColumnBatches and sorted via an index
+/// permutation over the unboxed order-key column — rows are boxed once, in
+/// output order, at this operator's boundary.
 class SortOp : public Operator {
  public:
   SortOp(OperatorPtr input, size_t order_column, bool descending);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/column_batch.h"
+
 namespace snowprune {
 
 TopKOp::TopKOp(OperatorPtr input, size_t order_column, bool descending,
@@ -21,18 +23,62 @@ void TopKOp::Open() {
   heap_.clear();
   contributing_.clear();
   emitted_ = false;
+  columnar_input_ = dynamic_cast<TableScanOp*>(input_.get());
   input_->Open();
 }
 
-bool TopKOp::Next(Batch* out) {
-  if (emitted_) return false;
+void TopKOp::MaybePublishBoundary() {
+  // Publish the boundary once the heap is full (§5.2): the k-th best
+  // value seen so far, enabling the scan to skip partitions.
+  if (pruner_ != nullptr && static_cast<int64_t>(heap_.size()) == k_) {
+    pruner_->UpdateBoundary(heap_.front().row[order_column_]);
+  }
+}
 
+void TopKOp::ConsumeColumns() {
+  // std::push_heap builds a max-heap; invert so the *weakest* row is at
+  // the root (classic top-k min-heap for DESC queries).
   auto heap_cmp = [this](const HeapRow& a, const HeapRow& b) {
-    // std::push_heap builds a max-heap; invert so the *weakest* row is at
-    // the root (classic top-k min-heap for DESC queries).
     return Weaker(b.row[order_column_], a.row[order_column_]);
   };
+  ColumnBatch in;
+  while (columnar_input_->NextColumns(&in)) {
+    const ColumnVector& keys = in.column(order_column_);
+    const auto& nulls = keys.null_mask();
+    const PartitionId src = in.source();
+    const size_t n = in.num_rows();
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t r = in.row_index(i);
+      if (nulls[r]) continue;  // NULL keys never qualify
+      if (static_cast<int64_t>(heap_.size()) < k_) {
+        Row row;
+        in.AppendRowValues(r, &row);
+        heap_.push_back(HeapRow{std::move(row), src});
+        std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+      } else if (!heap_.empty()) {
+        // Boundary check against the unboxed key cell: Weaker(boundary,
+        // cell) without boxing the candidate. CompareCellVsValue flips the
+        // operand order, hence the negation.
+        const int c =
+            -CompareCellVsValue(keys, r, heap_.front().row[order_column_]);
+        if (!(descending_ ? c < 0 : c > 0)) continue;  // weaker than boundary
+        std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
+        Row row;
+        in.AppendRowValues(r, &row);
+        heap_.back() = HeapRow{std::move(row), src};
+        std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+      } else {
+        continue;
+      }
+      MaybePublishBoundary();
+    }
+  }
+}
 
+void TopKOp::ConsumeRows() {
+  auto heap_cmp = [this](const HeapRow& a, const HeapRow& b) {
+    return Weaker(b.row[order_column_], a.row[order_column_]);
+  };
   Batch in;
   while (input_->Next(&in)) {
     const bool track = in.has_source();
@@ -52,18 +98,17 @@ bool TopKOp::Next(Batch* out) {
       } else {
         continue;  // weaker than the current boundary
       }
-      // Publish the boundary once the heap is full (§5.2): the k-th best
-      // value seen so far, enabling the scan to skip partitions.
-      if (pruner_ != nullptr && static_cast<int64_t>(heap_.size()) == k_) {
-        pruner_->UpdateBoundary(heap_.front().row[order_column_]);
-      }
+      MaybePublishBoundary();
     }
   }
+}
 
+bool TopKOp::EmitHeap(Batch* out) {
   // Emit best-first.
-  std::sort(heap_.begin(), heap_.end(), [this](const HeapRow& a, const HeapRow& b) {
-    return Weaker(b.row[order_column_], a.row[order_column_]);
-  });
+  std::sort(heap_.begin(), heap_.end(),
+            [this](const HeapRow& a, const HeapRow& b) {
+              return Weaker(b.row[order_column_], a.row[order_column_]);
+            });
   out->rows.clear();
   out->source.clear();
   for (auto& hr : heap_) {
@@ -76,6 +121,16 @@ bool TopKOp::Next(Batch* out) {
   }
   emitted_ = true;
   return !out->rows.empty();
+}
+
+bool TopKOp::Next(Batch* out) {
+  if (emitted_) return false;
+  if (columnar_input_ != nullptr) {
+    ConsumeColumns();
+  } else {
+    ConsumeRows();
+  }
+  return EmitHeap(out);
 }
 
 }  // namespace snowprune

@@ -6,6 +6,7 @@
 
 #include "core/topk_pruner.h"
 #include "exec/operator.h"
+#include "exec/scan_op.h"
 
 namespace snowprune {
 
@@ -13,6 +14,15 @@ namespace snowprune {
 /// boundary publication: whenever the heap is full, its weakest element is
 /// pushed to the attached TopKPruner, which the table scan in the same
 /// pipeline consults before loading further partitions (§5.2).
+///
+/// When the input is a table scan the operator consumes ColumnBatches
+/// directly: the order-key column is read unboxed for the NULL test and the
+/// against-the-boundary comparison, and a row is boxed only at the moment
+/// it actually enters the heap — at most k rows live boxed at any time, so
+/// the hot loop over the (typically much larger) rejected remainder never
+/// constructs a Value. The consumer-side boundary re-check that keeps
+/// parallel results and stats byte-identical to serial lives in the scan's
+/// ordered delivery (TableScanOp::NextColumns) and is unaffected.
 ///
 /// Rows whose order key is NULL never enter the heap (and thus never appear
 /// in results). Output rows are emitted best-first.
@@ -46,11 +56,22 @@ class TopKOp : public Operator {
   /// root = weakest element = the boundary).
   bool Weaker(const Value& a, const Value& b) const;
 
+  /// Consumes the columnar input (scan), feeding the heap unboxed.
+  void ConsumeColumns();
+  /// Consumes the boxed input.
+  void ConsumeRows();
+  /// Publishes the boundary once the heap is full (§5.2).
+  void MaybePublishBoundary();
+  /// Sorts the heap best-first and emits it.
+  bool EmitHeap(Batch* out);
+
   OperatorPtr input_;
   size_t order_column_;
   bool descending_;
   int64_t k_;
   TopKPruner* pruner_;
+  /// Set when the input is a TableScanOp consumed via NextColumns().
+  TableScanOp* columnar_input_ = nullptr;
   std::vector<HeapRow> heap_;
   std::vector<PartitionId> contributing_;
   bool emitted_ = false;

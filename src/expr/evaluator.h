@@ -35,28 +35,66 @@ enum PredicateOutcome : uint8_t {
   kPredNull = 2,
 };
 
+/// Per-row lane tags for NumericLanes: which lane holds row r's value.
+/// Mirrors the scalar evaluator's dynamic numeric typing (int64 arithmetic
+/// with per-row overflow fallback to double) without boxing a Value per row.
+enum NumericLaneKind : uint8_t {
+  kLaneNull = 0,
+  kLaneInt64 = 1,
+  kLaneDouble = 2,
+};
+
+/// The unboxed result of evaluating an arithmetic/IF value subtree over a
+/// partition: parallel int64/double lanes plus a per-row kind tag (the null
+/// mask is kind == kLaneNull). Indexed by physical row; only the lane named
+/// by `kind[r]` is meaningful for row r.
+struct NumericLanes {
+  std::vector<uint8_t> kind;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+
+  void Resize(size_t n) {
+    kind.resize(n);
+    i64.resize(n);
+    f64.resize(n);
+  }
+};
+
 /// Reusable buffers for the vectorized predicate path. Evaluating a
-/// connective needs one term buffer per nesting level, and ComputeSelection
-/// needs an outcome buffer; without a scratch both are heap-allocated anew
+/// connective needs one term buffer per nesting level, ComputeSelection
+/// needs an outcome buffer, selection-aware AND/OR need an active-row list
+/// per level, and typed arithmetic/IF need a pair of value-lane buffers per
+/// expression depth; without a scratch all of these are heap-allocated anew
 /// for every partition, which the scan hot path feels as allocator pressure.
 /// Callers keep one scratch per evaluating thread and pass it to every
 /// partition's evaluation; buffers grow to the high-water partition size and
-/// stay. A deque keeps term-buffer references stable while nested
-/// connectives extend the pool mid-recursion. Not thread-safe: one scratch
-/// must never serve two concurrent evaluations.
+/// stay (grow-only — the worker-side morsel fold reuses one scratch per pool
+/// thread across every query that lands on it). Deques keep buffer
+/// references stable while nested expressions extend the pools
+/// mid-recursion. Not thread-safe: one scratch must never serve two
+/// concurrent evaluations.
 struct EvalScratch {
   std::vector<uint8_t> outcomes;                ///< ComputeSelection's mask.
-  std::deque<std::vector<uint8_t>> term_buffers;///< One per connective depth.
+  std::deque<std::vector<uint8_t>> term_buffers;///< One per mask depth.
   size_t term_depth = 0;                        ///< Currently acquired count.
+  std::deque<std::vector<uint32_t>> row_buffers;///< Active-row lists.
+  size_t row_depth = 0;
+  std::deque<NumericLanes> lane_buffers;        ///< Arithmetic/IF lanes.
+  size_t lane_depth = 0;
 };
 
 /// Vectorized predicate evaluation (the ColumnBatch hot path): fills `out`
 /// with one PredicateOutcome per partition row. Semantics are identical to
 /// EvalPredicate row-by-row; comparisons against literals, column-column
 /// comparisons, AND/OR/NOT, IS [NOT] NULL, IN, LIKE and STARTSWITH over
-/// column inputs run unboxed column-at-a-time, any other node (arithmetic,
-/// IF, nested value expressions) falls back to the scalar evaluator for
-/// that subtree's rows.
+/// column inputs run unboxed column-at-a-time; arithmetic subtrees run in
+/// typed int64/double lanes with per-row overflow/null tags; IF runs
+/// vectorized by splitting rows on the condition mask; AND terms evaluate
+/// only rows not yet proven FALSE and OR terms only rows not yet proven
+/// TRUE (selection-aware connectives). Only shapes outside all of that
+/// (string/bool-valued subexpressions in value position, unbound columns)
+/// fall back to the scalar evaluator, and then only for the rows still
+/// alive at that point in the tree.
 void EvalPredicateOutcomes(const Expr& expr, const MicroPartition& partition,
                            std::vector<uint8_t>* out);
 /// Scratch-reusing variant: connective term buffers come from `scratch`

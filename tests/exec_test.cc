@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "exec/column_batch.h"
 #include "exec/engine.h"
 #include "exec/row_eval.h"
@@ -272,14 +274,20 @@ TEST_F(ExecTest, ProbeOuterJoinKeepsUnmatchedProbeRows) {
   auto probe = ScanPlan("fact", Lt(Col("id"), Lit(5)));
   auto build = ScanPlan("dim", Lt(Col("dkey"), Lit(0)));  // empty build
   auto plan = JoinPlan(probe, build, "key", "dkey", JoinKind::kProbeOuter);
-  EngineConfig cfg;
-  cfg.enable_join_pruning = false;  // outer join must not drop probe rows
-  Engine engine(&catalog_, cfg);
-  auto r = engine.Execute(plan);
-  ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r.value().rows.size(), 5u);
-  for (const auto& row : r.value().rows) {
-    EXPECT_TRUE(row.back().is_null());  // dim columns null-padded
+  // With join pruning enabled (the default) AND disabled: the engine must
+  // not wire §6 summary pruning onto the probe scan of a probe-preserved
+  // join — every probe row survives null-padded even when the build side
+  // proves it unmatchable.
+  for (bool pruning : {true, false}) {
+    EngineConfig cfg;
+    cfg.enable_join_pruning = pruning;
+    Engine engine(&catalog_, cfg);
+    auto r = engine.Execute(plan);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().rows.size(), 5u) << "join pruning " << pruning;
+    for (const auto& row : r.value().rows) {
+      EXPECT_TRUE(row.back().is_null());  // dim columns null-padded
+    }
   }
 }
 
@@ -482,6 +490,70 @@ TEST_F(ExecTest, SortAscendingAndDescending) {
   for (size_t i = 1; i < r.rows.size(); ++i) {
     EXPECT_LE(r.rows[i - 1][1].int64_value(), r.rows[i][1].int64_value());
   }
+}
+
+/// NaN join keys: Value::Compare reports 0 for NaN against anything
+/// (neither < nor >), so the boxed path joins them; the columnar cell
+/// equality must make the identical decision rather than IEEE's
+/// NaN != NaN. Forced-boxed (via identity projection) and columnar
+/// pipelines must agree row-for-row.
+TEST_F(ExecTest, NanJoinKeysMatchBetweenColumnarAndBoxed) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Schema schema({Field{"k", DataType::kFloat64, true},
+                 Field{"tag", DataType::kString, false}});
+  auto make = [&](const char* name, const char* prefix) {
+    std::vector<std::vector<Value>> rows;
+    rows.push_back({Value(nan), Value(std::string(prefix) + "_nan")});
+    rows.push_back({Value(1.5), Value(std::string(prefix) + "_a")});
+    rows.push_back({Value(2.5), Value(std::string(prefix) + "_b")});
+    return MakeTable(name, schema, rows, 2);
+  };
+  ASSERT_TRUE(catalog_.RegisterTable(make("njp", "p")).ok());
+  ASSERT_TRUE(catalog_.RegisterTable(make("njb", "b")).ok());
+
+  auto columnar = JoinPlan(ScanPlan("njp"), ScanPlan("njb"), "k", "k");
+  auto boxed = JoinPlan(
+      ProjectPlan(ScanPlan("njp"), {Col("k"), Col("tag")}, {"k", "tag"}),
+      ProjectPlan(ScanPlan("njb"), {Col("k"), Col("tag")}, {"k", "tag"}),
+      "k", "k");
+  QueryResult rc = Run(columnar);
+  QueryResult rb = Run(boxed);
+  EXPECT_EQ(testing_util::Serialize(rc), testing_util::Serialize(rb));
+  EXPECT_FALSE(rc.rows.empty());
+}
+
+/// PR 4 acceptance: the boxed-row adapter must be gone from scan→join,
+/// scan→top-k, scan→sort, and scan→aggregate pipelines — ColumnBatch flows
+/// end to end and rows are boxed only at each pipeline's output boundary
+/// (which is plain row construction, not Materialize()). Verified with the
+/// process-wide Materialize() call counter, serially and in parallel.
+TEST_F(ExecTest, ColumnarPipelinesNeverMaterializeScanBatches) {
+  auto pred = Between(Col("key"), Value(int64_t{100}), Value(int64_t{90000}));
+  const std::vector<std::pair<const char*, PlanPtr>> plans = {
+      {"scan->join", JoinPlan(ScanPlan("fact", pred), ScanPlan("dim"), "key",
+                              "dkey")},
+      {"scan->topk", TopKPlan(ScanPlan("fact", pred), "key", true, 25)},
+      {"scan->sort", SortPlan(ScanPlan("fact", pred), "key", false)},
+      {"scan->agg",
+       AggregatePlan(ScanPlan("fact", pred), {"cat"},
+                     {AggPlanSpec{AggFunc::kCount, "", "n"},
+                      AggPlanSpec{AggFunc::kMax, "key", "key_max"}})},
+  };
+  for (int threads : {1, 4}) {
+    config_.exec.num_threads = threads;
+    for (const auto& [name, plan] : plans) {
+      const int64_t before = ColumnBatch::materialize_calls();
+      QueryResult r = Run(plan);
+      EXPECT_GT(r.rows.size(), 0u) << name;
+      EXPECT_EQ(ColumnBatch::materialize_calls(), before)
+          << name << " materialized a scan batch at num_threads=" << threads;
+    }
+  }
+  // A bare scan, by contrast, must box at the result boundary — the adapter
+  // still exists, it has just moved to the end of every pipeline.
+  const int64_t before = ColumnBatch::materialize_calls();
+  Run(ScanPlan("fact", pred));
+  EXPECT_GT(ColumnBatch::materialize_calls(), before);
 }
 
 TEST_F(ExecTest, MissingTableFails) {

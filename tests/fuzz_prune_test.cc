@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "core/filter_pruner.h"
 #include "core/limit_pruner.h"
+#include "exec/column_batch.h"
 #include "exec/engine.h"
 #include "exec/row_eval.h"
 #include "expr/evaluator.h"
@@ -341,7 +342,7 @@ class FuzzEngine {
 
   Catalog* catalog() { return &catalog_; }
 
-  std::vector<Row> Run(const PlanPtr& plan, bool pruning, int threads) {
+  QueryResult RunFull(const PlanPtr& plan, bool pruning, int threads) {
     EngineConfig config;
     config.enable_filter_pruning = pruning;
     config.enable_limit_pruning = pruning;
@@ -351,7 +352,11 @@ class FuzzEngine {
     Engine engine(&catalog_, config);
     auto result = engine.Execute(plan);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
-    return std::move(result).value().rows;
+    return std::move(result).value();
+  }
+
+  std::vector<Row> Run(const PlanPtr& plan, bool pruning, int threads) {
+    return RunFull(plan, pruning, threads).rows;
   }
 
  private:
@@ -461,6 +466,179 @@ TEST(FuzzPruneTest, VectorizedSelectionAgreesWithScalarOracle) {
       ASSERT_EQ(selection, expected)
           << "iter " << iter << " partition " << pid << " predicate "
           << pred->ToString();
+    }
+  }
+}
+
+/// A random numeric *value* expression over the synthetic schema: nested
+/// arithmetic (all four operators, division by possibly-zero constants),
+/// IF-as-value with predicate conditions, numeric columns and literals —
+/// the shapes the typed-lane evaluator (PR 4) covers, plus the odd
+/// non-numeric leaf to exercise its scalar fallback.
+ExprPtr RandomValueExpr(Rng* rng, const Table& table, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.3)) {
+    switch (rng->UniformInt(0, 4)) {
+      case 0: return Col("key");
+      case 1: return Col("ts");
+      case 2: return Col("val");  // nullable float64
+      case 3: return Lit(rng->UniformInt(-30, 30));
+      default:
+        return rng->Bernoulli(0.5) ? Lit(rng->Uniform() * 10.0 - 5.0)
+                                   : Lit(rng->UniformInt(-3, 3));
+    }
+  }
+  switch (rng->UniformInt(0, 4)) {
+    case 0:
+      return Add(RandomValueExpr(rng, table, depth - 1),
+                 RandomValueExpr(rng, table, depth - 1));
+    case 1:
+      return Sub(RandomValueExpr(rng, table, depth - 1),
+                 RandomValueExpr(rng, table, depth - 1));
+    case 2:
+      return Mul(RandomValueExpr(rng, table, depth - 1),
+                 RandomValueExpr(rng, table, depth - 1));
+    case 3:  // divisor often hits zero → NULL rows
+      return Div(RandomValueExpr(rng, table, depth - 1),
+                 rng->Bernoulli(0.4) ? Lit(rng->UniformInt(-2, 2))
+                                     : RandomValueExpr(rng, table, depth - 1));
+    default:
+      return If(RandomPredicate(rng, table, 1),
+                RandomValueExpr(rng, table, depth - 1),
+                RandomValueExpr(rng, table, depth - 1));
+  }
+}
+
+/// A predicate built to stress exactly what PR 4 vectorized: comparisons
+/// over arithmetic/IF value lanes, IF in predicate position, and deeply
+/// nested AND/OR (whose terms now evaluate selection-aware).
+ExprPtr RandomArithIfPredicate(Rng* rng, const Table& table, int depth) {
+  if (depth > 0 && rng->Bernoulli(0.5)) {
+    if (rng->Bernoulli(0.25)) {
+      // IF in predicate position, both branches predicates themselves.
+      return If(RandomArithIfPredicate(rng, table, depth - 1),
+                RandomArithIfPredicate(rng, table, depth - 1),
+                RandomArithIfPredicate(rng, table, depth - 1));
+    }
+    int n = rng->Bernoulli(0.3) ? 3 : 2;
+    std::vector<ExprPtr> terms;
+    for (int i = 0; i < n; ++i) {
+      terms.push_back(RandomArithIfPredicate(rng, table, depth - 1));
+    }
+    ExprPtr combo =
+        rng->Bernoulli(0.5) ? And(std::move(terms)) : Or(std::move(terms));
+    if (rng->Bernoulli(0.2)) return Not(std::move(combo));
+    return combo;
+  }
+  return Cmp(RandomOp(rng), RandomValueExpr(rng, table, 2),
+             rng->Bernoulli(0.5)
+                 ? RandomValueExpr(rng, table, 1)
+                 : Lit(BoundaryBiasedLiteral(rng, table, 1, true)));
+}
+
+/// The typed arithmetic/IF lanes and selection-aware connectives must agree
+/// with the brute-force scalar evaluator on every row — including NULL
+/// propagation through arithmetic, divide-by-zero, int64 overflow fallback
+/// to double, and per-row IF branch selection.
+TEST(FuzzPruneTest, VectorizedArithIfAgreesWithScalarOracle) {
+  for (int iter = 0; iter < 150; ++iter) {
+    Rng rng(101000 + iter);
+    auto table = RandomTable(&rng, "ai" + std::to_string(iter));
+    ExprPtr pred = RandomArithIfPredicate(&rng, *table, 3);
+    ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+    EvalScratch scratch;  // reused across partitions, as the scan does
+    for (size_t pid = 0; pid < table->num_partitions(); ++pid) {
+      const MicroPartition& part =
+          table->partition_metadata(static_cast<PartitionId>(pid));
+      std::vector<uint8_t> oracle = EvalPredicateMask(*pred, part);
+      std::vector<uint32_t> selection;
+      ComputeSelection(*pred, part, &selection, &scratch);
+      std::vector<uint32_t> expected;
+      for (uint32_t r = 0; r < oracle.size(); ++r) {
+        if (oracle[r]) expected.push_back(r);
+      }
+      ASSERT_EQ(selection, expected)
+          << "iter " << iter << " partition " << pid << " predicate "
+          << pred->ToString();
+    }
+  }
+}
+
+/// Columnar-vs-boxed pipeline identity: a join / top-k / sort directly over
+/// a scan takes the unboxed ColumnBatch path; the same pipeline over an
+/// identity projection of the scan is forced onto the boxed-row path. Rows
+/// AND PruningStats must be byte-identical between the two, serially and
+/// in parallel (1/2/4 threads) — and the columnar pipelines must never call
+/// the Materialize() adapter.
+TEST(FuzzPruneTest, ColumnarPipelinesMatchBoxedOracle) {
+  auto identity = [](PlanPtr scan) {
+    // SELECT id, key, val, cat, ts FROM (...): same values, same names, but
+    // the ProjectOp input forces every consumer above onto boxed rows.
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (const char* c : {"id", "key", "val", "cat", "ts"}) {
+      exprs.push_back(Col(c));
+      names.push_back(c);
+    }
+    return ProjectPlan(std::move(scan), std::move(exprs), std::move(names));
+  };
+
+  for (int iter = 0; iter < 40; ++iter) {
+    Rng rng(111000 + iter);
+    auto probe = RandomTable(&rng, "p");
+    FuzzEngine engine(probe);
+    workload::TableGenConfig bcfg;
+    bcfg.name = "b";
+    bcfg.num_partitions = static_cast<size_t>(rng.UniformInt(1, 4));
+    bcfg.rows_per_partition = static_cast<size_t>(rng.UniformInt(2, 20));
+    bcfg.domain_min = rng.UniformInt(-50, 500);
+    bcfg.domain_max = bcfg.domain_min + rng.UniformInt(5, 800);
+    bcfg.null_fraction = 0.1;
+    bcfg.seed = rng.Next();
+    ASSERT_TRUE(
+        engine.catalog()->RegisterTable(workload::SyntheticTable(bcfg)).ok());
+
+    ExprPtr pred = RandomPredicate(&rng, *probe, 2);
+    ASSERT_TRUE(BindExpr(pred, probe->schema()).ok());
+    ExprPtr bpred = RandomPredicate(&rng, *probe, 1);
+    const char* order_col = rng.Bernoulli(0.5) ? "key" : "val";
+    const bool desc = rng.Bernoulli(0.5);
+    const int64_t k = rng.UniformInt(1, 25);
+    const JoinKind jkind = rng.Bernoulli(0.3)
+                               ? (rng.Bernoulli(0.5) ? JoinKind::kProbeOuter
+                                                     : JoinKind::kBuildOuter)
+                               : JoinKind::kInner;
+
+    struct Shape {
+      const char* name;
+      PlanPtr columnar;
+      PlanPtr boxed;
+    };
+    const Shape shapes[] = {
+        {"join",
+         JoinPlan(ScanPlan("p", pred), ScanPlan("b", bpred), "key", "key",
+                  jkind),
+         JoinPlan(identity(ScanPlan("p", pred)),
+                  identity(ScanPlan("b", bpred)), "key", "key", jkind)},
+        {"topk", TopKPlan(ScanPlan("p", pred), order_col, desc, k),
+         TopKPlan(identity(ScanPlan("p", pred)), order_col, desc, k)},
+        {"sort", SortPlan(ScanPlan("p", pred), order_col, desc),
+         SortPlan(identity(ScanPlan("p", pred)), order_col, desc)},
+    };
+    for (const Shape& shape : shapes) {
+      const std::string ctx =
+          "iter " + std::to_string(iter) + " shape " + shape.name;
+      QueryResult boxed = engine.RunFull(shape.boxed, true, 1);
+      for (int threads : {1, 2, 4}) {
+        const int64_t materialized_before = ColumnBatch::materialize_calls();
+        QueryResult columnar = engine.RunFull(shape.columnar, true, threads);
+        ASSERT_EQ(ColumnBatch::materialize_calls(), materialized_before)
+            << ctx << ": columnar pipeline materialized a batch at threads="
+            << threads;
+        ASSERT_EQ(Serialize(boxed.rows), Serialize(columnar.rows))
+            << ctx << " threads=" << threads;
+        ASSERT_EQ(testing_util::DiffStats(boxed.stats, columnar.stats), "")
+            << ctx << " threads=" << threads;
+      }
     }
   }
 }
