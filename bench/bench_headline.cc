@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "exec/engine.h"
+#include "exec/parallel/pipeline.h"
 #include "expr/builder.h"
 #include "workload/query_gen.h"
 #include "workload/simulator.h"
@@ -100,6 +101,68 @@ std::vector<ClassPoint> ClassLatencySweep(Catalog* catalog, int reps) {
   return points;
 }
 
+/// One point of the pipeline-parallel operator sweep: a join/top-k/sort
+/// class at a given thread count.
+struct ParallelClassPoint {
+  const char* cls;
+  int num_threads;
+  double wall_ms = 0.0;
+  int64_t scanned_rows = 0;
+
+  double NsPerRow() const {
+    return scanned_rows > 0 ? wall_ms * 1e6 / static_cast<double>(scanned_rows)
+                            : 0.0;
+  }
+};
+
+/// The PR 5 sweep: the three operators whose per-row work now runs as
+/// pipeline stages on the scan workers (join build, top-k candidate
+/// filter, sorted runs), measured at 1/2/4 threads. Results and
+/// PruningStats are byte-identical across the sweep (asserted in the fuzz
+/// oracle); this reports the wall-clock side.
+std::vector<ParallelClassPoint> ParallelClassSweep(Catalog* catalog,
+                                                   int reps) {
+  auto filter = Between(Col("key"), Value(int64_t{100000}),
+                        Value(int64_t{900000}));
+  struct NamedPlan {
+    const char* cls;
+    PlanPtr plan;
+  };
+  const NamedPlan plans[] = {
+      {"join", JoinPlan(ScanPlan("probe_random"), ScanPlan("build_small"),
+                        "key", "key")},
+      {"topk", TopKPlan(ScanPlan("probe_random", filter), "key",
+                        /*descending=*/true, 100)},
+      {"sort", SortPlan(ScanPlan("probe_random", filter), "key",
+                        /*descending=*/false)},
+  };
+  std::vector<ParallelClassPoint> points;
+  for (const NamedPlan& np : plans) {
+    for (int threads : {1, 2, 4}) {
+      EngineConfig config;
+      config.exec.num_threads = threads;
+      Engine engine(catalog, config);
+      ParallelClassPoint point;
+      point.cls = np.cls;
+      point.num_threads = threads;
+      for (int rep = 0; rep < reps; ++rep) {
+        auto result = engine.Execute(np.plan);
+        if (!result.ok()) {
+          std::printf("parallel class %s failed: %s\n", np.cls,
+                      result.status().ToString().c_str());
+          std::abort();
+        }
+        if (rep == 0 || result.value().wall_ms < point.wall_ms) {
+          point.wall_ms = result.value().wall_ms;
+        }
+        point.scanned_rows = result.value().stats.scanned_rows;
+      }
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,6 +213,30 @@ int main(int argc, char** argv) {
   for (const ClassPoint& p : classes) {
     std::printf("%-14s %12.2f %12.1f %14lld\n", p.cls, p.wall_ms, p.NsPerRow(),
                 static_cast<long long>(p.scanned_rows));
+  }
+
+  // --- Pipeline-parallel operator sweep -----------------------------------
+  // Join build / top-k filter / sort runs as worker-side pipeline stages;
+  // "1" is the serial (poolless) baseline. Every row of the sweep returns
+  // byte-identical rows and stats — only the wall clock may move.
+  const int64_t stage_tasks_before = PipelineCounters::stage_tasks();
+  std::printf("\n%-10s %12s %12s %12s   (pipeline-parallel operators, "
+              "best of %d)\n",
+              "class", "threads", "wall ms", "ns/row", reps);
+  std::vector<ParallelClassPoint> parallel_classes =
+      ParallelClassSweep(catalog.get(), reps);
+  for (const ParallelClassPoint& p : parallel_classes) {
+    std::printf("%-10s %12d %12.2f %12.1f\n", p.cls, p.num_threads, p.wall_ms,
+                p.NsPerRow());
+  }
+  // CI tripwire: the threaded runs above must have executed worker-side
+  // pipeline stages. A silently-serial regression (stages not installed,
+  // operators falling back to consumer-thread loops) fails the smoke run.
+  if (PipelineCounters::stage_tasks() == stage_tasks_before) {
+    std::printf("FATAL: no pipeline stage tasks ran during the parallel "
+                "operator sweep — the pipeline-parallel path regressed to "
+                "serial\n");
+    return 1;
   }
 
   // --- Partition-parallel execution sweep ---------------------------------
@@ -225,6 +312,16 @@ int main(int argc, char** argv) {
       json.Key("ns_per_row").Number(p.NsPerRow());
       json.Key("scanned_rows").Int(p.scanned_rows);
       json.Key("result_rows").Int(p.result_rows);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("parallel_classes").BeginArray();
+    for (const ParallelClassPoint& p : parallel_classes) {
+      json.BeginObject();
+      json.Key("class").String(p.cls);
+      json.Key("num_threads").Int(p.num_threads);
+      json.Key("wall_ms").Number(p.wall_ms);
+      json.Key("ns_per_row").Number(p.NsPerRow());
       json.EndObject();
     }
     json.EndArray();

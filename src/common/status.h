@@ -17,6 +17,7 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,  ///< Admission rejection: a bounded queue is full.
   kUnavailable,        ///< The serving component is shutting down.
+  kCancelled,          ///< The caller cancelled the operation mid-flight.
 };
 
 /// A lightweight success-or-error carrier, modeled after the Status idiom
@@ -50,6 +51,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -70,6 +74,7 @@ class Status {
         name = "ResourceExhausted";
         break;
       case StatusCode::kUnavailable: name = "Unavailable"; break;
+      case StatusCode::kCancelled: name = "Cancelled"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -218,6 +218,17 @@ void SummaryBuilder::Add(const Value& v) {
   values_.push_back(v);
 }
 
+void SummaryBuilder::Append(SummaryBuilder&& other) {
+  if (values_.empty()) {
+    values_ = std::move(other.values_);
+    return;
+  }
+  values_.insert(values_.end(),
+                 std::make_move_iterator(other.values_.begin()),
+                 std::make_move_iterator(other.values_.end()));
+  other.values_.clear();
+}
+
 std::unique_ptr<BuildSummary> SummaryBuilder::Build(SummaryKind kind,
                                                     size_t budget_bytes) const {
   std::vector<Value> vals = SortedDistinct(values_);

@@ -61,6 +61,13 @@ class SummaryBuilder {
  public:
   void Add(const Value& v);
 
+  /// Exact merge for parallel build stages: appends `other`'s values after
+  /// this builder's, preserving their order. A consumer that appends
+  /// per-morsel partials in scan-set order reproduces the serial value
+  /// sequence byte-for-byte, so every summary Build() — and therefore every
+  /// §6 pruning decision — is identical to a serial build.
+  void Append(SummaryBuilder&& other);
+
   /// Builds a summary of the requested kind. `budget_bytes` caps the size of
   /// kRangeSet (number of ranges) and kBloom (bit array); it is ignored for
   /// kMinMax and kExactSet.

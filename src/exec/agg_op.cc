@@ -121,13 +121,23 @@ void HashAggregateOp::Open() {
       AggsMergeExactly(*scan)) {
     parallel_path_ = true;
     scan_input_ = scan;
-    // Worker-side morsel reduction: columns never reach the consumer
-    // thread; each loaded batch folds into the morsel's partial group map.
-    scan->set_morsel_fold(
-        [this](ColumnBatch&& batch, TableScanOp::MorselPayload* payload) {
-          if (*payload == nullptr) *payload = std::make_shared<GroupMap>();
-          AccumulateColumns(static_cast<GroupMap*>(payload->get()), batch);
-        });
+    // Worker-side morsel reduction stage: columns never reach the consumer
+    // thread; each loaded batch folds into the morsel's partial group map,
+    // in scan-set order within the morsel (coarse morsels: the per-morsel
+    // merge cost is a whole partial map).
+    scan->set_morsel_stage(
+        [this](MorselResult* morsel) {
+          for (MorselItem& item : morsel->items) {
+            if (!item.loaded) continue;
+            if (morsel->payload == nullptr) {
+              morsel->payload = std::make_shared<GroupMap>();
+            }
+            AccumulateColumns(static_cast<GroupMap*>(morsel->payload.get()),
+                              item.batch);
+            item.batch.Clear();
+          }
+        },
+        /*coarse_morsels=*/true);
   }
   input_->Open();  // parallel scans start their scheduler here
 }

@@ -90,6 +90,12 @@ struct Engine::CompileContext {
   TableSnapshot tables;
   std::map<const PlanNode*, ScanInfo> scans;
   std::map<const PlanNode*, HashAggregateOp*> agg_ops;
+  /// Operators eligible for pipeline-parallel stages (join build, top-k
+  /// candidate filter, sorted runs), enabled after compile when the engine
+  /// runs parallel and ExecConfig::parallel_pipeline is on.
+  std::vector<HashJoinOp*> join_ops;
+  std::vector<TopKOp*> topk_ops;
+  std::vector<SortOp*> sort_ops;
   std::vector<std::unique_ptr<TopKPruner>> pruners;
   std::vector<std::unique_ptr<FilterPruner>> runtime_filter_pruners;
   std::vector<PendingTopK> pending_topk;
@@ -462,6 +468,7 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
       auto topk = std::make_unique<TopKOp>(std::move(input), idx.value(),
                                            plan->descending, plan->limit_k,
                                            publisher);
+      ctx->topk_ops.push_back(topk.get());
       if (cache_eligible) {
         // Record contributions post-execution; stash what we need. Insert
         // publishes the coalesced population; if the hook is destroyed
@@ -486,8 +493,10 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
       if (!idx.has_value()) {
         return Status::NotFound("no order column " + plan->order_column);
       }
-      return OperatorPtr(std::make_unique<SortOp>(std::move(input), idx.value(),
-                                                  plan->descending));
+      auto sort = std::make_unique<SortOp>(std::move(input), idx.value(),
+                                           plan->descending);
+      ctx->sort_ops.push_back(sort.get());
+      return OperatorPtr(std::move(sort));
     }
 
     case PlanNode::Kind::kJoin: {
@@ -502,9 +511,11 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
       if (auto* pending = ctx->FindPendingForJoinBuild(plan.get())) {
         auto idx = build->output_schema().FindColumn(pending->scan_column);
         if (idx.has_value()) {
-          build = std::make_unique<TopKOp>(std::move(build), idx.value(),
-                                           pending->descending, pending->k,
-                                           pending->pruner);
+          auto replicated = std::make_unique<TopKOp>(
+              std::move(build), idx.value(), pending->descending, pending->k,
+              pending->pruner);
+          ctx->topk_ops.push_back(replicated.get());
+          build = std::move(replicated);
         }
       }
 
@@ -523,6 +534,7 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
                                                std::move(build), pidx.value(),
                                                bidx.value(), plan->join_kind,
                                                jcfg);
+      ctx->join_ops.push_back(join.get());
       // §6: wire the probe-side scan for partition-level summary pruning.
       // Not for probe-preserved (LEFT OUTER) joins: their unmatched probe
       // rows are emitted null-padded, so a probe partition that cannot
@@ -579,7 +591,8 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
   return Status::Internal("unknown plan node");
 }
 
-Result<QueryResult> Engine::Execute(const PlanPtr& plan) {
+Result<QueryResult> Engine::Execute(const PlanPtr& plan,
+                                    const std::atomic<bool>* cancel) {
   if (!plan) return Status::InvalidArgument("null plan");
   QueryResult result;
   CompileContext ctx;
@@ -633,6 +646,28 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan) {
       // rows. The operator itself checks the exact-merge eligibility rules.
       for (auto& [node, agg] : ctx.agg_ops) agg->EnableParallelPreAgg();
     }
+    if (config_.exec.parallel_pipeline) {
+      // Pipeline-parallel operators above the scan: each checks at Open()
+      // whether its input really is a parallel scan (and, for top-k, k > 0)
+      // before installing its worker stage. Note a scan feeds at most one
+      // stage: an aggregate's fold, a join build, a top-k filter, and a
+      // sort run can never compete for the same scan in one plan shape.
+      for (auto* op : ctx.join_ops) op->EnablePipelineParallel();
+      for (auto* op : ctx.topk_ops) op->EnablePipelineParallel();
+      for (auto* op : ctx.sort_ops) op->EnablePipelineParallel();
+    }
+  }
+
+  // Per-query cancellation: every scan polls the flag (serial and parallel
+  // alike), so pipeline breakers draining a scan abort within one
+  // partition/morsel instead of at operator boundaries.
+  if (cancel != nullptr) {
+    for (auto& [node, info] : ctx.scans) info.op->set_cancel_flag(cancel);
+    if (cancel->load(std::memory_order_relaxed)) {
+      // Dropping the hooks abandons any predicate-cache population ticket.
+      post_run_hooks_.clear();
+      return Status::Cancelled("query cancelled before execution");
+    }
   }
 
   for (const auto& [node, info] : ctx.scans) {
@@ -644,10 +679,18 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan) {
   root->Open();
   Batch batch;
   while (root->Next(&batch)) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
     for (auto& row : batch.rows) result.rows.push_back(std::move(row));
   }
   root->Close();
   result.wall_ms = MsSince(t0);
+
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    // The operator tree tore down above (Close joins any in-flight
+    // workers); partial output is discarded, tickets are abandoned.
+    post_run_hooks_.clear();
+    return Status::Cancelled("query cancelled");
+  }
 
   for (auto& hook : post_run_hooks_) hook();
   post_run_hooks_.clear();

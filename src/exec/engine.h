@@ -1,6 +1,7 @@
 #ifndef SNOWPRUNE_EXEC_ENGINE_H_
 #define SNOWPRUNE_EXEC_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -63,6 +64,17 @@ struct ExecConfig {
   /// worker). Off by default — the serial path needs no pool at all; this
   /// exists to measure pure parallel-path overhead (bench_headline).
   bool force_parallel = false;
+  /// Pipeline-parallel operators above the scan: when the engine runs
+  /// parallel, the join build (per-worker key hashing + summary partials,
+  /// deterministic hash-table construction), the top-k heap (per-worker
+  /// bounded-heap candidate filters) and the sort (per-worker sorted runs +
+  /// consumer k-way merge) each push their per-row work onto the same scan
+  /// workers as morsel pipeline stages. Rows AND PruningStats stay
+  /// byte-identical to serial at every thread count (see the operators'
+  /// headers for the per-operator exactness arguments). Streaming operators
+  /// (project, filter, limit) stay on the consumer: they are O(rows kept)
+  /// and not pipeline breakers.
+  bool parallel_pipeline = true;
   /// Allow worker-side partial aggregation (scan+aggregate fusion) for
   /// GROUP BY plans whose aggregates merge exactly (COUNT/MIN/MAX always;
   /// SUM/AVG only over int64 inputs whose zone-map-bounded running sum
@@ -133,7 +145,14 @@ class Engine {
 
   /// Compiles and runs `plan`. The plan's expressions get (re)bound to the
   /// referenced tables' schemas as a side effect.
-  Result<QueryResult> Execute(const PlanPtr& plan);
+  ///
+  /// `cancel`, when non-null, is a caller-owned flag polled throughout
+  /// execution (it must outlive the call): once set, scans stop delivering
+  /// and abandon their schedulers — unstarted morsels never reach the pool,
+  /// so a cancelled query frees its share of a shared pool within about one
+  /// in-flight window — and Execute returns Status::Cancelled.
+  Result<QueryResult> Execute(const PlanPtr& plan,
+                              const std::atomic<bool>* cancel = nullptr);
 
   const EngineConfig& config() const { return config_; }
   EngineConfig* mutable_config() { return &config_; }

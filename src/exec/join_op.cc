@@ -1,6 +1,158 @@
 #include "exec/join_op.h"
 
+#include <algorithm>
+
+#include "exec/parallel/pipeline.h"
+
 namespace snowprune {
+
+namespace {
+
+/// Entry counts below this build serially: the two O(n) passes are cheaper
+/// than any fan-out for small builds.
+constexpr size_t kParallelTableBuildMin = 1u << 15;
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JoinHashTable
+// ---------------------------------------------------------------------------
+
+void JoinHashTable::Clear() {
+  mask_ = 0;
+  offsets_.clear();
+  slots_.clear();
+}
+
+void JoinHashTable::BuildSerial(const std::vector<Entry>& entries) {
+  // Two-pass counting sort by bucket; iterating in build order makes each
+  // bucket's slice ascend in insertion order.
+  for (const Entry& e : entries) {
+    ++offsets_[(static_cast<size_t>(e.hash) & mask_) + 1];
+  }
+  for (size_t b = 1; b < offsets_.size(); ++b) offsets_[b] += offsets_[b - 1];
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Entry& e : entries) {
+    slots_[cursor[static_cast<size_t>(e.hash) & mask_]++] = e;
+  }
+}
+
+void JoinHashTable::BuildParallel(const std::vector<Entry>& entries,
+                                  ThreadPool* pool, size_t window,
+                                  const std::atomic<bool>* cancel) {
+  // Partitioned stable counting sort. The bucket index's HIGH bits pick one
+  // of kParts contiguous bucket ranges, so grouping by partition first and
+  // by bucket second (phase C) yields exactly the serial layout. Stability
+  // holds throughout: chunks are contiguous slices in build order, per-
+  // (chunk, partition) regions are filled in chunk order, and phase C's
+  // counting scatter preserves the staging order within each bucket.
+  constexpr size_t kParts = 256;
+  const size_t num_buckets = mask_ + 1;
+  const size_t part_shift =
+      num_buckets > kParts ? __builtin_ctzll(num_buckets / kParts) : 0;
+  const size_t parts = std::min(kParts, num_buckets);
+  const size_t num_chunks =
+      std::min<size_t>(pool->num_threads() * 2, entries.size());
+  const size_t chunk_len = (entries.size() + num_chunks - 1) / num_chunks;
+  auto part_of = [&](const Entry& e) {
+    return (static_cast<size_t>(e.hash) & mask_) >> part_shift;
+  };
+
+  // Phase A: per-chunk partition histograms.
+  std::vector<std::vector<uint32_t>> hist(num_chunks);
+  ParallelFor(
+      pool, num_chunks, window,
+      [&](size_t c) {
+        auto& h = hist[c];
+        h.assign(parts, 0);
+        const size_t lo = c * chunk_len;
+        const size_t hi = std::min(entries.size(), lo + chunk_len);
+        for (size_t i = lo; i < hi; ++i) ++h[part_of(entries[i])];
+      },
+      cancel);
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
+
+  // Per-(chunk, partition) write cursors: partitions laid out in order,
+  // chunks in order within each partition.
+  std::vector<uint32_t> part_base(parts + 1, 0);
+  {
+    uint32_t sum = 0;
+    for (size_t p = 0; p < parts; ++p) {
+      part_base[p] = sum;
+      for (size_t c = 0; c < num_chunks; ++c) {
+        const uint32_t count = hist[c][p];
+        hist[c][p] = sum;  // becomes this chunk's cursor for partition p
+        sum += count;
+      }
+    }
+    part_base[parts] = sum;
+  }
+
+  // Phase B: scatter into staging, grouped by partition, stable.
+  std::vector<Entry> staging(entries.size());
+  ParallelFor(
+      pool, num_chunks, window,
+      [&](size_t c) {
+        auto& cursor = hist[c];
+        const size_t lo = c * chunk_len;
+        const size_t hi = std::min(entries.size(), lo + chunk_len);
+        for (size_t i = lo; i < hi; ++i) {
+          staging[cursor[part_of(entries[i])]++] = entries[i];
+        }
+      },
+      cancel);
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
+
+  // Phase C: per partition, counting-sort its staging slice by bucket into
+  // the final slots and publish its (disjoint) range of bucket offsets.
+  const size_t buckets_per_part = num_buckets / parts;
+  ParallelFor(
+      pool, parts, window,
+      [&](size_t p) {
+        const uint32_t lo = part_base[p];
+        const uint32_t hi = part_base[p + 1];
+        const size_t first_bucket = p * buckets_per_part;
+        std::vector<uint32_t> counts(buckets_per_part, 0);
+        for (uint32_t i = lo; i < hi; ++i) {
+          ++counts[(static_cast<size_t>(staging[i].hash) & mask_) -
+                   first_bucket];
+        }
+        uint32_t sum = lo;
+        for (size_t b = 0; b < buckets_per_part; ++b) {
+          offsets_[first_bucket + b] = sum;
+          sum += counts[b];
+          counts[b] = offsets_[first_bucket + b];  // becomes the cursor
+        }
+        for (uint32_t i = lo; i < hi; ++i) {
+          slots_[counts[(static_cast<size_t>(staging[i].hash) & mask_) -
+                        first_bucket]++] = staging[i];
+        }
+      },
+      cancel);
+  offsets_[num_buckets] = static_cast<uint32_t>(entries.size());
+}
+
+void JoinHashTable::Build(std::vector<Entry> entries, ThreadPool* pool,
+                          size_t window, const std::atomic<bool>* cancel) {
+  Clear();
+  if (entries.empty()) return;
+  const size_t num_buckets = NextPow2(entries.size());
+  mask_ = num_buckets - 1;
+  offsets_.assign(num_buckets + 1, 0);
+  slots_.resize(entries.size());
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      entries.size() >= kParallelTableBuildMin && num_buckets >= 256) {
+    BuildParallel(entries, pool, window, cancel);
+  } else {
+    BuildSerial(entries);
+  }
+}
 
 const char* ToString(JoinKind kind) {
   switch (kind) {
@@ -57,6 +209,15 @@ bool CellsJoinEqual(const ColumnVector& a, uint32_t ar, const ColumnVector& b,
 }
 
 /// Join-key equality of a non-null cell against a non-null boxed key.
+/// One partition's worker-side build partial: the key hash of every
+/// non-null key row (in row order) and a summary partial over the same
+/// rows in the same order. Produced by the build scan's pipeline stage,
+/// consumed — in scan-set order — by the consumer's build loop.
+struct JoinBuildItemPartial {
+  std::vector<uint64_t> hashes;
+  SummaryBuilder summary;
+};
+
 bool CellJoinEqualsValue(const ColumnVector& col, uint32_t r, const Value& v) {
   switch (col.type()) {
     case DataType::kString:
@@ -97,7 +258,7 @@ void HashJoinOp::Open() {
   build_batches_.clear();
   build_refs_.clear();
   build_matched_.clear();
-  hash_table_.clear();
+  hash_table_.Clear();
   bloom_skipped_rows_ = 0;
   hash_probes_ = 0;
   emitted_unmatched_build_ = false;
@@ -105,27 +266,75 @@ void HashJoinOp::Open() {
   probe_columnar_ = nullptr;
 
   // --- Build phase: drain the build side, hash it, summarize it (§6.1
-  // step 1). NULL keys never participate in an equi-join.
+  // step 1). NULL keys never participate in an equi-join. The hash table
+  // is constructed once from flat (hash, entry) pairs collected in build
+  // order, so serial and parallel builds produce the same structure.
+  auto* build_scan = dynamic_cast<TableScanOp*>(build_.get());
+  const bool parallel_build = pipeline_parallel_ && build_scan != nullptr &&
+                              build_scan->parallel_enabled();
+  if (parallel_build) {
+    // Per-worker build stage: hash each partition's key cells and collect
+    // a summary partial while the morsel is still on the worker — the
+    // consumer is left with the merge (append partials in scan-set order)
+    // and the entry bookkeeping.
+    const size_t key = build_key_;
+    build_scan->set_morsel_stage([key](MorselResult* morsel) {
+      for (MorselItem& item : morsel->items) {
+        if (!item.loaded) continue;
+        auto partial = std::make_shared<JoinBuildItemPartial>();
+        const ColumnVector& keys = item.batch.column(key);
+        const auto& nulls = keys.null_mask();
+        const size_t n = item.batch.num_rows();
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t r = item.batch.row_index(i);
+          if (nulls[r]) continue;
+          partial->summary.Add(keys.ValueAt(r));
+          partial->hashes.push_back(HashCell(keys, r));
+        }
+        item.payload = std::move(partial);
+      }
+    });
+  }
   build_->Open();
   SummaryBuilder summary_builder;
-  if (auto* build_scan = dynamic_cast<TableScanOp*>(build_.get())) {
+  std::vector<JoinHashTable::Entry> entries;
+  if (build_scan != nullptr) {
     // Unboxed build: hash typed key cells straight out of the scan's
     // ColumnBatches; entries are (batch, row) locators into the retained
     // batches, so no build row is boxed until it appears in an output row.
     build_columnar_ = true;
     ColumnBatch batch;
-    while (build_scan->NextColumns(&batch)) {
+    TableScanOp::MorselPayload payload;
+    while (build_scan->NextColumns(&batch, &payload)) {
       const auto bidx = static_cast<uint32_t>(build_batches_.size());
       const ColumnVector& keys = batch.column(build_key_);
       const auto& nulls = keys.null_mask();
       const size_t n = batch.num_rows();
-      for (size_t i = 0; i < n; ++i) {
-        const uint32_t r = batch.row_index(i);
-        if (!nulls[r]) {
-          summary_builder.Add(keys.ValueAt(r));
-          hash_table_.emplace(HashCell(keys, r), build_refs_.size());
+      if (payload != nullptr) {
+        // Worker-prepared partial: merge the summary exactly (value order
+        // == scan-set row order == serial order) and zip the precomputed
+        // hashes back onto the non-null rows.
+        auto* partial = static_cast<JoinBuildItemPartial*>(payload.get());
+        summary_builder.Append(std::move(partial->summary));
+        size_t next_hash = 0;
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t r = batch.row_index(i);
+          if (!nulls[r]) {
+            entries.push_back(JoinHashTable::Entry{
+                partial->hashes[next_hash++], build_refs_.size()});
+          }
+          build_refs_.push_back(BuildRef{bidx, r});
         }
-        build_refs_.push_back(BuildRef{bidx, r});
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t r = batch.row_index(i);
+          if (!nulls[r]) {
+            summary_builder.Add(keys.ValueAt(r));
+            entries.push_back(
+                JoinHashTable::Entry{HashCell(keys, r), build_refs_.size()});
+          }
+          build_refs_.push_back(BuildRef{bidx, r});
+        }
       }
       build_batches_.push_back(std::move(batch));
     }
@@ -136,7 +345,8 @@ void HashJoinOp::Open() {
         const Value& key = row[build_key_];
         if (!key.is_null()) {
           summary_builder.Add(key);
-          hash_table_.emplace(HashValue(key), build_rows_.size());
+          entries.push_back(
+              JoinHashTable::Entry{HashValue(key), build_rows_.size()});
         }
         build_rows_.push_back(std::move(row));
       }
@@ -144,6 +354,10 @@ void HashJoinOp::Open() {
   }
   build_->Close();
   build_matched_.assign(BuildSize(), false);
+  hash_table_.Build(std::move(entries),
+                    parallel_build ? build_scan->pool() : nullptr,
+                    parallel_build ? build_scan->morsel_window() : 0,
+                    parallel_build ? build_scan->cancel_flag() : nullptr);
 
   // --- Ship the summary to the probe side (§6.1 steps 2-4).
   if (config_.enable_partition_pruning) {
@@ -205,19 +419,21 @@ void HashJoinOp::AppendBuildValues(size_t entry, Row* out) const {
 template <typename AppendProbe, typename KeyEqual>
 bool HashJoinOp::ProbeHash(uint64_t hash, Batch* out,
                            AppendProbe&& append_probe, KeyEqual&& key_equal) {
-  auto [lo, hi] = hash_table_.equal_range(hash);
   ++hash_probes_;
   bool matched = false;
-  for (auto it = lo; it != hi; ++it) {
-    if (!key_equal(it->second)) continue;
+  // Matches come out in build order (JoinHashTable buckets ascend by
+  // insertion order), so the emitted row order is deterministic and equal
+  // under serial and parallel builds.
+  hash_table_.ForEachMatch(hash, [&](size_t entry) {
+    if (!key_equal(entry)) return;
     matched = true;
-    build_matched_[it->second] = true;
+    build_matched_[entry] = true;
     Row joined;
     joined.reserve(schema_.num_columns());
     append_probe(&joined);
-    AppendBuildValues(it->second, &joined);
+    AppendBuildValues(entry, &joined);
     out->rows.push_back(std::move(joined));
-  }
+  });
   return matched;
 }
 

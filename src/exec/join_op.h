@@ -1,8 +1,9 @@
 #ifndef SNOWPRUNE_EXEC_JOIN_OP_H_
 #define SNOWPRUNE_EXEC_JOIN_OP_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/join_pruner.h"
@@ -10,6 +11,62 @@
 #include "exec/scan_op.h"
 
 namespace snowprune {
+
+/// Build-once bucketed hash table for the join build side, replacing the
+/// previous std::unordered_multimap. Two properties matter:
+///
+///   - *Deterministic probe order*: entries within a bucket are stored in
+///     ascending insertion (build) order, so the matches a probe row emits
+///     come out in build order — identical whether the (hash, index) pairs
+///     were produced serially on the consumer or by parallel build stages
+///     merged in scan-set order. (A node-based multimap's equal-range order
+///     is an implementation accident; deterministic structure is what lets
+///     the parallel build stay byte-identical to serial.)
+///   - *Build-once construction*: the input is a flat entry vector, so
+///     construction is a two-pass counting sort — O(n), allocator-quiet,
+///     and parallelizable (partitioned by the bucket index's high bits)
+///     without changing the result.
+class JoinHashTable {
+ public:
+  struct Entry {
+    uint64_t hash;
+    uint64_t index;  ///< Build-order ordinal (row locator) of the entry.
+  };
+
+  /// Builds from `entries` listed in build order. With a non-null `pool`
+  /// and a large input, construction fans out through ParallelFor under
+  /// `window` (the owning query's morsel budget); the resulting layout is
+  /// byte-identical to the serial construction. `cancel` aborts the fan-out
+  /// early (the table is then unusable, but the query is being torn down).
+  void Build(std::vector<Entry> entries, ThreadPool* pool = nullptr,
+             size_t window = 0, const std::atomic<bool>* cancel = nullptr);
+
+  void Clear();
+
+  size_t size() const { return slots_.size(); }
+
+  /// Invokes fn(index) for every entry whose hash equals `hash`, in build
+  /// order.
+  template <typename Fn>
+  void ForEachMatch(uint64_t hash, Fn&& fn) const {
+    if (slots_.empty()) return;
+    const size_t b = static_cast<size_t>(hash) & mask_;
+    const uint32_t end = offsets_[b + 1];
+    for (uint32_t i = offsets_[b]; i < end; ++i) {
+      if (slots_[i].hash == hash) fn(static_cast<size_t>(slots_[i].index));
+    }
+  }
+
+ private:
+  void BuildSerial(const std::vector<Entry>& entries);
+  void BuildParallel(const std::vector<Entry>& entries, ThreadPool* pool,
+                     size_t window, const std::atomic<bool>* cancel);
+
+  size_t mask_ = 0;
+  /// offsets_[b] .. offsets_[b+1] is bucket b's slice of slots_.
+  std::vector<uint32_t> offsets_;
+  std::vector<Entry> slots_;
+};
 
 /// Join variants. The engine always builds on the right child and probes
 /// with the left child.
@@ -56,6 +113,15 @@ class HashJoinOp : public Operator {
     probe_scan_ = scan;
     probe_scan_key_column_ = scan_key_column;
   }
+
+  /// Engine hook: parallelize the build phase when the build child is a
+  /// parallel table scan. Workers hash each morsel's key cells and collect
+  /// per-item summary partials alongside the scan itself; the consumer
+  /// merges partials in scan-set order (so the BuildSummary — and the §6
+  /// pruning it drives — is byte-identical to serial) and constructs the
+  /// deterministic hash table from the flat pairs, itself fanned out when
+  /// large. Off (fully serial build) unless the engine enables it.
+  void EnablePipelineParallel() { pipeline_parallel_ = true; }
 
   void Open() override;
   bool Next(Batch* out) override;
@@ -116,8 +182,10 @@ class HashJoinOp : public Operator {
   /// directly instead of materialized rows.
   TableScanOp* probe_columnar_ = nullptr;
 
+  bool pipeline_parallel_ = false;
+
   std::vector<bool> build_matched_;
-  std::unordered_multimap<uint64_t, size_t> hash_table_;
+  JoinHashTable hash_table_;
   std::unique_ptr<BuildSummary> summary_;
   std::unique_ptr<BuildSummary> bloom_;
   int64_t bloom_skipped_rows_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <memory>
 #include <string_view>
 
 #include "exec/column_batch.h"
@@ -9,6 +11,169 @@
 #include "exec/scan_op.h"
 
 namespace snowprune {
+
+namespace {
+
+/// One partition's decorated, stable-sorted run produced by the sort's
+/// worker stage. KeyT orders exactly like Value::Compare for the column's
+/// type; NULL keys carry null=1 and sort last in either direction.
+template <typename KeyT>
+struct SortedRun {
+  struct Entry {
+    KeyT key;
+    uint8_t null;
+    uint32_t row;  ///< Physical row index within the partition.
+  };
+  std::vector<Entry> entries;
+};
+
+/// THE sort comparator, shared by the serial decorate-sort path and the
+/// worker-side run builder so the two can never drift: NULLs last in either
+/// direction, then `<` on the typed key. Works for any decorated entry type
+/// exposing `.key` and `.null`.
+template <typename Entry>
+void StableSortDecorated(std::vector<Entry>* entries, bool desc) {
+  std::stable_sort(entries->begin(), entries->end(),
+                   [desc](const Entry& x, const Entry& y) {
+                     if (x.null) return false;  // NULLs sort last
+                     if (y.null) return true;
+                     return desc ? y.key < x.key : x.key < y.key;
+                   });
+}
+
+template <typename KeyT, typename KeyOf>
+std::shared_ptr<void> BuildSortedRun(const ColumnBatch& batch, size_t column,
+                                     bool desc, KeyOf key_of, KeyT null_key) {
+  auto run = std::make_shared<SortedRun<KeyT>>();
+  const ColumnVector& col = batch.column(column);
+  const auto& nulls = col.null_mask();
+  const size_t n = batch.num_rows();
+  run->entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = batch.row_index(i);
+    run->entries.push_back(typename SortedRun<KeyT>::Entry{
+        nulls[r] ? null_key : key_of(col, r),
+        static_cast<uint8_t>(nulls[r] ? 1 : 0), r});
+  }
+  StableSortDecorated(&run->entries, desc);
+  return run;
+}
+
+/// Type dispatch for the worker stage. String keys decorate with views into
+/// the immutable partition, valid for the life of the query.
+std::shared_ptr<void> BuildSortedRunFor(DataType type, const ColumnBatch& batch,
+                                        size_t column, bool desc) {
+  switch (type) {
+    case DataType::kInt64:
+      return BuildSortedRun<int64_t>(
+          batch, column, desc,
+          [](const ColumnVector& c, uint32_t r) { return c.Int64At(r); },
+          int64_t{0});
+    case DataType::kFloat64: {
+      // NaN order keys make `<` a non-strict-weak ordering: per-run sorting
+      // plus a k-way merge is then NOT equivalent to one stable_sort over
+      // the concatenated input, and the parallel output could diverge from
+      // serial. Leave such partitions run-less — the consumer falls back to
+      // the serial whole-input sort and byte-identity is preserved.
+      const ColumnVector& col = batch.column(column);
+      const auto& nulls = col.null_mask();
+      const size_t n = batch.num_rows();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = batch.row_index(i);
+        if (!nulls[r] && std::isnan(col.Float64At(r))) return nullptr;
+      }
+      return BuildSortedRun<double>(
+          batch, column, desc,
+          [](const ColumnVector& c, uint32_t r) { return c.Float64At(r); },
+          0.0);
+    }
+    case DataType::kBool:
+      return BuildSortedRun<bool>(
+          batch, column, desc,
+          [](const ColumnVector& c, uint32_t r) { return c.BoolAt(r); },
+          false);
+    case DataType::kString:
+      return BuildSortedRun<std::string_view>(
+          batch, column, desc,
+          [](const ColumnVector& c, uint32_t r) {
+            return std::string_view(c.StringAt(r));
+          },
+          std::string_view());
+  }
+  return nullptr;
+}
+
+/// K-way merge of per-partition sorted runs into boxed output rows. Key
+/// ties (and the all-NULL tail) break to the earlier run — runs arrive in
+/// scan-set order, and entries within a run are already stable — so the
+/// merged order equals the serial stable_sort over the concatenated input.
+template <typename KeyT>
+void MergeSortedRuns(const std::vector<ColumnBatch>& batches,
+                     const std::vector<std::shared_ptr<void>>& runs,
+                     bool desc, Batch* out) {
+  using Run = SortedRun<KeyT>;
+  struct Head {
+    uint32_t run;
+    uint32_t pos;
+  };
+  auto entries_of = [&](uint32_t run) -> const std::vector<typename Run::Entry>& {
+    return static_cast<const Run*>(runs[run].get())->entries;
+  };
+  /// Is `a` strictly before `b` in output order?
+  auto before = [&](const Head& a, const Head& b) {
+    const auto& ea = entries_of(a.run)[a.pos];
+    const auto& eb = entries_of(b.run)[b.pos];
+    if (ea.null != eb.null) return eb.null != 0;  // non-NULL first
+    if (!ea.null) {
+      if (desc ? (eb.key < ea.key) : (ea.key < eb.key)) return true;
+      if (desc ? (ea.key < eb.key) : (eb.key < ea.key)) return false;
+    }
+    return a.run < b.run;  // stable: earlier scan-set batch wins ties
+  };
+  auto heap_cmp = [&](const Head& a, const Head& b) { return before(b, a); };
+  std::vector<Head> heads;
+  size_t total = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const size_t n = entries_of(static_cast<uint32_t>(i)).size();
+    total += n;
+    if (n > 0) heads.push_back(Head{static_cast<uint32_t>(i), 0});
+  }
+  std::make_heap(heads.begin(), heads.end(), heap_cmp);
+  out->rows.reserve(total);
+  while (!heads.empty()) {
+    std::pop_heap(heads.begin(), heads.end(), heap_cmp);
+    Head h = heads.back();
+    heads.pop_back();
+    Row row;
+    batches[h.run].AppendRowValues(entries_of(h.run)[h.pos].row, &row);
+    out->rows.push_back(std::move(row));
+    if (h.pos + 1 < entries_of(h.run).size()) {
+      heads.push_back(Head{h.run, h.pos + 1});
+      std::push_heap(heads.begin(), heads.end(), heap_cmp);
+    }
+  }
+}
+
+void MergeSortedRunsFor(DataType type, const std::vector<ColumnBatch>& batches,
+                        const std::vector<std::shared_ptr<void>>& runs,
+                        bool desc, Batch* out) {
+  switch (type) {
+    case DataType::kInt64:
+      MergeSortedRuns<int64_t>(batches, runs, desc, out);
+      return;
+    case DataType::kFloat64:
+      MergeSortedRuns<double>(batches, runs, desc, out);
+      return;
+    case DataType::kBool:
+      MergeSortedRuns<bool>(batches, runs, desc, out);
+      return;
+    case DataType::kString:
+      MergeSortedRuns<std::string_view>(batches, runs, desc, out);
+      return;
+  }
+}
+
+}  // namespace
 
 FilterOp::FilterOp(OperatorPtr input, ExprPtr predicate)
     : input_(std::move(input)), predicate_(std::move(predicate)) {}
@@ -105,6 +270,24 @@ void SortOp::Open() {
   done_ = false;
   buffered_.rows.clear();
   buffered_.source.clear();
+  if (pipeline_parallel_) {
+    auto* scan = dynamic_cast<TableScanOp*>(input_.get());
+    if (scan != nullptr && scan->parallel_enabled()) {
+      // Worker-side sorted-run stage: each partition's decorate + sort —
+      // the O(n log n) share of the operator — happens on the worker that
+      // scanned it. Captures by value only; no SortOp member is touched
+      // from workers.
+      const size_t col = order_column_;
+      const bool desc = descending_;
+      const DataType type = input_->output_schema().field(col).type;
+      scan->set_morsel_stage([col, desc, type](MorselResult* morsel) {
+        for (MorselItem& item : morsel->items) {
+          if (!item.loaded) continue;
+          item.payload = BuildSortedRunFor(type, item.batch, col, desc);
+        }
+      });
+    }
+  }
   input_->Open();
 }
 
@@ -120,8 +303,25 @@ bool SortOp::Next(Batch* out) {
     // semantics as the boxed path (NULLs last either direction) on the
     // same input order, so the output is byte-identical.
     std::vector<ColumnBatch> batches;
+    std::vector<std::shared_ptr<void>> runs;  // aligned with batches
+    bool all_runs = true;
     ColumnBatch cb;
-    while (scan->NextColumns(&cb)) batches.push_back(std::move(cb));
+    TableScanOp::MorselPayload payload;
+    while (scan->NextColumns(&cb, &payload)) {
+      all_runs = all_runs && payload != nullptr;
+      batches.push_back(std::move(cb));
+      runs.push_back(std::move(payload));
+    }
+    if (all_runs && !batches.empty()) {
+      // Pipeline-parallel path: workers pre-sorted every partition; only
+      // the k-way merge (and output boxing) remains on the consumer.
+      out->rows.clear();
+      out->source.clear();
+      MergeSortedRunsFor(input_->output_schema().field(order_column_).type,
+                         batches, runs, descending_, out);
+      done_ = true;
+      return !out->rows.empty();
+    }
     size_t total = 0;
     for (const ColumnBatch& b : batches) total += b.num_rows();
 
@@ -146,13 +346,7 @@ bool SortOp::Next(Batch* out) {
                                 nulls[r], static_cast<uint32_t>(bi), r});
         }
       }
-      const bool desc = descending_;
-      std::stable_sort(order.begin(), order.end(),
-                       [desc](const Entry& x, const Entry& y) {
-                         if (x.null) return false;  // NULLs sort last
-                         if (y.null) return true;
-                         return desc ? y.key < x.key : x.key < y.key;
-                       });
+      StableSortDecorated(&order, descending_);
       out->rows.clear();
       out->source.clear();
       out->rows.reserve(order.size());

@@ -53,12 +53,24 @@ void ParallelScanScheduler::RunMorsel(size_t index) {
   }
 }
 
+void ParallelScanScheduler::Abandon() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancelled_ = true;
+  slot_done_.notify_all();
+}
+
 bool ParallelScanScheduler::Next(MorselResult* out) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (next_to_consume_ >= slots_.size()) return false;
   size_t index = next_to_consume_;
-  slot_done_.wait(lock,
-                  [this, index] { return slots_[index].state == SlotState::kDone; });
+  // After Abandon() an unscheduled slot will never complete; report
+  // end-of-scan instead of waiting forever (scheduled ones still finish and
+  // are delivered, keeping the consumer's cancellation check race-free).
+  slot_done_.wait(lock, [this, index] {
+    return slots_[index].state == SlotState::kDone ||
+           (cancelled_ && slots_[index].state == SlotState::kUnscheduled);
+  });
+  if (slots_[index].state != SlotState::kDone) return false;
   *out = std::move(slots_[index].result);
   slots_[index].result = MorselResult();
   ++next_to_consume_;

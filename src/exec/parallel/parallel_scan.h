@@ -23,6 +23,12 @@ struct MorselItem {
   bool loaded = false;
   ColumnBatch batch;
   PruningStats stats;
+  /// Optional per-partition output of an operator-installed pipeline stage
+  /// (type-erased; producer and consumer agree on the concrete type —
+  /// top-k candidate lists, sorted runs, join-build hash partials). Travels
+  /// with the batch and is dropped with it if the consumer-side top-k
+  /// boundary re-check discards the partition.
+  std::shared_ptr<void> payload;
 };
 
 /// The outcome of processing one morsel: a consecutive run of scan-set
@@ -66,6 +72,12 @@ class ParallelScanScheduler {
   /// Blocks until the next morsel (in scan-set order) completes and moves
   /// its result out. Returns false once every morsel has been consumed.
   bool Next(MorselResult* out);
+
+  /// Cancellation path: stops submitting unscheduled morsels (already
+  /// running ones finish). The consumer abandons the scan — per-query
+  /// cancellation releases the query's share of the shared pool as soon as
+  /// the in-flight window drains, instead of after the whole scan set.
+  void Abandon();
 
   size_t num_morsels() const { return slots_.size(); }
 

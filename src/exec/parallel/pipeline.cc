@@ -1,0 +1,97 @@
+#include "exec/parallel/pipeline.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+namespace snowprune {
+
+namespace {
+
+std::atomic<int64_t> g_stage_tasks{0};
+std::atomic<int64_t> g_barrier_tasks{0};
+
+/// Shared control block of one ParallelFor call; lives on the caller's
+/// stack — safe because the caller blocks until outstanding_ drains to
+/// zero, and workers' last touch happens under the mutex.
+struct ForCtl {
+  ForCtl(ThreadPool* pool, const std::function<void(size_t)>& fn,
+         const std::atomic<bool>* cancel, size_t num_tasks, size_t window)
+      : pool(pool), fn(fn), cancel(cancel), num_tasks(num_tasks),
+        window(window) {}
+
+  ThreadPool* pool;
+  const std::function<void(size_t)>& fn;
+  const std::atomic<bool>* cancel;
+  const size_t num_tasks;
+  const size_t window;
+
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t next = 0;         ///< Next index to submit.
+  size_t outstanding = 0;  ///< Submitted but not yet finished.
+  size_t ran = 0;
+
+  bool Cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
+  /// Submits tasks while the window allows. Caller holds `mutex`.
+  void ScheduleLocked() {
+    while (!Cancelled() && next < num_tasks && outstanding < window) {
+      const size_t index = next++;
+      ++outstanding;
+      pool->Submit([this, index] { Run(index); });
+    }
+  }
+
+  void Run(size_t index) {
+    const bool skip = Cancelled();
+    if (!skip) fn(index);
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!skip) ++ran;
+    --outstanding;
+    ScheduleLocked();
+    // Last touch under the mutex: once outstanding hits 0 the caller may
+    // unwind the stack this control block lives on.
+    done.notify_all();
+  }
+};
+
+}  // namespace
+
+int64_t PipelineCounters::stage_tasks() {
+  return g_stage_tasks.load(std::memory_order_relaxed);
+}
+
+int64_t PipelineCounters::barrier_tasks() {
+  return g_barrier_tasks.load(std::memory_order_relaxed);
+}
+
+void PipelineCounters::IncStageTasks() {
+  g_stage_tasks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PipelineCounters::IncBarrierTasks(int64_t n) {
+  g_barrier_tasks.fetch_add(n, std::memory_order_relaxed);
+}
+
+size_t ParallelFor(ThreadPool* pool, size_t num_tasks, size_t window,
+                   const std::function<void(size_t)>& fn,
+                   const std::atomic<bool>* cancel) {
+  if (num_tasks == 0 || pool == nullptr) return 0;
+  if (window == 0) window = pool->num_threads();
+  window = std::max<size_t>(1, window);
+
+  ForCtl ctl(pool, fn, cancel, num_tasks, window);
+  std::unique_lock<std::mutex> lock(ctl.mutex);
+  ctl.ScheduleLocked();
+  ctl.done.wait(lock, [&] {
+    return ctl.outstanding == 0 &&
+           (ctl.next == ctl.num_tasks || ctl.Cancelled());
+  });
+  PipelineCounters::IncBarrierTasks(static_cast<int64_t>(ctl.ran));
+  return ctl.ran;
+}
+
+}  // namespace snowprune

@@ -25,6 +25,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
   }
   work_available_.notify_one();
 }
@@ -32,6 +33,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 size_t ThreadPool::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+size_t ThreadPool::queue_depth_high_water() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_high_water_;
 }
 
 size_t ThreadPool::DefaultConcurrency() {

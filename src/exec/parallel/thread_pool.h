@@ -40,6 +40,12 @@ class ThreadPool {
   /// query can contribute at most its window's worth of queued morsels).
   size_t queue_depth() const;
 
+  /// Deepest the backlog ever got over the pool's lifetime (updated at every
+  /// Submit). The service surfaces this as ServiceStats::
+  /// peak_pool_queue_depth — the measured worst case of the head-of-line
+  /// pressure the windows are budgeted against.
+  size_t queue_depth_high_water() const;
+
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// permits 0 for "unknown").
   static size_t DefaultConcurrency();
@@ -50,6 +56,7 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::deque<std::function<void()>> queue_;
+  size_t queue_high_water_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 };

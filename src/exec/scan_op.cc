@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/parallel/pipeline.h"
 #include "expr/evaluator.h"
 
 namespace snowprune {
@@ -25,12 +26,12 @@ void TableScanOp::EnableParallel(ThreadPool* pool, size_t window,
 void TableScanOp::PlanMorsels() {
   morsel_ranges_.clear();
   int64_t budget = static_cast<int64_t>(morsel_min_rows_);
-  if (morsel_fold_) {
-    // Folded scans pay a per-morsel reduction cost (a partial group map
+  if (stage_coarse_morsels_) {
+    // Reduction stages pay a per-morsel merge cost (a partial group map
     // built and merged per morsel), so they want far coarser morsels than
     // plain scans: target ~2 morsels per worker, floored at the configured
-    // budget. Plain scans keep fine morsels — their per-morsel handoff is
-    // just a selection vector.
+    // budget. Plain scans — and per-row stages like candidate filters or
+    // sorted runs — keep fine morsels; their per-morsel handoff is small.
     int64_t total_rows = 0;
     for (PartitionId pid : scan_set_) {
       total_rows += table_->partition_metadata(pid).row_count();
@@ -89,6 +90,16 @@ int64_t TableScanOp::ApplyJoinSummary(const BuildSummary& summary,
   return pruned.pruned;
 }
 
+bool TableScanOp::Cancelled() {
+  if (cancel_ == nullptr || !cancel_->load(std::memory_order_relaxed)) {
+    return false;
+  }
+  // Stop feeding the pool: unstarted morsels are abandoned, running ones
+  // finish on their own (and check the flag per partition themselves).
+  if (scheduler_ != nullptr) scheduler_->Abandon();
+  return true;
+}
+
 bool TableScanOp::ScanPartition(PartitionId pid, ColumnBatch* out,
                                 PruningStats* stats, EvalScratch* scratch) {
   // Deferred filter pruning (§3.2): the same zone-map check the compile
@@ -130,22 +141,31 @@ MorselResult TableScanOp::ProcessMorsel(size_t morsel_index) {
   const auto range = morsel_ranges_[morsel_index];
   result.items.resize(range.second - range.first);
   for (size_t pos = range.first; pos < range.second; ++pos) {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      // Cancelled mid-morsel: the remaining partitions stay unloaded with
+      // zero stats. The consumer has stopped delivering, so nothing reads
+      // the partial result; stopping here frees the worker promptly.
+      break;
+    }
     MorselItem& item = result.items[pos - range.first];
     item.loaded = ScanPartition(scan_set_[pos], &item.batch, &item.stats,
                                 &worker_scratch);
-    if (item.loaded && morsel_fold_) {
-      // Fold in scan-set order within the morsel; morsels themselves are
-      // merged in order by the consumer, so the overall accumulation order
-      // equals serial execution.
-      morsel_fold_(std::move(item.batch), &result.payload);
-      item.batch.Clear();
-    }
+  }
+  if (morsel_stage_) {
+    // Operator-installed pipeline stage: per-worker partial work (fold,
+    // candidate filter, sorted run, hash partial) over the scanned items,
+    // in scan-set order within the morsel. Morsels are merged in order by
+    // the consumer, so stage outputs compose exactly like serial execution.
+    morsel_stage_(&result);
+    PipelineCounters::IncStageTasks();
   }
   return result;
 }
 
-bool TableScanOp::NextColumns(ColumnBatch* out) {
+bool TableScanOp::NextColumns(ColumnBatch* out, MorselPayload* item_payload) {
   out->Clear();
+  if (item_payload != nullptr) item_payload->reset();
+  if (Cancelled()) return false;
   if (scheduler_ != nullptr) {
     for (;;) {
       while (item_cursor_ < current_morsel_.items.size()) {
@@ -160,24 +180,30 @@ bool TableScanOp::NextColumns(ColumnBatch* out) {
           // would have had before loading it, so dropping the batch now
           // reproduces serial pruning decisions (and stats) bit-for-bit.
           // The wasted background load is surfaced as speculative_loads.
+          // Any stage payload (candidates computed from the speculative
+          // batch) is dropped with it.
           item.stats.speculative_loads += item.stats.scanned_partitions;
           item.stats.scanned_partitions = 0;
           item.stats.scanned_rows = 0;
           item.stats.pruned_by_topk += 1;
           item.loaded = false;
+          item.payload.reset();
         }
         // Per-partition stats merge on the consumer thread, in scan-set
         // order.
         if (stats_ != nullptr) stats_->Merge(item.stats);
         if (!item.loaded) continue;
         *out = std::move(item.batch);
+        if (item_payload != nullptr) *item_payload = std::move(item.payload);
         return true;  // one batch per partition, even with no surviving rows
       }
+      if (Cancelled()) return false;
       if (!scheduler_->Next(&current_morsel_)) return false;
       item_cursor_ = 0;
     }
   }
   while (cursor_ < scan_set_.size()) {
+    if (Cancelled()) return false;
     PartitionId pid = scan_set_[cursor_++];
     if (ScanPartition(pid, out, stats_, &eval_scratch_)) return true;
   }
@@ -196,7 +222,8 @@ bool TableScanOp::Next(Batch* out) {
 }
 
 bool TableScanOp::NextPayload(MorselPayload* out) {
-  while (scheduler_ != nullptr && scheduler_->Next(&current_morsel_)) {
+  while (scheduler_ != nullptr && !Cancelled() &&
+         scheduler_->Next(&current_morsel_)) {
     for (MorselItem& item : current_morsel_.items) {
       ++cursor_;
       if (stats_ != nullptr) stats_->Merge(item.stats);

@@ -1,6 +1,7 @@
 #ifndef SNOWPRUNE_EXEC_SCAN_OP_H_
 #define SNOWPRUNE_EXEC_SCAN_OP_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -57,12 +58,17 @@ namespace snowprune {
 /// at its default (disabled).
 class TableScanOp : public Operator {
  public:
-  /// A worker-side reduction result (type-erased; producer and consumer
-  /// agree on the concrete type, e.g. HashAggregateOp's partial group map).
+  /// A worker-side stage result (type-erased; producer and consumer agree
+  /// on the concrete type, e.g. HashAggregateOp's partial group map, a
+  /// top-k candidate list, a sorted run, a join-build hash partial).
   using MorselPayload = std::shared_ptr<void>;
-  /// Folds one loaded batch into the morsel's payload on the worker
-  /// (*payload is null on the first call for each morsel).
-  using MorselFold = std::function<void(ColumnBatch&&, MorselPayload*)>;
+  /// A per-morsel pipeline stage: runs on the worker that scanned the
+  /// morsel, right after its partitions were loaded and filtered, and may
+  /// attach per-item payloads (delivered with each batch), set the
+  /// morsel-level payload (delivered via NextPayload), and/or clear item
+  /// batches it fully consumed. Must be safe to run concurrently for
+  /// distinct morsels and must not touch consumer-side state.
+  using MorselStage = std::function<void(MorselResult*)>;
 
   TableScanOp(std::shared_ptr<Table> table, ScanSet scan_set, ExprPtr filter,
               PruningStats* stats);
@@ -102,14 +108,20 @@ class TableScanOp : public Operator {
   void EnableParallel(ThreadPool* pool, size_t window, size_t morsel_min_rows);
   bool parallel_enabled() const { return pool_ != nullptr; }
 
-  /// Installs a worker-side reduction: each loaded batch is folded into the
-  /// morsel's payload on the worker and only the payload is shipped to the
-  /// consumer (via NextPayload). Parallel mode only; must be set before
-  /// Open().
-  void set_morsel_fold(MorselFold fn) { morsel_fold_ = std::move(fn); }
+  /// Installs a worker-side pipeline stage (see MorselStage). Parallel mode
+  /// only; must be set before Open(). `coarse_morsels` requests far coarser
+  /// morsel formation (~2 per worker) — right for reduction stages whose
+  /// per-morsel merge cost is a whole partial state (aggregate fold), wrong
+  /// for per-row stages (candidate filters, sorted runs) that want the scan
+  /// default.
+  void set_morsel_stage(MorselStage fn, bool coarse_morsels = false) {
+    morsel_stage_ = std::move(fn);
+    stage_coarse_morsels_ = coarse_morsels;
+  }
 
-  /// Consumer loop for folded scans: delivers the next morsel's payload in
-  /// scan-set order (skipping pruned/empty morsels). False at end of scan.
+  /// Consumer loop for reduction stages: delivers the next morsel's
+  /// morsel-level payload in scan-set order (skipping pruned/empty
+  /// morsels). False at end of scan.
   bool NextPayload(MorselPayload* out);
 
   /// The native, unboxed pull API: the next partition's surviving rows as a
@@ -117,7 +129,16 @@ class TableScanOp : public Operator {
   /// per loaded partition even if the filter kept no rows). Works in serial
   /// and parallel mode; parallel delivery is in scan-set order with the
   /// consumer-side top-k boundary re-check applied. False at end of scan.
-  bool NextColumns(ColumnBatch* out);
+  /// `item_payload`, when non-null, receives the delivered partition's
+  /// stage payload (null when no stage is installed or in serial mode).
+  bool NextColumns(ColumnBatch* out, MorselPayload* item_payload = nullptr);
+
+  /// Engine hook: per-query cancellation. When `*cancel` becomes true the
+  /// scan stops delivering (NextColumns/NextPayload report end-of-scan),
+  /// abandons its scheduler so unstarted morsels never run, and workers
+  /// stop scanning mid-morsel — the query's share of the shared pool frees
+  /// up within one in-flight window.
+  void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
 
   void Open() override;
   bool Next(Batch* out) override;
@@ -129,11 +150,20 @@ class TableScanOp : public Operator {
   /// Observability: how many morsels the last Open() planned (parallel
   /// mode; 0 before Open or in serial mode).
   size_t num_morsels() const { return morsel_ranges_.size(); }
+  /// The executing pool and per-scan window (operators reuse them for
+  /// their own barrier fan-outs so pipeline tasks respect the same
+  /// per-query budget as the scan's morsels). Null / 0 in serial mode.
+  ThreadPool* pool() const { return pool_; }
+  size_t morsel_window() const { return morsel_window_; }
+  const std::atomic<bool>* cancel_flag() const { return cancel_; }
 
  private:
   /// Worker body: prune checks + load + vectorized filter for every
   /// partition in morsel `morsel_index`'s scan-set range.
   MorselResult ProcessMorsel(size_t morsel_index);
+  /// True when the query was cancelled; abandons the scheduler on first
+  /// sight so the shared pool stops receiving this scan's morsels.
+  bool Cancelled();
   /// The shared serial/parallel per-partition scan body. Returns false when
   /// runtime pruning skipped the partition (stats deltas still recorded).
   /// `scratch` is the calling thread's reusable predicate-eval buffer set —
@@ -168,7 +198,9 @@ class TableScanOp : public Operator {
   /// Serializes FilterPruner::CanPrune across workers (the adaptive
   /// PruningTree mutates per-node statistics on every probe).
   std::mutex runtime_prune_mutex_;
-  MorselFold morsel_fold_;
+  MorselStage morsel_stage_;
+  bool stage_coarse_morsels_ = false;
+  const std::atomic<bool>* cancel_ = nullptr;
   std::unique_ptr<ParallelScanScheduler> scheduler_;
 };
 

@@ -1,10 +1,23 @@
 #include "exec/topk_op.h"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 
 #include "exec/column_batch.h"
 
 namespace snowprune {
+
+namespace {
+
+/// One partition's candidate rows (physical indexes, ascending) that
+/// survived the worker-side filter; everything else is provably rejected
+/// by the serial heap too.
+struct TopKItemCandidates {
+  std::vector<uint32_t> rows;
+};
+
+}  // namespace
 
 TopKOp::TopKOp(OperatorPtr input, size_t order_column, bool descending,
                int64_t k, TopKPruner* pruner)
@@ -13,6 +26,12 @@ TopKOp::TopKOp(OperatorPtr input, size_t order_column, bool descending,
       descending_(descending),
       k_(k),
       pruner_(pruner) {}
+
+TopKOp::~TopKOp() {
+  if (filter_stage_active_ && columnar_input_ != nullptr) {
+    columnar_input_->Close();
+  }
+}
 
 bool TopKOp::Weaker(const Value& a, const Value& b) const {
   int c = Value::Compare(a, b);
@@ -23,15 +42,121 @@ void TopKOp::Open() {
   heap_.clear();
   contributing_.clear();
   emitted_ = false;
+  filter_stage_active_ = false;
+  heap_has_nan_ = false;
+  {
+    std::lock_guard<std::mutex> lock(shared_root_mutex_);
+    shared_root_full_ = false;
+    shared_root_ = Value::Null();
+  }
   columnar_input_ = dynamic_cast<TableScanOp*>(input_.get());
+  if (pipeline_parallel_ && columnar_input_ != nullptr &&
+      columnar_input_->parallel_enabled() && k_ > 0) {
+    InstallFilterStage();
+  }
   input_->Open();
 }
 
+void TopKOp::InstallFilterStage() {
+  filter_stage_active_ = true;
+  const size_t col = order_column_;
+  const bool desc = descending_;
+  const int64_t k = k_;
+  // Float64 keys may contain NaN, which ties with everything under
+  // Value::Compare. A NaN buried in the *serial* heap can make the root
+  // DECREASE on a later replacement, so "≥ k earlier rows are at least as
+  // good" (the local-heap proof) no longer implies serial rejection — and
+  // the worker cannot know whether an earlier morsel held a NaN. Float64
+  // therefore filters by the snapshot proof only (whose publication the
+  // consumer suppresses the moment a NaN enters its heap; see header).
+  const bool local_heap_sound =
+      columnar_input_->output_schema().field(col).type != DataType::kFloat64;
+  columnar_input_->set_morsel_stage([this, col, desc, k,
+                                     local_heap_sound](MorselResult* m) {
+    // Snapshot of the consumer heap's root, taken once per morsel. Only a
+    // *full*-heap root is usable (proof 1 in the class comment); it can be
+    // stale — staleness only keeps extra candidates, never drops a row the
+    // serial heap would have admitted.
+    bool snap_full = false;
+    Value snap_root;
+    {
+      std::lock_guard<std::mutex> lock(shared_root_mutex_);
+      snap_full = shared_root_full_;
+      if (snap_full) snap_root = shared_root_;
+    }
+    // Bounded local heap over the morsel's rows (proof 2): weakest at the
+    // root, exactly like the consumer heap, but holding (column, row)
+    // references — no boxing on the rejection path.
+    struct Ref {
+      const ColumnVector* col;
+      uint32_t row;
+    };
+    auto heap_cmp = [desc](const Ref& a, const Ref& b) {
+      // True iff b is weaker than a — mirrors the consumer's heap_cmp, so
+      // the cmp-max root is the weakest element. c < 0 ⇔ b's key < a's.
+      const int c = CompareCells(*b.col, b.row, *a.col, a.row);
+      return desc ? c < 0 : c > 0;
+    };
+    std::vector<Ref> local;
+    size_t morsel_rows = 0;
+    for (const MorselItem& item : m->items) {
+      if (item.loaded) morsel_rows += item.batch.num_rows();
+    }
+    local.reserve(std::min(static_cast<size_t>(k), morsel_rows));
+    for (MorselItem& item : m->items) {
+      if (!item.loaded) continue;
+      auto cands = std::make_shared<TopKItemCandidates>();
+      const ColumnVector& keys = item.batch.column(col);
+      const auto& nulls = keys.null_mask();
+      const size_t n = item.batch.num_rows();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = item.batch.row_index(i);
+        if (nulls[r]) continue;  // NULL keys never qualify
+        if (snap_full) {
+          // Not strictly better than a full consumer root → serial rejects
+          // (sound for NaN candidates too: NaN is never strictly better,
+          // and a full serial heap admits only strictly-better rows).
+          const int c = -CompareCellVsValue(keys, r, snap_root);
+          if (!(desc ? c < 0 : c > 0)) continue;
+        }
+        if (!local_heap_sound) {
+          cands->rows.push_back(r);
+          continue;
+        }
+        if (static_cast<int64_t>(local.size()) == k) {
+          // ≥ k earlier rows of this morsel are at least as good → the
+          // serial heap is full here with a root at least this strict.
+          const Ref& root = local.front();
+          const int c = CompareCells(keys, r, *root.col, root.row);
+          if (!(desc ? c > 0 : c < 0)) continue;
+          std::pop_heap(local.begin(), local.end(), heap_cmp);
+          local.back() = Ref{&keys, r};
+          std::push_heap(local.begin(), local.end(), heap_cmp);
+        } else {
+          local.push_back(Ref{&keys, r});
+          std::push_heap(local.begin(), local.end(), heap_cmp);
+        }
+        cands->rows.push_back(r);
+      }
+      item.payload = std::move(cands);
+    }
+  });
+}
+
 void TopKOp::MaybePublishBoundary() {
+  if (static_cast<int64_t>(heap_.size()) != k_) return;
   // Publish the boundary once the heap is full (§5.2): the k-th best
   // value seen so far, enabling the scan to skip partitions.
-  if (pruner_ != nullptr && static_cast<int64_t>(heap_.size()) == k_) {
+  if (pruner_ != nullptr) {
     pruner_->UpdateBoundary(heap_.front().row[order_column_]);
+  }
+  if (filter_stage_active_ && !heap_has_nan_) {
+    // Feed the worker filters the raw full-heap root (monotone — only
+    // while the heap is NaN-free, hence the guard — and never mixed with
+    // the pruner's initialization bound; see header).
+    std::lock_guard<std::mutex> lock(shared_root_mutex_);
+    shared_root_full_ = true;
+    shared_root_ = heap_.front().row[order_column_];
   }
 }
 
@@ -42,15 +167,22 @@ void TopKOp::ConsumeColumns() {
     return Weaker(b.row[order_column_], a.row[order_column_]);
   };
   ColumnBatch in;
-  while (columnar_input_->NextColumns(&in)) {
+  TableScanOp::MorselPayload payload;
+  while (columnar_input_->NextColumns(&in, &payload)) {
     const ColumnVector& keys = in.column(order_column_);
     const auto& nulls = keys.null_mask();
     const PartitionId src = in.source();
-    const size_t n = in.num_rows();
-    for (size_t i = 0; i < n; ++i) {
-      const uint32_t r = in.row_index(i);
-      if (nulls[r]) continue;  // NULL keys never qualify
+    const bool float_keys = keys.type() == DataType::kFloat64;
+    // The exact serial per-row heap step, shared by the full scan loop and
+    // the candidate replay; `r` is non-null in both.
+    auto process_row = [&](uint32_t r) {
       if (static_cast<int64_t>(heap_.size()) < k_) {
+        // The fill path is the only way a NaN key can ever enter the heap
+        // (replacement requires strictly-better, which NaN never is);
+        // flagging here therefore always precedes the first publication.
+        if (float_keys && std::isnan(keys.Float64At(r))) {
+          heap_has_nan_ = true;
+        }
         Row row;
         in.AppendRowValues(r, &row);
         heap_.push_back(HeapRow{std::move(row), src});
@@ -61,16 +193,30 @@ void TopKOp::ConsumeColumns() {
         // operand order, hence the negation.
         const int c =
             -CompareCellVsValue(keys, r, heap_.front().row[order_column_]);
-        if (!(descending_ ? c < 0 : c > 0)) continue;  // weaker than boundary
+        if (!(descending_ ? c < 0 : c > 0)) return;  // weaker than boundary
         std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
         Row row;
         in.AppendRowValues(r, &row);
         heap_.back() = HeapRow{std::move(row), src};
         std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
       } else {
-        continue;
+        return;
       }
       MaybePublishBoundary();
+    };
+    if (payload != nullptr) {
+      // Candidate replay: the worker already dropped every row the serial
+      // heap would reject at its position; surviving candidates go through
+      // the identical heap step in identical order.
+      const auto* cands = static_cast<const TopKItemCandidates*>(payload.get());
+      for (uint32_t r : cands->rows) process_row(r);
+    } else {
+      const size_t n = in.num_rows();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = in.row_index(i);
+        if (nulls[r]) continue;  // NULL keys never qualify
+        process_row(r);
+      }
     }
   }
 }

@@ -1,6 +1,7 @@
 #ifndef SNOWPRUNE_EXEC_TOPK_OP_H_
 #define SNOWPRUNE_EXEC_TOPK_OP_H_
 
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -24,6 +25,22 @@ namespace snowprune {
 /// parallel results and stats byte-identical to serial lives in the scan's
 /// ordered delivery (TableScanOp::NextColumns) and is unaffected.
 ///
+/// Pipeline-parallel mode (EnablePipelineParallel + a parallel scan input):
+/// the boundary test over every row — the dominant cost — moves onto the
+/// scan workers as a per-morsel candidate filter. Each worker keeps a
+/// bounded heap over its morsel and a snapshot of the consumer heap's
+/// full-heap root; a row is dropped only when one of two *proofs* shows
+/// serial execution would also have rejected it at that row's position:
+///   1. it is not strictly better than a root the consumer heap had when
+///      it was already full (boundaries only tighten, so the serial heap's
+///      root at the row's consumption position is at least as strict), or
+///   2. at least k earlier rows of the same morsel are at least as good
+///      (so the serial heap is full there with an even stricter root).
+/// The consumer replays only the surviving candidates — in row order —
+/// through the real heap, so the heap's evolution, every published
+/// boundary, all pruning stats, and the emitted rows are byte-identical to
+/// serial execution at any thread count.
+///
 /// Rows whose order key is NULL never enter the heap (and thus never appear
 /// in results). Output rows are emitted best-first.
 class TopKOp : public Operator {
@@ -32,6 +49,15 @@ class TopKOp : public Operator {
   /// the plain heap scan every other system uses.
   TopKOp(OperatorPtr input, size_t order_column, bool descending, int64_t k,
          TopKPruner* pruner);
+  /// Joins any in-flight scan workers whose filter stage reads this
+  /// operator's shared-root members (member destruction order tears those
+  /// down before input_; Close() normally joins first but unwinding can
+  /// skip it — TableScanOp::Close() is idempotent).
+  ~TopKOp() override;
+
+  /// Engine hook: allow the worker-side candidate-filter stage when the
+  /// input is a parallel table scan.
+  void EnablePipelineParallel() { pipeline_parallel_ = true; }
 
   void Open() override;
   bool Next(Batch* out) override;
@@ -56,6 +82,8 @@ class TopKOp : public Operator {
   /// root = weakest element = the boundary).
   bool Weaker(const Value& a, const Value& b) const;
 
+  /// Installs the worker-side candidate filter on the scan input.
+  void InstallFilterStage();
   /// Consumes the columnar input (scan), feeding the heap unboxed.
   void ConsumeColumns();
   /// Consumes the boxed input.
@@ -70,11 +98,32 @@ class TopKOp : public Operator {
   bool descending_;
   int64_t k_;
   TopKPruner* pruner_;
+  bool pipeline_parallel_ = false;
   /// Set when the input is a TableScanOp consumed via NextColumns().
   TableScanOp* columnar_input_ = nullptr;
+  /// True while the candidate-filter stage is installed this execution.
+  bool filter_stage_active_ = false;
   std::vector<HeapRow> heap_;
   std::vector<PartitionId> contributing_;
   bool emitted_ = false;
+
+  /// The consumer heap's root, shared with worker filter stages. Written
+  /// by the consumer only once the heap is full; monotonically tightening.
+  /// Distinct from the TopKPruner boundary: the pruner may hold a stricter
+  /// §5.4 *initialization* bound, which proves final-result membership but
+  /// not per-row heap admission — filtering against it would change the
+  /// heap's evolution (and the published-boundary sequence) vs. serial.
+  std::mutex shared_root_mutex_;
+  bool shared_root_full_ = false;
+  Value shared_root_;
+  /// True once a NaN order key entered the heap. NaN ties everything under
+  /// Value::Compare, so a NaN inside the heap voids root monotonicity (a
+  /// replacement can surface a buried weaker element) — the shared root is
+  /// then never published and workers filter nothing. A NaN can only enter
+  /// while the heap is FILLING (a replacement needs strictly-better, which
+  /// NaN never is), so the flag is always set before the first possible
+  /// publication: no worker can ever hold an unsound snapshot.
+  bool heap_has_nan_ = false;
 };
 
 }  // namespace snowprune

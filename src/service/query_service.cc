@@ -35,6 +35,16 @@ double QueryService::Handle::queue_ms() const {
   return state_->queue_ms;
 }
 
+std::chrono::steady_clock::time_point QueryService::Handle::done_at() const {
+  if (!state_) return {};
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done_at;
+}
+
+void QueryService::Handle::Cancel() {
+  if (state_) state_->cancel.store(true, std::memory_order_release);
+}
+
 // ---------------------------------------------------------------------------
 // QueryService
 // ---------------------------------------------------------------------------
@@ -93,6 +103,7 @@ void QueryService::Finish(const std::shared_ptr<Handle::State>& state,
     std::lock_guard<std::mutex> lock(state->mutex);
     state->result = std::move(result);
     state->queue_ms = queue_ms;
+    state->done_at = std::chrono::steady_clock::now();
     state->done = true;
   }
   state->cv.notify_all();
@@ -146,14 +157,27 @@ void QueryService::DriverLoop(size_t driver_index) {
                                        static_cast<int64_t>(in_flight_));
     }
     const double queue_ms = MsSince(task.submitted_at);
-    Result<QueryResult> result = engine->Execute(task.plan);
+    // A query cancelled while still queued is finished without executing;
+    // an executing one polls the flag through its engine and aborts at the
+    // next scan delivery.
+    Result<QueryResult> result =
+        task.state->cancel.load(std::memory_order_acquire)
+            ? Result<QueryResult>(
+                  Status::Cancelled("query cancelled while queued"))
+            : engine->Execute(task.plan, &task.state->cancel);
     {
       // Completion counters settle before the waiter is released, so a
       // client reading stats() right after Await() sees its own query
       // completed...
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.completed;
-      if (!result.ok()) ++stats_.failed;
+      if (!result.ok()) {
+        if (result.status().code() == StatusCode::kCancelled) {
+          ++stats_.cancelled;
+        } else {
+          ++stats_.failed;
+        }
+      }
     }
     Finish(task.state, std::move(result), queue_ms);
     {
@@ -173,8 +197,16 @@ void QueryService::Drain() {
 }
 
 ServiceStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s = stats_;
+  }
+  // The pool tracks its own high-water at Submit time; surfacing it here
+  // keeps the gauge exact without a sampler thread.
+  s.peak_pool_queue_depth =
+      static_cast<int64_t>(scan_pool_.queue_depth_high_water());
+  return s;
 }
 
 size_t QueryService::in_flight() const {

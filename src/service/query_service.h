@@ -1,6 +1,7 @@
 #ifndef SNOWPRUNE_SERVICE_QUERY_SERVICE_H_
 #define SNOWPRUNE_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -53,10 +54,17 @@ struct QueryServiceConfig {
 struct ServiceStats {
   int64_t submitted = 0;   ///< Admitted into the queue.
   int64_t rejected = 0;    ///< Bounced by the bounded queue.
-  int64_t completed = 0;   ///< Finished executing (ok or failed).
-  int64_t failed = 0;      ///< Completed with a non-OK status.
+  int64_t completed = 0;   ///< Finished (ok, failed, or cancelled).
+  int64_t failed = 0;      ///< Completed with a non-OK, non-cancel status.
+  int64_t cancelled = 0;   ///< Completed via Handle::Cancel.
   int64_t peak_in_flight = 0;    ///< Max queries executing at once.
   int64_t peak_queue_depth = 0;  ///< Max queries waiting at once.
+  /// Deepest the shared worker pool's task backlog ever got (morsels +
+  /// pipeline-stage barriers across every in-flight query) — the measured
+  /// worst case of the head-of-line pressure the per-query morsel-window
+  /// budget is meant to bound. Sampled inside ThreadPool::Submit, so no
+  /// backlog spike can dodge it.
+  int64_t peak_pool_queue_depth = 0;
 };
 
 /// A concurrent query service: ONE shared scan-worker pool, a FIFO
@@ -96,15 +104,29 @@ class QueryService {
     /// Milliseconds the query waited in the admission queue before a driver
     /// picked it up. Valid once done.
     double queue_ms() const;
+    /// When the query finished (steady clock). Valid once done; open-loop
+    /// drivers use it for arrival→completion latency without having to
+    /// observe the completion themselves.
+    std::chrono::steady_clock::time_point done_at() const;
+
+    /// Requests cancellation. Queued queries complete with
+    /// Status::Cancelled when a driver reaches them (without executing);
+    /// an executing query's engine aborts at its next scan delivery, its
+    /// scans abandon their schedulers, and its share of the shared worker
+    /// pool frees up within about one morsel window. Idempotent; a no-op
+    /// once the query finished.
+    void Cancel();
 
    private:
     friend class QueryService;
     struct State {
       mutable std::mutex mutex;
       std::condition_variable cv;
+      std::atomic<bool> cancel{false};
       bool done = false;
       bool consumed = false;
       double queue_ms = 0.0;
+      std::chrono::steady_clock::time_point done_at;
       Result<QueryResult> result = Status::Internal("pending");
     };
     explicit Handle(std::shared_ptr<State> state)

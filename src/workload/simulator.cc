@@ -1,10 +1,13 @@
 #include "workload/simulator.h"
 
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/clock.h"
+#include "common/rng.h"
 
 namespace snowprune {
 namespace workload {
@@ -124,21 +127,43 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
     std::map<QueryClass, StatsCollector> latency_by_class;
     int64_t ok = 0;
     int64_t failed = 0;
+    int64_t rejected = 0;
     int64_t cache_hits = 0;
   };
 
-  auto run_stream = [&](size_t stream_index) {
+  auto merge_local = [&](StreamLocal& local) {
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    result.queries_ok += local.ok;
+    result.queries_failed += local.failed;
+    result.queries_rejected += local.rejected;
+    result.cache_hit_queries += local.cache_hits;
+    result.latency_ms.AddAll(local.latency_ms.samples());
+    result.queue_ms.AddAll(local.queue_ms.samples());
+    for (const auto& [cls, collector] : local.latency_by_class) {
+      result.latency_by_class[cls].AddAll(collector.samples());
+    }
+  };
+
+  auto make_generator = [&](size_t stream_index) {
     QueryGenerator::Config gcfg = config.gen;
     if (!config.identical_streams) gcfg.seed += stream_index;
-    QueryGenerator generator(catalog_, probe_tables_, build_tables_, model_,
-                             gcfg);
+    return QueryGenerator(catalog_, probe_tables_, build_tables_, model_,
+                          gcfg);
+  };
+
+  /// Closed loop: one query outstanding per stream; latency = submit→done
+  /// as observed on the calling thread.
+  auto run_stream_closed = [&](size_t stream_index) {
+    QueryGenerator generator = make_generator(stream_index);
     StreamLocal local;
     for (size_t i = 0; i < config.queries_per_stream; ++i) {
       GeneratedQuery q = generator.Generate();
       const auto t0 = std::chrono::steady_clock::now();
       auto submitted = service->Submit(std::move(q.plan));
       if (!submitted.ok()) {
-        ++local.failed;
+        ++(submitted.status().code() == StatusCode::kResourceExhausted
+               ? local.rejected
+               : local.failed);
         continue;
       }
       auto executed = submitted.value().Await();
@@ -153,14 +178,67 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
       local.queue_ms.Add(submitted.value().queue_ms());
       local.latency_by_class[q.query_class].Add(ms);
     }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    result.queries_ok += local.ok;
-    result.queries_failed += local.failed;
-    result.cache_hit_queries += local.cache_hits;
-    result.latency_ms.AddAll(local.latency_ms.samples());
-    result.queue_ms.AddAll(local.queue_ms.samples());
-    for (const auto& [cls, collector] : local.latency_by_class) {
-      result.latency_by_class[cls].AddAll(collector.samples());
+    merge_local(local);
+  };
+
+  /// Open loop: Poisson arrivals at offered_qps / num_streams, never
+  /// waiting for completions between submissions; latencies (arrival →
+  /// Handle::done_at) are collected after the arrival schedule finishes.
+  auto run_stream_open = [&](size_t stream_index) {
+    QueryGenerator generator = make_generator(stream_index);
+    Rng arrivals(config.gen.seed * 1000003 + stream_index * 7919 + 13);
+    const double per_stream_qps =
+        config.offered_qps / static_cast<double>(config.num_streams);
+    const double mean_gap_ms =
+        per_stream_qps > 0.0 ? 1000.0 / per_stream_qps : 0.0;
+    StreamLocal local;
+    struct Pending {
+      service::QueryService::Handle handle;
+      QueryClass cls;
+      std::chrono::steady_clock::time_point arrival;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(config.queries_per_stream);
+    auto next_arrival = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < config.queries_per_stream; ++i) {
+      // Exponential inter-arrival gap; Uniform() ∈ [0,1) keeps the log
+      // argument positive.
+      const double gap_ms = -mean_gap_ms * std::log(1.0 - arrivals.Uniform());
+      next_arrival += std::chrono::microseconds(
+          static_cast<int64_t>(gap_ms * 1000.0));
+      std::this_thread::sleep_until(next_arrival);
+      GeneratedQuery q = generator.Generate();
+      const auto arrival = std::chrono::steady_clock::now();
+      auto submitted = service->Submit(std::move(q.plan));
+      if (!submitted.ok()) {
+        ++(submitted.status().code() == StatusCode::kResourceExhausted
+               ? local.rejected
+               : local.failed);
+        continue;
+      }
+      pending.push_back(Pending{submitted.value(), q.query_class, arrival});
+    }
+    for (Pending& p : pending) {
+      auto executed = p.handle.Await();
+      if (!executed.ok()) {
+        ++local.failed;
+        continue;
+      }
+      ++local.ok;
+      if (executed.value().predicate_cache_hit) ++local.cache_hits;
+      const double ms = MsBetween(p.arrival, p.handle.done_at());
+      local.latency_ms.Add(ms);
+      local.queue_ms.Add(p.handle.queue_ms());
+      local.latency_by_class[p.cls].Add(ms);
+    }
+    merge_local(local);
+  };
+
+  auto run_stream = [&](size_t stream_index) {
+    if (config.open_loop) {
+      run_stream_open(stream_index);
+    } else {
+      run_stream_closed(stream_index);
     }
   };
 

@@ -108,6 +108,18 @@ struct StreamDriverConfig {
   size_t num_streams = 4;
   size_t queries_per_stream = 200;
   bool identical_streams = false;
+  /// Open-loop mode: instead of each stream keeping exactly one query
+  /// outstanding (closed loop — the offered load self-throttles to the
+  /// service's capacity), every stream submits on a Poisson arrival process
+  /// and does NOT wait for completions between arrivals. This is the only
+  /// mode that can show latency under overload: offered load above capacity
+  /// makes queueing delay grow without bound (or spill into rejections when
+  /// the admission queue is bounded) instead of silently flattening QPS.
+  bool open_loop = false;
+  /// Aggregate target arrival rate (queries/second) across all streams in
+  /// open-loop mode; each stream runs an independent Poisson process of
+  /// rate offered_qps / num_streams. Ignored in closed-loop mode.
+  double offered_qps = 100.0;
   QueryGenerator::Config gen;
 };
 
@@ -116,6 +128,10 @@ struct StreamDriverResult {
   double wall_ms = 0.0;  ///< First submit to last completion.
   int64_t queries_ok = 0;
   int64_t queries_failed = 0;
+  /// Submissions bounced by the bounded admission queue (open-loop overload
+  /// spills here rather than into unbounded latency). Not counted in
+  /// queries_failed.
+  int64_t queries_rejected = 0;
   int64_t cache_hit_queries = 0;  ///< Queries served off the predicate cache.
 
   /// Client-observed latency (admission-queue wait + execution), ms.
@@ -136,12 +152,16 @@ struct StreamDriverResult {
   }
 };
 
-/// Closed-loop multi-stream workload driver: N client threads, each
-/// replaying the production model against one shared QueryService with one
-/// query outstanding at a time (classic closed-loop client). The service's
-/// admission layer decides how many of the N streams actually execute
-/// concurrently; the driver records what the clients see — QPS and the
-/// latency distribution (p50/p95/p99 via StatsCollector::Percentile).
+/// Multi-stream workload driver: N client threads, each replaying the
+/// production model against one shared QueryService. Closed-loop (default):
+/// one query outstanding per stream — the classic capacity probe. Open-loop
+/// (StreamDriverConfig::open_loop): Poisson arrivals at a configured
+/// offered rate, submissions never wait for completions — the overload
+/// probe. The service's admission layer decides how many queries actually
+/// execute concurrently; the driver records what the clients see — QPS,
+/// rejections, and the latency distribution (p50/p95/p99 via
+/// StatsCollector::Percentile), where open-loop latency runs from a query's
+/// arrival to its completion (queueing included).
 class MultiStreamDriver {
  public:
   MultiStreamDriver(const Catalog* catalog,

@@ -16,6 +16,7 @@
 #include "core/limit_pruner.h"
 #include "exec/column_batch.h"
 #include "exec/engine.h"
+#include "exec/parallel/pipeline.h"
 #include "exec/row_eval.h"
 #include "expr/evaluator.h"
 #include "expr/range_analysis.h"
@@ -342,13 +343,15 @@ class FuzzEngine {
 
   Catalog* catalog() { return &catalog_; }
 
-  QueryResult RunFull(const PlanPtr& plan, bool pruning, int threads) {
+  QueryResult RunFull(const PlanPtr& plan, bool pruning, int threads,
+                      bool force_parallel = false) {
     EngineConfig config;
     config.enable_filter_pruning = pruning;
     config.enable_limit_pruning = pruning;
     config.enable_topk_pruning = pruning;
     config.enable_join_pruning = pruning;
     config.exec.num_threads = threads;
+    config.exec.force_parallel = force_parallel;
     Engine engine(&catalog_, config);
     auto result = engine.Execute(plan);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
@@ -628,16 +631,39 @@ TEST(FuzzPruneTest, ColumnarPipelinesMatchBoxedOracle) {
       const std::string ctx =
           "iter " + std::to_string(iter) + " shape " + shape.name;
       QueryResult boxed = engine.RunFull(shape.boxed, true, 1);
-      for (int threads : {1, 2, 4}) {
+      // threads=1 is the serial poolless path; 2/4 run the morsel pipeline
+      // WITH the operator stages (parallel join build / top-k candidate
+      // filter / sorted runs, PR 5); {1, force_parallel} runs the full
+      // pipeline machinery on a one-worker pool — stage scheduling with
+      // serial timing, the tightest determinism check.
+      struct Mode {
+        int threads;
+        bool force;
+      };
+      for (const Mode mode :
+           {Mode{1, false}, Mode{2, false}, Mode{4, false}, Mode{1, true}}) {
         const int64_t materialized_before = ColumnBatch::materialize_calls();
-        QueryResult columnar = engine.RunFull(shape.columnar, true, threads);
+        const int64_t stages_before = PipelineCounters::stage_tasks();
+        QueryResult columnar =
+            engine.RunFull(shape.columnar, true, mode.threads, mode.force);
         ASSERT_EQ(ColumnBatch::materialize_calls(), materialized_before)
             << ctx << ": columnar pipeline materialized a batch at threads="
-            << threads;
+            << mode.threads;
         ASSERT_EQ(Serialize(boxed.rows), Serialize(columnar.rows))
-            << ctx << " threads=" << threads;
+            << ctx << " threads=" << mode.threads << " force=" << mode.force;
         ASSERT_EQ(testing_util::DiffStats(boxed.stats, columnar.stats), "")
-            << ctx << " threads=" << threads;
+            << ctx << " threads=" << mode.threads << " force=" << mode.force;
+        // The forced-parallel run must execute operator pipeline stages
+        // whenever the (single-scan) top-k / sort shapes had any morsel to
+        // process — a silently-serial fallback would hide real regressions.
+        if (mode.force &&
+            (std::string(shape.name) == "topk" ||
+             std::string(shape.name) == "sort") &&
+            columnar.stats.scanned_partitions + columnar.stats.pruned_by_topk >
+                0) {
+          ASSERT_GT(PipelineCounters::stage_tasks(), stages_before)
+              << ctx << ": no pipeline stage ran under force_parallel";
+        }
       }
     }
   }

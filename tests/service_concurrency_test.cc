@@ -405,6 +405,107 @@ TEST_F(ServiceConcurrencyTest, ReplaceTableInvalidatesPredicateCache) {
 // concurrent populations.
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Per-query cancellation (PR 5): a cancelled queued query completes with
+// Status::Cancelled without executing; a cancelled running query aborts and
+// releases its pool share; the service keeps serving afterwards.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceConcurrencyTest, CancelQueuedQueryCompletesWithCancelled) {
+  QueryServiceConfig scfg;
+  scfg.num_threads = 1;
+  scfg.max_in_flight = 1;  // one driver: strict FIFO behind the first query
+  scfg.engine.exec.force_parallel = true;
+  scfg.engine.exec.morsel_min_rows = 0;  // one morsel per partition
+  QueryService service(&catalog_, scfg);
+
+  auto filler = [] {
+    // A full sort of the 40-partition table, one morsel per partition on a
+    // width-1 forced-parallel pool: several milliseconds of work each.
+    return SortPlan(ScanPlan("fact"), "val", /*descending=*/true);
+  };
+  // Four fillers occupy the single driver long enough that Cancel() — one
+  // call away on this thread — always lands while C is still queued.
+  std::vector<Result<QueryService::Handle>> fillers;
+  for (int i = 0; i < 4; ++i) fillers.push_back(service.Submit(filler()));
+  auto c = service.Submit(filler());
+  for (auto& f : fillers) ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(c.ok());
+  c.value().Cancel();
+
+  for (auto& f : fillers) {
+    auto r = f.value().Await();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+  auto rc = c.value().Await();
+  ASSERT_FALSE(rc.ok());
+  EXPECT_EQ(rc.status().code(), StatusCode::kCancelled);
+
+  service.Drain();
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 5);
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.failed, 0);
+
+  // The service still serves: a fresh query after the cancellation runs OK.
+  auto after = service.Execute(filler());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST_F(ServiceConcurrencyTest, CancelRunningQueryReleasesServiceForOthers) {
+  QueryServiceConfig scfg;
+  scfg.num_threads = 2;
+  scfg.max_in_flight = 2;
+  scfg.engine.exec.force_parallel = true;
+  scfg.engine.exec.morsel_min_rows = 0;  // one partition per morsel
+  QueryService service(&catalog_, scfg);
+
+  auto victim = service.Submit(
+      SortPlan(ScanPlan("fact"), "val", /*descending=*/true));
+  ASSERT_TRUE(victim.ok());
+  victim.value().Cancel();
+  auto rv = victim.value().Await();
+  // Depending on timing the query may have finished before the flag landed;
+  // either way the handle resolves and the service stays healthy.
+  if (!rv.ok()) EXPECT_EQ(rv.status().code(), StatusCode::kCancelled);
+
+  auto after = service.Execute(
+      TopKPlan(ScanPlan("probe2"), "key", /*descending=*/true, 10));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after.value().rows.empty());
+  service.Drain();
+  EXPECT_EQ(service.stats().completed, 2);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool::queue_depth was sampled but never surfaced per service — the
+// high-water gauge must report the shared pool's deepest backlog.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceConcurrencyTest, PoolQueueDepthHighWaterIsSurfaced) {
+  QueryServiceConfig scfg;
+  scfg.num_threads = 1;  // one worker: submitted morsels must queue
+  scfg.max_in_flight = 2;
+  scfg.engine.exec.force_parallel = true;
+  scfg.engine.exec.morsel_min_rows = 0;  // 40 partitions → 40 morsel tasks
+  QueryService service(&catalog_, scfg);
+
+  // Before any query the gauge reads zero.
+  EXPECT_EQ(service.stats().peak_pool_queue_depth, 0);
+
+  auto result = service.Execute(AggregatePlan(
+      ScanPlan("fact"), {"cat"}, {AggPlanSpec{AggFunc::kCount, "", "n"}}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Every morsel passed through the pool queue (ThreadPool::Submit updates
+  // the high-water after the push, so the first submission already counts).
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.peak_pool_queue_depth, 1);
+  // Bounded by what this workload could ever enqueue: the scan's morsels
+  // plus pipeline barrier tasks, far below any runaway figure.
+  EXPECT_LE(stats.peak_pool_queue_depth, 200);
+}
+
 TEST_F(ServiceConcurrencyTest, SharedPredicateCacheKeepsRowsIdentical) {
   auto topk_plan = [] {
     return TopKPlan(ScanPlan("fact"), "key", /*descending=*/true, 10);
