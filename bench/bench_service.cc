@@ -14,6 +14,7 @@
 
 #include "bench_util.h"
 #include "core/predicate_cache.h"
+#include "expr/builder.h"
 #include "service/query_service.h"
 #include "workload/production_model.h"
 #include "workload/simulator.h"
@@ -270,6 +271,109 @@ void CacheAmplification(Catalog* catalog, JsonWriter* json) {
               "what one stream's first pass populated.\n");
 }
 
+/// Sharded scatter-gather sweep: the same closed-loop production workload
+/// across shard counts. The interesting columns are the cross-shard level's
+/// own meters — how many shard contacts the merged-zone-map probe and the
+/// scan-set slicing avoided — next to QPS, which should hold (the work is
+/// the same partitions, just routed).
+void ShardSweep(Catalog* catalog, JsonWriter* json) {
+  std::printf("\n--- sharded scatter-gather sweep (range shards, "
+              "%zu queries/stream) ---\n",
+              g_queries_per_stream);
+  std::printf("%7s %8s %9s %12s %13s %11s\n", "shards", "streams", "qps",
+              "shard-total", "shard-pruned", "prune-ratio");
+  MultiStreamDriver driver(catalog, {"probe_sorted", "probe_clustered",
+                                     "probe_random"},
+                           {"build_small", "build_tiny"}, ProductionModel());
+  if (json != nullptr) json->Key("shard_sweep").BeginArray();
+  for (size_t shards : {1u, 2u, 4u}) {
+    for (size_t streams : g_stream_counts) {
+      service::QueryServiceConfig scfg;
+      scfg.num_threads = kPoolWidth;
+      scfg.max_in_flight = streams;
+      scfg.num_shards = shards;
+      service::QueryService service(catalog, scfg);
+
+      StreamDriverConfig dcfg;
+      dcfg.num_streams = streams;
+      dcfg.queries_per_stream = g_queries_per_stream;
+      dcfg.gen.seed = 4242;
+      StreamDriverResult r = driver.Run(&service, dcfg);
+      const double ratio =
+          r.shards_total > 0 ? static_cast<double>(r.shards_pruned) /
+                                   static_cast<double>(r.shards_total)
+                             : 0.0;
+      std::printf("%7zu %8zu %9.0f %12lld %13lld %10.1f%%\n", shards,
+                  streams, r.Qps(), static_cast<long long>(r.shards_total),
+                  static_cast<long long>(r.shards_pruned), 100.0 * ratio);
+      if (json != nullptr) {
+        json->BeginObject();
+        json->Key("num_shards").Int(static_cast<int64_t>(shards));
+        json->Key("streams").Int(static_cast<int64_t>(streams));
+        json->Key("qps").Number(r.Qps());
+        json->Key("p95_ms").Number(r.latency_ms.Percentile(95.0));
+        json->Key("shards_total").Int(r.shards_total);
+        json->Key("shards_pruned").Int(r.shards_pruned);
+        json->EndObject();
+      }
+    }
+  }
+  if (json != nullptr) json->EndArray();
+  std::printf("shard-pruned = shards a query never contacted (merged-zone-map "
+              "exclusion + empty\nscan-set slices); 1 shard = the coordinator "
+              "path with nothing to prune away.\n");
+}
+
+/// Deterministic guard: narrow-range predicates on the sorted-layout table
+/// through a 2-shard service MUST exclude at least one shard via the
+/// cross-shard level. Returns false (bench exits 1) if shards_pruned stays
+/// 0 — the cross-shard level silently dead is a failure, not a number.
+bool ShardPruneGuard(Catalog* catalog, JsonWriter* json) {
+  service::QueryServiceConfig scfg;
+  scfg.num_threads = kPoolWidth;
+  scfg.max_in_flight = 2;
+  scfg.num_shards = 2;
+  service::QueryService service(catalog, scfg);
+
+  // probe_sorted's key column ascends over its domain, so a range shard
+  // covers a contiguous key band: any band-sized predicate misses ~half
+  // the table's shards. 40 disjoint narrow bands across the domain.
+  int64_t shards_total = 0;
+  int64_t shards_pruned = 0;
+  int64_t failed = 0;
+  for (int64_t q = 0; q < 40; ++q) {
+    const int64_t lo = q * 25000;
+    auto plan = ScanPlan("probe_sorted",
+                         Between(Col("key"), Value(lo), Value(lo + 1000)));
+    auto result = service.Execute(std::move(plan));
+    if (!result.ok()) {
+      ++failed;
+      continue;
+    }
+    shards_total += result.value().stats.shards_total;
+    shards_pruned += result.value().stats.shards_pruned;
+  }
+  std::printf("\n--- cross-shard prune guard (2 range shards, 40 narrow-band "
+              "scans on probe_sorted) ---\n");
+  std::printf("shards total %lld, pruned %lld, failed queries %lld\n",
+              static_cast<long long>(shards_total),
+              static_cast<long long>(shards_pruned),
+              static_cast<long long>(failed));
+  if (json != nullptr) {
+    json->Key("shard_prune_guard").BeginObject();
+    json->Key("shards_total").Int(shards_total);
+    json->Key("shards_pruned").Int(shards_pruned);
+    json->Key("failed").Int(failed);
+    json->EndObject();
+  }
+  if (failed > 0 || shards_pruned == 0) {
+    std::printf("FAIL: selective workload pruned no shards — the cross-shard "
+                "pruning level is not firing\n");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,6 +396,8 @@ int main(int argc, char** argv) {
   StarvationCheck(catalog.get());
   OpenLoopSweep(catalog.get(), jp);
   CacheAmplification(catalog.get(), jp);
+  ShardSweep(catalog.get(), jp);
+  const bool shard_guard_ok = ShardPruneGuard(catalog.get(), jp);
   if (jp != nullptr) json.Write(opts);
-  return 0;
+  return shard_guard_ok ? 0 : 1;
 }

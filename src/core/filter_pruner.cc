@@ -95,6 +95,13 @@ FilterPruneResult FilterPruner::Prune(const Table& table,
   return result;
 }
 
+bool FilterPruner::CanPruneFromStats(const std::vector<ColumnStats>& stats,
+                                     int64_t row_count) {
+  if (!predicate_) return false;
+  if (row_count == 0) return true;
+  return prune_tree_->Evaluate(stats).prunable();
+}
+
 bool FilterPruner::CanPrune(const Table& table, PartitionId pid) {
   if (!predicate_) return false;
   const MicroPartition& meta = table.partition_metadata(pid);

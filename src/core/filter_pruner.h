@@ -63,6 +63,17 @@ class FilterPruner {
   /// Runtime path: may partition `pid` be skipped under the predicate?
   bool CanPrune(const Table& table, PartitionId pid);
 
+  /// Evaluates the pruning tree against caller-supplied zone maps — the
+  /// cross-shard pruning level feeds per-shard *merged* stats (min of mins,
+  /// max of maxes, summed null/row counts) through this. Interval analysis
+  /// is monotone in the stats interval: a merged zone map admits every value
+  /// any member partition admits, so a prunable merge proves every member
+  /// individually prunable — the whole shard can be excluded without
+  /// touching its per-partition metadata. `row_count` is the merged total
+  /// (all members empty ⇒ prunable, mirroring Prune's empty-partition rule).
+  bool CanPruneFromStats(const std::vector<ColumnStats>& stats,
+                         int64_t row_count);
+
   /// The adaptive tree for the pruning pass (null when predicate is null).
   PruningTree* mutable_tree() { return prune_tree_ ? &*prune_tree_ : nullptr; }
 

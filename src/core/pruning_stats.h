@@ -23,6 +23,22 @@ struct PruningStats {
   /// identical to serial execution — but the wasted background work is worth
   /// observing. Always 0 when num_threads == 1.
   int64_t speculative_loads = 0;
+  /// Cross-shard pruning level (sharded scatter-gather execution): shards a
+  /// query's scans were assigned to, and how many of those were never
+  /// contacted — excluded by the shard's merged zone maps, emptied by
+  /// LIMIT/top-k pruning, or skippable under the initialized top-k boundary.
+  /// Strictly additive on top of the per-partition counters above: a sharded
+  /// run's partition-level stats stay byte-identical to a single-engine
+  /// serial run, with the shard counters layered on. Always 0 for unsharded
+  /// execution.
+  int64_t shards_total = 0;
+  int64_t shards_pruned = 0;
+
+  double ShardRatio() const {
+    if (shards_total == 0) return 0.0;
+    return static_cast<double>(shards_pruned) /
+           static_cast<double>(shards_total);
+  }
 
   int64_t TotalPruned() const {
     return pruned_by_filter + pruned_by_limit + pruned_by_join +
@@ -50,6 +66,8 @@ struct PruningStats {
     scanned_partitions += other.scanned_partitions;
     scanned_rows += other.scanned_rows;
     speculative_loads += other.speculative_loads;
+    shards_total += other.shards_total;
+    shards_pruned += other.shards_pruned;
   }
 
  private:

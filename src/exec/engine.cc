@@ -86,6 +86,8 @@ struct Engine::CompileContext {
 
   PruningStats stats;
   QueryResult* result = nullptr;
+  /// Per-call options (never null during Compile/Execute).
+  const ExecuteOptions* opts = nullptr;
   /// The query's catalog snapshot (see TableSnapshot above).
   TableSnapshot tables;
   std::map<const PlanNode*, ScanInfo> scans;
@@ -276,6 +278,22 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
     case PlanNode::Kind::kScan: {
       auto table = FindTable(ctx->tables, plan->table);
       if (!table) return Status::NotFound("no table named " + plan->table);
+      if (ctx->opts->scan_sets != nullptr) {
+        auto it = ctx->opts->scan_sets->find(plan->table);
+        if (it != ctx->opts->scan_sets->end()) {
+          // Sharded sub-query: execute exactly the coordinator's slice. All
+          // compile-time pruning already ran globally on the coordinator,
+          // which also pre-bound the predicate against this snapshot's
+          // schema — re-binding here would race with the other shards'
+          // sub-queries sharing the same predicate tree. No stats: the
+          // coordinator meters the gathered stream itself.
+          auto op = std::make_unique<TableScanOp>(table, it->second,
+                                                  plan->predicate, nullptr);
+          ctx->scans[plan.get()] =
+              CompileContext::ScanInfo{op.get(), table, FilterPruneResult{}};
+          return OperatorPtr(std::move(op));
+        }
+      }
       if (plan->predicate) {
         Status s = BindExpr(plan->predicate, table->schema());
         if (!s.ok()) return s;
@@ -593,15 +611,29 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
 
 Result<QueryResult> Engine::Execute(const PlanPtr& plan,
                                     const std::atomic<bool>* cancel) {
+  ExecuteOptions opts;
+  opts.cancel = cancel;
+  return Execute(plan, opts);
+}
+
+Result<QueryResult> Engine::Execute(const PlanPtr& plan,
+                                    const ExecuteOptions& opts) {
   if (!plan) return Status::InvalidArgument("null plan");
+  const std::atomic<bool>* cancel = opts.cancel;
   QueryResult result;
   CompileContext ctx;
   ctx.result = &result;
+  ctx.opts = &opts;
   post_run_hooks_.clear();
 
   // Snapshot every referenced table once: DML (ReplaceTable/DropTable) that
-  // lands after this point does not affect this query.
-  CollectTables(*catalog_, plan, &ctx.tables);
+  // lands after this point does not affect this query. An injected snapshot
+  // (shard sub-queries) extends the same guarantee across a whole scatter.
+  if (opts.tables != nullptr) {
+    ctx.tables = *opts.tables;
+  } else {
+    CollectTables(*catalog_, plan, &ctx.tables);
+  }
 
   auto compiled = Compile(plan, &ctx);
   if (!compiled.ok()) {
@@ -680,6 +712,7 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan,
   Batch batch;
   while (root->Next(&batch)) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
+    if (opts.collect_batch_rows) result.batch_rows.push_back(batch.rows.size());
     for (auto& row : batch.rows) result.rows.push_back(std::move(row));
   }
   root->Close();

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -132,6 +133,35 @@ struct QueryResult {
   bool topk_pruning_attached = false;
   bool predicate_cache_hit = false;
   int64_t scan_set_bytes = 0;  ///< Serialized scan-set size shipped to compute.
+  /// Row count of each batch the root operator emitted, in delivery order
+  /// (only recorded under ExecuteOptions::collect_batch_rows). For a bare
+  /// scan with a scan-set override this aligns 1:1 with the override's
+  /// partition ids — the shard coordinator uses it to split `rows` back
+  /// into per-partition fragments without any row-level provenance.
+  std::vector<size_t> batch_rows;
+};
+
+/// Per-call execution options (the plain Execute(plan, cancel) overload is
+/// the common path; the sharded coordinator uses the extended knobs).
+struct ExecuteOptions {
+  /// Caller-owned cancellation flag (see Execute's contract).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Pre-resolved table snapshot. When set, the engine skips its own catalog
+  /// snapshot and compiles against exactly these table versions — the shard
+  /// coordinator passes one snapshot to every shard sub-query so DML
+  /// (Catalog::ReplaceTable) stays snapshot-atomic across the whole scatter.
+  const std::map<std::string, std::shared_ptr<Table>>* tables = nullptr;
+  /// Per-table scan-set override. A scan of a listed table executes exactly
+  /// the given partitions, in the given order: compile-time pruning, runtime
+  /// pruner attachment, pending top-k preparation, predicate binding and
+  /// stats metering are all skipped for it — the caller (the coordinator)
+  /// already ran every compile-time pass globally and pre-bound the
+  /// predicate against the snapshot's schema. Skipping the re-bind is what
+  /// lets concurrent shard sub-queries share one predicate tree without
+  /// racing on its binding state.
+  const std::map<std::string, ScanSet>* scan_sets = nullptr;
+  /// Record QueryResult::batch_rows.
+  bool collect_batch_rows = false;
 };
 
 /// Compiles and executes plans against a catalog, applying the paper's four
@@ -153,6 +183,10 @@ class Engine {
   /// in-flight window — and Execute returns Status::Cancelled.
   Result<QueryResult> Execute(const PlanPtr& plan,
                               const std::atomic<bool>* cancel = nullptr);
+
+  /// Extended entry point: snapshot injection, scan-set overrides, and
+  /// per-batch row accounting (see ExecuteOptions).
+  Result<QueryResult> Execute(const PlanPtr& plan, const ExecuteOptions& opts);
 
   const EngineConfig& config() const { return config_; }
   EngineConfig* mutable_config() { return &config_; }

@@ -59,15 +59,19 @@ QueryService::QueryService(Catalog* catalog, QueryServiceConfig config)
   // Per-query morsel-window budgeting: an equal share of the service-wide
   // in-flight-morsel budget, so the head-of-line queue pressure any single
   // query (read: one huge scan) can put in front of everyone else is capped
-  // at its share regardless of its scan-set size.
+  // at its share regardless of its scan-set size. Under sharded execution
+  // a query fans out into up to num_shards concurrent sub-scans, each with
+  // its own window, so the share divides by that fan-out too — otherwise
+  // one sharded query would claim num_shards budget shares.
   if (config_.engine.exec.morsel_window > 0) {
     per_query_window_ = config_.engine.exec.morsel_window;
   } else {
     const size_t budget = config_.morsel_window_budget > 0
                               ? config_.morsel_window_budget
                               : 4 * scan_pool_.num_threads();
-    per_query_window_ =
-        std::max<size_t>(2, budget / config_.max_in_flight);
+    const size_t fan_out =
+        config_.max_in_flight * std::max<size_t>(1, config_.num_shards);
+    per_query_window_ = std::max<size_t>(2, budget / fan_out);
   }
   engines_.reserve(config_.max_in_flight);
   drivers_.reserve(config_.max_in_flight);
@@ -75,7 +79,16 @@ QueryService::QueryService(Catalog* catalog, QueryServiceConfig config)
     EngineConfig cfg = config_.engine;
     cfg.exec.pool = &scan_pool_;
     cfg.exec.morsel_window = per_query_window_;
-    engines_.push_back(std::make_unique<Engine>(catalog, cfg));
+    if (config_.num_shards > 1) {
+      shard::ShardExecConfig scfg;
+      scfg.num_shards = config_.num_shards;
+      scfg.policy = config_.shard_policy;
+      scfg.engine = cfg;
+      coordinators_.push_back(
+          std::make_unique<shard::ShardCoordinator>(catalog, scfg));
+    } else {
+      engines_.push_back(std::make_unique<Engine>(catalog, cfg));
+    }
   }
   for (size_t i = 0; i < config_.max_in_flight; ++i) {
     drivers_.emplace_back([this, i] { DriverLoop(i); });
@@ -142,7 +155,10 @@ Result<QueryResult> QueryService::Execute(PlanPtr plan) {
 }
 
 void QueryService::DriverLoop(size_t driver_index) {
-  Engine* engine = engines_[driver_index].get();
+  Engine* engine =
+      engines_.empty() ? nullptr : engines_[driver_index].get();
+  shard::ShardCoordinator* coordinator =
+      coordinators_.empty() ? nullptr : coordinators_[driver_index].get();
   for (;;) {
     Task task;
     {
@@ -164,7 +180,9 @@ void QueryService::DriverLoop(size_t driver_index) {
         task.state->cancel.load(std::memory_order_acquire)
             ? Result<QueryResult>(
                   Status::Cancelled("query cancelled while queued"))
-            : engine->Execute(task.plan, &task.state->cancel);
+            : (coordinator != nullptr
+                   ? coordinator->Execute(task.plan, &task.state->cancel)
+                   : engine->Execute(task.plan, &task.state->cancel));
     {
       // Completion counters settle before the waiter is released, so a
       // client reading stats() right after Await() sees its own query

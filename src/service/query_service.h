@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "exec/engine.h"
 #include "exec/parallel/thread_pool.h"
+#include "shard/coordinator.h"
 #include "storage/catalog.h"
 
 namespace snowprune {
@@ -43,6 +44,15 @@ struct QueryServiceConfig {
   /// `engine.exec.morsel_window` is explicitly set (that value then
   /// applies per query).
   size_t morsel_window_budget = 0;
+  /// Shards the catalog is partitioned into. <= 1 runs every query on a
+  /// plain per-driver engine (exactly the unsharded service); > 1 gives
+  /// each driver a ShardCoordinator instead — queries are compiled once,
+  /// pruned against the shard map (the cross-shard level), scattered to
+  /// surviving shards and gathered, with rows and per-table PruningStats
+  /// still byte-identical to a single-engine serial run.
+  size_t num_shards = 1;
+  /// Partition placement when num_shards > 1.
+  shard::ShardPolicy shard_policy = shard::ShardPolicy::kRange;
   /// Template for the per-driver engines. `exec.pool`, `exec.num_threads`
   /// and (unless explicitly set) `exec.morsel_window` are overridden by the
   /// service; everything else (pruning toggles, predicate cache, ...)
@@ -180,6 +190,9 @@ class QueryService {
   /// One engine per driver thread (engines are single-query at a time);
   /// all point at the shared catalog, pool, and predicate cache.
   std::vector<std::unique_ptr<Engine>> engines_;
+  /// One coordinator per driver thread when num_shards > 1 (empty
+  /// otherwise); each wraps per-shard engines over the same shared pool.
+  std::vector<std::unique_ptr<shard::ShardCoordinator>> coordinators_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;

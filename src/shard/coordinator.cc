@@ -1,0 +1,631 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/clock.h"
+#include "core/limit_pruner.h"
+#include "exec/agg_op.h"
+#include "exec/ops.h"
+#include "exec/topk_op.h"
+
+namespace snowprune {
+namespace shard {
+
+namespace {
+
+/// The coordinator-side stand-in for the table scan: iterates the final
+/// global scan set in order, consults the (evolving) top-k boundary before
+/// each partition exactly where the serial scan would — before the "load" —
+/// and emits the shard-delivered row fragment as one batch per partition
+/// (even an empty one, matching TableScanOp's one-batch-per-partition
+/// contract). Per-partition stats are metered here, in scan-set order, so
+/// the gathered PruningStats reproduce a serial run's counters bit-for-bit;
+/// a fragment dropped by a boundary that tightened after the scatter is the
+/// sharded analog of a parallel worker's stale lookahead load and is
+/// surfaced as speculative_loads.
+class GatherSourceOp : public Operator {
+ public:
+  GatherSourceOp(std::shared_ptr<Table> table, ScanSet scan_set,
+                 PruningStats* stats)
+      : table_(std::move(table)),
+        scan_set_(std::move(scan_set)),
+        stats_(stats) {}
+
+  void AttachTopKPruner(TopKPruner* pruner) { topk_pruner_ = pruner; }
+  TopKPruner* topk_pruner() const { return topk_pruner_; }
+  void ReplaceScanSet(ScanSet scan_set) { scan_set_ = std::move(scan_set); }
+  const ScanSet& scan_set() const { return scan_set_; }
+  void set_fragments(std::unordered_map<PartitionId, std::vector<Row>>* f) {
+    fragments_ = f;
+  }
+
+  void Open() override { cursor_ = 0; }
+
+  bool Next(Batch* out) override {
+    out->rows.clear();
+    out->source.clear();
+    while (cursor_ < scan_set_.size()) {
+      PartitionId pid = scan_set_[cursor_++];
+      if (topk_pruner_ != nullptr && topk_pruner_->ShouldSkip(*table_, pid)) {
+        // Exactly the serial scan's pre-load check. A fragment the scatter
+        // already produced for this partition was a speculative load.
+        ++stats_->pruned_by_topk;
+        if (fragments_ != nullptr && fragments_->count(pid) > 0) {
+          ++stats_->speculative_loads;
+        }
+        continue;
+      }
+      ++stats_->scanned_partitions;
+      stats_->scanned_rows += table_->partition_metadata(pid).row_count();
+      if (fragments_ != nullptr) {
+        auto it = fragments_->find(pid);
+        if (it != fragments_->end()) out->rows = std::move(it->second);
+      }
+      return true;  // one batch per partition, even with no surviving rows
+    }
+    return false;
+  }
+
+  void Close() override {}
+  const Schema& output_schema() const override { return table_->schema(); }
+
+ private:
+  std::shared_ptr<Table> table_;
+  ScanSet scan_set_;
+  PruningStats* stats_;
+  TopKPruner* topk_pruner_ = nullptr;
+  std::unordered_map<PartitionId, std::vector<Row>>* fragments_ = nullptr;
+  size_t cursor_ = 0;
+};
+
+/// Join-free single-scan chain? That is the shape the scatter compile can
+/// mirror; everything else falls back to the single-engine path.
+bool SupportedShape(const PlanPtr& plan, size_t* scans) {
+  if (!plan) return false;
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan:
+      return ++*scans == 1;
+    case PlanNode::Kind::kProject:
+    case PlanNode::Kind::kLimit:
+    case PlanNode::Kind::kTopK:
+    case PlanNode::Kind::kSort:
+    case PlanNode::Kind::kAggregate:
+      return SupportedShape(plan->child, scans);
+    case PlanNode::Kind::kJoin:
+      return false;
+  }
+  return false;
+}
+
+const PlanNode* FindScan(const PlanPtr& plan) {
+  return plan->kind == PlanNode::Kind::kScan ? plan.get()
+                                             : FindScan(plan->child);
+}
+
+/// Mirrors engine.cc's TraceColumnToScan for the join-free chains the
+/// scatter path supports (§5.2 / Figure 7a+7d legality).
+struct GatherTrace {
+  const PlanNode* scan = nullptr;
+  std::string column;
+  bool via_aggregate = false;
+  const PlanNode* agg_node = nullptr;
+};
+
+GatherTrace TraceColumn(const Table& table, const PlanPtr& plan,
+                        const std::string& column) {
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan: {
+      if (table.schema().FindColumn(column).has_value()) {
+        GatherTrace t;
+        t.scan = plan.get();
+        t.column = column;
+        return t;
+      }
+      return {};
+    }
+    case PlanNode::Kind::kProject: {
+      auto it = std::find(plan->names.begin(), plan->names.end(), column);
+      if (it == plan->names.end()) return {};
+      size_t idx = static_cast<size_t>(it - plan->names.begin());
+      if (plan->exprs[idx]->kind() != ExprKind::kColumnRef) return {};
+      const auto& ref = static_cast<const ColumnRefExpr&>(*plan->exprs[idx]);
+      return TraceColumn(table, plan->child, ref.name());
+    }
+    case PlanNode::Kind::kLimit:
+    case PlanNode::Kind::kTopK:
+    case PlanNode::Kind::kSort:
+      return TraceColumn(table, plan->child, column);
+    case PlanNode::Kind::kAggregate: {
+      if (std::find(plan->group_columns.begin(), plan->group_columns.end(),
+                    column) == plan->group_columns.end()) {
+        return {};
+      }
+      GatherTrace t = TraceColumn(table, plan->child, column);
+      if (t.scan != nullptr) {
+        if (t.via_aggregate) return {};  // nested aggregates unsupported
+        t.via_aggregate = true;
+        t.agg_node = plan.get();
+      }
+      return t;
+    }
+    case PlanNode::Kind::kJoin:
+      return {};
+  }
+  return {};
+}
+
+/// Mirrors engine.cc's TraceLimitTarget (§4.3), join branch excluded.
+const PlanNode* TraceLimitTarget(const PlanPtr& plan) {
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan:
+      return plan.get();
+    case PlanNode::Kind::kProject:
+      return TraceLimitTarget(plan->child);
+    default:
+      return nullptr;
+  }
+}
+
+LimitClassification MapOutcome(LimitPruneOutcome outcome) {
+  switch (outcome) {
+    case LimitPruneOutcome::kAlreadyMinimal:
+      return LimitClassification::kAlreadyMinimal;
+    case LimitPruneOutcome::kNoFullyMatching:
+      return LimitClassification::kNoFullyMatching;
+    case LimitPruneOutcome::kPrunedToZero:
+      return LimitClassification::kPrunedToZero;
+    case LimitPruneOutcome::kPrunedToOne:
+      return LimitClassification::kPrunedToOne;
+    case LimitPruneOutcome::kPrunedToMany:
+      return LimitClassification::kPrunedToMany;
+  }
+  return LimitClassification::kUnsupportedShape;
+}
+
+}  // namespace
+
+/// Per-query gather compilation state — the single-scan analog of the
+/// engine's CompileContext, mirrored step for step so the global scan set
+/// evolves exactly as a single engine's would.
+struct ShardCoordinator::GatherCompile {
+  PruningStats stats;
+  QueryResult* result = nullptr;
+  std::shared_ptr<Table> table;
+  const ShardMap* map = nullptr;
+
+  GatherSourceOp* gather = nullptr;
+  FilterPruneResult filter_result;
+  std::map<const PlanNode*, HashAggregateOp*> agg_ops;
+  std::vector<std::unique_ptr<TopKPruner>> pruners;
+
+  struct PendingTopK {
+    const PlanNode* scan_node = nullptr;
+    const PlanNode* agg_node = nullptr;
+    std::string scan_column;
+    TopKPruner* pruner = nullptr;
+    int64_t k = 0;
+    bool descending = true;
+  };
+  std::vector<PendingTopK> pending_topk;
+
+  /// Cross-shard level bookkeeping (filled during the scan compile).
+  std::vector<uint8_t> summary_pruned;
+  int64_t summary_pruned_partitions = 0;
+
+  PendingTopK* FindPendingForScan(const PlanNode* scan_node) {
+    for (auto& p : pending_topk) {
+      if (p.scan_node == scan_node) return &p;
+    }
+    return nullptr;
+  }
+};
+
+ShardCoordinator::ShardCoordinator(Catalog* catalog, ShardExecConfig config)
+    : catalog_(catalog),
+      config_(std::move(config)),
+      fallback_(catalog, config_.engine) {
+  config_.num_shards = std::max<size_t>(1, config_.num_shards);
+  shard_engines_.reserve(config_.num_shards);
+  for (size_t s = 0; s < config_.num_shards; ++s) {
+    shard_engines_.push_back(
+        std::make_unique<Engine>(catalog, config_.engine));
+  }
+}
+
+ShardCoordinator::~ShardCoordinator() = default;
+
+const ShardMap& ShardCoordinator::MapFor(const std::string& name,
+                                         const Table& table) {
+  auto it = map_cache_.find(name);
+  if (it == map_cache_.end() ||
+      it->second.table_instance() != table.instance_id()) {
+    // First sight, or DML swapped the table object: (re)build from the new
+    // version's metadata.
+    it = map_cache_
+             .insert_or_assign(
+                 name, ShardMap::Build(table, config_.num_shards,
+                                       config_.policy))
+             .first;
+  }
+  return it->second;
+}
+
+Result<OperatorPtr> ShardCoordinator::CompileGather(const PlanPtr& plan,
+                                                    GatherCompile* ctx) {
+  const EngineConfig& config = config_.engine;
+  switch (plan->kind) {
+    case PlanNode::Kind::kScan: {
+      const std::shared_ptr<Table>& table = ctx->table;
+      if (plan->predicate) {
+        Status s = BindExpr(plan->predicate, table->schema());
+        if (!s.ok()) return s;
+      }
+      ScanSet full = table->FullScanSet();
+      ctx->stats.total_partitions += static_cast<int64_t>(full.size());
+
+      FilterPruneResult filter_result;
+      const bool compile_time_pruning =
+          config.enable_filter_pruning &&
+          config.filter_pruning_phase == FilterPruningPhase::kCompileTime;
+      if (compile_time_pruning) {
+        ScanSet input = full;
+        if (plan->predicate) {
+          // Cross-shard pruning first: one merged-zone-map probe per shard.
+          // Merged stats are monotone (they admit everything any member
+          // admits), so a probe-excluded shard's partitions are exactly
+          // partitions the per-partition pass below would have pruned
+          // anyway — removing them up front changes no counter, it only
+          // spares the metadata work and, crucially, the shard contact.
+          FilterPruner probe(plan->predicate, config.filter);
+          const ShardMap& map = *ctx->map;
+          for (size_t s = 0; s < map.num_shards(); ++s) {
+            if (map.shard_partitions(s).empty()) continue;
+            if (probe.CanPruneFromStats(map.shard_summary(s),
+                                        map.shard_rows(s))) {
+              ctx->summary_pruned[s] = 1;
+              ctx->summary_pruned_partitions +=
+                  static_cast<int64_t>(map.shard_partitions(s).size());
+            }
+          }
+          if (ctx->summary_pruned_partitions > 0) {
+            std::vector<PartitionId> remaining;
+            remaining.reserve(full.size());
+            for (PartitionId pid : full) {
+              if (!ctx->summary_pruned[map.shard_of(pid)]) {
+                remaining.push_back(pid);
+              }
+            }
+            input = ScanSet(std::move(remaining));
+          }
+        }
+        FilterPruner pruner(plan->predicate, config.filter);
+        filter_result = pruner.Prune(*table, input);
+        filter_result.pruned += ctx->summary_pruned_partitions;
+        filter_result.input_partitions = static_cast<int64_t>(full.size());
+        ctx->stats.pruned_by_filter += filter_result.pruned;
+      } else {
+        filter_result.scan_set = full;
+        filter_result.input_partitions = static_cast<int64_t>(full.size());
+        if (!plan->predicate) {
+          for (PartitionId pid : full) {
+            filter_result.fully_matching.push_back(pid);
+            filter_result.fully_matching_rows +=
+                table->partition_metadata(pid).row_count();
+          }
+        }
+      }
+
+      auto op = std::make_unique<GatherSourceOp>(table, filter_result.scan_set,
+                                                 &ctx->stats);
+      if (auto* pending = ctx->FindPendingForScan(plan.get())) {
+        op->AttachTopKPruner(pending->pruner);
+        ScanSet prepared = pending->pruner->Prepare(
+            *table, op->scan_set(), filter_result.fully_matching);
+        op->ReplaceScanSet(std::move(prepared));
+      }
+      ctx->gather = op.get();
+      ctx->filter_result = std::move(filter_result);
+      return OperatorPtr(std::move(op));
+    }
+
+    case PlanNode::Kind::kProject: {
+      auto child = CompileGather(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      OperatorPtr input = std::move(child).value();
+      for (const auto& e : plan->exprs) {
+        Status s = BindExpr(e, input->output_schema());
+        if (!s.ok()) return s;
+      }
+      return OperatorPtr(std::make_unique<ProjectOp>(std::move(input),
+                                                     plan->exprs, plan->names));
+    }
+
+    case PlanNode::Kind::kLimit: {
+      const PlanNode* target = TraceLimitTarget(plan->child);
+      auto child = CompileGather(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      OperatorPtr input = std::move(child).value();
+      if (config.enable_limit_pruning) {
+        if (target == nullptr) {
+          ctx->result->limit_class = LimitClassification::kUnsupportedShape;
+        } else {
+          LimitPruneResult res = LimitPruner::Prune(
+              *ctx->table, ctx->filter_result,
+              plan->limit_k + plan->limit_offset);
+          ctx->gather->ReplaceScanSet(res.scan_set);
+          ctx->stats.pruned_by_limit += res.pruned;
+          ctx->result->limit_class = MapOutcome(res.outcome);
+        }
+      }
+      return OperatorPtr(std::make_unique<LimitOp>(
+          std::move(input), plan->limit_k, plan->limit_offset));
+    }
+
+    case PlanNode::Kind::kTopK: {
+      GatherTrace trace;
+      TopKPruner* pruner = nullptr;
+      if (config.enable_topk_pruning) {
+        trace = TraceColumn(*ctx->table, plan->child, plan->order_column);
+        if (trace.scan != nullptr) {
+          TopKPrunerConfig pcfg;
+          pcfg.k = plan->limit_k;
+          pcfg.descending = plan->descending;
+          pcfg.order_strategy = config.topk_order_strategy;
+          pcfg.boundary_init = config.topk_boundary_init;
+          pcfg.inclusive_updates = !trace.via_aggregate;
+          auto col = ctx->table->schema().FindColumn(trace.column);
+          ctx->pruners.push_back(
+              std::make_unique<TopKPruner>(pcfg, col.value()));
+          pruner = ctx->pruners.back().get();
+          GatherCompile::PendingTopK pending;
+          pending.scan_node = trace.scan;
+          pending.agg_node = trace.agg_node;
+          pending.scan_column = trace.column;
+          pending.pruner = pruner;
+          pending.k = plan->limit_k;
+          pending.descending = plan->descending;
+          ctx->pending_topk.push_back(pending);
+          ctx->result->topk_pruning_attached = true;
+        }
+      }
+
+      auto child = CompileGather(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      OperatorPtr input = std::move(child).value();
+
+      auto idx = input->output_schema().FindColumn(plan->order_column);
+      if (!idx.has_value()) {
+        return Status::NotFound("no order column " + plan->order_column);
+      }
+      TopKPruner* publisher = pruner;
+      if (trace.agg_node != nullptr) {
+        publisher = nullptr;
+        auto agg_it = ctx->agg_ops.find(trace.agg_node);
+        if (agg_it != ctx->agg_ops.end()) {
+          const auto& gcols = trace.agg_node->group_columns;
+          auto git = std::find(gcols.begin(), gcols.end(), plan->order_column);
+          if (git != gcols.end()) {
+            agg_it->second->EnableGroupLimit(
+                static_cast<size_t>(git - gcols.begin()), plan->descending,
+                plan->limit_k, pruner);
+          }
+        }
+      }
+      return OperatorPtr(std::make_unique<TopKOp>(std::move(input),
+                                                  idx.value(),
+                                                  plan->descending,
+                                                  plan->limit_k, publisher));
+    }
+
+    case PlanNode::Kind::kSort: {
+      auto child = CompileGather(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      OperatorPtr input = std::move(child).value();
+      auto idx = input->output_schema().FindColumn(plan->order_column);
+      if (!idx.has_value()) {
+        return Status::NotFound("no order column " + plan->order_column);
+      }
+      return OperatorPtr(std::make_unique<SortOp>(std::move(input),
+                                                  idx.value(),
+                                                  plan->descending));
+    }
+
+    case PlanNode::Kind::kAggregate: {
+      auto child = CompileGather(plan->child, ctx);
+      if (!child.ok()) return child.status();
+      OperatorPtr input = std::move(child).value();
+      std::vector<size_t> group_cols;
+      for (const auto& name : plan->group_columns) {
+        auto idx = input->output_schema().FindColumn(name);
+        if (!idx.has_value()) return Status::NotFound("no column " + name);
+        group_cols.push_back(idx.value());
+      }
+      std::vector<AggSpec> aggs;
+      for (const auto& spec : plan->aggregates) {
+        AggSpec a;
+        a.func = spec.func;
+        a.name = spec.output_name;
+        if (spec.func != AggFunc::kCount) {
+          auto idx = input->output_schema().FindColumn(spec.column);
+          if (!idx.has_value()) {
+            return Status::NotFound("no column " + spec.column);
+          }
+          a.column = idx.value();
+        }
+        aggs.push_back(std::move(a));
+      }
+      auto agg = std::make_unique<HashAggregateOp>(
+          std::move(input), std::move(group_cols), std::move(aggs));
+      ctx->agg_ops[plan.get()] = agg.get();
+      return OperatorPtr(std::move(agg));
+    }
+
+    case PlanNode::Kind::kJoin:
+      break;  // unreachable: SupportedShape rejected joins
+  }
+  return Status::Internal("unsupported plan node in gather compile");
+}
+
+Result<QueryResult> ShardCoordinator::Execute(
+    const PlanPtr& plan, const std::atomic<bool>* cancel) {
+  if (!plan) return Status::InvalidArgument("null plan");
+  last_exec_ = ExecInfo{};
+
+  size_t scans = 0;
+  const bool supported =
+      SupportedShape(plan, &scans) && scans == 1 &&
+      config_.engine.predicate_cache == nullptr &&
+      (!config_.engine.enable_filter_pruning ||
+       config_.engine.filter_pruning_phase == FilterPruningPhase::kCompileTime);
+  if (!supported) return fallback_.Execute(plan, cancel);
+  return ExecuteSharded(plan, FindScan(plan), cancel);
+}
+
+Result<QueryResult> ShardCoordinator::ExecuteSharded(
+    const PlanPtr& plan, const PlanNode* scan_node,
+    const std::atomic<bool>* cancel) {
+  // Snapshot the one referenced table: the whole scatter — gather compile
+  // and every shard sub-query — executes against this version, so DML
+  // stays snapshot-atomic across shards.
+  std::shared_ptr<Table> table = catalog_->GetTable(scan_node->table);
+  if (!table) return fallback_.Execute(plan, cancel);
+  const ShardMap& map = MapFor(scan_node->table, *table);
+
+  auto t0 = std::chrono::steady_clock::now();
+  QueryResult result;
+  GatherCompile ctx;
+  ctx.result = &result;
+  ctx.table = table;
+  ctx.map = &map;
+  ctx.summary_pruned.assign(map.num_shards(), 0);
+
+  auto compiled = CompileGather(plan, &ctx);
+  if (!compiled.ok()) return compiled.status();
+  OperatorPtr root = std::move(compiled).value();
+  last_exec_.sharded = true;
+  last_exec_.summary_pruned = ctx.summary_pruned;
+
+  // Slice the final global scan set by shard ownership. Partitions already
+  // skippable under the initialized top-k boundary (§5.4) are dropped
+  // before contact — boundaries only ever tighten, so the gather's own
+  // pre-partition check is guaranteed to skip them too.
+  TopKPruner* pruner = ctx.gather->topk_pruner();
+  const ScanSet& final_set = ctx.gather->scan_set();
+  std::vector<ScanSet> slices(map.num_shards());
+  for (PartitionId pid : final_set) {
+    if (pruner != nullptr && pruner->ShouldSkip(*table, pid)) continue;
+    slices[map.shard_of(pid)].Add(pid);
+  }
+
+  last_exec_.contacted.assign(map.num_shards(), 0);
+  std::vector<size_t> contacted;
+  for (size_t s = 0; s < map.num_shards(); ++s) {
+    if (!slices[s].empty()) {
+      last_exec_.contacted[s] = 1;
+      contacted.push_back(s);
+    }
+  }
+  last_exec_.shards_contacted = contacted.size();
+  ctx.stats.shards_total += static_cast<int64_t>(map.assigned_shards());
+  ctx.stats.shards_pruned +=
+      static_cast<int64_t>(map.assigned_shards() - contacted.size());
+
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled before execution");
+  }
+
+  // Scatter: a bare scan sub-plan (all other operators run gather-side)
+  // over exactly the shard's slice, against the shared snapshot, with the
+  // caller's cancel flag fanned out to every sub-query. The predicate was
+  // bound by the gather compile above; the scan-set override makes the
+  // shard engines skip re-binding, so concurrent sub-queries share the
+  // tree read-only.
+  PlanPtr sub_plan = ScanPlan(scan_node->table, scan_node->predicate);
+  std::map<std::string, std::shared_ptr<Table>> snapshot;
+  snapshot[scan_node->table] = table;
+
+  std::vector<Result<QueryResult>> shard_results;
+  shard_results.reserve(contacted.size());
+  for (size_t i = 0; i < contacted.size(); ++i) {
+    shard_results.emplace_back(Status::Internal("shard sub-query unrun"));
+  }
+  auto run_shard = [&](size_t i) {
+    const size_t s = contacted[i];
+    std::map<std::string, ScanSet> overrides;
+    overrides[scan_node->table] = slices[s];
+    ExecuteOptions opts;
+    opts.cancel = cancel;
+    opts.tables = &snapshot;
+    opts.scan_sets = &overrides;
+    opts.collect_batch_rows = true;
+    shard_results[i] = shard_engines_[s]->Execute(sub_plan, opts);
+  };
+  if (contacted.size() == 1) {
+    // Single-survivor fast path: no thread handoff, the sub-query runs on
+    // the coordinator's own thread.
+    run_shard(0);
+  } else if (!contacted.empty()) {
+    // Dedicated scatter threads — never the shared worker pool, whose
+    // workers the sub-queries' own morsels need (a sub-query blocking on a
+    // pool occupied by the sub-queries themselves would deadlock).
+    std::vector<std::thread> threads;
+    threads.reserve(contacted.size());
+    for (size_t i = 0; i < contacted.size(); ++i) {
+      threads.emplace_back(run_shard, i);
+    }
+    last_exec_.scatter_threads = threads.size();
+    for (auto& t : threads) t.join();
+  }
+
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled");
+  }
+  std::unordered_map<PartitionId, std::vector<Row>> fragments;
+  for (size_t i = 0; i < contacted.size(); ++i) {
+    if (!shard_results[i].ok()) return shard_results[i].status();
+    QueryResult& sub = shard_results[i].value();
+    const ScanSet& slice = slices[contacted[i]];
+    if (sub.batch_rows.size() != slice.size()) {
+      return Status::Internal("shard sub-query fragment misalignment");
+    }
+    size_t row = 0;
+    for (size_t b = 0; b < sub.batch_rows.size(); ++b) {
+      std::vector<Row>& frag = fragments[slice[b]];
+      frag.reserve(sub.batch_rows[b]);
+      for (size_t r = 0; r < sub.batch_rows[b]; ++r) {
+        frag.push_back(std::move(sub.rows[row++]));
+      }
+    }
+  }
+  ctx.gather->set_fragments(&fragments);
+
+  result.scan_set_bytes =
+      static_cast<int64_t>(ctx.gather->scan_set().SerializedBytes());
+
+  // Gather: replay the fragments through the real operator pipeline, in
+  // global scan-set order — identical operator state evolution, identical
+  // rows, identical stats.
+  root->Open();
+  Batch batch;
+  while (root->Next(&batch)) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
+    for (auto& row : batch.rows) result.rows.push_back(std::move(row));
+  }
+  root->Close();
+  result.wall_ms = MsSince(t0);
+
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled");
+  }
+
+  result.schema = root->output_schema();
+  result.stats = ctx.stats;
+  return result;
+}
+
+}  // namespace shard
+}  // namespace snowprune

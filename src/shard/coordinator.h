@@ -1,0 +1,110 @@
+#ifndef SNOWPRUNE_SHARD_COORDINATOR_H_
+#define SNOWPRUNE_SHARD_COORDINATOR_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "shard/shard_map.h"
+#include "storage/catalog.h"
+
+namespace snowprune {
+namespace shard {
+
+/// Sharded-execution sizing: how many shards the catalog is partitioned
+/// into and how partitions are placed. `engine` is the template for the
+/// per-shard engines and the unsharded fallback engine alike (pool
+/// injection, pruning toggles, ...).
+struct ShardExecConfig {
+  size_t num_shards = 1;
+  ShardPolicy policy = ShardPolicy::kRange;
+  EngineConfig engine;
+};
+
+/// Scatter-gather query execution over a sharded catalog — the paper's §4
+/// scheduler setting: pruning consults partition metadata *before* any
+/// worker is contacted, and a shard whose merged zone maps exclude the
+/// predicate never sees the query at all (the new top level of the pruning
+/// hierarchy, metered as PruningStats::shards_{total,pruned}).
+///
+/// Execution phases for a supported plan (a join-free single-scan chain of
+/// scan / project / limit / top-k / sort / aggregate):
+///
+///  1. compile once: the coordinator runs the engine's compile-time pruning
+///     sequence globally — cross-shard merged-zone-map exclusion, then §3
+///     filter pruning, §5.3/§5.4 top-k ordering + boundary initialization,
+///     §4 LIMIT pruning — producing one final global scan set.
+///  2. scatter: the surviving scan set is sliced by shard ownership
+///     (partitions already skippable under the initialized top-k boundary
+///     are dropped before contact); each surviving shard's engine executes
+///     a bare scan sub-plan over exactly its slice, against the one shared
+///     table snapshot, on the shared worker pool.
+///  3. gather: per-partition row fragments are replayed, in global scan-set
+///     order, through the *real* operator pipeline (limit / top-k / sort /
+///     aggregate) with the top-k boundary consulted before each partition —
+///     the same consumer-side merge discipline the parallel engine uses, so
+///     rows AND per-table PruningStats are byte-identical to a single-engine
+///     serial run at every (shard count × thread count), with the shard
+///     counters strictly additive on top.
+///
+/// Unsupported shapes (joins, multi-scan plans) and configurations the
+/// scatter compile cannot mirror (runtime-phase filter pruning, a predicate
+/// cache) fall back to an ordinary single engine — trivially identical.
+///
+/// Thread safety: a coordinator executes one query at a time (the query
+/// service gives each driver thread its own coordinator); the shard
+/// sub-queries it scatters run concurrently on internal threads.
+class ShardCoordinator {
+ public:
+  /// Per-execution observability (valid until the next Execute call).
+  struct ExecInfo {
+    bool sharded = false;  ///< Scatter/gather path (vs single-engine fallback).
+    size_t shards_contacted = 0;
+    /// Threads spawned for the scatter: 0 when ≤1 shard survived pruning
+    /// (the single-survivor fast path runs on the calling thread).
+    size_t scatter_threads = 0;
+    /// Per shard: excluded by the merged-zone-map probe (cross-shard level).
+    std::vector<uint8_t> summary_pruned;
+    /// Per shard: executed a sub-query (its slice of the final scan set,
+    /// minus init-boundary skips, was non-empty).
+    std::vector<uint8_t> contacted;
+  };
+
+  ShardCoordinator(Catalog* catalog, ShardExecConfig config);
+  ~ShardCoordinator();
+
+  /// Compiles, prunes the shard map, scatters, gathers. `cancel` fans out
+  /// to every in-flight shard sub-query (they share the flag) and is polled
+  /// between coordinator phases.
+  Result<QueryResult> Execute(const PlanPtr& plan,
+                              const std::atomic<bool>* cancel = nullptr);
+
+  const ExecInfo& last_exec() const { return last_exec_; }
+  const ShardExecConfig& config() const { return config_; }
+
+ private:
+  struct GatherCompile;
+
+  Result<QueryResult> ExecuteSharded(const PlanPtr& plan,
+                                     const PlanNode* scan_node,
+                                     const std::atomic<bool>* cancel);
+  Result<OperatorPtr> CompileGather(const PlanPtr& plan, GatherCompile* ctx);
+  /// The cached shard map for the table version, rebuilt after DML swapped
+  /// the table object (instance_id mismatch).
+  const ShardMap& MapFor(const std::string& name, const Table& table);
+
+  Catalog* catalog_;
+  ShardExecConfig config_;
+  Engine fallback_;
+  std::vector<std::unique_ptr<Engine>> shard_engines_;
+  std::map<std::string, ShardMap> map_cache_;
+  ExecInfo last_exec_;
+};
+
+}  // namespace shard
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_SHARD_COORDINATOR_H_

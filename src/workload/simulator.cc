@@ -129,6 +129,8 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
     int64_t failed = 0;
     int64_t rejected = 0;
     int64_t cache_hits = 0;
+    int64_t shards_total = 0;
+    int64_t shards_pruned = 0;
   };
 
   auto merge_local = [&](StreamLocal& local) {
@@ -137,6 +139,8 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
     result.queries_failed += local.failed;
     result.queries_rejected += local.rejected;
     result.cache_hit_queries += local.cache_hits;
+    result.shards_total += local.shards_total;
+    result.shards_pruned += local.shards_pruned;
     result.latency_ms.AddAll(local.latency_ms.samples());
     result.queue_ms.AddAll(local.queue_ms.samples());
     for (const auto& [cls, collector] : local.latency_by_class) {
@@ -174,6 +178,8 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
       }
       ++local.ok;
       if (executed.value().predicate_cache_hit) ++local.cache_hits;
+      local.shards_total += executed.value().stats.shards_total;
+      local.shards_pruned += executed.value().stats.shards_pruned;
       local.latency_ms.Add(ms);
       local.queue_ms.Add(submitted.value().queue_ms());
       local.latency_by_class[q.query_class].Add(ms);
@@ -226,6 +232,8 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
       }
       ++local.ok;
       if (executed.value().predicate_cache_hit) ++local.cache_hits;
+      local.shards_total += executed.value().stats.shards_total;
+      local.shards_pruned += executed.value().stats.shards_pruned;
       const double ms = MsBetween(p.arrival, p.handle.done_at());
       local.latency_ms.Add(ms);
       local.queue_ms.Add(p.handle.queue_ms());

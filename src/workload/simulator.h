@@ -133,6 +133,11 @@ struct StreamDriverResult {
   /// queries_failed.
   int64_t queries_rejected = 0;
   int64_t cache_hit_queries = 0;  ///< Queries served off the predicate cache.
+  /// Cross-shard pruning level, summed across successful queries: shards
+  /// holding partitions vs shards a query never contacted. Both zero when
+  /// the service runs unsharded.
+  int64_t shards_total = 0;
+  int64_t shards_pruned = 0;
 
   /// Client-observed latency (admission-queue wait + execution), ms.
   StatsCollector latency_ms;
