@@ -1,0 +1,18 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace snowprune {
+namespace check_internal {
+
+void CheckFail(const char* file, int line, const char* expr,
+               const std::string& values) {
+  std::fprintf(stderr, "%s:%d: %s failed%s%s\n", file, line, expr,
+               values.empty() ? "" : " ", values.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace snowprune

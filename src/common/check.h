@@ -1,0 +1,100 @@
+#ifndef SNOWPRUNE_COMMON_CHECK_H_
+#define SNOWPRUNE_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+/// Invariant assertions for the pruning-soundness contracts the fuzz oracle
+/// otherwise checks only end-to-end: selection vectors strictly ascending
+/// and in-bounds, scan-set overrides subsets of the table at the shard
+/// scatter edge, merged shard zone maps weaker-or-equal to every member's,
+/// pruning counters never exceeding their totals.
+///
+/// SNOW_CHECK*  — always on, every build. For cheap, load-bearing checks.
+/// SNOW_DCHECK* — debug builds only (no NDEBUG, or -DSNOW_FORCE_DCHECKS).
+///                Free in release; the sanitizer CI jobs build debug
+///                configs, so every DCHECK executes under ASan+UBSan on the
+///                full test suite each run.
+///
+/// In release builds SNOW_DCHECK arguments are NOT evaluated (they sit in
+/// an unevaluated sizeof so they still compile and their operands still
+/// count as used); never put side effects in a check condition.
+///
+/// Failure prints the expression, its operand values, and file:line to
+/// stderr, then aborts — death-testable, and sanitizer runs report it as a
+/// hard failure under -fno-sanitize-recover.
+
+#if defined(NDEBUG) && !defined(SNOW_FORCE_DCHECKS)
+#define SNOW_DCHECK_IS_ON 0
+#else
+#define SNOW_DCHECK_IS_ON 1
+#endif
+
+namespace snowprune {
+namespace check_internal {
+
+/// Prints the failure and aborts. Out of line so the macro expansion stays
+/// one branch + one call.
+[[noreturn]] void CheckFail(const char* file, int line, const char* expr,
+                            const std::string& values);
+
+template <typename A, typename B>
+std::string FormatOperands(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(lhs = " << a << ", rhs = " << b << ")";
+  return os.str();
+}
+
+}  // namespace check_internal
+}  // namespace snowprune
+
+#define SNOW_CHECK(cond)                                        \
+  ((cond) ? (void)0                                             \
+          : ::snowprune::check_internal::CheckFail(             \
+                __FILE__, __LINE__, "SNOW_CHECK(" #cond ")", ""))
+
+// Binary comparison core: evaluates each operand exactly once, reports both
+// values on failure. Signed/unsigned mixes are the caller's job to cast
+// (the comparison compiles under -Wall -Wextra -Werror like any other).
+#define SNOW_CHECK_OP_(a, b, op)                                           \
+  do {                                                                     \
+    auto&& snow_check_a_ = (a);                                            \
+    auto&& snow_check_b_ = (b);                                            \
+    if (!(snow_check_a_ op snow_check_b_)) {                               \
+      ::snowprune::check_internal::CheckFail(                              \
+          __FILE__, __LINE__, "SNOW_CHECK(" #a " " #op " " #b ")",         \
+          ::snowprune::check_internal::FormatOperands(snow_check_a_,       \
+                                                      snow_check_b_));     \
+    }                                                                      \
+  } while (0)
+
+#define SNOW_CHECK_EQ(a, b) SNOW_CHECK_OP_(a, b, ==)
+#define SNOW_CHECK_NE(a, b) SNOW_CHECK_OP_(a, b, !=)
+#define SNOW_CHECK_LT(a, b) SNOW_CHECK_OP_(a, b, <)
+#define SNOW_CHECK_LE(a, b) SNOW_CHECK_OP_(a, b, <=)
+#define SNOW_CHECK_GT(a, b) SNOW_CHECK_OP_(a, b, >)
+#define SNOW_CHECK_GE(a, b) SNOW_CHECK_OP_(a, b, >=)
+
+#if SNOW_DCHECK_IS_ON
+
+#define SNOW_DCHECK(cond) SNOW_CHECK(cond)
+#define SNOW_DCHECK_EQ(a, b) SNOW_CHECK_EQ(a, b)
+#define SNOW_DCHECK_NE(a, b) SNOW_CHECK_NE(a, b)
+#define SNOW_DCHECK_LT(a, b) SNOW_CHECK_LT(a, b)
+#define SNOW_DCHECK_LE(a, b) SNOW_CHECK_LE(a, b)
+#define SNOW_DCHECK_GT(a, b) SNOW_CHECK_GT(a, b)
+#define SNOW_DCHECK_GE(a, b) SNOW_CHECK_GE(a, b)
+
+#else  // release: compile the condition, evaluate nothing.
+
+#define SNOW_DCHECK(cond) ((void)sizeof(!(cond)))
+#define SNOW_DCHECK_EQ(a, b) ((void)sizeof((a) == (b)))
+#define SNOW_DCHECK_NE(a, b) ((void)sizeof((a) != (b)))
+#define SNOW_DCHECK_LT(a, b) ((void)sizeof((a) < (b)))
+#define SNOW_DCHECK_LE(a, b) ((void)sizeof((a) <= (b)))
+#define SNOW_DCHECK_GT(a, b) ((void)sizeof((a) > (b)))
+#define SNOW_DCHECK_GE(a, b) ((void)sizeof((a) >= (b)))
+
+#endif  // SNOW_DCHECK_IS_ON
+
+#endif  // SNOWPRUNE_COMMON_CHECK_H_

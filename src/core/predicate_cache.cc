@@ -7,7 +7,7 @@ namespace snowprune {
 void PredicateCache::Insert(const std::string& fingerprint, const Table& table,
                             std::string order_column,
                             std::vector<PartitionId> partitions) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::sort(partitions.begin(), partitions.end());
   partitions.erase(std::unique(partitions.begin(), partitions.end()),
                    partitions.end());
@@ -44,7 +44,7 @@ std::optional<std::vector<PartitionId>> PredicateCache::EntryScanSetLocked(
 
 std::optional<std::vector<PartitionId>> PredicateCache::Lookup(
     const std::string& fingerprint, const Table& table) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto result = EntryScanSetLocked(fingerprint, table);
   if (result.has_value()) {
     ++hits_;
@@ -57,7 +57,7 @@ std::optional<std::vector<PartitionId>> PredicateCache::Lookup(
 std::optional<std::vector<PartitionId>> PredicateCache::LookupOrPopulate(
     const std::string& fingerprint, const Table& table,
     PopulateTicket* ticket) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   bool waited = false;
   for (;;) {
     auto result = EntryScanSetLocked(fingerprint, table);
@@ -82,7 +82,7 @@ std::optional<std::vector<PartitionId>> PredicateCache::LookupOrPopulate(
       waited = true;
     }
     std::shared_ptr<InFlight> state = it->second;
-    state->cv.wait(lock, [&] { return state->resolved; });
+    while (!state->resolved) state->cv.Wait(&mutex_);
   }
 }
 
@@ -90,13 +90,13 @@ void PredicateCache::ResolveInFlightLocked(const std::string& fingerprint) {
   auto it = inflight_.find(fingerprint);
   if (it == inflight_.end()) return;
   it->second->resolved = true;
-  it->second->cv.notify_all();
+  it->second->cv.NotifyAll();
   inflight_.erase(it);
 }
 
 void PredicateCache::AbandonPopulate(const std::string& fingerprint,
                                      const std::shared_ptr<InFlight>& state) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = inflight_.find(fingerprint);
   if (it != inflight_.end() && it->second == state) {
     ResolveInFlightLocked(fingerprint);
@@ -117,7 +117,7 @@ void PredicateCache::OnInsert(const Table& table) {
 }
 
 void PredicateCache::OnUpdate(const Table& table, const std::string& column) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.table_name == table.name() &&
         it->second.order_column == column) {
@@ -130,7 +130,7 @@ void PredicateCache::OnUpdate(const Table& table, const std::string& column) {
 }
 
 void PredicateCache::OnDelete(const Table& table, PartitionId deleted_pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     Entry& e = it->second;
     if (e.table_name != table.name()) {

@@ -1,17 +1,16 @@
 #ifndef SNOWPRUNE_CORE_PREDICATE_CACHE_H_
 #define SNOWPRUNE_CORE_PREDICATE_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "storage/table.h"
 
 namespace snowprune {
@@ -33,7 +32,9 @@ namespace snowprune {
 ///
 /// Thread safety: the cache is shared by every engine pointed at it, and
 /// engines may run queries concurrently; all operations (including the
-/// hit/miss counters) synchronize on one internal mutex.
+/// hit/miss counters) synchronize on one internal mutex. The lock
+/// discipline is compile-checked: every entry map, counter, and in-flight
+/// record is SNOW_GUARDED_BY(mutex_).
 ///
 /// Population is *coalesced*: a plain Lookup/Insert pair is individually
 /// atomic but a miss→recompute→Insert sequence is not, so concurrent
@@ -48,8 +49,11 @@ class PredicateCache {
   /// An in-flight coalesced population: waiters block on `cv` until the
   /// owner publishes (Insert) or abandons (ticket destruction). Private;
   /// declared first so PopulateTicket can hold a reference to one.
+  /// `resolved` is guarded by the owning cache's mutex_ (a nested struct
+  /// cannot name the outer member in an annotation; waiters only ever read
+  /// it in LookupOrPopulate's wait loop, under that mutex).
   struct InFlight {
-    std::condition_variable cv;
+    CondVar cv;
     bool resolved = false;
   };
 
@@ -105,13 +109,15 @@ class PredicateCache {
   /// Records the contributing partitions of a finished top-k query.
   /// `order_column` is the ORDER BY column's name (update-safety tracking).
   void Insert(const std::string& fingerprint, const Table& table,
-              std::string order_column, std::vector<PartitionId> partitions);
+              std::string order_column, std::vector<PartitionId> partitions)
+      SNOW_EXCLUDES(mutex_);
 
   /// Returns the scan set for a repeated query: cached partitions plus any
   /// partition appended to the table after the entry was created. nullopt on
   /// miss or after invalidation.
   std::optional<std::vector<PartitionId>> Lookup(const std::string& fingerprint,
-                                                 const Table& table) const;
+                                                 const Table& table) const
+      SNOW_EXCLUDES(mutex_);
 
   /// Coalescing lookup. On a hit, behaves like Lookup. On a miss, the first
   /// caller receives the populating ticket (`ticket->owns()` true) and must
@@ -122,29 +128,31 @@ class PredicateCache {
   /// population instead of one per concurrent identical query.
   std::optional<std::vector<PartitionId>> LookupOrPopulate(
       const std::string& fingerprint, const Table& table,
-      PopulateTicket* ticket);
+      PopulateTicket* ticket) SNOW_EXCLUDES(mutex_);
 
   /// DML notifications (the engine calls these alongside Table mutations).
   void OnInsert(const Table& table);
-  void OnUpdate(const Table& table, const std::string& column);
-  void OnDelete(const Table& table, PartitionId deleted_pid);
+  void OnUpdate(const Table& table, const std::string& column)
+      SNOW_EXCLUDES(mutex_);
+  void OnDelete(const Table& table, PartitionId deleted_pid)
+      SNOW_EXCLUDES(mutex_);
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const SNOW_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return entries_.size();
   }
-  int64_t hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  int64_t hits() const SNOW_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return hits_;
   }
-  int64_t misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  int64_t misses() const SNOW_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return misses_;
   }
   /// Number of lookups that blocked behind another thread's population
   /// (each would have been a duplicate computation without coalescing).
-  int64_t coalesced_waits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  int64_t coalesced_waits() const SNOW_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return coalesced_waits_;
   }
 
@@ -164,8 +172,8 @@ class PredicateCache {
                               static_cast<double>(total);
     }
   };
-  Counters snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  Counters snapshot() const SNOW_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return Counters{entries_.size(), hits_, misses_, coalesced_waits_};
   }
 
@@ -181,30 +189,33 @@ class PredicateCache {
     uint64_t table_instance = 0;
   };
 
-  /// Caller must hold mutex_.
-  void EvictIfNeeded();
+  void EvictIfNeeded() SNOW_REQUIRES(mutex_);
   /// The entry's scan set (with post-insert partitions appended), or
-  /// nullopt. No counter updates. Caller must hold mutex_.
+  /// nullopt. No counter updates.
   std::optional<std::vector<PartitionId>> EntryScanSetLocked(
-      const std::string& fingerprint, const Table& table) const;
-  /// Wakes waiters and retires the in-flight record, if any. Caller must
-  /// hold mutex_.
-  void ResolveInFlightLocked(const std::string& fingerprint);
+      const std::string& fingerprint, const Table& table) const
+      SNOW_REQUIRES(mutex_);
+  /// Wakes waiters and retires the in-flight record, if any.
+  void ResolveInFlightLocked(const std::string& fingerprint)
+      SNOW_REQUIRES(mutex_);
   /// Entry point for PopulateTicket::Abandon (takes the lock itself); only
   /// resolves when `state` still is the fingerprint's current population.
   void AbandonPopulate(const std::string& fingerprint,
-                       const std::shared_ptr<InFlight>& state);
+                       const std::shared_ptr<InFlight>& state)
+      SNOW_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   size_t capacity_;
-  std::map<std::string, Entry> entries_;
-  std::list<std::string> insertion_order_;  // FIFO eviction
+  std::map<std::string, Entry> entries_ SNOW_GUARDED_BY(mutex_);
+  std::list<std::string> insertion_order_
+      SNOW_GUARDED_BY(mutex_);  // FIFO eviction
   /// Fingerprints currently being populated (shared_ptr so waiters survive
   /// the record's removal from the map).
-  std::map<std::string, std::shared_ptr<InFlight>> inflight_;
-  mutable int64_t hits_ = 0;
-  mutable int64_t misses_ = 0;
-  int64_t coalesced_waits_ = 0;
+  std::map<std::string, std::shared_ptr<InFlight>> inflight_
+      SNOW_GUARDED_BY(mutex_);
+  mutable int64_t hits_ SNOW_GUARDED_BY(mutex_) = 0;
+  mutable int64_t misses_ SNOW_GUARDED_BY(mutex_) = 0;
+  int64_t coalesced_waits_ SNOW_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace snowprune

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/check.h"
+
 namespace snowprune {
 
 /// Per-query pruning accounting, aggregated across all table scans of the
@@ -56,6 +58,32 @@ struct PruningStats {
   double LimitRatio() const { return Ratio(pruned_by_limit); }
   double JoinRatio() const { return Ratio(pruned_by_join); }
   double TopKRatio() const { return Ratio(pruned_by_topk); }
+
+  /// Debug-build soundness audit, called on every finished query's
+  /// aggregated stats (engine and shard coordinator). The level counters
+  /// can never exceed the work that existed: each pruning level claims
+  /// distinct partitions, so their sum is bounded by the total, and scanned
+  /// plus pruned cannot exceed the total either. (It may be *less* — a
+  /// predicate-cache hit shrinks the scan set without any level's counter
+  /// taking credit, so equality would be a false alarm.) Speculative loads
+  /// are re-accounted top-k prunes, hence bounded by them; shard counters
+  /// mirror the same containment one level up.
+  void DCheckInvariants() const {
+    SNOW_DCHECK_GE(total_partitions, 0);
+    SNOW_DCHECK_GE(pruned_by_filter, 0);
+    SNOW_DCHECK_GE(pruned_by_limit, 0);
+    SNOW_DCHECK_GE(pruned_by_join, 0);
+    SNOW_DCHECK_GE(pruned_by_topk, 0);
+    SNOW_DCHECK_GE(scanned_partitions, 0);
+    SNOW_DCHECK_GE(scanned_rows, 0);
+    SNOW_DCHECK_GE(speculative_loads, 0);
+    SNOW_DCHECK_LE(TotalPruned(), total_partitions);
+    SNOW_DCHECK_LE(scanned_partitions + TotalPruned(), total_partitions);
+    SNOW_DCHECK_LE(speculative_loads, pruned_by_topk);
+    SNOW_DCHECK_GE(shards_total, 0);
+    SNOW_DCHECK_GE(shards_pruned, 0);
+    SNOW_DCHECK_LE(shards_pruned, shards_total);
+  }
 
   void Merge(const PruningStats& other) {
     total_partitions += other.total_partitions;

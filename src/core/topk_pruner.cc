@@ -68,8 +68,10 @@ ScanSet TopKPruner::Prepare(const Table& table, const ScanSet& scan_set,
   }
 
   // --- Upfront boundary initialization (§5.4). -----------------------------
-  boundary_.reset();
-  inclusive_ = false;
+  // Computed into a local and published under the lock at the end: no scan
+  // workers exist yet, but the guarded members are only ever touched with
+  // boundary_mutex_ held so the lock discipline stays uniform.
+  std::optional<Value> init_boundary;
   if (config_.boundary_init != BoundaryInitMode::kNone &&
       !fully_matching.empty()) {
     // Candidate A: k-th strictest max (DESC) / min (ASC) over fully-matching
@@ -123,16 +125,20 @@ ScanSet TopKPruner::Prepare(const Table& table, const ScanSet& scan_set,
       }
     }
     if (config_.boundary_init == BoundaryInitMode::kKthMax) {
-      boundary_ = kth_extreme;
+      init_boundary = kth_extreme;
     } else if (config_.boundary_init == BoundaryInitMode::kCumulativeMin) {
-      boundary_ = cumulative_bound;
+      init_boundary = cumulative_bound;
     } else {  // kStricter
-      boundary_ = kth_extreme;
+      init_boundary = kth_extreme;
       if (cumulative_bound &&
-          (!boundary_ || Stricter(*cumulative_bound, *boundary_))) {
-        boundary_ = cumulative_bound;
+          (!init_boundary || Stricter(*cumulative_bound, *init_boundary))) {
+        init_boundary = cumulative_bound;
       }
     }
+  }
+  {
+    MutexLock lock(&boundary_mutex_);
+    boundary_ = std::move(init_boundary);
     inclusive_ = false;  // init boundaries must not skip ties (§5.4)
   }
 
@@ -147,7 +153,7 @@ bool TopKPruner::ShouldSkip(const Table& table, PartitionId pid) const {
   std::optional<Value> boundary;
   bool inclusive;
   {
-    std::lock_guard<std::mutex> lock(boundary_mutex_);
+    MutexLock lock(&boundary_mutex_);
     boundary = boundary_;
     inclusive = inclusive_;
   }
@@ -161,7 +167,7 @@ bool TopKPruner::ShouldSkip(const Table& table, PartitionId pid) const {
 
 void TopKPruner::UpdateBoundary(const Value& v) {
   if (v.is_null()) return;
-  std::lock_guard<std::mutex> lock(boundary_mutex_);
+  MutexLock lock(&boundary_mutex_);
   if (!boundary_ || Stricter(v, *boundary_) ||
       (!inclusive_ && config_.inclusive_updates &&
        Value::Compare(v, *boundary_) == 0)) {

@@ -2,10 +2,10 @@
 #define SNOWPRUNE_CORE_TOPK_PRUNER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/mutex.h"
 #include "storage/table.h"
 
 namespace snowprune {
@@ -53,11 +53,13 @@ struct TopKPrunerConfig {
 ///
 /// Thread safety: ShouldSkip() and UpdateBoundary() may race — under
 /// partition-parallel execution, scan workers consult the boundary while the
-/// consumer thread tightens it — and synchronize on an internal mutex. A
-/// worker may observe a slightly stale boundary; that only delays a skip,
-/// never causes one that serial execution would reject. Prepare(),
-/// boundary() and boundary_inclusive() are single-threaded (compile time /
-/// consumer thread only).
+/// consumer thread tightens it — and every boundary access synchronizes on an
+/// internal mutex (compile-checked: boundary_ and inclusive_ are
+/// SNOW_GUARDED_BY(boundary_mutex_)). A worker may observe a slightly stale
+/// boundary; that only delays a skip, never causes one that serial execution
+/// would reject. Prepare() itself is single-threaded (start of scan, before
+/// workers exist), but still publishes the initialized boundary under the
+/// lock.
 class TopKPruner {
  public:
   TopKPruner(TopKPrunerConfig config, size_t order_column);
@@ -66,23 +68,35 @@ class TopKPruner {
   /// the scan set and initializes the boundary from fully-matching
   /// partitions (§5.4). `fully_matching` may be empty.
   ScanSet Prepare(const Table& table, const ScanSet& scan_set,
-                  const std::vector<PartitionId>& fully_matching);
+                  const std::vector<PartitionId>& fully_matching)
+      SNOW_EXCLUDES(boundary_mutex_);
 
   /// Runtime check executed before loading a partition (§5.2): true when the
   /// partition's min/max for the order column proves no row would enter the
   /// current top-k heap.
-  bool ShouldSkip(const Table& table, PartitionId pid) const;
+  bool ShouldSkip(const Table& table, PartitionId pid) const
+      SNOW_EXCLUDES(boundary_mutex_);
 
   /// Called by the TopK operator whenever the heap is full and its weakest
   /// element changed; `v` is the k-th best value. Boundary updates only ever
   /// tighten: a looser value than the current boundary is ignored.
-  void UpdateBoundary(const Value& v);
+  void UpdateBoundary(const Value& v) SNOW_EXCLUDES(boundary_mutex_);
 
-  const std::optional<Value>& boundary() const { return boundary_; }
+  /// Snapshot of the current boundary (by value: the stored boundary can be
+  /// tightened concurrently, so a reference would be a use-after-publish
+  /// hazard). Callers needing the value more than once should take one
+  /// snapshot, not call repeatedly.
+  std::optional<Value> boundary() const SNOW_EXCLUDES(boundary_mutex_) {
+    MutexLock lock(&boundary_mutex_);
+    return boundary_;
+  }
   /// True once the boundary comes from a full heap: ties can then be skipped
   /// as well. Initialization-derived boundaries are exclusive (a tie may
   /// still be needed to fill the heap).
-  bool boundary_inclusive() const { return inclusive_; }
+  bool boundary_inclusive() const SNOW_EXCLUDES(boundary_mutex_) {
+    MutexLock lock(&boundary_mutex_);
+    return inclusive_;
+  }
 
   const TopKPrunerConfig& config() const { return config_; }
 
@@ -93,9 +107,9 @@ class TopKPruner {
 
   TopKPrunerConfig config_;
   size_t order_column_;
-  mutable std::mutex boundary_mutex_;
-  std::optional<Value> boundary_;
-  bool inclusive_ = false;
+  mutable Mutex boundary_mutex_;
+  std::optional<Value> boundary_ SNOW_GUARDED_BY(boundary_mutex_);
+  bool inclusive_ SNOW_GUARDED_BY(boundary_mutex_) = false;
 };
 
 }  // namespace snowprune

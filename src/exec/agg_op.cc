@@ -388,14 +388,18 @@ bool HashAggregateOp::Next(Batch* out) {
       Row key;
       key.reserve(group_columns_.size());
       for (size_t col : group_columns_) key.push_back(row[col]);
-      if (group_limit_enabled_ && pruner_ != nullptr &&
-          pruner_->boundary().has_value()) {
-        // A row strictly weaker than the group boundary can neither found a
-        // top-k group nor feed one (its group key is its own).
-        const Value& v = key[order_group_index_];
-        if (!v.is_null()) {
-          int c = Value::Compare(v, *pruner_->boundary());
-          if (order_descending_ ? c < 0 : c > 0) continue;
+      if (group_limit_enabled_ && pruner_ != nullptr) {
+        // One boundary snapshot per row: the pruner's accessor locks, and
+        // the stored boundary may tighten between calls.
+        const std::optional<Value> boundary = pruner_->boundary();
+        if (boundary.has_value()) {
+          // A row strictly weaker than the group boundary can neither found
+          // a top-k group nor feed one (its group key is its own).
+          const Value& v = key[order_group_index_];
+          if (!v.is_null()) {
+            int c = Value::Compare(v, *boundary);
+            if (order_descending_ ? c < 0 : c > 0) continue;
+          }
         }
       }
       bool created = false;

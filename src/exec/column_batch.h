@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "exec/batch.h"
 #include "storage/partition.h"
 
@@ -45,9 +46,23 @@ class ColumnBatch {
 
   /// A batch covering the rows of `partition` listed in `selection`
   /// (ascending physical row indexes).
+  ///
+  /// Everything downstream leans on the selection-vector contract —
+  /// strictly ascending, in-bounds physical row indexes. Vectorized
+  /// evaluators produce per-lane results positionally, Materialize preserves
+  /// row order, and the top-k/sort replay paths assume batch row order
+  /// equals physical row order. Debug builds verify the contract at this
+  /// single entry point into the unboxed world.
   static ColumnBatch Selected(const MicroPartition& partition,
                               PartitionId source,
                               std::vector<uint32_t> selection) {
+#if SNOW_DCHECK_IS_ON
+    for (size_t i = 0; i < selection.size(); ++i) {
+      SNOW_DCHECK_LT(static_cast<int64_t>(selection[i]),
+                     partition.row_count());
+      if (i > 0) SNOW_DCHECK_LT(selection[i - 1], selection[i]);
+    }
+#endif
     ColumnBatch b;
     b.partition_ = &partition;
     b.source_ = source;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 
+#include "common/check.h"
 #include "common/clock.h"
 #include "exec/ops.h"
 #include "exec/parallel/thread_pool.h"
@@ -287,6 +288,15 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
           // schema — re-binding here would race with the other shards'
           // sub-queries sharing the same predicate tree. No stats: the
           // coordinator meters the gathered stream itself.
+#if SNOW_DCHECK_IS_ON
+          // Scatter-edge contract: an override scan set must be a subset of
+          // this snapshot's partitions. The coordinator pruned against the
+          // same Table objects this sub-query binds to, so any out-of-range
+          // id means the shard map and snapshot went out of sync.
+          for (PartitionId pid : it->second) {
+            SNOW_DCHECK_LT(static_cast<size_t>(pid), table->num_partitions());
+          }
+#endif
           auto op = std::make_unique<TableScanOp>(table, it->second,
                                                   plan->predicate, nullptr);
           ctx->scans[plan.get()] =
@@ -730,6 +740,9 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan,
 
   result.schema = root->output_schema();
   result.stats = ctx.stats;
+  // Debug-build soundness audit: no pruning level may claim more partitions
+  // than the query had (see PruningStats::DCheckInvariants).
+  result.stats.DCheckInvariants();
   return result;
 }
 

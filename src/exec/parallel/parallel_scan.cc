@@ -7,16 +7,19 @@ namespace snowprune {
 ParallelScanScheduler::ParallelScanScheduler(ThreadPool* pool,
                                             size_t num_morsels, MorselFn fn,
                                             size_t window)
-    : pool_(pool), fn_(std::move(fn)), window_(std::max<size_t>(1, window)) {
+    : pool_(pool),
+      fn_(std::move(fn)),
+      window_(std::max<size_t>(1, window)),
+      num_morsels_(num_morsels) {
   slots_.resize(num_morsels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ScheduleLocked();
 }
 
 ParallelScanScheduler::~ParallelScanScheduler() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   cancelled_ = true;
-  slot_done_.wait(lock, [this] { return outstanding_ == 0; });
+  while (outstanding_ != 0) slot_done_.Wait(&mutex_);
 }
 
 void ParallelScanScheduler::ScheduleLocked() {
@@ -32,13 +35,13 @@ void ParallelScanScheduler::ScheduleLocked() {
 void ParallelScanScheduler::RunMorsel(size_t index) {
   bool run = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     run = !cancelled_;
   }
   MorselResult result;
   if (run) result = fn_(index);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     slots_[index].result = std::move(result);
     slots_[index].state = SlotState::kDone;
     --outstanding_;
@@ -49,27 +52,27 @@ void ParallelScanScheduler::RunMorsel(size_t index) {
     // the last touch. (A sibling worker's notify can also wake the
     // consumer into tearing the scheduler down; the held mutex blocks the
     // destructor until this worker is fully out.)
-    slot_done_.notify_all();
+    slot_done_.NotifyAll();
   }
 }
 
 void ParallelScanScheduler::Abandon() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   cancelled_ = true;
-  slot_done_.notify_all();
+  slot_done_.NotifyAll();
 }
 
 bool ParallelScanScheduler::Next(MorselResult* out) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (next_to_consume_ >= slots_.size()) return false;
   size_t index = next_to_consume_;
   // After Abandon() an unscheduled slot will never complete; report
   // end-of-scan instead of waiting forever (scheduled ones still finish and
   // are delivered, keeping the consumer's cancellation check race-free).
-  slot_done_.wait(lock, [this, index] {
-    return slots_[index].state == SlotState::kDone ||
-           (cancelled_ && slots_[index].state == SlotState::kUnscheduled);
-  });
+  while (slots_[index].state != SlotState::kDone &&
+         !(cancelled_ && slots_[index].state == SlotState::kUnscheduled)) {
+    slot_done_.Wait(&mutex_);
+  }
   if (slots_[index].state != SlotState::kDone) return false;
   *out = std::move(slots_[index].result);
   slots_[index].result = MorselResult();

@@ -1,13 +1,12 @@
 #ifndef SNOWPRUNE_EXEC_PARALLEL_PARALLEL_SCAN_H_
 #define SNOWPRUNE_EXEC_PARALLEL_PARALLEL_SCAN_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/pruning_stats.h"
 #include "exec/column_batch.h"
 #include "exec/parallel/thread_pool.h"
@@ -54,6 +53,10 @@ struct MorselResult {
 /// A bounded scheduling window (results buffered or in flight ahead of the
 /// consumer) caps memory: morsel `i + window` is only submitted once morsel
 /// `i` has been consumed.
+///
+/// Concurrency contract (compile-checked): every slot and cursor is
+/// SNOW_GUARDED_BY(mutex_); `fn_` / `pool_` / `window_` / `num_morsels_`
+/// are immutable after construction and shared read-only with the workers.
 class ParallelScanScheduler {
  public:
   /// Processes morsel `index` (an index into the morsel list, not a
@@ -71,15 +74,15 @@ class ParallelScanScheduler {
 
   /// Blocks until the next morsel (in scan-set order) completes and moves
   /// its result out. Returns false once every morsel has been consumed.
-  bool Next(MorselResult* out);
+  bool Next(MorselResult* out) SNOW_EXCLUDES(mutex_);
 
   /// Cancellation path: stops submitting unscheduled morsels (already
   /// running ones finish). The consumer abandons the scan — per-query
   /// cancellation releases the query's share of the shared pool as soon as
   /// the in-flight window drains, instead of after the whole scan set.
-  void Abandon();
+  void Abandon() SNOW_EXCLUDES(mutex_);
 
-  size_t num_morsels() const { return slots_.size(); }
+  size_t num_morsels() const { return num_morsels_; }
 
  private:
   enum class SlotState : char { kUnscheduled, kScheduled, kDone };
@@ -89,21 +92,23 @@ class ParallelScanScheduler {
     MorselResult result;
   };
 
-  /// Submits morsels while the window allows. Caller holds `mutex_`.
-  void ScheduleLocked();
-  void RunMorsel(size_t index);
+  /// Submits morsels while the window allows.
+  void ScheduleLocked() SNOW_REQUIRES(mutex_);
+  void RunMorsel(size_t index) SNOW_EXCLUDES(mutex_);
 
   ThreadPool* pool_;
   MorselFn fn_;
   size_t window_;
+  size_t num_morsels_;
 
-  std::mutex mutex_;
-  std::condition_variable slot_done_;
-  std::vector<Slot> slots_;
-  size_t next_to_schedule_ = 0;
-  size_t next_to_consume_ = 0;
-  size_t outstanding_ = 0;  ///< Submitted but not yet finished tasks.
-  bool cancelled_ = false;
+  Mutex mutex_;
+  CondVar slot_done_;
+  std::vector<Slot> slots_ SNOW_GUARDED_BY(mutex_);
+  size_t next_to_schedule_ SNOW_GUARDED_BY(mutex_) = 0;
+  size_t next_to_consume_ SNOW_GUARDED_BY(mutex_) = 0;
+  /// Submitted but not yet finished tasks.
+  size_t outstanding_ SNOW_GUARDED_BY(mutex_) = 0;
+  bool cancelled_ SNOW_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace snowprune

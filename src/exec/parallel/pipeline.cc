@@ -1,8 +1,8 @@
 #include "exec/parallel/pipeline.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace snowprune {
 
@@ -13,7 +13,8 @@ std::atomic<int64_t> g_barrier_tasks{0};
 
 /// Shared control block of one ParallelFor call; lives on the caller's
 /// stack — safe because the caller blocks until outstanding_ drains to
-/// zero, and workers' last touch happens under the mutex.
+/// zero, and workers' last touch happens under the mutex. All scheduling
+/// state is SNOW_GUARDED_BY(mutex); `fn` / `cancel` / bounds are immutable.
 struct ForCtl {
   ForCtl(ThreadPool* pool, const std::function<void(size_t)>& fn,
          const std::atomic<bool>* cancel, size_t num_tasks, size_t window)
@@ -26,18 +27,18 @@ struct ForCtl {
   const size_t num_tasks;
   const size_t window;
 
-  std::mutex mutex;
-  std::condition_variable done;
-  size_t next = 0;         ///< Next index to submit.
-  size_t outstanding = 0;  ///< Submitted but not yet finished.
-  size_t ran = 0;
+  Mutex mutex;
+  CondVar done;
+  size_t next SNOW_GUARDED_BY(mutex) = 0;         ///< Next index to submit.
+  size_t outstanding SNOW_GUARDED_BY(mutex) = 0;  ///< Submitted, unfinished.
+  size_t ran SNOW_GUARDED_BY(mutex) = 0;
 
   bool Cancelled() const {
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);
   }
 
-  /// Submits tasks while the window allows. Caller holds `mutex`.
-  void ScheduleLocked() {
+  /// Submits tasks while the window allows.
+  void ScheduleLocked() SNOW_REQUIRES(mutex) {
     while (!Cancelled() && next < num_tasks && outstanding < window) {
       const size_t index = next++;
       ++outstanding;
@@ -45,16 +46,16 @@ struct ForCtl {
     }
   }
 
-  void Run(size_t index) {
+  void Run(size_t index) SNOW_EXCLUDES(mutex) {
     const bool skip = Cancelled();
     if (!skip) fn(index);
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(&mutex);
     if (!skip) ++ran;
     --outstanding;
     ScheduleLocked();
     // Last touch under the mutex: once outstanding hits 0 the caller may
     // unwind the stack this control block lives on.
-    done.notify_all();
+    done.NotifyAll();
   }
 };
 
@@ -84,14 +85,18 @@ size_t ParallelFor(ThreadPool* pool, size_t num_tasks, size_t window,
   window = std::max<size_t>(1, window);
 
   ForCtl ctl(pool, fn, cancel, num_tasks, window);
-  std::unique_lock<std::mutex> lock(ctl.mutex);
-  ctl.ScheduleLocked();
-  ctl.done.wait(lock, [&] {
-    return ctl.outstanding == 0 &&
-           (ctl.next == ctl.num_tasks || ctl.Cancelled());
-  });
-  PipelineCounters::IncBarrierTasks(static_cast<int64_t>(ctl.ran));
-  return ctl.ran;
+  size_t ran = 0;
+  {
+    MutexLock lock(&ctl.mutex);
+    ctl.ScheduleLocked();
+    while (ctl.outstanding != 0 ||
+           (ctl.next != ctl.num_tasks && !ctl.Cancelled())) {
+      ctl.done.Wait(&ctl.mutex);
+    }
+    ran = ctl.ran;
+  }
+  PipelineCounters::IncBarrierTasks(static_cast<int64_t>(ran));
+  return ran;
 }
 
 }  // namespace snowprune

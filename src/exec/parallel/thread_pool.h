@@ -1,13 +1,13 @@
 #ifndef SNOWPRUNE_EXEC_PARALLEL_THREAD_POOL_H_
 #define SNOWPRUNE_EXEC_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace snowprune {
 
@@ -19,6 +19,11 @@ namespace snowprune {
 ///
 /// The pool is owned by the Engine and shared across queries; schedulers
 /// submit tasks and track their own completion.
+///
+/// Concurrency contract (compile-checked by clang thread-safety analysis):
+/// all queue state is SNOW_GUARDED_BY(mutex_); `workers_` is written only in
+/// the constructor and joined only in the destructor, when no other thread
+/// can hold a reference.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to >= 1).
@@ -30,7 +35,7 @@ class ThreadPool {
 
   /// Enqueues `task` for execution on some worker. Safe from any thread,
   /// including from within a running task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SNOW_EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -38,26 +43,26 @@ class ThreadPool {
   /// backlog. With several queries sharing one pool this is the head-of-line
   /// pressure the per-query morsel-window budget bounds (each in-flight
   /// query can contribute at most its window's worth of queued morsels).
-  size_t queue_depth() const;
+  size_t queue_depth() const SNOW_EXCLUDES(mutex_);
 
   /// Deepest the backlog ever got over the pool's lifetime (updated at every
   /// Submit). The service surfaces this as ServiceStats::
   /// peak_pool_queue_depth — the measured worst case of the head-of-line
   /// pressure the windows are budgeted against.
-  size_t queue_depth_high_water() const;
+  size_t queue_depth_high_water() const SNOW_EXCLUDES(mutex_);
 
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// permits 0 for "unknown").
   static size_t DefaultConcurrency();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SNOW_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
-  size_t queue_high_water_ = 0;
-  bool shutting_down_ = false;
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  std::deque<std::function<void()>> queue_ SNOW_GUARDED_BY(mutex_);
+  size_t queue_high_water_ SNOW_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ SNOW_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

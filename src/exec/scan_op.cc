@@ -106,7 +106,7 @@ bool TableScanOp::ScanPartition(PartitionId pid, ColumnBatch* out,
   // phase would have done, executed just before the load. The adaptive tree
   // keeps per-node counters, so concurrent workers must take turns.
   if (runtime_filter_pruner_ != nullptr) {
-    std::lock_guard<std::mutex> lock(runtime_prune_mutex_);
+    MutexLock lock(&runtime_prune_mutex_);
     if (runtime_filter_pruner_->CanPrune(*table_, pid)) {
       if (stats != nullptr) ++stats->pruned_by_filter;
       return false;

@@ -4,12 +4,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/filter_pruner.h"
 #include "core/join_pruner.h"
+#include "common/mutex.h"
 #include "core/pruning_stats.h"
 #include "core/topk_pruner.h"
 #include "exec/column_batch.h"
@@ -180,7 +180,8 @@ class TableScanOp : public Operator {
   ExprPtr filter_;
   PruningStats* stats_;
   TopKPruner* topk_pruner_ = nullptr;
-  FilterPruner* runtime_filter_pruner_ = nullptr;
+  FilterPruner* runtime_filter_pruner_
+      SNOW_PT_GUARDED_BY(runtime_prune_mutex_) = nullptr;
   bool track_source_ = false;
   size_t cursor_ = 0;
   /// Consumer-thread predicate-eval scratch (serial path; workers use a
@@ -196,8 +197,10 @@ class TableScanOp : public Operator {
   MorselResult current_morsel_;
   size_t item_cursor_ = 0;
   /// Serializes FilterPruner::CanPrune across workers (the adaptive
-  /// PruningTree mutates per-node statistics on every probe).
-  std::mutex runtime_prune_mutex_;
+  /// PruningTree mutates per-node statistics on every probe). The pruner is
+  /// external state reached through a pointer, so the protected object is
+  /// the pointee: SNOW_PT_GUARDED_BY on runtime_filter_pruner_ above.
+  Mutex runtime_prune_mutex_;
   MorselStage morsel_stage_;
   bool stage_coarse_morsels_ = false;
   const std::atomic<bool>* cancel_ = nullptr;

@@ -45,7 +45,7 @@ void TopKOp::Open() {
   filter_stage_active_ = false;
   heap_has_nan_ = false;
   {
-    std::lock_guard<std::mutex> lock(shared_root_mutex_);
+    MutexLock lock(&shared_root_mutex_);
     shared_root_full_ = false;
     shared_root_ = Value::Null();
   }
@@ -80,7 +80,7 @@ void TopKOp::InstallFilterStage() {
     bool snap_full = false;
     Value snap_root;
     {
-      std::lock_guard<std::mutex> lock(shared_root_mutex_);
+      MutexLock lock(&shared_root_mutex_);
       snap_full = shared_root_full_;
       if (snap_full) snap_root = shared_root_;
     }
@@ -154,7 +154,7 @@ void TopKOp::MaybePublishBoundary() {
     // Feed the worker filters the raw full-heap root (monotone — only
     // while the heap is NaN-free, hence the guard — and never mixed with
     // the pruner's initialization bound; see header).
-    std::lock_guard<std::mutex> lock(shared_root_mutex_);
+    MutexLock lock(&shared_root_mutex_);
     shared_root_full_ = true;
     shared_root_ = heap_.front().row[order_column_];
   }

@@ -1,10 +1,10 @@
 #ifndef SNOWPRUNE_EXEC_TOPK_OP_H_
 #define SNOWPRUNE_EXEC_TOPK_OP_H_
 
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/topk_pruner.h"
 #include "exec/operator.h"
 #include "exec/scan_op.h"
@@ -113,9 +113,9 @@ class TopKOp : public Operator {
   /// §5.4 *initialization* bound, which proves final-result membership but
   /// not per-row heap admission — filtering against it would change the
   /// heap's evolution (and the published-boundary sequence) vs. serial.
-  std::mutex shared_root_mutex_;
-  bool shared_root_full_ = false;
-  Value shared_root_;
+  Mutex shared_root_mutex_;
+  bool shared_root_full_ SNOW_GUARDED_BY(shared_root_mutex_) = false;
+  Value shared_root_ SNOW_GUARDED_BY(shared_root_mutex_);
   /// True once a NaN order key entered the heap. NaN ties everything under
   /// Value::Compare, so a NaN inside the heap voids root monotonicity (a
   /// replacement can surface a buried weaker element) — the shared root is

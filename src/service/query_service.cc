@@ -14,8 +14,8 @@ namespace service {
 
 Result<QueryResult> QueryService::Handle::Await() {
   if (!state_) return Status::Internal("empty query handle");
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock, [&] { return state_->done; });
+  MutexLock lock(&state_->mutex);
+  while (!state_->done) state_->cv.Wait(&state_->mutex);
   if (state_->consumed) {
     return Status::Internal("query result already consumed by a prior Await");
   }
@@ -25,19 +25,19 @@ Result<QueryResult> QueryService::Handle::Await() {
 
 bool QueryService::Handle::done() const {
   if (!state_) return false;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(&state_->mutex);
   return state_->done;
 }
 
 double QueryService::Handle::queue_ms() const {
   if (!state_) return 0.0;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(&state_->mutex);
   return state_->queue_ms;
 }
 
 std::chrono::steady_clock::time_point QueryService::Handle::done_at() const {
   if (!state_) return {};
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(&state_->mutex);
   return state_->done_at;
 }
 
@@ -98,11 +98,11 @@ QueryService::QueryService(Catalog* catalog, QueryServiceConfig config)
 QueryService::~QueryService() {
   std::deque<Task> orphaned;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
     orphaned.swap(queue_);
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (Task& task : orphaned) {
     Finish(task.state, Status::Unavailable("query service shutting down"),
            MsSince(task.submitted_at));
@@ -113,13 +113,13 @@ QueryService::~QueryService() {
 void QueryService::Finish(const std::shared_ptr<Handle::State>& state,
                           Result<QueryResult> result, double queue_ms) {
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(&state->mutex);
     state->result = std::move(result);
     state->queue_ms = queue_ms;
     state->done_at = std::chrono::steady_clock::now();
     state->done = true;
   }
-  state->cv.notify_all();
+  state->cv.NotifyAll();
 }
 
 Result<QueryService::Handle> QueryService::Submit(PlanPtr plan) {
@@ -130,7 +130,7 @@ Result<QueryService::Handle> QueryService::Submit(PlanPtr plan) {
   task.submitted_at = std::chrono::steady_clock::now();
   Handle handle(task.state);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (shutting_down_) {
       return Status::Unavailable("query service shutting down");
     }
@@ -144,7 +144,7 @@ Result<QueryService::Handle> QueryService::Submit(PlanPtr plan) {
     stats_.peak_queue_depth = std::max(
         stats_.peak_queue_depth, static_cast<int64_t>(queue_.size()));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
   return handle;
 }
 
@@ -162,9 +162,10 @@ void QueryService::DriverLoop(size_t driver_index) {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [&] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!shutting_down_ && queue_.empty()) {
+        work_available_.Wait(&mutex_);
+      }
       if (shutting_down_) return;  // the destructor drained the queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -187,7 +188,7 @@ void QueryService::DriverLoop(size_t driver_index) {
       // Completion counters settle before the waiter is released, so a
       // client reading stats() right after Await() sees its own query
       // completed...
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       ++stats_.completed;
       if (!result.ok()) {
         if (result.status().code() == StatusCode::kCancelled) {
@@ -202,22 +203,22 @@ void QueryService::DriverLoop(size_t driver_index) {
       // ...while the in-flight slot — what Drain() watches — only clears
       // after the handle is done, so Drain returning guarantees every
       // admitted query's Handle reports done.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       --in_flight_;
     }
-    idle_.notify_all();
+    idle_.NotifyAll();
   }
 }
 
 void QueryService::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (!queue_.empty() || in_flight_ != 0) idle_.Wait(&mutex_);
 }
 
 ServiceStats QueryService::stats() const {
   ServiceStats s;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     s = stats_;
   }
   // The pool tracks its own high-water at Submit time; surfacing it here
@@ -228,12 +229,12 @@ ServiceStats QueryService::stats() const {
 }
 
 size_t QueryService::in_flight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return in_flight_;
 }
 
 size_t QueryService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return queue_.size();
 }
 

@@ -3,14 +3,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "exec/engine.h"
 #include "exec/parallel/thread_pool.h"
@@ -129,15 +128,19 @@ class QueryService {
 
    private:
     friend class QueryService;
+    /// Shared completion state. `cancel` is an atomic flag polled lock-free
+    /// by the executing engine; everything else is SNOW_GUARDED_BY(mutex)
+    /// and compile-checked.
     struct State {
-      mutable std::mutex mutex;
-      std::condition_variable cv;
+      mutable Mutex mutex;
+      CondVar cv;
       std::atomic<bool> cancel{false};
-      bool done = false;
-      bool consumed = false;
-      double queue_ms = 0.0;
-      std::chrono::steady_clock::time_point done_at;
-      Result<QueryResult> result = Status::Internal("pending");
+      bool done SNOW_GUARDED_BY(mutex) = false;
+      bool consumed SNOW_GUARDED_BY(mutex) = false;
+      double queue_ms SNOW_GUARDED_BY(mutex) = 0.0;
+      std::chrono::steady_clock::time_point done_at SNOW_GUARDED_BY(mutex);
+      Result<QueryResult> result SNOW_GUARDED_BY(mutex) =
+          Status::Internal("pending");
     };
     explicit Handle(std::shared_ptr<State> state)
         : state_(std::move(state)) {}
@@ -154,19 +157,19 @@ class QueryService {
 
   /// Admission: enqueues the query FIFO. Fails with ResourceExhausted when
   /// the bounded queue is full and Unavailable after shutdown began.
-  Result<Handle> Submit(PlanPtr plan);
+  Result<Handle> Submit(PlanPtr plan) SNOW_EXCLUDES(mutex_);
 
   /// Closed-loop convenience: Submit + Await on the calling thread.
   Result<QueryResult> Execute(PlanPtr plan);
 
   /// Blocks until every admitted query has completed.
-  void Drain();
+  void Drain() SNOW_EXCLUDES(mutex_);
 
-  ServiceStats stats() const;
+  ServiceStats stats() const SNOW_EXCLUDES(mutex_);
   /// Queries currently executing (dequeued, not yet completed).
-  size_t in_flight() const;
+  size_t in_flight() const SNOW_EXCLUDES(mutex_);
   /// Queries waiting in the admission queue.
-  size_t queue_depth() const;
+  size_t queue_depth() const SNOW_EXCLUDES(mutex_);
 
   size_t pool_width() const { return scan_pool_.num_threads(); }
   /// The per-query morsel window the budget resolved to.
@@ -180,7 +183,7 @@ class QueryService {
     std::chrono::steady_clock::time_point submitted_at;
   };
 
-  void DriverLoop(size_t driver_index);
+  void DriverLoop(size_t driver_index) SNOW_EXCLUDES(mutex_);
   static void Finish(const std::shared_ptr<Handle::State>& state,
                      Result<QueryResult> result, double queue_ms);
 
@@ -194,13 +197,13 @@ class QueryService {
   /// otherwise); each wraps per-shard engines over the same shared pool.
   std::vector<std::unique_ptr<shard::ShardCoordinator>> coordinators_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<Task> queue_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  ServiceStats stats_;
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<Task> queue_ SNOW_GUARDED_BY(mutex_);
+  size_t in_flight_ SNOW_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ SNOW_GUARDED_BY(mutex_) = false;
+  ServiceStats stats_ SNOW_GUARDED_BY(mutex_);
 
   std::vector<std::thread> drivers_;
 };

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/check.h"
 #include "common/clock.h"
 #include "core/limit_pruner.h"
 #include "exec/agg_op.h"
@@ -518,6 +519,12 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
   std::vector<ScanSet> slices(map.num_shards());
   for (PartitionId pid : final_set) {
     if (pruner != nullptr && pruner->ShouldSkip(*table, pid)) continue;
+    // Scatter-edge contract, debug-checked: every scattered partition id is
+    // a real partition of the shared snapshot, and lands exactly on the
+    // shard that owns it — the sub-queries' slice-subset DCHECK on the
+    // engine side and the fragment realignment below both build on this.
+    SNOW_DCHECK_LT(static_cast<size_t>(pid), table->num_partitions());
+    SNOW_DCHECK_LT(map.shard_of(pid), map.num_shards());
     slices[map.shard_of(pid)].Add(pid);
   }
 
@@ -553,6 +560,12 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
   for (size_t i = 0; i < contacted.size(); ++i) {
     shard_results.emplace_back(Status::Internal("shard sub-query unrun"));
   }
+  // Concurrency contract (lock-free by structure, so nothing here is
+  // mutex-annotated): each scatter thread i writes only shard_results[i] —
+  // pre-sized above, never resized while threads run — and reads only
+  // shared state that is frozen for the scatter's duration (slices,
+  // snapshot, sub_plan, the pre-bound predicate tree). The joins below are
+  // the sole synchronization edge back to the coordinator thread.
   auto run_shard = [&](size_t i) {
     const size_t s = contacted[i];
     std::map<std::string, ScanSet> overrides;
@@ -624,6 +637,9 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
 
   result.schema = root->output_schema();
   result.stats = ctx.stats;
+  // Same soundness audit as the unsharded engine, now covering the shard
+  // counters too (shards_pruned <= shards_total, etc.).
+  result.stats.DCheckInvariants();
   return result;
 }
 

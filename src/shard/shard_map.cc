@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace snowprune {
 namespace shard {
 
@@ -90,6 +92,41 @@ ShardMap ShardMap::Build(const Table& table, size_t num_shards,
   for (const Shard& s : map.shards_) {
     if (!s.partitions.empty()) ++map.assigned_;
   }
+
+#if SNOW_DCHECK_IS_ON
+  // Monotonicity audit: a shard's merged summary must be weaker-or-equal
+  // than every member partition's zone map — the cross-shard pruning level
+  // is only sound if the summary admits everything any member admits. A
+  // violation here would surface as silently wrong results (a shard pruned
+  // even though one of its partitions matched), so debug builds prove the
+  // containment for every (partition, column) right after the build.
+  for (size_t pid = 0; pid < n; ++pid) {
+    const Shard& shard = map.shards_[map.owner_[pid]];
+    const MicroPartition& meta =
+        table.partition_metadata(static_cast<PartitionId>(pid));
+    for (size_t c = 0; c < shard.summary.size(); ++c) {
+      const ColumnStats& member = meta.stats(c);
+      const ColumnStats& merged = shard.summary[c];
+      if (!member.has_stats) {
+        // A stats-less member must poison the summary (never prunable).
+        SNOW_DCHECK(!merged.has_stats);
+        continue;
+      }
+      if (!merged.has_stats) continue;  // poisoned by a sibling: weaker.
+      if (!member.min.is_null()) {
+        SNOW_DCHECK(!merged.min.is_null());
+        SNOW_DCHECK_LE(Value::Compare(merged.min, member.min), 0);
+      }
+      if (!member.max.is_null()) {
+        SNOW_DCHECK(!merged.max.is_null());
+        SNOW_DCHECK_GE(Value::Compare(merged.max, member.max), 0);
+      }
+      SNOW_DCHECK_LE(member.null_count, merged.null_count);
+      SNOW_DCHECK_LE(member.row_count, merged.row_count);
+    }
+  }
+#endif
+
   return map;
 }
 

@@ -4,7 +4,7 @@ namespace snowprune {
 
 Status Catalog::RegisterTable(std::shared_ptr<Table> table) {
   if (!table) return Status::InvalidArgument("null table");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto [it, inserted] = tables_.emplace(table->name(), std::move(table));
   (void)it;
   if (!inserted) return Status::InvalidArgument("table already registered");
@@ -12,40 +12,40 @@ Status Catalog::RegisterTable(std::shared_ptr<Table> table) {
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (tables_.erase(name) == 0) return Status::NotFound("no table " + name);
   return Status::OK();
 }
 
 Status Catalog::ReplaceTable(std::shared_ptr<Table> table) {
   if (!table) return Status::InvalidArgument("null table");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   tables_[table->name()] = std::move(table);
   return Status::OK();
 }
 
 std::shared_ptr<Table> Catalog::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second;
 }
 
 int64_t Catalog::TotalLoads() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   int64_t total = 0;
   for (const auto& [name, t] : tables_) total += t->load_count();
   return total;
 }
 
 int64_t Catalog::TotalLoadedRows() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   int64_t total = 0;
   for (const auto& [name, t] : tables_) total += t->loaded_rows();
   return total;
 }
 
 int64_t Catalog::TotalPartitions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   int64_t total = 0;
   for (const auto& [name, t] : tables_) {
     total += static_cast<int64_t>(t->num_partitions());
@@ -54,7 +54,7 @@ int64_t Catalog::TotalPartitions() const {
 }
 
 void Catalog::ResetMeters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (const auto& [name, t] : tables_) t->ResetMeters();
 }
 

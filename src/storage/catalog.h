@@ -3,9 +3,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/table.h"
 
@@ -17,42 +17,44 @@ namespace snowprune {
 /// through the owning Table, and the catalog aggregates the meters.
 ///
 /// Thread safety: the registry is shared by every engine of a query service,
-/// so all operations synchronize on an internal mutex. Lookups hand out
+/// so all operations synchronize on an internal mutex (compile-checked:
+/// tables_ is SNOW_GUARDED_BY(mutex_)). Lookups hand out
 /// shared_ptr snapshots — a query that compiled against a table keeps that
 /// table alive and immutable-for-it even if ReplaceTable/DropTable swaps the
 /// name to a new version mid-flight (DML is snapshot-atomic per query).
 class Catalog {
  public:
   /// Registers a table; fails if the name is taken.
-  Status RegisterTable(std::shared_ptr<Table> table);
+  Status RegisterTable(std::shared_ptr<Table> table) SNOW_EXCLUDES(mutex_);
 
   /// Drops a table by name; fails if absent.
-  Status DropTable(const std::string& name);
+  Status DropTable(const std::string& name) SNOW_EXCLUDES(mutex_);
 
   /// Atomically swaps the name to a new table version (coarse
   /// DML-as-replacement: CREATE OR REPLACE). In-flight queries holding the
   /// previous shared_ptr are unaffected; new compiles see the new version.
   /// Registers the name if it was absent.
-  Status ReplaceTable(std::shared_ptr<Table> table);
+  Status ReplaceTable(std::shared_ptr<Table> table) SNOW_EXCLUDES(mutex_);
 
   /// Looks up a table by name; returns nullptr if absent.
-  std::shared_ptr<Table> GetTable(const std::string& name) const;
+  std::shared_ptr<Table> GetTable(const std::string& name) const
+      SNOW_EXCLUDES(mutex_);
 
   /// Total partition loads across all registered tables.
-  int64_t TotalLoads() const;
-  int64_t TotalLoadedRows() const;
+  int64_t TotalLoads() const SNOW_EXCLUDES(mutex_);
+  int64_t TotalLoadedRows() const SNOW_EXCLUDES(mutex_);
   /// Total partitions across all registered tables.
-  int64_t TotalPartitions() const;
-  void ResetMeters() const;
+  int64_t TotalPartitions() const SNOW_EXCLUDES(mutex_);
+  void ResetMeters() const SNOW_EXCLUDES(mutex_);
 
-  size_t num_tables() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t num_tables() const SNOW_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return tables_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<Table>> tables_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<Table>> tables_ SNOW_GUARDED_BY(mutex_);
 };
 
 }  // namespace snowprune

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "storage/partition.h"
 #include "storage/scan_set.h"
@@ -41,11 +42,15 @@ class Table {
   int64_t num_rows() const;
 
   /// Metadata-store access: zone map of (partition, column). Never counts
-  /// as a load.
+  /// as a load. Partition ids are dense positions that DML compaction
+  /// re-assigns, so a stale id (a scan set outliving a DELETE) is a real
+  /// bug class — debug builds bound-check every metadata and data access.
   const ColumnStats& stats(PartitionId pid, size_t column) const {
+    SNOW_DCHECK_LT(static_cast<size_t>(pid), partitions_.size());
     return partitions_[pid].stats(column);
   }
   const MicroPartition& partition_metadata(PartitionId pid) const {
+    SNOW_DCHECK_LT(static_cast<size_t>(pid), partitions_.size());
     return partitions_[pid];
   }
 
@@ -53,6 +58,7 @@ class Table {
   /// Safe to call from concurrent scan workers (the meters are atomic;
   /// partitions themselves are immutable during execution).
   const MicroPartition& LoadPartition(PartitionId pid) const {
+    SNOW_DCHECK_LT(static_cast<size_t>(pid), partitions_.size());
     load_count_.fetch_add(1, std::memory_order_relaxed);
     loaded_rows_.fetch_add(partitions_[pid].row_count(),
                            std::memory_order_relaxed);

@@ -2,11 +2,11 @@
 
 #include <chrono>
 #include <cmath>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 
 namespace snowprune {
@@ -117,7 +117,7 @@ SimulationResult Simulator::Run(size_t num_queries) {
 StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
                                           const StreamDriverConfig& config) {
   StreamDriverResult result;
-  std::mutex merge_mutex;
+  Mutex merge_mutex;
 
   /// One stream's private tallies, merged once at stream end so the hot
   /// loop never contends on the shared result.
@@ -134,7 +134,7 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
   };
 
   auto merge_local = [&](StreamLocal& local) {
-    std::lock_guard<std::mutex> lock(merge_mutex);
+    MutexLock lock(&merge_mutex);
     result.queries_ok += local.ok;
     result.queries_failed += local.failed;
     result.queries_rejected += local.rejected;

@@ -1,0 +1,102 @@
+// Tests for the SNOW_CHECK / SNOW_DCHECK invariant layer (common/check.h):
+// pass paths are side-effect-exact (operands evaluated exactly once),
+// failure paths abort with the expression and operand values on stderr, and
+// release-mode DCHECKs compile their operands without evaluating them.
+
+#include "common/check.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace snowprune {
+namespace {
+
+TEST(CheckTest, PassingChecksAreNoOps) {
+  SNOW_CHECK(true);
+  SNOW_CHECK(1 + 1 == 2);
+  SNOW_CHECK_EQ(4, 4);
+  SNOW_CHECK_NE(4, 5);
+  SNOW_CHECK_LT(4, 5);
+  SNOW_CHECK_LE(4, 4);
+  SNOW_CHECK_GT(5, 4);
+  SNOW_CHECK_GE(5, 5);
+}
+
+TEST(CheckTest, OperandsEvaluateExactlyOnce) {
+  int a = 0;
+  int b = 10;
+  SNOW_CHECK_LT(++a, ++b);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 11);
+  SNOW_CHECK(++a == 2);
+  EXPECT_EQ(a, 2);
+}
+
+TEST(CheckTest, WorksOnMixedValueCategories) {
+  // The operand capture is auto&&: prvalues, lvalues, and const refs must
+  // all bind.
+  const int64_t lhs = 7;
+  SNOW_CHECK_EQ(lhs, 7);
+  SNOW_CHECK_LE(lhs, static_cast<int64_t>(8));
+  std::string s = "abc";
+  SNOW_CHECK_EQ(s, "abc");
+}
+
+TEST(CheckDeathTest, CheckFailureAbortsWithExpression) {
+  EXPECT_DEATH(SNOW_CHECK(2 + 2 == 5), "SNOW_CHECK\\(2 \\+ 2 == 5\\)");
+}
+
+TEST(CheckDeathTest, ComparisonFailureReportsBothOperands) {
+  // The message carries the stringified expression and both runtime values
+  // — the part that makes a fuzz-run failure diagnosable from the log.
+  const int64_t total = 3;
+  const int64_t pruned = 5;
+  EXPECT_DEATH(SNOW_CHECK_LE(pruned, total),
+               "SNOW_CHECK\\(pruned <= total\\).*lhs = 5.*rhs = 3");
+}
+
+TEST(CheckDeathTest, EveryComparisonFlavorDies) {
+  EXPECT_DEATH(SNOW_CHECK_EQ(1, 2), "1 == 2");
+  EXPECT_DEATH(SNOW_CHECK_NE(3, 3), "3 != 3");
+  EXPECT_DEATH(SNOW_CHECK_LT(2, 2), "2 < 2");
+  EXPECT_DEATH(SNOW_CHECK_LE(3, 2), "3 <= 2");
+  EXPECT_DEATH(SNOW_CHECK_GT(2, 2), "2 > 2");
+  EXPECT_DEATH(SNOW_CHECK_GE(2, 3), "2 >= 3");
+}
+
+#if SNOW_DCHECK_IS_ON
+
+TEST(CheckDeathTest, DebugDChecksAreLive) {
+  SNOW_DCHECK(true);
+  SNOW_DCHECK_EQ(1, 1);
+  EXPECT_DEATH(SNOW_DCHECK(false), "SNOW_CHECK\\(false\\)");
+  EXPECT_DEATH(SNOW_DCHECK_GE(1, 2), "1 >= 2");
+}
+
+TEST(CheckTest, DebugDCheckEvaluatesOperandsOnce) {
+  int n = 0;
+  SNOW_DCHECK(++n > 0);
+  EXPECT_EQ(n, 1);
+  int a = 0, b = 0;
+  SNOW_DCHECK_LE(++a, ++b + 1);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+#else  // release build: DCHECKs compile but never evaluate.
+
+TEST(CheckTest, ReleaseDChecksEvaluateNothing) {
+  int n = 0;
+  SNOW_DCHECK(++n > 0);          // would set n = 1 if evaluated
+  SNOW_DCHECK(false);            // would abort if evaluated
+  SNOW_DCHECK_EQ(++n, 99);       // would abort (and bump n) if evaluated
+  SNOW_DCHECK_LT(++n, -1);
+  EXPECT_EQ(n, 0);
+}
+
+#endif  // SNOW_DCHECK_IS_ON
+
+}  // namespace
+}  // namespace snowprune

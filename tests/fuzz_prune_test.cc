@@ -175,7 +175,10 @@ std::string Serialize(const std::vector<Row>& rows) {
   std::string s;
   for (const auto& row : rows) {
     for (const auto& v : row) {
-      s += std::to_string(static_cast<int>(v.type()));
+      // Value::type() asserts on NULL (a NULL has no type); tag NULLs out
+      // of band so serialized comparisons still distinguish NULL from any
+      // typed value.
+      s += v.is_null() ? "null" : std::to_string(static_cast<int>(v.type()));
       s += ':';
       s += v.ToString();
       s += ',';

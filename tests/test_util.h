@@ -15,12 +15,13 @@ namespace testing_util {
 
 /// Serializes a result's row stream so byte-identity across configurations
 /// is a string comparison. Type tags distinguish e.g. int64 1 from bool
-/// true and from "1".
+/// true and from "1"; NULLs (which have no type — Value::type() asserts)
+/// get an out-of-band tag.
 inline std::string Serialize(const QueryResult& r) {
   std::string s;
   for (const auto& row : r.rows) {
     for (const auto& v : row) {
-      s += std::to_string(static_cast<int>(v.type()));
+      s += v.is_null() ? "null" : std::to_string(static_cast<int>(v.type()));
       s += ':';
       s += v.ToString();
       s += ',';

@@ -1,0 +1,67 @@
+// Self-test for the Clang Thread Safety Analysis wiring — this file is NOT
+// part of any build target. CI compiles it twice with
+//   clang++ -std=c++17 -Isrc -Wthread-safety -Werror=thread-safety \
+//       -fsyntax-only tests/thread_safety_misuse.cc
+// once without any define (the control: the well-behaved code below must
+// compile cleanly, proving failures are not due to unrelated breakage) and
+// once with -DSNOW_THREAD_SAFETY_MISUSE, which enables three canonical
+// lock-discipline violations. The second compile MUST fail; if it ever
+// succeeds, the analysis has been silently disabled (a broken macro, a
+// wrapper that lost its annotations) and CI turns red.
+
+#include <cstdint>
+
+#include "common/mutex.h"
+
+namespace snowprune {
+namespace {
+
+class Account {
+ public:
+  void Deposit(int64_t amount) SNOW_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    balance_ += amount;
+  }
+
+  int64_t balance() const SNOW_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return balance_;
+  }
+
+  void TransferLocked(Account* to, int64_t amount) SNOW_REQUIRES(mutex_) {
+    balance_ -= amount;
+    to->Deposit(amount);
+  }
+
+#if defined(SNOW_THREAD_SAFETY_MISUSE)
+  // Violation 1: writing a guarded member without its mutex
+  // (-Wthread-safety-analysis: "writing variable ... requires holding
+  // mutex").
+  void UnlockedWrite(int64_t amount) { balance_ = amount; }
+
+  // Violation 2: calling a REQUIRES function without holding the lock.
+  void CallWithoutLock(Account* to) { TransferLocked(to, 1); }
+
+  // Violation 3: acquiring without releasing on every path ("mutex is still
+  // held at the end of function").
+  void ForgottenUnlock() {
+    mutex_.Lock();
+    balance_ += 1;
+  }
+#endif  // SNOW_THREAD_SAFETY_MISUSE
+
+ private:
+  mutable Mutex mutex_;
+  int64_t balance_ SNOW_GUARDED_BY(mutex_) = 0;
+};
+
+// Keep the control compile honest: instantiate the well-behaved surface so
+// -fsyntax-only cannot skip it.
+inline int64_t Use() {
+  Account a, b;
+  a.Deposit(10);
+  return a.balance() + b.balance();
+}
+
+}  // namespace
+}  // namespace snowprune
