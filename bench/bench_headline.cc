@@ -7,9 +7,11 @@
 /// `--json[=PATH]` emits the measurements machine-readably so the perf
 /// trajectory is tracked across PRs (BENCH_*.json); `--smoke` shrinks every
 /// size for CI.
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/trace.h"
 #include "exec/engine.h"
 #include "exec/parallel/pipeline.h"
 #include "expr/builder.h"
@@ -38,14 +40,23 @@ struct ClassPoint {
 };
 
 ClassPoint RunClass(Catalog* catalog, const char* cls, const PlanPtr& plan,
-                    int reps) {
+                    int reps, size_t trace_sample) {
   EngineConfig config;
   config.exec.num_threads = 1;  // single-thread ns/row: the kernel cost
   Engine engine(catalog, config);
   ClassPoint point;
   point.cls = cls;
   for (int rep = 0; rep < reps; ++rep) {
-    auto result = engine.Execute(plan);
+    // --trace-sample=N: rep i runs traced when i % N == 0 (fresh Trace per
+    // rep, discarded after — the point is measuring the traced-path cost,
+    // not keeping the spans).
+    std::unique_ptr<Trace> trace;
+    ExecuteOptions eopts;
+    if (trace_sample > 0 && rep % static_cast<int>(trace_sample) == 0) {
+      trace = std::make_unique<Trace>();
+      eopts.trace = trace.get();
+    }
+    auto result = engine.Execute(plan, eopts);
     if (!result.ok()) {
       std::printf("class %s failed: %s\n", cls,
                   result.status().ToString().c_str());
@@ -64,12 +75,14 @@ ClassPoint RunClass(Catalog* catalog, const char* cls, const PlanPtr& plan,
 /// the random-layout probe table (worst case for pruning, so the number is
 /// pure execution cost). Join/top-k/sort are the classes the fully columnar
 /// pipeline (PR 4) targets; scan+agg is the PR 2 reference point.
-std::vector<ClassPoint> ClassLatencySweep(Catalog* catalog, int reps) {
+std::vector<ClassPoint> ClassLatencySweep(Catalog* catalog, int reps,
+                                          size_t trace_sample) {
   std::vector<ClassPoint> points;
   auto filter = Between(Col("key"), Value(int64_t{100000}),
                         Value(int64_t{900000}));
   points.push_back(RunClass(catalog, "scan_filter",
-                            ScanPlan("probe_random", filter), reps));
+                            ScanPlan("probe_random", filter), reps,
+                            trace_sample));
   points.push_back(RunClass(
       catalog, "scan_agg",
       AggregatePlan(ScanPlan("probe_random"), {"cat"},
@@ -77,27 +90,27 @@ std::vector<ClassPoint> ClassLatencySweep(Catalog* catalog, int reps) {
                      AggPlanSpec{AggFunc::kSum, "key", "key_sum"},
                      AggPlanSpec{AggFunc::kMin, "ts", "ts_min"},
                      AggPlanSpec{AggFunc::kMax, "key", "key_max"}}),
-      reps));
+      reps, trace_sample));
   points.push_back(RunClass(
       catalog, "arith_filter",
       ScanPlan("probe_random",
                Gt(Add(Mul(Col("key"), Lit(int64_t{3})), Col("ts")),
                   Lit(int64_t{2000000}))),
-      reps));
+      reps, trace_sample));
   points.push_back(RunClass(
       catalog, "join",
       JoinPlan(ScanPlan("probe_random"), ScanPlan("build_small"), "key",
                "key"),
-      reps));
+      reps, trace_sample));
   points.push_back(RunClass(
       catalog, "topk",
       TopKPlan(ScanPlan("probe_random", filter), "key", /*descending=*/true,
                100),
-      reps));
+      reps, trace_sample));
   points.push_back(RunClass(catalog, "sort",
                             SortPlan(ScanPlan("probe_random", filter), "key",
                                      /*descending=*/false),
-                            reps));
+                            reps, trace_sample));
   return points;
 }
 
@@ -121,7 +134,8 @@ struct ParallelClassPoint {
 /// PruningStats are byte-identical across the sweep (asserted in the fuzz
 /// oracle); this reports the wall-clock side.
 std::vector<ParallelClassPoint> ParallelClassSweep(Catalog* catalog,
-                                                   int reps) {
+                                                   int reps,
+                                                   size_t trace_sample) {
   auto filter = Between(Col("key"), Value(int64_t{100000}),
                         Value(int64_t{900000}));
   struct NamedPlan {
@@ -146,7 +160,13 @@ std::vector<ParallelClassPoint> ParallelClassSweep(Catalog* catalog,
       point.cls = np.cls;
       point.num_threads = threads;
       for (int rep = 0; rep < reps; ++rep) {
-        auto result = engine.Execute(np.plan);
+        std::unique_ptr<Trace> trace;
+        ExecuteOptions eopts;
+        if (trace_sample > 0 && rep % static_cast<int>(trace_sample) == 0) {
+          trace = std::make_unique<Trace>();
+          eopts.trace = trace.get();
+        }
+        auto result = engine.Execute(np.plan, eopts);
         if (!result.ok()) {
           std::printf("parallel class %s failed: %s\n", np.cls,
                       result.status().ToString().c_str());
@@ -206,10 +226,13 @@ int main(int argc, char** argv) {
       "(compare bench_fig13_tpch).\n");
 
   // --- Per-query-class execution cost ------------------------------------
-  const int reps = opts.smoke ? 1 : 5;
+  // Smoke still takes best-of-5: the class queries are microsecond-scale at
+  // smoke size, and the CI trace-overhead gate compares two smoke runs, so
+  // single-shot timings would be all scheduler noise.
+  const int reps = 5;
   std::printf("\n%-14s %12s %12s %14s   (serial, best of %d)\n", "class",
               "wall ms", "ns/row", "scanned rows", reps);
-  std::vector<ClassPoint> classes = ClassLatencySweep(catalog.get(), reps);
+  std::vector<ClassPoint> classes = ClassLatencySweep(catalog.get(), reps, opts.trace_sample);
   for (const ClassPoint& p : classes) {
     std::printf("%-14s %12.2f %12.1f %14lld\n", p.cls, p.wall_ms, p.NsPerRow(),
                 static_cast<long long>(p.scanned_rows));
@@ -224,7 +247,7 @@ int main(int argc, char** argv) {
               "best of %d)\n",
               "class", "threads", "wall ms", "ns/row", reps);
   std::vector<ParallelClassPoint> parallel_classes =
-      ParallelClassSweep(catalog.get(), reps);
+      ParallelClassSweep(catalog.get(), reps, opts.trace_sample);
   for (const ParallelClassPoint& p : parallel_classes) {
     std::printf("%-10s %12d %12.2f %12.1f\n", p.cls, p.num_threads, p.wall_ms,
                 p.NsPerRow());

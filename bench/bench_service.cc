@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/predicate_cache.h"
+#include "exec/profile.h"
 #include "expr/builder.h"
 #include "service/query_service.h"
 #include "workload/production_model.h"
@@ -30,6 +33,9 @@ constexpr size_t kPoolWidth = 4;
 /// Set from --smoke (tiny CI sizes) in main().
 size_t g_queries_per_stream = 150;
 std::vector<size_t> g_stream_counts = {1, 2, 4, 8};
+/// Set from --trace-sample=N: forwarded to QueryServiceConfig::trace_every
+/// so every N-th query through the service runs with a Trace attached.
+size_t g_trace_sample = 0;
 
 void PrintHeader() {
   std::printf("%8s %9s %9s %9s %9s %9s %7s %7s %8s\n", "streams", "qps",
@@ -81,12 +87,14 @@ void ThroughputSweep(Catalog* catalog, JsonWriter* json) {
     service::QueryServiceConfig scfg;
     scfg.num_threads = kPoolWidth;
     scfg.max_in_flight = streams;
+    scfg.trace_every = g_trace_sample;
     service::QueryService service(catalog, scfg);
 
     StreamDriverConfig dcfg;
     dcfg.num_streams = streams;
     dcfg.queries_per_stream = g_queries_per_stream;
     dcfg.gen.seed = 4242;
+    dcfg.print_service_stats = true;
     StreamDriverResult result;
     const size_t max_backlog = MaxPoolBacklogWhile(
         &service, [&] { result = driver.Run(&service, dcfg); });
@@ -374,6 +382,52 @@ bool ShardPruneGuard(Catalog* catalog, JsonWriter* json) {
   return true;
 }
 
+
+/// EXPLAIN ANALYZE demo: one sharded top-k query through a traced service,
+/// its per-operator profile printed verbatim. The report shows every level
+/// of the pruning hierarchy with its count (cross-shard shards_pruned,
+/// filter, LIMIT, top-k, join) on the source node, per-operator rows/
+/// batches/time on every node, and the per-query pipeline-task counters —
+/// the worked example the README's Observability section reproduces.
+void ExplainAnalyzeDemo(Catalog* catalog, JsonWriter* json) {
+  std::printf("\n--- EXPLAIN ANALYZE (sharded top-k, 2 range shards, traced) "
+              "---\n");
+  service::QueryServiceConfig scfg;
+  scfg.num_threads = kPoolWidth;
+  scfg.max_in_flight = 1;
+  scfg.num_shards = 2;
+  scfg.trace_every = 1;  // trace every query: the demo query is sampled
+  service::QueryService service(catalog, scfg);
+
+  auto plan = TopKPlan(
+      ScanPlan("probe_sorted", Between(Col("key"), Value(int64_t{200000}),
+                                       Value(int64_t{400000}))),
+      "key", /*descending=*/true, 10);
+  auto submitted = service.Submit(std::move(plan));
+  if (!submitted.ok()) {
+    std::printf("submit failed: %s\n", submitted.status().ToString().c_str());
+    return;
+  }
+  auto handle = submitted.value();
+  auto result = handle.Await();
+  if (!result.ok()) {
+    std::printf("query failed: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::shared_ptr<const QueryProfile> profile = handle.profile();
+  if (profile == nullptr) {
+    std::printf("FATAL: traced query produced no profile\n");
+    std::abort();
+  }
+  std::printf("%s", profile->ToText().c_str());
+  if (const Trace* trace = handle.trace()) {
+    std::printf("trace: %zu spans recorded\n", trace->spans().size());
+  }
+  if (json != nullptr) {
+    json->Key("explain_analyze").Raw(profile->ToJson());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -382,6 +436,7 @@ int main(int argc, char** argv) {
     g_queries_per_stream = 10;
     g_stream_counts = {1, 2};
   }
+  g_trace_sample = opts.trace_sample;
   Banner("service", "Concurrent query service under multi-stream load",
          "§7 production setting: many repetitive queries in flight at once");
   auto catalog = StandardCatalog(/*scale=*/opts.smoke ? 0.1 : 0.5,
@@ -398,6 +453,13 @@ int main(int argc, char** argv) {
   CacheAmplification(catalog.get(), jp);
   ShardSweep(catalog.get(), jp);
   const bool shard_guard_ok = ShardPruneGuard(catalog.get(), jp);
-  if (jp != nullptr) json.Write(opts);
+  ExplainAnalyzeDemo(catalog.get(), jp);
+  if (jp != nullptr) {
+    // Process-wide instrument snapshot: everything the run just incremented
+    // (pool/service/predcache/shard counters, latency histograms) in one
+    // schema-checked JSON object (tools/check_metrics_schema.py).
+    json.Key("metrics").Raw(MetricsRegistry::Instance().SnapshotJson());
+    json.Write(opts);
+  }
   return shard_guard_ok ? 0 : 1;
 }

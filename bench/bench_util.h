@@ -2,6 +2,7 @@
 #define SNOWPRUNE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -25,6 +26,10 @@ struct BenchOptions {
   bool smoke = false;
   bool json = false;
   std::string json_path;  ///< Empty: print the JSON to stdout.
+  /// --trace-sample=N: attach a per-query Trace to every N-th execution
+  /// (1 = all, 0 = tracing off). The overhead-regression CI step compares a
+  /// --trace-sample=1 run against a plain run of the same bench.
+  size_t trace_sample = 0;
 };
 
 inline BenchOptions ParseOptions(int argc, char** argv) {
@@ -37,9 +42,15 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       opts.json = true;
       opts.json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      opts.trace_sample = static_cast<size_t>(std::strtoul(argv[i] + 15,
+                                                           nullptr, 10));
     } else {
-      std::fprintf(stderr, "unknown option %s (expected --smoke, --json[=PATH])\n",
-                   argv[i]);
+      std::fprintf(
+          stderr,
+          "unknown option %s (expected --smoke, --json[=PATH], "
+          "--trace-sample=N)\n",
+          argv[i]);
     }
   }
   return opts;
@@ -76,6 +87,13 @@ class JsonWriter {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.4f", v);
     out_ += buf;
+    return *this;
+  }
+  /// Splices a pre-rendered JSON value (e.g. MetricsRegistry::SnapshotJson
+  /// or Trace::ToJson output) in verbatim as the next value.
+  JsonWriter& Raw(const std::string& json) {
+    MaybeComma();
+    out_ += json;
     return *this;
   }
   JsonWriter& BeginObject() {

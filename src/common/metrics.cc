@@ -1,0 +1,146 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace snowprune {
+
+size_t Counter::CellIndex() {
+  static std::atomic<size_t> next_cell{0};
+  thread_local size_t cell =
+      next_cell.fetch_add(1, std::memory_order_relaxed) % kCells;
+  return cell;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SNOW_DCHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+}
+
+void Histogram::Record(double sample) {
+  size_t i = 0;
+  while (i < bounds_.size() && sample > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked on purpose: instrument pointers handed out by Get* must stay
+  // valid during static destruction of late-dying threads.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(&mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(&mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  MutexLock lock(&mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else {
+    SNOW_DCHECK_EQ(slot->bounds().size(), bounds.size());
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            std::function<int64_t()> fn) {
+  MutexLock lock(&mutex_);
+  callback_gauges_[name] = std::move(fn);
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SnapshotJson() {
+  MutexLock lock(&mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(&out, name);
+    out << ':' << counter->Value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(&out, name);
+    out << ':' << gauge->Value();
+  }
+  for (const auto& [name, fn] : callback_gauges_) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(&out, name);
+    out << ':' << fn();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    AppendJsonString(&out, name);
+    out << ":{\"count\":" << hist->Count() << ",\"sum\":" << hist->Sum()
+        << ",\"buckets\":[";
+    const std::vector<int64_t> counts = hist->BucketCounts();
+    const std::vector<double>& bounds = hist->bounds();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out << ',';
+      out << "{\"le\":";
+      if (i < bounds.size()) {
+        out << bounds[i];
+      } else {
+        out << "\"+Inf\"";
+      }
+      out << ",\"count\":" << counts[i] << '}';
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace snowprune

@@ -1,0 +1,141 @@
+#ifndef SNOWPRUNE_COMMON_METRICS_H_
+#define SNOWPRUNE_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace snowprune {
+
+/// Process-wide operational metrics — the always-on complement to the
+/// per-query Trace. Three instrument kinds, all safe for concurrent
+/// update from pool workers and driver threads:
+///
+///  - Counter: monotone, hot-path-friendly. Increments land on one of a
+///    small set of cache-line-padded cells chosen per thread (round-robin
+///    assignment at first touch), so concurrent workers never contend on
+///    one line; Value() sums the cells.
+///  - Gauge: a single last-writer-wins (or Add-accumulated) level, e.g. a
+///    queue depth. A callback variant reads a process-global source at
+///    snapshot time — only register callbacks whose target outlives the
+///    process-lifetime registry (function statics, namespace globals).
+///  - Histogram: fixed upper-bound buckets set at registration; Record()
+///    is two relaxed fetch_adds plus a CAS-loop for the double sum.
+///
+/// All updates use relaxed atomics: metrics order nothing, they count.
+/// SnapshotJson() is a point-in-time read — exact once writers are
+/// quiescent, approximate (but never torn per-cell) while they run.
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(int64_t delta = 1) {
+    cells_[CellIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr size_t kCells = 16;
+  struct alignas(64) Cell {
+    std::atomic<int64_t> v{0};
+  };
+
+  static size_t CellIndex();
+
+  Cell cells_[kCells];
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  /// `bounds` are the inclusive upper edges of the finite buckets, strictly
+  /// ascending; an implicit +Inf bucket catches the rest.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double sample);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds_.size() is +Inf.
+  std::vector<int64_t> BucketCounts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name → instrument registry. Get* registers on first use and returns a
+/// pointer that stays valid for the life of the process, so hot call sites
+/// cache it in a function-local static and never re-take the registry
+/// mutex. Re-registering a histogram under the same name must pass the
+/// same bounds (checked in debug builds).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter* GetCounter(const std::string& name) SNOW_EXCLUDES(mutex_);
+  Gauge* GetGauge(const std::string& name) SNOW_EXCLUDES(mutex_);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds) SNOW_EXCLUDES(mutex_);
+  /// Snapshot-time gauge whose value is computed by `fn`. The callback must
+  /// stay callable forever (the registry is never destroyed before exit) —
+  /// capture only process-global state.
+  void RegisterCallbackGauge(const std::string& name,
+                             std::function<int64_t()> fn)
+      SNOW_EXCLUDES(mutex_);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{"count":c,
+  /// "sum":s,"buckets":[{"le":b,"count":n},...,{"le":"+Inf","count":n}]}}}
+  /// Bucket counts are per-bucket (non-cumulative) and sum to "count".
+  std::string SnapshotJson() SNOW_EXCLUDES(mutex_);
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SNOW_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      SNOW_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SNOW_GUARDED_BY(mutex_);
+  std::map<std::string, std::function<int64_t()>> callback_gauges_
+      SNOW_GUARDED_BY(mutex_);
+};
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_COMMON_METRICS_H_

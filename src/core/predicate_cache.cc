@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace snowprune {
+
+namespace {
+
+/// Process-wide cache instruments, beside the per-instance counters the
+/// tests read: one registry entry covers every cache in the process.
+struct CacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* coalesced_waits;
+};
+
+CacheMetrics& GetCacheMetrics() {
+  static CacheMetrics m{
+      MetricsRegistry::Instance().GetCounter("predcache.hits"),
+      MetricsRegistry::Instance().GetCounter("predcache.misses"),
+      MetricsRegistry::Instance().GetCounter("predcache.coalesced_waits")};
+  return m;
+}
+
+}  // namespace
 
 void PredicateCache::Insert(const std::string& fingerprint, const Table& table,
                             std::string order_column,
@@ -48,8 +70,10 @@ std::optional<std::vector<PartitionId>> PredicateCache::Lookup(
   auto result = EntryScanSetLocked(fingerprint, table);
   if (result.has_value()) {
     ++hits_;
+    GetCacheMetrics().hits->Add();
   } else {
     ++misses_;
+    GetCacheMetrics().misses->Add();
   }
   return result;
 }
@@ -63,6 +87,7 @@ std::optional<std::vector<PartitionId>> PredicateCache::LookupOrPopulate(
     auto result = EntryScanSetLocked(fingerprint, table);
     if (result.has_value()) {
       ++hits_;
+      GetCacheMetrics().hits->Add();
       return result;
     }
     auto it = inflight_.find(fingerprint);
@@ -71,6 +96,7 @@ std::optional<std::vector<PartitionId>> PredicateCache::LookupOrPopulate(
       auto state = std::make_shared<InFlight>();
       inflight_.emplace(fingerprint, state);
       ++misses_;
+      GetCacheMetrics().misses->Add();
       *ticket = PopulateTicket(this, fingerprint, std::move(state));
       return std::nullopt;
     }
@@ -79,6 +105,7 @@ std::optional<std::vector<PartitionId>> PredicateCache::LookupOrPopulate(
     // ownership).
     if (!waited) {
       ++coalesced_waits_;
+      GetCacheMetrics().coalesced_waits->Add();
       waited = true;
     }
     std::shared_ptr<InFlight> state = it->second;

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/trace.h"
+#include "exec/profile.h"
+
 namespace snowprune {
 
 const char* ToString(AggFunc func) {
@@ -361,7 +364,16 @@ void HashAggregateOp::PublishGroupBoundary() {
 }
 
 bool HashAggregateOp::Next(Batch* out) {
+  if (profile_ == nullptr) return NextInner(out);
+  return ProfiledNext(
+      profile_, [&] { return NextInner(out); },
+      [&] { return static_cast<int64_t>(out->rows.size()); });
+}
+
+bool HashAggregateOp::NextInner(Batch* out) {
   if (emitted_) return false;
+  // Accumulate-everything-then-emit is the pipeline break; span it whole.
+  ScopedSpan drain_span(trace_, "agg.drain", trace_parent_);
   if (parallel_path_) {
     TableScanOp::MorselPayload payload;
     while (scan_input_->NextPayload(&payload)) {

@@ -60,6 +60,8 @@ class HashAggregateOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
 
  private:
+  bool NextInner(Batch* out);
+
   struct GroupState {
     Row key;
     std::vector<Value> min_max;   ///< Running min/max per aggregate slot.

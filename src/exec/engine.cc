@@ -6,7 +6,9 @@
 
 #include "common/check.h"
 #include "common/clock.h"
+#include "common/trace.h"
 #include "exec/ops.h"
+#include "exec/profile.h"
 #include "exec/parallel/thread_pool.h"
 #include "exec/scan_op.h"
 #include "exec/topk_op.h"
@@ -102,6 +104,11 @@ struct Engine::CompileContext {
   std::vector<std::unique_ptr<TopKPruner>> pruners;
   std::vector<std::unique_ptr<FilterPruner>> runtime_filter_pruners;
   std::vector<PendingTopK> pending_topk;
+  /// Traced queries only: the profile the compiled operators meter into
+  /// (one ProfileNode per operator) and the operators that got one — the
+  /// engine hands them the trace pointer once the execute span exists.
+  QueryProfile* profile = nullptr;
+  std::vector<Operator*> profiled_ops;
   bool track_source = false;
   /// True once this compile owns a predicate-cache population ticket.
   /// Later cache-eligible scans in the same plan then use the
@@ -299,6 +306,12 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
 #endif
           auto op = std::make_unique<TableScanOp>(table, it->second,
                                                   plan->predicate, nullptr);
+          if (ctx->profile != nullptr) {
+            // Rows/batches/time only: pruning already happened (and was
+            // metered) on the coordinator, so this node claims none of it.
+            op->set_profile(ctx->profile->NewNode("Scan", plan->table));
+            ctx->profiled_ops.push_back(op.get());
+          }
           ctx->scans[plan.get()] =
               CompileContext::ScanInfo{op.get(), table, FilterPruneResult{}};
           return OperatorPtr(std::move(op));
@@ -341,6 +354,17 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
             std::make_unique<FilterPruner>(plan->predicate, config_.filter));
         op->AttachRuntimeFilterPruner(ctx->runtime_filter_pruners.back().get());
       }
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode("Scan", plan->table);
+        // Compile-time pruning attribution: this scan's share of the
+        // query-wide counters bumped above. Runtime deltas flow in through
+        // the profile-stats mirror; LIMIT pruning lands here from kLimit.
+        node->pruning.total_partitions += static_cast<int64_t>(full.size());
+        node->pruning.pruned_by_filter += filter_result.pruned;
+        op->set_profile(node);
+        op->set_profile_stats(&node->pruning);
+        ctx->profiled_ops.push_back(op.get());
+      }
       if (ctx->track_source) op->set_track_source(true);
       if (auto* pending = ctx->FindPendingForScan(plan.get())) {
         op->AttachTopKPruner(pending->pruner);
@@ -361,8 +385,17 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
         Status s = BindExpr(e, input->output_schema());
         if (!s.ok()) return s;
       }
-      return OperatorPtr(std::make_unique<ProjectOp>(std::move(input),
-                                                     plan->exprs, plan->names));
+      ProfileNode* child_node = input->profile();
+      auto project = std::make_unique<ProjectOp>(std::move(input), plan->exprs,
+                                                 plan->names);
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode(
+            "Project", std::to_string(plan->exprs.size()) + " exprs");
+        if (child_node != nullptr) node->children.push_back(child_node);
+        project->set_profile(node);
+        ctx->profiled_ops.push_back(project.get());
+      }
+      return OperatorPtr(std::move(project));
     }
 
     case PlanNode::Kind::kLimit: {
@@ -381,11 +414,27 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
               plan->limit_k + plan->limit_offset);
           info.op->ReplaceScanSet(res.scan_set);
           ctx->stats.pruned_by_limit += res.pruned;
+          // LIMIT pruning acts on the target scan's partitions, so the
+          // profile charges it to that source node (keeping the per-node
+          // sum reconcilable against the query's PruningStats).
+          if (info.op->profile() != nullptr) {
+            info.op->profile()->pruning.pruned_by_limit += res.pruned;
+          }
           ctx->result->limit_class = MapOutcome(res.outcome);
         }
       }
-      return OperatorPtr(std::make_unique<LimitOp>(
-          std::move(input), plan->limit_k, plan->limit_offset));
+      ProfileNode* child_node = input->profile();
+      auto limit = std::make_unique<LimitOp>(std::move(input), plan->limit_k,
+                                             plan->limit_offset);
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode(
+            "Limit", "k=" + std::to_string(plan->limit_k) + " offset=" +
+                         std::to_string(plan->limit_offset));
+        if (child_node != nullptr) node->children.push_back(child_node);
+        limit->set_profile(node);
+        ctx->profiled_ops.push_back(limit.get());
+      }
+      return OperatorPtr(std::move(limit));
     }
 
     case PlanNode::Kind::kTopK: {
@@ -493,10 +542,19 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
           }
         }
       }
+      ProfileNode* child_node = input->profile();
       auto topk = std::make_unique<TopKOp>(std::move(input), idx.value(),
                                            plan->descending, plan->limit_k,
                                            publisher);
       ctx->topk_ops.push_back(topk.get());
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode(
+            "TopK", plan->order_column + " k=" + std::to_string(plan->limit_k) +
+                        (plan->descending ? " desc" : " asc"));
+        if (child_node != nullptr) node->children.push_back(child_node);
+        topk->set_profile(node);
+        ctx->profiled_ops.push_back(topk.get());
+      }
       if (cache_eligible) {
         // Record contributions post-execution; stash what we need. Insert
         // publishes the coalesced population; if the hook is destroyed
@@ -521,9 +579,18 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
       if (!idx.has_value()) {
         return Status::NotFound("no order column " + plan->order_column);
       }
+      ProfileNode* child_node = input->profile();
       auto sort = std::make_unique<SortOp>(std::move(input), idx.value(),
                                            plan->descending);
       ctx->sort_ops.push_back(sort.get());
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode(
+            "Sort",
+            plan->order_column + (plan->descending ? " desc" : " asc"));
+        if (child_node != nullptr) node->children.push_back(child_node);
+        sort->set_profile(node);
+        ctx->profiled_ops.push_back(sort.get());
+      }
       return OperatorPtr(std::move(sort));
     }
 
@@ -539,10 +606,19 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
       if (auto* pending = ctx->FindPendingForJoinBuild(plan.get())) {
         auto idx = build->output_schema().FindColumn(pending->scan_column);
         if (idx.has_value()) {
+          ProfileNode* build_node = build->profile();
           auto replicated = std::make_unique<TopKOp>(
               std::move(build), idx.value(), pending->descending, pending->k,
               pending->pruner);
           ctx->topk_ops.push_back(replicated.get());
+          if (ctx->profile != nullptr) {
+            ProfileNode* node = ctx->profile->NewNode(
+                "TopK", pending->scan_column + " k=" +
+                            std::to_string(pending->k) + " (replicated)");
+            if (build_node != nullptr) node->children.push_back(build_node);
+            replicated->set_profile(node);
+            ctx->profiled_ops.push_back(replicated.get());
+          }
           build = std::move(replicated);
         }
       }
@@ -558,11 +634,23 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
       jcfg.summary_kind = config_.join_summary_kind;
       jcfg.summary_budget_bytes = config_.join_summary_budget_bytes;
       jcfg.row_level_bloom = config_.join_row_level_bloom;
+      ProfileNode* probe_node = probe->profile();
+      ProfileNode* build_child_node = build->profile();
       auto join = std::make_unique<HashJoinOp>(std::move(probe),
                                                std::move(build), pidx.value(),
                                                bidx.value(), plan->join_kind,
                                                jcfg);
       ctx->join_ops.push_back(join.get());
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode(
+            "HashJoin", plan->left_key + "=" + plan->right_key);
+        if (probe_node != nullptr) node->children.push_back(probe_node);
+        if (build_child_node != nullptr) {
+          node->children.push_back(build_child_node);
+        }
+        join->set_profile(node);
+        ctx->profiled_ops.push_back(join.get());
+      }
       // §6: wire the probe-side scan for partition-level summary pruning.
       // Not for probe-preserved (LEFT OUTER) joins: their unmatched probe
       // rows are emitted null-padded, so a probe partition that cannot
@@ -610,9 +698,19 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
         }
         aggs.push_back(std::move(a));
       }
+      ProfileNode* child_node = input->profile();
       auto agg = std::make_unique<HashAggregateOp>(
           std::move(input), std::move(group_cols), std::move(aggs));
       ctx->agg_ops[plan.get()] = agg.get();
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode(
+            "HashAggregate",
+            "groups=" + std::to_string(plan->group_columns.size()) +
+                " aggs=" + std::to_string(plan->aggregates.size()));
+        if (child_node != nullptr) node->children.push_back(child_node);
+        agg->set_profile(node);
+        ctx->profiled_ops.push_back(agg.get());
+      }
       return OperatorPtr(std::move(agg));
     }
   }
@@ -636,6 +734,19 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan,
   ctx.opts = &opts;
   post_run_hooks_.clear();
 
+  // Traced execution: the whole call becomes one "query" span with compile
+  // and execute children, and the compiled operators meter themselves into
+  // a QueryProfile. Untraced queries skip every site on a null test.
+  ScopedSpan query_span(opts.trace, "query");
+  std::shared_ptr<QueryProfile> profile;
+  if (opts.trace != nullptr) {
+    profile = std::make_shared<QueryProfile>();
+    ctx.profile = profile.get();
+  }
+  const uint32_t compile_span =
+      opts.trace != nullptr ? opts.trace->BeginSpan("compile", query_span.id())
+                            : 0;
+
   // Snapshot every referenced table once: DML (ReplaceTable/DropTable) that
   // lands after this point does not affect this query. An injected snapshot
   // (shard sub-queries) extends the same guarantee across a whole scatter.
@@ -646,6 +757,16 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan,
   }
 
   auto compiled = Compile(plan, &ctx);
+  if (opts.trace != nullptr) {
+    // Compile-time pruning decisions, readable straight off the span.
+    opts.trace->AnnotateInt(compile_span, "total_partitions",
+                            ctx.stats.total_partitions);
+    opts.trace->AnnotateInt(compile_span, "pruned_by_filter",
+                            ctx.stats.pruned_by_filter);
+    opts.trace->AnnotateInt(compile_span, "pruned_by_limit",
+                            ctx.stats.pruned_by_limit);
+    opts.trace->EndSpan(compile_span);
+  }
   if (!compiled.ok()) {
     // Dropping the hooks releases any coalescing ticket a partial compile
     // acquired, so cache waiters are never stranded by a failed query.
@@ -717,6 +838,17 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan,
         static_cast<int64_t>(info.op->scan_set().SerializedBytes());
   }
 
+  // The execute span parents every operator-recorded span: pipeline-breaker
+  // drains, join builds, and the workers' morsel spans (merged at delivery).
+  // Handing the trace to the operators must precede Open() — scans snapshot
+  // the pointer before their schedulers start fanning out.
+  ScopedSpan exec_span(opts.trace, "execute", query_span.id());
+  if (opts.trace != nullptr) {
+    for (Operator* op : ctx.profiled_ops) {
+      op->set_trace(opts.trace, exec_span.id());
+    }
+  }
+
   auto t0 = std::chrono::steady_clock::now();
   root->Open();
   Batch batch;
@@ -743,6 +875,30 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan,
   // Debug-build soundness audit: no pruning level may claim more partitions
   // than the query had (see PruningStats::DCheckInvariants).
   result.stats.DCheckInvariants();
+
+  if (profile != nullptr) {
+    profile->root = root->profile();
+    profile->stage_tasks = opts.trace->stage_tasks();
+    profile->barrier_tasks = opts.trace->barrier_tasks();
+    result.profile = profile;
+#if SNOW_DCHECK_IS_ON
+    if (opts.scan_sets == nullptr) {
+      // Per-node attribution must reconcile exactly: the profile's summed
+      // pruning counters are the query's PruningStats, redistributed over
+      // the source nodes. (Scan-set overrides skip compile-time metering —
+      // the coordinator accounts the whole sharded query itself.)
+      const PruningStats sum = profile->SumPruning();
+      SNOW_DCHECK_EQ(sum.total_partitions, result.stats.total_partitions);
+      SNOW_DCHECK_EQ(sum.pruned_by_filter, result.stats.pruned_by_filter);
+      SNOW_DCHECK_EQ(sum.pruned_by_limit, result.stats.pruned_by_limit);
+      SNOW_DCHECK_EQ(sum.pruned_by_join, result.stats.pruned_by_join);
+      SNOW_DCHECK_EQ(sum.pruned_by_topk, result.stats.pruned_by_topk);
+      SNOW_DCHECK_EQ(sum.scanned_partitions, result.stats.scanned_partitions);
+      SNOW_DCHECK_EQ(sum.scanned_rows, result.stats.scanned_rows);
+      SNOW_DCHECK_EQ(sum.speculative_loads, result.stats.speculative_loads);
+    }
+#endif
+  }
   return result;
 }
 

@@ -123,6 +123,9 @@ enum class LimitClassification {
 
 const char* ToString(LimitClassification c);
 
+class QueryProfile;
+class Trace;
+
 /// Everything a query execution reports back.
 struct QueryResult {
   std::vector<Row> rows;
@@ -139,6 +142,10 @@ struct QueryResult {
   /// partition ids — the shard coordinator uses it to split `rows` back
   /// into per-partition fragments without any row-level provenance.
   std::vector<size_t> batch_rows;
+  /// EXPLAIN ANALYZE-style per-operator report. Built only for traced
+  /// executions (ExecuteOptions::trace set); null otherwise. Shared so the
+  /// service can keep it on the query handle after the result moves on.
+  std::shared_ptr<QueryProfile> profile;
 };
 
 /// Per-call execution options (the plain Execute(plan, cancel) overload is
@@ -162,6 +169,12 @@ struct ExecuteOptions {
   const std::map<std::string, ScanSet>* scan_sets = nullptr;
   /// Record QueryResult::batch_rows.
   bool collect_batch_rows = false;
+  /// Per-query trace (caller-owned, one query at a time). When set, the
+  /// engine records compile/execute spans, operators meter themselves into
+  /// a QueryProfile attached to the result, and pool workers record morsel
+  /// spans (merged at delivery). Null — the default — skips every metering
+  /// site on its first branch.
+  Trace* trace = nullptr;
 };
 
 /// Compiles and executes plans against a catalog, applying the paper's four

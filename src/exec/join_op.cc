@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
 #include "exec/parallel/pipeline.h"
+#include "exec/profile.h"
 
 namespace snowprune {
 
@@ -45,7 +47,8 @@ void JoinHashTable::BuildSerial(const std::vector<Entry>& entries) {
 
 void JoinHashTable::BuildParallel(const std::vector<Entry>& entries,
                                   ThreadPool* pool, size_t window,
-                                  const std::atomic<bool>* cancel) {
+                                  const std::atomic<bool>* cancel,
+                                  Trace* trace) {
   // Partitioned stable counting sort. The bucket index's HIGH bits pick one
   // of kParts contiguous bucket ranges, so grouping by partition first and
   // by bucket second (phase C) yields exactly the serial layout. Stability
@@ -75,7 +78,7 @@ void JoinHashTable::BuildParallel(const std::vector<Entry>& entries,
         const size_t hi = std::min(entries.size(), lo + chunk_len);
         for (size_t i = lo; i < hi; ++i) ++h[part_of(entries[i])];
       },
-      cancel);
+      cancel, trace);
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
 
   // Per-(chunk, partition) write cursors: partitions laid out in order,
@@ -106,7 +109,7 @@ void JoinHashTable::BuildParallel(const std::vector<Entry>& entries,
           staging[cursor[part_of(entries[i])]++] = entries[i];
         }
       },
-      cancel);
+      cancel, trace);
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
 
   // Phase C: per partition, counting-sort its staging slice by bucket into
@@ -134,12 +137,13 @@ void JoinHashTable::BuildParallel(const std::vector<Entry>& entries,
                         first_bucket]++] = staging[i];
         }
       },
-      cancel);
+      cancel, trace);
   offsets_[num_buckets] = static_cast<uint32_t>(entries.size());
 }
 
 void JoinHashTable::Build(std::vector<Entry> entries, ThreadPool* pool,
-                          size_t window, const std::atomic<bool>* cancel) {
+                          size_t window, const std::atomic<bool>* cancel,
+                          Trace* trace) {
   Clear();
   if (entries.empty()) return;
   const size_t num_buckets = NextPow2(entries.size());
@@ -148,7 +152,7 @@ void JoinHashTable::Build(std::vector<Entry> entries, ThreadPool* pool,
   slots_.resize(entries.size());
   if (pool != nullptr && pool->num_threads() > 1 &&
       entries.size() >= kParallelTableBuildMin && num_buckets >= 256) {
-    BuildParallel(entries, pool, window, cancel);
+    BuildParallel(entries, pool, window, cancel, trace);
   } else {
     BuildSerial(entries);
   }
@@ -254,6 +258,9 @@ HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build, size_t probe_key,
 }
 
 void HashJoinOp::Open() {
+  // One span over the whole pipeline-breaking build phase: drain build
+  // side, construct the hash table, build + ship the §6 summary.
+  ScopedSpan build_span(trace_, "join.build", trace_parent_);
   build_rows_.clear();
   build_batches_.clear();
   build_refs_.clear();
@@ -354,10 +361,12 @@ void HashJoinOp::Open() {
   }
   build_->Close();
   build_matched_.assign(BuildSize(), false);
+  build_span.AnnotateInt("build_rows", static_cast<int64_t>(BuildSize()));
   hash_table_.Build(std::move(entries),
                     parallel_build ? build_scan->pool() : nullptr,
                     parallel_build ? build_scan->morsel_window() : 0,
-                    parallel_build ? build_scan->cancel_flag() : nullptr);
+                    parallel_build ? build_scan->cancel_flag() : nullptr,
+                    trace_);
 
   // --- Ship the summary to the probe side (§6.1 steps 2-4).
   if (config_.enable_partition_pruning) {
@@ -438,6 +447,13 @@ bool HashJoinOp::ProbeHash(uint64_t hash, Batch* out,
 }
 
 bool HashJoinOp::Next(Batch* out) {
+  if (profile_ == nullptr) return NextInner(out);
+  return ProfiledNext(
+      profile_, [&] { return NextInner(out); },
+      [&] { return static_cast<int64_t>(out->rows.size()); });
+}
+
+bool HashJoinOp::NextInner(Batch* out) {
   if (probe_columnar_ != nullptr) {
     // Columnar probe: the scan's selection vector drives the per-row
     // probes; only surviving output rows are boxed, here at the join's

@@ -38,8 +38,11 @@ class JoinHashTable {
   /// `window` (the owning query's morsel budget); the resulting layout is
   /// byte-identical to the serial construction. `cancel` aborts the fan-out
   /// early (the table is then unusable, but the query is being torn down).
+  /// `trace`, when set, receives the fan-out's per-query barrier-task
+  /// counts.
   void Build(std::vector<Entry> entries, ThreadPool* pool = nullptr,
-             size_t window = 0, const std::atomic<bool>* cancel = nullptr);
+             size_t window = 0, const std::atomic<bool>* cancel = nullptr,
+             Trace* trace = nullptr);
 
   void Clear();
 
@@ -60,7 +63,8 @@ class JoinHashTable {
  private:
   void BuildSerial(const std::vector<Entry>& entries);
   void BuildParallel(const std::vector<Entry>& entries, ThreadPool* pool,
-                     size_t window, const std::atomic<bool>* cancel);
+                     size_t window, const std::atomic<bool>* cancel,
+                     Trace* trace);
 
   size_t mask_ = 0;
   /// offsets_[b] .. offsets_[b+1] is bucket b's slice of slots_.
@@ -134,6 +138,8 @@ class HashJoinOp : public Operator {
   int64_t hash_probes() const { return hash_probes_; }
 
  private:
+  bool NextInner(Batch* out);
+
   /// Locator of one build-side row inside build_batches_ (columnar build).
   struct BuildRef {
     uint32_t batch;

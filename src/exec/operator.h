@@ -1,12 +1,16 @@
 #ifndef SNOWPRUNE_EXEC_OPERATOR_H_
 #define SNOWPRUNE_EXEC_OPERATOR_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "exec/batch.h"
 #include "storage/schema.h"
 
 namespace snowprune {
+
+struct ProfileNode;
+class Trace;
 
 /// Pull-based (Volcano-style, batch-at-a-time) physical operator. The batch
 /// granularity is one micro-partition, which is what lets runtime pruning
@@ -28,6 +32,23 @@ class Operator {
 
   /// The schema of produced rows.
   virtual const Schema& output_schema() const = 0;
+
+  /// Observability hooks, set by the compiler for traced queries only.
+  /// `profile` receives rows/batches/ns from the operator's instrumented
+  /// Next wrapper (and pruning counters, for source operators); `trace`
+  /// lets pipeline-breaking operators record their build/drain phases as
+  /// spans under `trace_parent`. Both null on the untraced fast path.
+  void set_profile(ProfileNode* profile) { profile_ = profile; }
+  ProfileNode* profile() const { return profile_; }
+  void set_trace(Trace* trace, uint32_t trace_parent) {
+    trace_ = trace;
+    trace_parent_ = trace_parent;
+  }
+
+ protected:
+  ProfileNode* profile_ = nullptr;
+  Trace* trace_ = nullptr;
+  uint32_t trace_parent_ = 0;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

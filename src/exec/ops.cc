@@ -6,7 +6,9 @@
 #include <memory>
 #include <string_view>
 
+#include "common/trace.h"
 #include "exec/column_batch.h"
+#include "exec/profile.h"
 #include "exec/row_eval.h"
 #include "exec/scan_op.h"
 
@@ -179,6 +181,13 @@ FilterOp::FilterOp(OperatorPtr input, ExprPtr predicate)
     : input_(std::move(input)), predicate_(std::move(predicate)) {}
 
 bool FilterOp::Next(Batch* out) {
+  if (profile_ == nullptr) return NextInner(out);
+  return ProfiledNext(
+      profile_, [&] { return NextInner(out); },
+      [&] { return static_cast<int64_t>(out->rows.size()); });
+}
+
+bool FilterOp::NextInner(Batch* out) {
   Batch in;
   while (input_->Next(&in)) {
     out->rows.clear();
@@ -217,6 +226,13 @@ ProjectOp::ProjectOp(OperatorPtr input, std::vector<ExprPtr> exprs,
 }
 
 bool ProjectOp::Next(Batch* out) {
+  if (profile_ == nullptr) return NextInner(out);
+  return ProfiledNext(
+      profile_, [&] { return NextInner(out); },
+      [&] { return static_cast<int64_t>(out->rows.size()); });
+}
+
+bool ProjectOp::NextInner(Batch* out) {
   Batch in;
   if (!input_->Next(&in)) return false;
   out->rows.clear();
@@ -242,6 +258,13 @@ void LimitOp::Open() {
 }
 
 bool LimitOp::Next(Batch* out) {
+  if (profile_ == nullptr) return NextInner(out);
+  return ProfiledNext(
+      profile_, [&] { return NextInner(out); },
+      [&] { return static_cast<int64_t>(out->rows.size()); });
+}
+
+bool LimitOp::NextInner(Batch* out) {
   const int64_t target = offset_ + k_;
   if (consumed_ >= target) return false;
   Batch in;
@@ -292,7 +315,17 @@ void SortOp::Open() {
 }
 
 bool SortOp::Next(Batch* out) {
+  if (profile_ == nullptr) return NextInner(out);
+  return ProfiledNext(
+      profile_, [&] { return NextInner(out); },
+      [&] { return static_cast<int64_t>(out->rows.size()); });
+}
+
+bool SortOp::NextInner(Batch* out) {
   if (done_) return false;
+  // The whole pipeline-breaking drain (buffer input, sort, box) happens on
+  // this first call — one span covers it.
+  ScopedSpan drain_span(trace_, "sort.drain", trace_parent_);
   if (auto* scan = dynamic_cast<TableScanOp*>(input_.get())) {
     // Columnar sort: buffer the scan's ColumnBatches (borrowed partitions,
     // alive for the query) and stable-sort an index permutation over the

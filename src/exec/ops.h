@@ -24,6 +24,8 @@ class FilterOp : public Operator {
   }
 
  private:
+  bool NextInner(Batch* out);
+
   OperatorPtr input_;
   ExprPtr predicate_;
 };
@@ -40,6 +42,8 @@ class ProjectOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
 
  private:
+  bool NextInner(Batch* out);
+
   OperatorPtr input_;
   std::vector<ExprPtr> exprs_;
   Schema schema_;
@@ -60,6 +64,8 @@ class LimitOp : public Operator {
   }
 
  private:
+  bool NextInner(Batch* out);
+
   OperatorPtr input_;
   int64_t k_;
   int64_t offset_;
@@ -94,6 +100,8 @@ class SortOp : public Operator {
   }
 
  private:
+  bool NextInner(Batch* out);
+
   OperatorPtr input_;
   size_t order_column_;
   bool descending_;

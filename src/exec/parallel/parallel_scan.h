@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/trace.h"
 #include "core/pruning_stats.h"
 #include "exec/column_batch.h"
 #include "exec/parallel/thread_pool.h"
@@ -41,6 +42,11 @@ struct MorselResult {
   /// state) folded over the morsel's loaded batches when a fold is
   /// installed; the batches themselves are then cleared.
   std::shared_ptr<void> payload;
+  /// Worker-recorded trace spans for this morsel (traced queries only;
+  /// stays empty otherwise). Recorded lock-free on the worker and merged
+  /// into the query's Trace by the consumer when the morsel is delivered —
+  /// the scheduler's existing hand-off is the only synchronization.
+  SpanBuffer spans;
 };
 
 /// Fans a post-pruning scan set out across a ThreadPool, morsel-style: each

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
+#include "common/trace.h"
 
 namespace snowprune {
 
@@ -10,6 +12,20 @@ namespace {
 
 std::atomic<int64_t> g_stage_tasks{0};
 std::atomic<int64_t> g_barrier_tasks{0};
+
+// The process-wide counters double as registry gauges (the per-query view
+// lives on each traced query's Trace). Callback targets are these
+// namespace-scope atomics — immortal, so the registry's lifetime rule
+// holds trivially.
+[[maybe_unused]] const bool g_pipeline_gauges_registered = [] {
+  MetricsRegistry::Instance().RegisterCallbackGauge(
+      "pipeline.stage_tasks",
+      [] { return g_stage_tasks.load(std::memory_order_relaxed); });
+  MetricsRegistry::Instance().RegisterCallbackGauge(
+      "pipeline.barrier_tasks",
+      [] { return g_barrier_tasks.load(std::memory_order_relaxed); });
+  return true;
+}();
 
 /// Shared control block of one ParallelFor call; lives on the caller's
 /// stack — safe because the caller blocks until outstanding_ drains to
@@ -79,7 +95,7 @@ void PipelineCounters::IncBarrierTasks(int64_t n) {
 
 size_t ParallelFor(ThreadPool* pool, size_t num_tasks, size_t window,
                    const std::function<void(size_t)>& fn,
-                   const std::atomic<bool>* cancel) {
+                   const std::atomic<bool>* cancel, Trace* trace) {
   if (num_tasks == 0 || pool == nullptr) return 0;
   if (window == 0) window = pool->num_threads();
   window = std::max<size_t>(1, window);
@@ -96,6 +112,7 @@ size_t ParallelFor(ThreadPool* pool, size_t num_tasks, size_t window,
     ran = ctl.ran;
   }
   PipelineCounters::IncBarrierTasks(static_cast<int64_t>(ran));
+  if (trace != nullptr) trace->IncBarrierTasks(static_cast<int64_t>(ran));
   return ran;
 }
 

@@ -10,6 +10,8 @@
 
 namespace snowprune {
 
+class Trace;
+
 /// Process-wide observability for the task-pipeline layer (the morsel
 /// executor generalized beyond scans). Two kinds of parallel work exist:
 ///
@@ -50,9 +52,13 @@ class PipelineCounters {
 /// Must not be called from inside a pool task: a worker blocking on a
 /// barrier would deadlock a width-1 pool (the engine only calls it from
 /// consumer/driver threads).
+///
+/// `trace`, when set, additionally receives the ran count on its per-query
+/// barrier-task counter (the query-scoped view of PipelineCounters).
 size_t ParallelFor(ThreadPool* pool, size_t num_tasks, size_t window,
                    const std::function<void(size_t)>& fn,
-                   const std::atomic<bool>* cancel = nullptr);
+                   const std::atomic<bool>* cancel = nullptr,
+                   Trace* trace = nullptr);
 
 }  // namespace snowprune
 

@@ -2,7 +2,33 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace snowprune {
+
+namespace {
+
+/// Process-wide pool instruments, fetched once (registry pointers are
+/// immortal). "pool.queue_depth" is a plain up/down gauge — NOT a callback
+/// over a pool member, since pools die while the registry lives forever.
+struct PoolMetrics {
+  Counter* tasks;
+  Gauge* queue_depth;
+  Histogram* queue_us;
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics m{
+      MetricsRegistry::Instance().GetCounter("pool.tasks"),
+      MetricsRegistry::Instance().GetGauge("pool.queue_depth"),
+      MetricsRegistry::Instance().GetHistogram(
+          "pool.task_queue_us",
+          {10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0, 50000.0,
+           100000.0})};
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -22,11 +48,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  PoolMetrics& metrics = GetPoolMetrics();
   {
     MutexLock lock(&mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(
+        QueuedTask{std::move(task), std::chrono::steady_clock::now()});
     queue_high_water_ = std::max(queue_high_water_, queue_.size());
   }
+  metrics.tasks->Add();
+  metrics.queue_depth->Add(1);
   work_available_.NotifyOne();
 }
 
@@ -45,8 +75,9 @@ size_t ThreadPool::DefaultConcurrency() {
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = GetPoolMetrics();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       MutexLock lock(&mutex_);
       while (!shutting_down_ && queue_.empty()) work_available_.Wait(&mutex_);
@@ -54,7 +85,12 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    metrics.queue_depth->Add(-1);
+    metrics.queue_us->Record(
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - task.enqueued)
+            .count());
+    task.fn();
   }
 }
 

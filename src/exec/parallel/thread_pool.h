@@ -1,6 +1,7 @@
 #ifndef SNOWPRUNE_EXEC_PARALLEL_THREAD_POOL_H_
 #define SNOWPRUNE_EXEC_PARALLEL_THREAD_POOL_H_
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -56,11 +57,19 @@ class ThreadPool {
   static size_t DefaultConcurrency();
 
  private:
+  /// A queued task plus its submission time: the gap to dequeue is the
+  /// shared-queue wait, recorded into the process-wide "pool.task_queue_us"
+  /// histogram when a worker picks the task up.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop() SNOW_EXCLUDES(mutex_);
 
   mutable Mutex mutex_;
   CondVar work_available_;
-  std::deque<std::function<void()>> queue_ SNOW_GUARDED_BY(mutex_);
+  std::deque<QueuedTask> queue_ SNOW_GUARDED_BY(mutex_);
   size_t queue_high_water_ SNOW_GUARDED_BY(mutex_) = 0;
   bool shutting_down_ SNOW_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/parallel/pipeline.h"
+#include "exec/profile.h"
 #include "expr/evaluator.h"
 
 namespace snowprune {
@@ -87,6 +88,7 @@ int64_t TableScanOp::ApplyJoinSummary(const BuildSummary& summary,
   new_ids.insert(new_ids.end(), pruned.scan_set.begin(), pruned.scan_set.end());
   scan_set_ = ScanSet(std::move(new_ids));
   if (stats_ != nullptr) stats_->pruned_by_join += pruned.pruned;
+  if (profile_stats_ != nullptr) profile_stats_->pruned_by_join += pruned.pruned;
   return pruned.pruned;
 }
 
@@ -139,6 +141,11 @@ MorselResult TableScanOp::ProcessMorsel(size_t morsel_index) {
   thread_local EvalScratch worker_scratch;
   MorselResult result;
   const auto range = morsel_ranges_[morsel_index];
+  // Traced queries: the morsel's whole worker-side life becomes one span in
+  // the result's buffer — recorded lock-free here, merged by the consumer
+  // at delivery. trace_ is set before Open() and read-only on workers.
+  const uint32_t morsel_span =
+      trace_ != nullptr ? result.spans.Begin("scan.morsel") : 0;
   result.items.resize(range.second - range.first);
   for (size_t pos = range.first; pos < range.second; ++pos) {
     if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
@@ -158,11 +165,35 @@ MorselResult TableScanOp::ProcessMorsel(size_t morsel_index) {
     // the consumer, so stage outputs compose exactly like serial execution.
     morsel_stage_(&result);
     PipelineCounters::IncStageTasks();
+    // The per-query view of the same counter: an atomic on the Trace, the
+    // one Trace member workers may touch.
+    if (trace_ != nullptr) trace_->IncStageTasks();
+  }
+  if (trace_ != nullptr) {
+    int64_t scanned = 0;
+    int64_t rows = 0;
+    for (const MorselItem& item : result.items) {
+      scanned += item.stats.scanned_partitions;
+      rows += item.stats.scanned_rows;
+    }
+    result.spans.AnnotateInt(morsel_span, "partitions",
+                             static_cast<int64_t>(result.items.size()));
+    result.spans.AnnotateInt(morsel_span, "scanned", scanned);
+    result.spans.AnnotateInt(morsel_span, "rows", rows);
+    result.spans.End(morsel_span);
   }
   return result;
 }
 
 bool TableScanOp::NextColumns(ColumnBatch* out, MorselPayload* item_payload) {
+  if (profile_ == nullptr) return NextColumnsInner(out, item_payload);
+  return ProfiledNext(
+      profile_, [&] { return NextColumnsInner(out, item_payload); },
+      [&] { return static_cast<int64_t>(out->num_rows()); });
+}
+
+bool TableScanOp::NextColumnsInner(ColumnBatch* out,
+                                   MorselPayload* item_payload) {
   out->Clear();
   if (item_payload != nullptr) item_payload->reset();
   if (Cancelled()) return false;
@@ -192,6 +223,7 @@ bool TableScanOp::NextColumns(ColumnBatch* out, MorselPayload* item_payload) {
         // Per-partition stats merge on the consumer thread, in scan-set
         // order.
         if (stats_ != nullptr) stats_->Merge(item.stats);
+        if (profile_stats_ != nullptr) profile_stats_->Merge(item.stats);
         if (!item.loaded) continue;
         *out = std::move(item.batch);
         if (item_payload != nullptr) *item_payload = std::move(item.payload);
@@ -199,13 +231,27 @@ bool TableScanOp::NextColumns(ColumnBatch* out, MorselPayload* item_payload) {
       }
       if (Cancelled()) return false;
       if (!scheduler_->Next(&current_morsel_)) return false;
+      if (trace_ != nullptr && !current_morsel_.spans.empty()) {
+        trace_->MergeBuffer(&current_morsel_.spans, trace_parent_);
+      }
       item_cursor_ = 0;
     }
   }
   while (cursor_ < scan_set_.size()) {
     if (Cancelled()) return false;
     PartitionId pid = scan_set_[cursor_++];
-    if (ScanPartition(pid, out, stats_, &eval_scratch_)) return true;
+    if (profile_stats_ == nullptr) {
+      if (ScanPartition(pid, out, stats_, &eval_scratch_)) return true;
+    } else {
+      // Profiled serial path: meter into a local delta, then fan it out to
+      // the query stats and the profile node — the unprofiled branch above
+      // stays byte-identical to what it always was.
+      PruningStats delta;
+      const bool loaded = ScanPartition(pid, out, &delta, &eval_scratch_);
+      if (stats_ != nullptr) stats_->Merge(delta);
+      profile_stats_->Merge(delta);
+      if (loaded) return true;
+    }
   }
   return false;
 }
@@ -224,9 +270,13 @@ bool TableScanOp::Next(Batch* out) {
 bool TableScanOp::NextPayload(MorselPayload* out) {
   while (scheduler_ != nullptr && !Cancelled() &&
          scheduler_->Next(&current_morsel_)) {
+    if (trace_ != nullptr && !current_morsel_.spans.empty()) {
+      trace_->MergeBuffer(&current_morsel_.spans, trace_parent_);
+    }
     for (MorselItem& item : current_morsel_.items) {
       ++cursor_;
       if (stats_ != nullptr) stats_->Merge(item.stats);
+      if (profile_stats_ != nullptr) profile_stats_->Merge(item.stats);
     }
     // Folded scans never have a top-k pruner attached (the aggregate only
     // fuses without one), so no delivery-time re-check is needed here.

@@ -147,6 +147,12 @@ class TableScanOp : public Operator {
 
   const ScanSet& scan_set() const { return scan_set_; }
   const std::shared_ptr<Table>& table() const { return table_; }
+
+  /// Profiling hook (traced queries only): a second PruningStats that
+  /// receives exactly the runtime deltas this scan contributes to the
+  /// query's stats_, attributed to this scan's profile node. Kept separate
+  /// from stats_ so the untraced path's metering code is byte-unchanged.
+  void set_profile_stats(PruningStats* stats) { profile_stats_ = stats; }
   /// Observability: how many morsels the last Open() planned (parallel
   /// mode; 0 before Open or in serial mode).
   size_t num_morsels() const { return morsel_ranges_.size(); }
@@ -158,6 +164,8 @@ class TableScanOp : public Operator {
   const std::atomic<bool>* cancel_flag() const { return cancel_; }
 
  private:
+  /// NextColumns minus the profile wrapper.
+  bool NextColumnsInner(ColumnBatch* out, MorselPayload* item_payload);
   /// Worker body: prune checks + load + vectorized filter for every
   /// partition in morsel `morsel_index`'s scan-set range.
   MorselResult ProcessMorsel(size_t morsel_index);
@@ -179,6 +187,7 @@ class TableScanOp : public Operator {
   ScanSet scan_set_;
   ExprPtr filter_;
   PruningStats* stats_;
+  PruningStats* profile_stats_ = nullptr;
   TopKPruner* topk_pruner_ = nullptr;
   FilterPruner* runtime_filter_pruner_
       SNOW_PT_GUARDED_BY(runtime_prune_mutex_) = nullptr;

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <memory>
 
+#include "common/trace.h"
 #include "exec/column_batch.h"
+#include "exec/profile.h"
 
 namespace snowprune {
 
@@ -270,7 +272,17 @@ bool TopKOp::EmitHeap(Batch* out) {
 }
 
 bool TopKOp::Next(Batch* out) {
+  if (profile_ == nullptr) return NextInner(out);
+  return ProfiledNext(
+      profile_, [&] { return NextInner(out); },
+      [&] { return static_cast<int64_t>(out->rows.size()); });
+}
+
+bool TopKOp::NextInner(Batch* out) {
   if (emitted_) return false;
+  // The heap consume is the pipeline break; one span covers it plus the
+  // final best-first emit.
+  ScopedSpan drain_span(trace_, "topk.drain", trace_parent_);
   if (columnar_input_ != nullptr) {
     ConsumeColumns();
   } else {

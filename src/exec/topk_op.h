@@ -73,6 +73,8 @@ class TopKOp : public Operator {
   }
 
  private:
+  bool NextInner(Batch* out);
+
   struct HeapRow {
     Row row;
     PartitionId source;

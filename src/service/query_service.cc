@@ -4,9 +4,43 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/metrics.h"
+#include "exec/profile.h"
 
 namespace snowprune {
 namespace service {
+
+namespace {
+
+/// Process-wide service instruments (one registry entry covers every
+/// QueryService instance; the per-instance view is ServiceStats).
+struct ServiceMetrics {
+  Counter* submitted;
+  Counter* rejected;
+  Counter* completed;
+  Counter* failed;
+  Counter* cancelled;
+  Histogram* queue_ms;
+  Histogram* exec_ms;
+};
+
+ServiceMetrics& GetServiceMetrics() {
+  static ServiceMetrics m{
+      MetricsRegistry::Instance().GetCounter("service.submitted"),
+      MetricsRegistry::Instance().GetCounter("service.rejected"),
+      MetricsRegistry::Instance().GetCounter("service.completed"),
+      MetricsRegistry::Instance().GetCounter("service.failed"),
+      MetricsRegistry::Instance().GetCounter("service.cancelled"),
+      MetricsRegistry::Instance().GetHistogram(
+          "service.queue_ms",
+          {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0}),
+      MetricsRegistry::Instance().GetHistogram(
+          "service.exec_ms",
+          {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0})};
+  return m;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Handle
@@ -43,6 +77,16 @@ std::chrono::steady_clock::time_point QueryService::Handle::done_at() const {
 
 void QueryService::Handle::Cancel() {
   if (state_) state_->cancel.store(true, std::memory_order_release);
+}
+
+const Trace* QueryService::Handle::trace() const {
+  return state_ ? state_->trace.get() : nullptr;
+}
+
+std::shared_ptr<const QueryProfile> QueryService::Handle::profile() const {
+  if (!state_) return nullptr;
+  MutexLock lock(&state_->mutex);
+  return state_->profile;
 }
 
 // ---------------------------------------------------------------------------
@@ -114,6 +158,7 @@ void QueryService::Finish(const std::shared_ptr<Handle::State>& state,
                           Result<QueryResult> result, double queue_ms) {
   {
     MutexLock lock(&state->mutex);
+    if (result.ok()) state->profile = result.value().profile;
     state->result = std::move(result);
     state->queue_ms = queue_ms;
     state->done_at = std::chrono::steady_clock::now();
@@ -137,10 +182,19 @@ Result<QueryService::Handle> QueryService::Submit(PlanPtr plan) {
     if (config_.queue_capacity > 0 &&
         queue_.size() >= config_.queue_capacity) {
       ++stats_.rejected;
+      GetServiceMetrics().rejected->Add();
       return Status::ResourceExhausted("admission queue full");
+    }
+    // Trace sampling: every trace_every-th admitted query (the first one
+    // included) carries a Trace; the driver threads the pointer through to
+    // the engine / coordinator.
+    if (config_.trace_every > 0 &&
+        stats_.submitted % static_cast<int64_t>(config_.trace_every) == 0) {
+      task.state->trace = std::make_unique<Trace>();
     }
     queue_.push_back(std::move(task));
     ++stats_.submitted;
+    GetServiceMetrics().submitted->Add();
     stats_.peak_queue_depth = std::max(
         stats_.peak_queue_depth, static_cast<int64_t>(queue_.size()));
   }
@@ -177,24 +231,40 @@ void QueryService::DriverLoop(size_t driver_index) {
     // A query cancelled while still queued is finished without executing;
     // an executing one polls the flag through its engine and aborts at the
     // next scan delivery.
-    Result<QueryResult> result =
-        task.state->cancel.load(std::memory_order_acquire)
-            ? Result<QueryResult>(
-                  Status::Cancelled("query cancelled while queued"))
-            : (coordinator != nullptr
-                   ? coordinator->Execute(task.plan, &task.state->cancel)
-                   : engine->Execute(task.plan, &task.state->cancel));
+    Trace* trace = task.state->trace.get();
+    const auto exec_t0 = std::chrono::steady_clock::now();
+    Result<QueryResult> result = [&]() -> Result<QueryResult> {
+      if (task.state->cancel.load(std::memory_order_acquire)) {
+        return Status::Cancelled("query cancelled while queued");
+      }
+      if (coordinator != nullptr) {
+        return coordinator->Execute(task.plan, &task.state->cancel, trace);
+      }
+      ExecuteOptions opts;
+      opts.cancel = &task.state->cancel;
+      opts.trace = trace;
+      return engine->Execute(task.plan, opts);
+    }();
+    const double exec_ms = MsSince(exec_t0);
+    ServiceMetrics& metrics = GetServiceMetrics();
+    metrics.completed->Add();
+    metrics.queue_ms->Record(queue_ms);
+    metrics.exec_ms->Record(exec_ms);
     {
       // Completion counters settle before the waiter is released, so a
       // client reading stats() right after Await() sees its own query
       // completed...
       MutexLock lock(&mutex_);
       ++stats_.completed;
+      stats_.queue_wait_ms.Add(queue_ms);
+      stats_.exec_ms.Add(exec_ms);
       if (!result.ok()) {
         if (result.status().code() == StatusCode::kCancelled) {
           ++stats_.cancelled;
+          metrics.cancelled->Add();
         } else {
           ++stats_.failed;
+          metrics.failed->Add();
         }
       }
     }

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/stats_collector.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "exec/engine.h"
 #include "exec/parallel/thread_pool.h"
 #include "shard/coordinator.h"
@@ -52,6 +54,11 @@ struct QueryServiceConfig {
   size_t num_shards = 1;
   /// Partition placement when num_shards > 1.
   shard::ShardPolicy shard_policy = shard::ShardPolicy::kRange;
+  /// Trace sampling: every `trace_every`-th submitted query (the first one
+  /// included) executes with a per-query Trace and gets an EXPLAIN ANALYZE
+  /// profile attached to its handle. 1 traces every query; 0 (default)
+  /// traces none — the untraced path skips every metering site.
+  size_t trace_every = 0;
   /// Template for the per-driver engines. `exec.pool`, `exec.num_threads`
   /// and (unless explicitly set) `exec.morsel_window` are overridden by the
   /// service; everything else (pruning toggles, predicate cache, ...)
@@ -74,6 +81,11 @@ struct ServiceStats {
   /// budget is meant to bound. Sampled inside ThreadPool::Submit, so no
   /// backlog spike can dodge it.
   int64_t peak_pool_queue_depth = 0;
+  /// Per-query latency distributions (every completed query contributes,
+  /// traced or not): admission-queue wait and engine execution time. Use
+  /// Percentile(p) for p50/p95/p99 tail reporting.
+  StatsCollector queue_wait_ms;
+  StatsCollector exec_ms;
 };
 
 /// A concurrent query service: ONE shared scan-worker pool, a FIFO
@@ -126,6 +138,15 @@ class QueryService {
     /// once the query finished.
     void Cancel();
 
+    /// The query's span trace (sampled queries only; null otherwise —
+    /// see QueryServiceConfig::trace_every). Owned by the handle's shared
+    /// state. Only read it once done(): earlier reads race with the
+    /// executing driver.
+    const Trace* trace() const;
+    /// The query's EXPLAIN ANALYZE profile (sampled queries only; null
+    /// otherwise, and null for queries that failed). Valid once done().
+    std::shared_ptr<const QueryProfile> profile() const;
+
    private:
     friend class QueryService;
     /// Shared completion state. `cancel` is an atomic flag polled lock-free
@@ -141,6 +162,11 @@ class QueryService {
       std::chrono::steady_clock::time_point done_at SNOW_GUARDED_BY(mutex);
       Result<QueryResult> result SNOW_GUARDED_BY(mutex) =
           Status::Internal("pending");
+      /// Set at Submit for sampled queries, written by the executing
+      /// driver, stable (read-only) once `done` — the cv hand-off is the
+      /// synchronization edge, so no guard annotation.
+      std::unique_ptr<Trace> trace;
+      std::shared_ptr<QueryProfile> profile SNOW_GUARDED_BY(mutex);
     };
     explicit Handle(std::shared_ptr<State> state)
         : state_(std::move(state)) {}

@@ -8,9 +8,12 @@
 
 #include "common/check.h"
 #include "common/clock.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/limit_pruner.h"
 #include "exec/agg_op.h"
 #include "exec/ops.h"
+#include "exec/profile.h"
 #include "exec/topk_op.h"
 
 namespace snowprune {
@@ -44,9 +47,22 @@ class GatherSourceOp : public Operator {
     fragments_ = f;
   }
 
+  /// Profiling mirror (traced queries): receives the same deltas as
+  /// `stats_`, attributed to this node. The coordinator meters the whole
+  /// sharded query here — sub-engines run with metering off — so the
+  /// profile's summed pruning reconciles against the query's PruningStats.
+  void set_profile_stats(PruningStats* stats) { profile_stats_ = stats; }
+
   void Open() override { cursor_ = 0; }
 
   bool Next(Batch* out) override {
+    if (profile_ == nullptr) return NextInner(out);
+    return ProfiledNext(
+        profile_, [&] { return NextInner(out); },
+        [&] { return static_cast<int64_t>(out->rows.size()); });
+  }
+
+  bool NextInner(Batch* out) {
     out->rows.clear();
     out->source.clear();
     while (cursor_ < scan_set_.size()) {
@@ -55,13 +71,20 @@ class GatherSourceOp : public Operator {
         // Exactly the serial scan's pre-load check. A fragment the scatter
         // already produced for this partition was a speculative load.
         ++stats_->pruned_by_topk;
+        if (profile_stats_ != nullptr) ++profile_stats_->pruned_by_topk;
         if (fragments_ != nullptr && fragments_->count(pid) > 0) {
           ++stats_->speculative_loads;
+          if (profile_stats_ != nullptr) ++profile_stats_->speculative_loads;
         }
         continue;
       }
       ++stats_->scanned_partitions;
       stats_->scanned_rows += table_->partition_metadata(pid).row_count();
+      if (profile_stats_ != nullptr) {
+        ++profile_stats_->scanned_partitions;
+        profile_stats_->scanned_rows +=
+            table_->partition_metadata(pid).row_count();
+      }
       if (fragments_ != nullptr) {
         auto it = fragments_->find(pid);
         if (it != fragments_->end()) out->rows = std::move(it->second);
@@ -78,6 +101,7 @@ class GatherSourceOp : public Operator {
   std::shared_ptr<Table> table_;
   ScanSet scan_set_;
   PruningStats* stats_;
+  PruningStats* profile_stats_ = nullptr;
   TopKPruner* topk_pruner_ = nullptr;
   std::unordered_map<PartitionId, std::vector<Row>>* fragments_ = nullptr;
   size_t cursor_ = 0;
@@ -217,6 +241,12 @@ struct ShardCoordinator::GatherCompile {
   std::vector<uint8_t> summary_pruned;
   int64_t summary_pruned_partitions = 0;
 
+  /// Traced queries only: one ProfileNode per gather-side operator, with
+  /// every pruning counter attributed to the gather source node.
+  QueryProfile* profile = nullptr;
+  std::vector<Operator*> profiled_ops;
+  ProfileNode* gather_node = nullptr;
+
   PendingTopK* FindPendingForScan(const PlanNode* scan_node) {
     for (auto& p : pending_topk) {
       if (p.scan_node == scan_node) return &p;
@@ -322,6 +352,18 @@ Result<OperatorPtr> ShardCoordinator::CompileGather(const PlanPtr& plan,
 
       auto op = std::make_unique<GatherSourceOp>(table, filter_result.scan_set,
                                                  &ctx->stats);
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode("Gather", plan->table);
+        // Compile-time attribution: the whole sharded query's partitions
+        // and filter prunes (cross-shard exclusions included) are this
+        // node's — runtime deltas and the shard counters follow later.
+        node->pruning.total_partitions += static_cast<int64_t>(full.size());
+        node->pruning.pruned_by_filter += filter_result.pruned;
+        op->set_profile(node);
+        op->set_profile_stats(&node->pruning);
+        ctx->gather_node = node;
+        ctx->profiled_ops.push_back(op.get());
+      }
       if (auto* pending = ctx->FindPendingForScan(plan.get())) {
         op->AttachTopKPruner(pending->pruner);
         ScanSet prepared = pending->pruner->Prepare(
@@ -341,8 +383,17 @@ Result<OperatorPtr> ShardCoordinator::CompileGather(const PlanPtr& plan,
         Status s = BindExpr(e, input->output_schema());
         if (!s.ok()) return s;
       }
-      return OperatorPtr(std::make_unique<ProjectOp>(std::move(input),
-                                                     plan->exprs, plan->names));
+      ProfileNode* child_node = input->profile();
+      auto project = std::make_unique<ProjectOp>(std::move(input), plan->exprs,
+                                                 plan->names);
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode(
+            "Project", std::to_string(plan->exprs.size()) + " exprs");
+        if (child_node != nullptr) node->children.push_back(child_node);
+        project->set_profile(node);
+        ctx->profiled_ops.push_back(project.get());
+      }
+      return OperatorPtr(std::move(project));
     }
 
     case PlanNode::Kind::kLimit: {
@@ -359,11 +410,24 @@ Result<OperatorPtr> ShardCoordinator::CompileGather(const PlanPtr& plan,
               plan->limit_k + plan->limit_offset);
           ctx->gather->ReplaceScanSet(res.scan_set);
           ctx->stats.pruned_by_limit += res.pruned;
+          if (ctx->gather_node != nullptr) {
+            ctx->gather_node->pruning.pruned_by_limit += res.pruned;
+          }
           ctx->result->limit_class = MapOutcome(res.outcome);
         }
       }
-      return OperatorPtr(std::make_unique<LimitOp>(
-          std::move(input), plan->limit_k, plan->limit_offset));
+      ProfileNode* child_node = input->profile();
+      auto limit = std::make_unique<LimitOp>(std::move(input), plan->limit_k,
+                                             plan->limit_offset);
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode(
+            "Limit", "k=" + std::to_string(plan->limit_k) + " offset=" +
+                         std::to_string(plan->limit_offset));
+        if (child_node != nullptr) node->children.push_back(child_node);
+        limit->set_profile(node);
+        ctx->profiled_ops.push_back(limit.get());
+      }
+      return OperatorPtr(std::move(limit));
     }
 
     case PlanNode::Kind::kTopK: {
@@ -416,10 +480,19 @@ Result<OperatorPtr> ShardCoordinator::CompileGather(const PlanPtr& plan,
           }
         }
       }
-      return OperatorPtr(std::make_unique<TopKOp>(std::move(input),
-                                                  idx.value(),
-                                                  plan->descending,
-                                                  plan->limit_k, publisher));
+      ProfileNode* child_node = input->profile();
+      auto topk = std::make_unique<TopKOp>(std::move(input), idx.value(),
+                                           plan->descending, plan->limit_k,
+                                           publisher);
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode(
+            "TopK", plan->order_column + " k=" + std::to_string(plan->limit_k) +
+                        (plan->descending ? " desc" : " asc"));
+        if (child_node != nullptr) node->children.push_back(child_node);
+        topk->set_profile(node);
+        ctx->profiled_ops.push_back(topk.get());
+      }
+      return OperatorPtr(std::move(topk));
     }
 
     case PlanNode::Kind::kSort: {
@@ -430,9 +503,18 @@ Result<OperatorPtr> ShardCoordinator::CompileGather(const PlanPtr& plan,
       if (!idx.has_value()) {
         return Status::NotFound("no order column " + plan->order_column);
       }
-      return OperatorPtr(std::make_unique<SortOp>(std::move(input),
-                                                  idx.value(),
-                                                  plan->descending));
+      ProfileNode* child_node = input->profile();
+      auto sort = std::make_unique<SortOp>(std::move(input), idx.value(),
+                                           plan->descending);
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode(
+            "Sort",
+            plan->order_column + (plan->descending ? " desc" : " asc"));
+        if (child_node != nullptr) node->children.push_back(child_node);
+        sort->set_profile(node);
+        ctx->profiled_ops.push_back(sort.get());
+      }
+      return OperatorPtr(std::move(sort));
     }
 
     case PlanNode::Kind::kAggregate: {
@@ -459,9 +541,19 @@ Result<OperatorPtr> ShardCoordinator::CompileGather(const PlanPtr& plan,
         }
         aggs.push_back(std::move(a));
       }
+      ProfileNode* child_node = input->profile();
       auto agg = std::make_unique<HashAggregateOp>(
           std::move(input), std::move(group_cols), std::move(aggs));
       ctx->agg_ops[plan.get()] = agg.get();
+      if (ctx->profile != nullptr) {
+        ProfileNode* node = ctx->profile->NewNode(
+            "HashAggregate",
+            "groups=" + std::to_string(plan->group_columns.size()) +
+                " aggs=" + std::to_string(plan->aggregates.size()));
+        if (child_node != nullptr) node->children.push_back(child_node);
+        agg->set_profile(node);
+        ctx->profiled_ops.push_back(agg.get());
+      }
       return OperatorPtr(std::move(agg));
     }
 
@@ -473,6 +565,12 @@ Result<OperatorPtr> ShardCoordinator::CompileGather(const PlanPtr& plan,
 
 Result<QueryResult> ShardCoordinator::Execute(
     const PlanPtr& plan, const std::atomic<bool>* cancel) {
+  return Execute(plan, cancel, nullptr);
+}
+
+Result<QueryResult> ShardCoordinator::Execute(const PlanPtr& plan,
+                                              const std::atomic<bool>* cancel,
+                                              Trace* trace) {
   if (!plan) return Status::InvalidArgument("null plan");
   last_exec_ = ExecInfo{};
 
@@ -482,19 +580,32 @@ Result<QueryResult> ShardCoordinator::Execute(
       config_.engine.predicate_cache == nullptr &&
       (!config_.engine.enable_filter_pruning ||
        config_.engine.filter_pruning_phase == FilterPruningPhase::kCompileTime);
-  if (!supported) return fallback_.Execute(plan, cancel);
-  return ExecuteSharded(plan, FindScan(plan), cancel);
+  if (!supported) {
+    ExecuteOptions opts;
+    opts.cancel = cancel;
+    opts.trace = trace;
+    return fallback_.Execute(plan, opts);
+  }
+  return ExecuteSharded(plan, FindScan(plan), cancel, trace);
 }
 
 Result<QueryResult> ShardCoordinator::ExecuteSharded(
     const PlanPtr& plan, const PlanNode* scan_node,
-    const std::atomic<bool>* cancel) {
+    const std::atomic<bool>* cancel, Trace* trace) {
   // Snapshot the one referenced table: the whole scatter — gather compile
   // and every shard sub-query — executes against this version, so DML
   // stays snapshot-atomic across shards.
   std::shared_ptr<Table> table = catalog_->GetTable(scan_node->table);
-  if (!table) return fallback_.Execute(plan, cancel);
+  if (!table) {
+    ExecuteOptions fopts;
+    fopts.cancel = cancel;
+    fopts.trace = trace;
+    return fallback_.Execute(plan, fopts);
+  }
   const ShardMap& map = MapFor(scan_node->table, *table);
+  static Counter* const queries_sharded =
+      MetricsRegistry::Instance().GetCounter("shard.queries_sharded");
+  queries_sharded->Add();
 
   auto t0 = std::chrono::steady_clock::now();
   QueryResult result;
@@ -504,7 +615,28 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
   ctx.map = &map;
   ctx.summary_pruned.assign(map.num_shards(), 0);
 
+  // Traced execution: the coordinator owns the "query" root span; each
+  // contacted shard's sub-query records into its own child trace, stitched
+  // under the scatter span once the scatter joins.
+  ScopedSpan query_span(trace, "query");
+  std::shared_ptr<QueryProfile> profile;
+  if (trace != nullptr) {
+    profile = std::make_shared<QueryProfile>();
+    ctx.profile = profile.get();
+  }
+  const uint32_t compile_span =
+      trace != nullptr ? trace->BeginSpan("compile", query_span.id()) : 0;
+
   auto compiled = CompileGather(plan, &ctx);
+  if (trace != nullptr) {
+    trace->AnnotateInt(compile_span, "total_partitions",
+                       ctx.stats.total_partitions);
+    trace->AnnotateInt(compile_span, "pruned_by_filter",
+                       ctx.stats.pruned_by_filter);
+    trace->AnnotateInt(compile_span, "pruned_by_limit",
+                       ctx.stats.pruned_by_limit);
+    trace->EndSpan(compile_span);
+  }
   if (!compiled.ok()) return compiled.status();
   OperatorPtr root = std::move(compiled).value();
   last_exec_.sharded = true;
@@ -540,6 +672,21 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
   ctx.stats.shards_total += static_cast<int64_t>(map.assigned_shards());
   ctx.stats.shards_pruned +=
       static_cast<int64_t>(map.assigned_shards() - contacted.size());
+  if (ctx.gather_node != nullptr) {
+    // The cross-shard level belongs to the gather source too: it is the
+    // scan-side of this query, where all partition work is accounted.
+    ctx.gather_node->pruning.shards_total +=
+        static_cast<int64_t>(map.assigned_shards());
+    ctx.gather_node->pruning.shards_pruned +=
+        static_cast<int64_t>(map.assigned_shards() - contacted.size());
+  }
+  static Counter* const scatter_fanout =
+      MetricsRegistry::Instance().GetCounter("shard.scatter_fanout");
+  static Counter* const shards_pruned_counter =
+      MetricsRegistry::Instance().GetCounter("shard.shards_pruned");
+  scatter_fanout->Add(static_cast<int64_t>(contacted.size()));
+  shards_pruned_counter->Add(
+      static_cast<int64_t>(map.assigned_shards() - contacted.size()));
 
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
     return Status::Cancelled("query cancelled before execution");
@@ -560,6 +707,18 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
   for (size_t i = 0; i < contacted.size(); ++i) {
     shard_results.emplace_back(Status::Internal("shard sub-query unrun"));
   }
+  // Traced scatter: each sub-query records into its own Trace (scatter
+  // threads never touch the parent), stitched under the scatter span after
+  // the joins below — the join is the only synchronization needed.
+  const uint32_t scatter_span =
+      trace != nullptr ? trace->BeginSpan("scatter", query_span.id()) : 0;
+  std::vector<std::unique_ptr<Trace>> shard_traces;
+  if (trace != nullptr) {
+    shard_traces.reserve(contacted.size());
+    for (size_t i = 0; i < contacted.size(); ++i) {
+      shard_traces.push_back(std::make_unique<Trace>());
+    }
+  }
   // Concurrency contract (lock-free by structure, so nothing here is
   // mutex-annotated): each scatter thread i writes only shard_results[i] —
   // pre-sized above, never resized while threads run — and reads only
@@ -575,6 +734,7 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
     opts.tables = &snapshot;
     opts.scan_sets = &overrides;
     opts.collect_batch_rows = true;
+    if (!shard_traces.empty()) opts.trace = shard_traces[i].get();
     shard_results[i] = shard_engines_[s]->Execute(sub_plan, opts);
   };
   if (contacted.size() == 1) {
@@ -592,6 +752,16 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
     }
     last_exec_.scatter_threads = threads.size();
     for (auto& t : threads) t.join();
+  }
+  if (trace != nullptr) {
+    trace->AnnotateInt(scatter_span, "fanout",
+                       static_cast<int64_t>(contacted.size()));
+    trace->AnnotateInt(scatter_span, "threads",
+                       static_cast<int64_t>(last_exec_.scatter_threads));
+    for (auto& sub_trace : shard_traces) {
+      trace->MergeChildTrace(sub_trace.get(), scatter_span);
+    }
+    trace->EndSpan(scatter_span);
   }
 
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -622,6 +792,12 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
   // Gather: replay the fragments through the real operator pipeline, in
   // global scan-set order — identical operator state evolution, identical
   // rows, identical stats.
+  ScopedSpan gather_span(trace, "gather", query_span.id());
+  if (trace != nullptr) {
+    for (Operator* op : ctx.profiled_ops) {
+      op->set_trace(trace, gather_span.id());
+    }
+  }
   root->Open();
   Batch batch;
   while (root->Next(&batch)) {
@@ -640,6 +816,31 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
   // Same soundness audit as the unsharded engine, now covering the shard
   // counters too (shards_pruned <= shards_total, etc.).
   result.stats.DCheckInvariants();
+
+  if (profile != nullptr) {
+    profile->root = root->profile();
+    // The sub-engines' pipeline-task counts were folded into this trace by
+    // MergeChildTrace, so the profile covers the whole scatter.
+    profile->stage_tasks = trace->stage_tasks();
+    profile->barrier_tasks = trace->barrier_tasks();
+    result.profile = profile;
+#if SNOW_DCHECK_IS_ON
+    // Coordinator-side reconciliation: every pruning counter — partition
+    // levels and the cross-shard level — was attributed to the gather
+    // source node, so the profile's sum is the query's stats, exactly.
+    const PruningStats sum = profile->SumPruning();
+    SNOW_DCHECK_EQ(sum.total_partitions, result.stats.total_partitions);
+    SNOW_DCHECK_EQ(sum.pruned_by_filter, result.stats.pruned_by_filter);
+    SNOW_DCHECK_EQ(sum.pruned_by_limit, result.stats.pruned_by_limit);
+    SNOW_DCHECK_EQ(sum.pruned_by_join, result.stats.pruned_by_join);
+    SNOW_DCHECK_EQ(sum.pruned_by_topk, result.stats.pruned_by_topk);
+    SNOW_DCHECK_EQ(sum.scanned_partitions, result.stats.scanned_partitions);
+    SNOW_DCHECK_EQ(sum.scanned_rows, result.stats.scanned_rows);
+    SNOW_DCHECK_EQ(sum.speculative_loads, result.stats.speculative_loads);
+    SNOW_DCHECK_EQ(sum.shards_total, result.stats.shards_total);
+    SNOW_DCHECK_EQ(sum.shards_pruned, result.stats.shards_pruned);
+#endif
+  }
   return result;
 }
 

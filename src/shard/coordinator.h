@@ -82,6 +82,16 @@ class ShardCoordinator {
   Result<QueryResult> Execute(const PlanPtr& plan,
                               const std::atomic<bool>* cancel = nullptr);
 
+  /// Traced execution: records compile/scatter/gather spans on `trace`,
+  /// gives every contacted shard's sub-query its own child trace (stitched
+  /// under the scatter span once the scatter joins), and attaches an
+  /// EXPLAIN ANALYZE profile to the result whose per-node pruning counters
+  /// — all attributed to the gather source, where the coordinator meters —
+  /// reconcile exactly against the query's PruningStats. Null `trace`
+  /// behaves like the plain overload.
+  Result<QueryResult> Execute(const PlanPtr& plan,
+                              const std::atomic<bool>* cancel, Trace* trace);
+
   const ExecInfo& last_exec() const { return last_exec_; }
   const ShardExecConfig& config() const { return config_; }
 
@@ -90,7 +100,8 @@ class ShardCoordinator {
 
   Result<QueryResult> ExecuteSharded(const PlanPtr& plan,
                                      const PlanNode* scan_node,
-                                     const std::atomic<bool>* cancel);
+                                     const std::atomic<bool>* cancel,
+                                     Trace* trace);
   Result<OperatorPtr> CompileGather(const PlanPtr& plan, GatherCompile* ctx);
   /// The cached shard map for the table version, rebuilt after DML swapped
   /// the table object (instance_id mismatch).

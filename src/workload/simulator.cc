@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -258,6 +259,21 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
   }
   for (std::thread& s : streams) s.join();
   result.wall_ms = MsSince(wall0);
+
+  if (config.print_service_stats) {
+    const service::ServiceStats stats = service->stats();
+    auto print_dist = [](const char* name, const StatsCollector& c) {
+      if (c.empty()) {
+        std::printf("service %-14s (no samples)\n", name);
+        return;
+      }
+      std::printf("service %-14s p50=%.3fms p95=%.3fms p99=%.3fms (n=%zu)\n",
+                  name, c.Percentile(50.0), c.Percentile(95.0),
+                  c.Percentile(99.0), c.count());
+    };
+    print_dist("queue_wait_ms", stats.queue_wait_ms);
+    print_dist("exec_ms", stats.exec_ms);
+  }
   return result;
 }
 

@@ -120,6 +120,12 @@ struct StreamDriverConfig {
   /// open-loop mode; each stream runs an independent Poisson process of
   /// rate offered_qps / num_streams. Ignored in closed-loop mode.
   double offered_qps = 100.0;
+  /// After the streams join, print the *service-side* latency breakdown —
+  /// p50/p95/p99 of ServiceStats::queue_wait_ms and ::exec_ms — next to the
+  /// client-observed numbers the driver already collects. The two views
+  /// bracket the admission layer: client latency minus service execution
+  /// latency is time spent queued.
+  bool print_service_stats = false;
   QueryGenerator::Config gen;
 };
 

@@ -235,6 +235,44 @@ TEST(StatsCollectorTest, PercentilesAndMean) {
   EXPECT_NEAR(c.Percentile(90), 90.1, 0.5);
 }
 
+/// One sample: every percentile (including the 0 and 100 edges) is that
+/// sample — the degenerate case the service's latency printout hits when a
+/// run completed a single query.
+TEST(StatsCollectorTest, PercentileSingleSample) {
+  StatsCollector c;
+  c.Add(7.25);
+  EXPECT_DOUBLE_EQ(c.Percentile(0), 7.25);
+  EXPECT_DOUBLE_EQ(c.Percentile(50), 7.25);
+  EXPECT_DOUBLE_EQ(c.Percentile(99), 7.25);
+  EXPECT_DOUBLE_EQ(c.Percentile(100), 7.25);
+  EXPECT_DOUBLE_EQ(c.Mean(), 7.25);
+}
+
+/// p<=0 clamps to the minimum and p>=100 to the maximum, even when asked
+/// for out-of-range percentiles.
+TEST(StatsCollectorTest, PercentileEdgeClamping) {
+  StatsCollector c;
+  c.AddAll({5, 1, 9, 3});
+  EXPECT_DOUBLE_EQ(c.Percentile(0), 1);
+  EXPECT_DOUBLE_EQ(c.Percentile(-10), 1);
+  EXPECT_DOUBLE_EQ(c.Percentile(100), 9);
+  EXPECT_DOUBLE_EQ(c.Percentile(250), 9);
+}
+
+/// Percentile sorts lazily; an Add after a Percentile query must
+/// invalidate the cached sort so later queries see the new sample.
+TEST(StatsCollectorTest, PercentileResortsAfterAdd) {
+  StatsCollector c;
+  c.AddAll({10, 20, 30});
+  EXPECT_DOUBLE_EQ(c.Percentile(100), 30);
+  c.Add(5);  // out of order vs the cached sorted copy
+  EXPECT_DOUBLE_EQ(c.Percentile(0), 5);
+  EXPECT_DOUBLE_EQ(c.Percentile(100), 30);
+  c.Add(99);
+  EXPECT_DOUBLE_EQ(c.Percentile(100), 99);
+  EXPECT_DOUBLE_EQ(c.Median(), 20);  // sorted: 5 10 20 30 99
+}
+
 TEST(StatsCollectorTest, CdfAt) {
   StatsCollector c;
   c.AddAll({1, 2, 3, 4});

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "core/filter_pruner.h"
 #include "core/limit_pruner.h"
 #include "shard/coordinator.h"
@@ -349,7 +350,7 @@ class FuzzEngine {
   Catalog* catalog() { return &catalog_; }
 
   QueryResult RunFull(const PlanPtr& plan, bool pruning, int threads,
-                      bool force_parallel = false) {
+                      bool force_parallel = false, Trace* trace = nullptr) {
     EngineConfig config;
     config.enable_filter_pruning = pruning;
     config.enable_limit_pruning = pruning;
@@ -358,7 +359,9 @@ class FuzzEngine {
     config.exec.num_threads = threads;
     config.exec.force_parallel = force_parallel;
     Engine engine(&catalog_, config);
-    auto result = engine.Execute(plan);
+    ExecuteOptions opts;
+    opts.trace = trace;
+    auto result = engine.Execute(plan, opts);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return std::move(result).value();
   }
@@ -371,14 +374,25 @@ class FuzzEngine {
   Catalog catalog_;
 };
 
-/// All-pruning-on results must be byte-identical across thread counts.
+/// All-pruning-on results must be byte-identical across thread counts —
+/// and tracing must be observation only: at every thread count, a traced
+/// run returns the same rows and the same deterministic PruningStats as
+/// the untraced run next to it.
 void ExpectParallelIdentical(FuzzEngine* engine, const PlanPtr& plan,
                              const std::vector<Row>& serial_rows,
                              const std::string& context) {
   std::string serial = Serialize(serial_rows);
   for (int threads : {2, 8}) {
-    ASSERT_EQ(serial, Serialize(engine->Run(plan, true, threads)))
+    QueryResult untraced = engine->RunFull(plan, true, threads);
+    ASSERT_EQ(serial, Serialize(untraced.rows))
         << context << ": parallel rows diverged at num_threads=" << threads;
+    Trace trace;
+    QueryResult traced =
+        engine->RunFull(plan, true, threads, false, &trace);
+    ASSERT_EQ(serial, Serialize(traced.rows))
+        << context << ": traced rows diverged at num_threads=" << threads;
+    ASSERT_EQ(testing_util::DiffStats(traced.stats, untraced.stats), "")
+        << context << ": tracing changed stats at num_threads=" << threads;
   }
 }
 
@@ -902,6 +916,12 @@ TEST(FuzzPruneTest, ShardedExecutionMatchesSerialOracle) {
           auto result = coordinator.Execute(plans[p]);
           ASSERT_TRUE(result.ok()) << ctx << ": " << result.status().ToString();
           const QueryResult& r = result.value();
+          // Traced coordinator run: same rows, same deterministic stats —
+          // tracing must be observation-only on the sharded path too.
+          Trace shard_trace;
+          auto traced = coordinator.Execute(plans[p], nullptr, &shard_trace);
+          ASSERT_TRUE(traced.ok()) << ctx << ": "
+                                   << traced.status().ToString();
           const std::string sctx = ctx + " plan " + std::to_string(p) +
                                    " shards " + std::to_string(shards) +
                                    " threads " + std::to_string(threads) +
@@ -910,6 +930,13 @@ TEST(FuzzPruneTest, ShardedExecutionMatchesSerialOracle) {
           ASSERT_EQ(Serialize(serial.rows), Serialize(r.rows)) << sctx;
           ASSERT_EQ(testing_util::DiffStats(serial.stats, r.stats), "")
               << sctx;
+          ASSERT_EQ(Serialize(r.rows), Serialize(traced.value().rows))
+              << sctx << " (traced)";
+          ASSERT_EQ(
+              testing_util::DiffStats(r.stats, traced.value().stats), "")
+              << sctx << " (traced)";
+          ASSERT_EQ(r.stats.shards_pruned, traced.value().stats.shards_pruned)
+              << sctx << " (traced)";
 
           // Shard-counter consistency against the shard map itself.
           const auto& info = coordinator.last_exec();
