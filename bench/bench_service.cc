@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/predicate_cache.h"
@@ -383,6 +384,165 @@ bool ShardPruneGuard(Catalog* catalog, JsonWriter* json) {
 }
 
 
+/// Percentile over a possibly-empty collector: an all-shed deadline rung or
+/// an all-failed injection rung has no latency samples at all.
+double PctOrZero(const StatsCollector& c, double p) {
+  return c.empty() ? 0.0 : c.Percentile(p);
+}
+
+/// Fault-injection ladder: the closed-loop production workload through a
+/// 2-shard service while shard.scatter_launch fires with probability 0 / 1%
+/// / 5% / 20%, crossed with retries off (max_attempts=1) and on. Reports
+/// goodput (ok-queries/sec), p99, retries per successful query, and the
+/// failure count. The guard is a *ratio* check, immune to machine speed:
+/// with retries on, 1% injected faults must not dent success below 99% —
+/// that is the retry overhead bound the layer promises (a 1% launch fault
+/// needs max_attempts consecutive hits to kill a query, ~1e-6) — and the
+/// 5% rung must actually observe retries, or the layer is dead. Returns
+/// false (bench exits 1) on either.
+bool FaultInjectionLadder(Catalog* catalog, JsonWriter* json) {
+  std::printf("\n--- fault-injection ladder (2 shards, "
+              "shard.scatter_launch armed, %zu queries/stream) ---\n",
+              g_queries_per_stream);
+  std::printf("%8s %8s %9s %9s %9s %8s %13s\n", "inject", "retries",
+              "goodput", "p99 ms", "ok", "failed", "retries/query");
+  MultiStreamDriver driver(catalog, {"probe_sorted", "probe_clustered",
+                                     "probe_random"},
+                           {"build_small", "build_tiny"}, ProductionModel());
+  FailPoint* fp =
+      FailPointRegistry::Instance().Register("shard.scatter_launch");
+
+  bool guard_ok = true;
+  const double kRates[] = {0.0, 0.01, 0.05, 0.20};
+  if (json != nullptr) json->Key("fault_ladder").BeginArray();
+  for (bool retries_on : {false, true}) {
+    for (double rate : kRates) {
+      service::QueryServiceConfig scfg;
+      scfg.num_threads = kPoolWidth;
+      scfg.max_in_flight = 4;
+      scfg.num_shards = 2;
+      if (!retries_on) scfg.retry.max_attempts = 1;
+      scfg.retry.base_backoff_us = 50;
+      scfg.retry.max_backoff_us = 2000;
+      service::QueryService service(catalog, scfg);
+
+      if (rate > 0.0) {
+        fp->ArmProbability(rate, /*seed=*/1234);
+      } else {
+        fp->Disarm();
+      }
+      StreamDriverConfig dcfg;
+      dcfg.num_streams = 4;
+      dcfg.queries_per_stream = g_queries_per_stream;
+      dcfg.gen.seed = 4242;
+      StreamDriverResult r = driver.Run(&service, dcfg);
+      fp->Disarm();
+
+      const double retries_per_query =
+          r.queries_ok > 0 ? static_cast<double>(r.shard_retries) /
+                                 static_cast<double>(r.queries_ok)
+                           : 0.0;
+      const int64_t finished = r.queries_ok + r.queries_failed;
+      const double success_ratio =
+          finished > 0 ? static_cast<double>(r.queries_ok) /
+                             static_cast<double>(finished)
+                       : 0.0;
+      std::printf("%7.0f%% %8s %9.0f %9.3f %9lld %8lld %13.3f\n",
+                  100.0 * rate, retries_on ? "on" : "off", r.Qps(),
+                  PctOrZero(r.latency_ms, 99.0),
+                  static_cast<long long>(r.queries_ok),
+                  static_cast<long long>(r.queries_failed),
+                  retries_per_query);
+      if (json != nullptr) {
+        json->BeginObject();
+        json->Key("inject_rate").Number(rate);
+        json->Key("retries_on").Int(retries_on ? 1 : 0);
+        json->Key("goodput_qps").Number(r.Qps());
+        json->Key("p99_ms").Number(PctOrZero(r.latency_ms, 99.0));
+        json->Key("ok").Int(r.queries_ok);
+        json->Key("failed").Int(r.queries_failed);
+        json->Key("shard_retries").Int(r.shard_retries);
+        json->Key("success_ratio").Number(success_ratio);
+        json->EndObject();
+      }
+      if (retries_on && rate == 0.01 && success_ratio < 0.99) {
+        std::printf("FAIL: 1%% injected faults with retries on dropped the "
+                    "success ratio to %.4f (< 0.99) — retries are not "
+                    "absorbing transient faults\n", success_ratio);
+        guard_ok = false;
+      }
+      if (retries_on && rate == 0.05 && r.shard_retries == 0) {
+        std::printf("FAIL: 5%% injected faults produced zero shard retries — "
+                    "the retry layer never engaged\n");
+        guard_ok = false;
+      }
+    }
+  }
+  if (json != nullptr) json->EndArray();
+  std::printf("inject = per-scatter-launch fault probability. With retries "
+              "off, every injected fault\nkills its query; with retries on, "
+              "goodput holds and the cost surfaces as retries/query.\n");
+  return guard_ok;
+}
+
+/// Deadline sweep: the same workload under per-query deadlines from
+/// generous to hopeless. Generous deadlines change nothing; tight ones
+/// convert slow queries into kDeadlineExceeded (bounded-latency shedding);
+/// an already-expired deadline sheds everything from the queue without
+/// consuming a single pool share (shed_expired == completed).
+void DeadlineSweep(Catalog* catalog, JsonWriter* json) {
+  std::printf("\n--- per-query deadline sweep (closed loop, 4 streams) ---\n");
+  std::printf("%12s %9s %9s %9s %10s %9s\n", "deadline", "ok", "deadline",
+              "shed", "goodput", "p99 ms");
+  MultiStreamDriver driver(catalog, {"probe_sorted", "probe_clustered",
+                                     "probe_random"},
+                           {"build_small", "build_tiny"}, ProductionModel());
+  struct Rung {
+    const char* label;
+    std::chrono::nanoseconds deadline;
+  };
+  const Rung rungs[] = {
+      {"none", std::chrono::nanoseconds(0)},
+      {"1s", std::chrono::seconds(1)},
+      {"5ms", std::chrono::milliseconds(5)},
+      {"1ns", std::chrono::nanoseconds(1)},  // expired at Submit: shed-only
+  };
+  if (json != nullptr) json->Key("deadline_sweep").BeginArray();
+  for (const Rung& rung : rungs) {
+    service::QueryServiceConfig scfg;
+    scfg.num_threads = kPoolWidth;
+    scfg.max_in_flight = 4;
+    scfg.default_deadline = rung.deadline;
+    service::QueryService service(catalog, scfg);
+
+    StreamDriverConfig dcfg;
+    dcfg.num_streams = 4;
+    dcfg.queries_per_stream = g_queries_per_stream;
+    dcfg.gen.seed = 4243;
+    StreamDriverResult r = driver.Run(&service, dcfg);
+    const service::ServiceStats stats = service.stats();
+    std::printf("%12s %9lld %9lld %9lld %10.0f %9.3f\n", rung.label,
+                static_cast<long long>(r.queries_ok),
+                static_cast<long long>(r.queries_deadline_exceeded),
+                static_cast<long long>(stats.shed_expired), r.Qps(),
+                PctOrZero(r.latency_ms, 99.0));
+    if (json != nullptr) {
+      json->BeginObject();
+      json->Key("deadline").String(rung.label);
+      json->Key("ok").Int(r.queries_ok);
+      json->Key("deadline_exceeded").Int(r.queries_deadline_exceeded);
+      json->Key("shed_expired").Int(stats.shed_expired);
+      json->Key("goodput_qps").Number(r.Qps());
+      json->Key("p99_ms").Number(PctOrZero(r.latency_ms, 99.0));
+      json->EndObject();
+    }
+  }
+  if (json != nullptr) json->EndArray();
+  std::printf("deadline column counts kDeadlineExceeded completions; shed = "
+              "the subset that never\nstarted executing (expired while "
+              "queued, zero pool share consumed).\n");
+}
+
 /// EXPLAIN ANALYZE demo: one sharded top-k query through a traced service,
 /// its per-operator profile printed verbatim. The report shows every level
 /// of the pruning hierarchy with its count (cross-shard shards_pruned,
@@ -452,6 +612,8 @@ int main(int argc, char** argv) {
   OpenLoopSweep(catalog.get(), jp);
   CacheAmplification(catalog.get(), jp);
   ShardSweep(catalog.get(), jp);
+  const bool fault_guard_ok = FaultInjectionLadder(catalog.get(), jp);
+  DeadlineSweep(catalog.get(), jp);
   const bool shard_guard_ok = ShardPruneGuard(catalog.get(), jp);
   ExplainAnalyzeDemo(catalog.get(), jp);
   if (jp != nullptr) {
@@ -461,5 +623,5 @@ int main(int argc, char** argv) {
     json.Key("metrics").Raw(MetricsRegistry::Instance().SnapshotJson());
     json.Write(opts);
   }
-  return shard_guard_ok ? 0 : 1;
+  return (shard_guard_ok && fault_guard_ok) ? 0 : 1;
 }

@@ -19,6 +19,21 @@ inline double MsSince(std::chrono::steady_clock::time_point t0) {
   return MsBetween(t0, std::chrono::steady_clock::now());
 }
 
+/// Steady-clock now as nanoseconds since the clock's epoch. Per-query
+/// deadlines are carried as absolute values on this timeline (0 = none), so
+/// they survive handoff across queue, driver, engine, and shard threads
+/// without re-basing.
+inline int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// True iff `deadline_ns` names a deadline (non-zero) that has passed.
+inline bool DeadlinePassed(int64_t deadline_ns) {
+  return deadline_ns != 0 && SteadyNowNs() >= deadline_ns;
+}
+
 }  // namespace snowprune
 
 #endif  // SNOWPRUNE_COMMON_CLOCK_H_

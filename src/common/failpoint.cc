@@ -1,0 +1,141 @@
+#include "common/failpoint.h"
+
+#include <cstring>
+
+#include "common/metrics.h"
+
+namespace snowprune {
+
+namespace {
+
+// Same mixer that seeds the repo's xoshiro Rng: full-avalanche over the
+// 64-bit input, so consecutive sequence numbers map to independent-looking
+// draws without any per-site lock or RNG state.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Counter* TripCounter() {
+  static Counter* const c =
+      MetricsRegistry::Instance().GetCounter("failpoint.trips");
+  return c;
+}
+
+}  // namespace
+
+FailPoint::FailPoint(std::string name) : name_(std::move(name)) {}
+
+void FailPoint::ArmProbability(double p, uint64_t seed) {
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t p_bits = 0;
+  std::memcpy(&p_bits, &p, sizeof(p_bits));
+  seed_.store(seed, std::memory_order_relaxed);
+  threshold_.store(p_bits, std::memory_order_relaxed);
+  seq_.store(0, std::memory_order_relaxed);
+  trips_.store(0, std::memory_order_relaxed);
+  mode_.store(Mode::kProbability, std::memory_order_release);
+}
+
+void FailPoint::ArmEveryNth(uint64_t n) {
+  if (n == 0) n = 1;
+  param_.store(n, std::memory_order_relaxed);
+  seq_.store(0, std::memory_order_relaxed);
+  trips_.store(0, std::memory_order_relaxed);
+  mode_.store(Mode::kEveryNth, std::memory_order_release);
+}
+
+void FailPoint::ArmOnceAfterK(uint64_t k) {
+  param_.store(k, std::memory_order_relaxed);
+  seq_.store(0, std::memory_order_relaxed);
+  trips_.store(0, std::memory_order_relaxed);
+  mode_.store(Mode::kOnceAfterK, std::memory_order_release);
+}
+
+void FailPoint::Disarm() { mode_.store(Mode::kOff, std::memory_order_release); }
+
+bool FailPoint::ShouldFireSlow() {
+  // Re-load the mode: a concurrent Disarm between the fast-path check and
+  // here just means we evaluate one extra time, which is fine — but the
+  // decision must be made against one coherent mode value.
+  const Mode mode = mode_.load(std::memory_order_acquire);
+  if (mode == Mode::kOff) return false;
+  const uint64_t n = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  switch (mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kProbability: {
+      const uint64_t h =
+          SplitMix64(seed_.load(std::memory_order_relaxed) ^ n);
+      // Top 53 bits → uniform double in [0, 1); fire iff below p. p == 1.0
+      // always fires, p == 0.0 never does.
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      const uint64_t p_bits = threshold_.load(std::memory_order_relaxed);
+      double p = 0.0;
+      std::memcpy(&p, &p_bits, sizeof(p));
+      fire = u < p;
+      break;
+    }
+    case Mode::kEveryNth:
+      fire = n % param_.load(std::memory_order_relaxed) == 0;
+      break;
+    case Mode::kOnceAfterK:
+      fire = n == param_.load(std::memory_order_relaxed) + 1;
+      break;
+  }
+  if (fire) {
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    TripCounter()->Add(1);
+  }
+  return fire;
+}
+
+FailPointRegistry& FailPointRegistry::Instance() {
+  static FailPointRegistry* const instance = new FailPointRegistry();
+  return *instance;
+}
+
+FailPoint* FailPointRegistry::Register(const std::string& name) {
+  MutexLock lock(&mutex_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_.emplace(name, std::make_unique<FailPoint>(name)).first;
+  }
+  return it->second.get();
+}
+
+FailPoint* FailPointRegistry::Find(const std::string& name) {
+  MutexLock lock(&mutex_);
+  auto it = sites_.find(name);
+  return it == sites_.end() ? nullptr : it->second.get();
+}
+
+void FailPointRegistry::DisarmAll() {
+  MutexLock lock(&mutex_);
+  for (auto& entry : sites_) entry.second->Disarm();
+}
+
+std::vector<std::string> FailPointRegistry::Sites() {
+  MutexLock lock(&mutex_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& entry : sites_) names.push_back(entry.first);
+  return names;
+}
+
+uint64_t FailPointRegistry::TotalTrips() {
+  MutexLock lock(&mutex_);
+  uint64_t total = 0;
+  for (const auto& entry : sites_) total += entry.second->trips();
+  return total;
+}
+
+Status InjectedFault(const std::string& site) {
+  return Status::Unavailable("injected fault at failpoint " + site);
+}
+
+}  // namespace snowprune

@@ -1,0 +1,129 @@
+#ifndef SNOWPRUNE_COMMON_FAILPOINT_H_
+#define SNOWPRUNE_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace snowprune {
+
+/// Deterministic fault injection for testing every failure path.
+///
+/// A FailPoint is a named site planted at a boundary that can realistically
+/// fail (partition load, pool dispatch, cache populate, shard scatter /
+/// gather). Production code asks `ShouldFire()`; tests arm sites with a
+/// policy and assert the error-handling path behaves (clean Status, retry,
+/// no leak) — the same discipline as LevelDB/TiKV failpoints.
+///
+/// Disabled cost: one relaxed atomic load and a predictable branch — the
+/// same shape as the null-trace fast path, which the traced-overhead CI
+/// gate bounds at <5%. Sites are registered once through a function-local
+/// static, so the registry mutex is off the hot path entirely.
+///
+/// Determinism: firing decisions hash a per-site arm sequence number with
+/// splitmix64 (probability mode) or compare it directly (every-Nth /
+/// once-after-K), so a single-threaded caller sees an exactly reproducible
+/// fire pattern for a given (seed, policy), and concurrent callers see a
+/// reproducible *multiset* of decisions regardless of interleaving.
+class FailPoint {
+ public:
+  enum class Mode : uint8_t {
+    kOff = 0,
+    kProbability,  ///< Fire each evaluation independently with probability p.
+    kEveryNth,     ///< Fire evaluations N, 2N, 3N, ... (1-based).
+    kOnceAfterK,   ///< Pass K evaluations, fire the (K+1)-th, then stay off.
+  };
+
+  explicit FailPoint(std::string name);
+  FailPoint(const FailPoint&) = delete;
+  FailPoint& operator=(const FailPoint&) = delete;
+
+  /// Hot-path check. False (no fault) in one relaxed load when disarmed.
+  bool ShouldFire() {
+    if (mode_.load(std::memory_order_relaxed) == Mode::kOff) return false;
+    return ShouldFireSlow();
+  }
+
+  /// Arms this site; each Arm* resets the evaluation sequence and the
+  /// per-site trip counter so tests meter "since armed". The registry-level
+  /// metrics counters stay cumulative.
+  void ArmProbability(double p, uint64_t seed = 42);
+  void ArmEveryNth(uint64_t n);
+  void ArmOnceAfterK(uint64_t k);
+  void Disarm();
+
+  const std::string& name() const { return name_; }
+  Mode mode() const { return mode_.load(std::memory_order_relaxed); }
+  /// Trips since this site was last armed.
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+  /// Evaluations (armed only) since this site was last armed.
+  uint64_t evaluations() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool ShouldFireSlow();
+
+  const std::string name_;
+  std::atomic<Mode> mode_{Mode::kOff};
+  std::atomic<uint64_t> seq_{0};    // armed evaluations, 1-based after inc
+  std::atomic<uint64_t> trips_{0};  // fires since last armed
+  std::atomic<uint64_t> param_{0};  // N for kEveryNth, K for kOnceAfterK
+  // kProbability: bit pattern of p, compared against a [0,1) draw from
+  // splitmix64(seed ^ n).
+  std::atomic<uint64_t> threshold_{0};
+  std::atomic<uint64_t> seed_{0};
+};
+
+/// Process-wide name → FailPoint registry. Registration is idempotent and
+/// returns a pointer valid for the life of the process, so sites cache it
+/// in a function-local static (see SNOW_FAILPOINT below).
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& Instance();
+
+  /// Returns the site with `name`, creating it (disarmed) on first use.
+  FailPoint* Register(const std::string& name) SNOW_EXCLUDES(mutex_);
+  /// Returns the site or nullptr if it was never registered.
+  FailPoint* Find(const std::string& name) SNOW_EXCLUDES(mutex_);
+  /// Disarms every registered site (storm-test epilogue).
+  void DisarmAll() SNOW_EXCLUDES(mutex_);
+  /// Names of all registered sites, sorted.
+  std::vector<std::string> Sites() SNOW_EXCLUDES(mutex_);
+  /// Sum of per-site trips-since-armed across all sites.
+  uint64_t TotalTrips() SNOW_EXCLUDES(mutex_);
+
+ private:
+  FailPointRegistry() = default;
+
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<FailPoint>> sites_
+      SNOW_GUARDED_BY(mutex_);
+};
+
+/// Evaluates the named site, registering it on first execution. Usage:
+///
+///   if (SNOW_FAILPOINT("scan.partition_load")) {
+///     return InjectedFault("scan.partition_load");
+///   }
+#define SNOW_FAILPOINT(site_name)                                      \
+  ([]() -> bool {                                                      \
+    static ::snowprune::FailPoint* const fp =                          \
+        ::snowprune::FailPointRegistry::Instance().Register(site_name); \
+    return fp->ShouldFire();                                           \
+  }())
+
+/// The Status an armed site injects: kUnavailable, i.e. retryable — the
+/// coordinator treats it like a transient shard fault.
+Status InjectedFault(const std::string& site);
+
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_COMMON_FAILPOINT_H_

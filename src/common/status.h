@@ -16,9 +16,20 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,  ///< Admission rejection: a bounded queue is full.
-  kUnavailable,        ///< The serving component is shutting down.
+  kUnavailable,        ///< The serving component is shutting down, or a
+                       ///< transient (possibly injected) fault occurred.
   kCancelled,          ///< The caller cancelled the operation mid-flight.
+  kDeadlineExceeded,   ///< The per-query deadline passed before completion.
 };
+
+/// True for transient failures worth retrying against an unchanged snapshot
+/// (shard sub-query faults, momentary resource exhaustion). Deterministic
+/// errors — bad plans, internal invariant breaks, cancellation, expired
+/// deadlines — are terminal: retrying cannot change the outcome.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
 
 /// A lightweight success-or-error carrier, modeled after the Status idiom
 /// used by Arrow and Google C++ codebases.
@@ -54,6 +65,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +89,7 @@ class Status {
         break;
       case StatusCode::kUnavailable: name = "Unavailable"; break;
       case StatusCode::kCancelled: name = "Cancelled"; break;
+      case StatusCode::kDeadlineExceeded: name = "DeadlineExceeded"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/clock.h"
+#include "common/failpoint.h"
 #include "common/trace.h"
 #include "exec/ops.h"
 #include "exec/profile.h"
@@ -564,6 +565,11 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
         post_run_hooks_.push_back([this, topk_ptr, cache_fingerprint,
                                    cache_ticket, table = info.table,
                                    column = trace.column]() {
+          // Injection site: the population write-back fails after a
+          // successful query (cache node fault). Returning before Insert
+          // leaves the captured ticket to die with the hook — abandonment
+          // wakes coalesced waiters, who fall back to populating themselves.
+          if (SNOW_FAILPOINT("predcache.populate")) return;
           config_.predicate_cache->Insert(cache_fingerprint, *table, column,
                                           topk_ptr->contributing_partitions());
         });
@@ -727,6 +733,11 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan,
 Result<QueryResult> Engine::Execute(const PlanPtr& plan,
                                     const ExecuteOptions& opts) {
   if (!plan) return Status::InvalidArgument("null plan");
+  if (DeadlinePassed(opts.deadline_ns)) {
+    // Dead on arrival: don't spend compile work on a query whose caller has
+    // already given up on the answer.
+    return Status::DeadlineExceeded("deadline passed before execution");
+  }
   const std::atomic<bool>* cancel = opts.cancel;
   QueryResult result;
   CompileContext ctx;
@@ -832,6 +843,13 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan,
       return Status::Cancelled("query cancelled before execution");
     }
   }
+  // Per-query deadline: rides the same scan plumbing as cancellation, so a
+  // query past its deadline frees its pool share within ~a morsel window.
+  if (opts.deadline_ns != 0) {
+    for (auto& [node, info] : ctx.scans) {
+      info.op->set_deadline_ns(opts.deadline_ns);
+    }
+  }
 
   for (const auto& [node, info] : ctx.scans) {
     result.scan_set_bytes +=
@@ -854,6 +872,7 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan,
   Batch batch;
   while (root->Next(&batch)) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
+    if (DeadlinePassed(opts.deadline_ns)) break;
     if (opts.collect_batch_rows) result.batch_rows.push_back(batch.rows.size());
     for (auto& row : batch.rows) result.rows.push_back(std::move(row));
   }
@@ -865,6 +884,22 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan,
     // workers); partial output is discarded, tickets are abandoned.
     post_run_hooks_.clear();
     return Status::Cancelled("query cancelled");
+  }
+
+  // A scan that stopped on a load/dispatch fault reported end-of-scan to its
+  // consumers; surface the fault instead of the truncated result. Checked
+  // before the deadline so an injected (retryable) error is not masked by a
+  // deadline that expired during teardown.
+  for (const auto& [node, info] : ctx.scans) {
+    if (!info.op->error().ok()) {
+      post_run_hooks_.clear();
+      return info.op->error();
+    }
+  }
+
+  if (DeadlinePassed(opts.deadline_ns)) {
+    post_run_hooks_.clear();
+    return Status::DeadlineExceeded("deadline exceeded during execution");
   }
 
   for (auto& hook : post_run_hooks_) hook();

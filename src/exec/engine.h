@@ -146,6 +146,11 @@ struct QueryResult {
   /// executions (ExecuteOptions::trace set); null otherwise. Shared so the
   /// service can keep it on the query handle after the result moves on.
   std::shared_ptr<QueryProfile> profile;
+  /// Shard sub-queries this query re-ran after transient faults (sharded
+  /// execution only; 0 elsewhere). A non-zero count with an OK status means
+  /// the retry layer absorbed the faults — the rows above are byte-identical
+  /// to a fault-free run.
+  int64_t shard_retries = 0;
 };
 
 /// Per-call execution options (the plain Execute(plan, cancel) overload is
@@ -175,6 +180,12 @@ struct ExecuteOptions {
   /// spans (merged at delivery). Null — the default — skips every metering
   /// site on its first branch.
   Trace* trace = nullptr;
+  /// Absolute steady-clock deadline in ns (see SteadyNowNs); 0 = none. Past
+  /// it, execution stops on the cancellation plumbing (scans abandon their
+  /// schedulers within ~a morsel window) and Execute returns
+  /// kDeadlineExceeded. Checked at entry, per root batch, and per partition
+  /// on workers.
+  int64_t deadline_ns = 0;
 };
 
 /// Compiles and executes plans against a catalog, applying the paper's four

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace snowprune {
 
 ParallelScanScheduler::ParallelScanScheduler(ThreadPool* pool,
@@ -39,7 +41,16 @@ void ParallelScanScheduler::RunMorsel(size_t index) {
     run = !cancelled_;
   }
   MorselResult result;
-  if (run) result = fn_(index);
+  if (run) {
+    // Injection site: a pool task lost before the morsel function runs (a
+    // crashed worker, a dropped dispatch). The slot still completes — with
+    // an error instead of items — so in-order delivery never hangs.
+    if (SNOW_FAILPOINT("pool.dispatch")) {
+      result.error = InjectedFault("pool.dispatch");
+    } else {
+      result = fn_(index);
+    }
+  }
   {
     MutexLock lock(&mutex_);
     slots_[index].result = std::move(result);

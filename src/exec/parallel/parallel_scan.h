@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/trace.h"
 #include "core/pruning_stats.h"
 #include "exec/column_batch.h"
@@ -47,6 +48,12 @@ struct MorselResult {
   /// into the query's Trace by the consumer when the morsel is delivered —
   /// the scheduler's existing hand-off is the only synchronization.
   SpanBuffer spans;
+  /// Non-OK when the morsel failed instead of producing items (an injected
+  /// dispatch fault, a partition-load error). The slot still completes
+  /// normally — failure never stalls the in-order delivery window — and the
+  /// consumer surfaces the first error after abandoning the rest of the
+  /// scan.
+  Status error;
 };
 
 /// Fans a post-pruning scan set out across a ThreadPool, morsel-style: each

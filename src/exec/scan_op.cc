@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
+#include "common/failpoint.h"
 #include "exec/parallel/pipeline.h"
 #include "exec/profile.h"
 #include "expr/evaluator.h"
@@ -58,6 +60,7 @@ void TableScanOp::PlanMorsels() {
 void TableScanOp::Open() {
   cursor_ = 0;
   item_cursor_ = 0;
+  error_ = Status::OK();
   current_morsel_ = MorselResult();
   scheduler_.reset();
   morsel_ranges_.clear();
@@ -93,17 +96,20 @@ int64_t TableScanOp::ApplyJoinSummary(const BuildSummary& summary,
 }
 
 bool TableScanOp::Cancelled() {
-  if (cancel_ == nullptr || !cancel_->load(std::memory_order_relaxed)) {
-    return false;
-  }
+  const bool cancelled =
+      cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  if (!cancelled && !DeadlinePassed(deadline_ns_)) return false;
   // Stop feeding the pool: unstarted morsels are abandoned, running ones
-  // finish on their own (and check the flag per partition themselves).
+  // finish on their own (and check the flag per partition themselves). A
+  // passed deadline rides the same plumbing — the engine tells the two
+  // apart afterwards.
   if (scheduler_ != nullptr) scheduler_->Abandon();
   return true;
 }
 
 bool TableScanOp::ScanPartition(PartitionId pid, ColumnBatch* out,
-                                PruningStats* stats, EvalScratch* scratch) {
+                                PruningStats* stats, EvalScratch* scratch,
+                                Status* error) {
   // Deferred filter pruning (§3.2): the same zone-map check the compile
   // phase would have done, executed just before the load. The adaptive tree
   // keeps per-node counters, so concurrent workers must take turns.
@@ -117,6 +123,13 @@ bool TableScanOp::ScanPartition(PartitionId pid, ColumnBatch* out,
   // Runtime top-k pruning: consult the boundary *before* loading (§5.2).
   if (topk_pruner_ != nullptr && topk_pruner_->ShouldSkip(*table_, pid)) {
     if (stats != nullptr) ++stats->pruned_by_topk;
+    return false;
+  }
+  // Injection site: the partition survived every prune but its load fails
+  // (storage fault). Placed after the prune checks so injected faults only
+  // hit partitions the query would actually read.
+  if (SNOW_FAILPOINT("scan.partition_load")) {
+    *error = InjectedFault("scan.partition_load");
     return false;
   }
   const MicroPartition& part = table_->LoadPartition(pid);
@@ -148,15 +161,25 @@ MorselResult TableScanOp::ProcessMorsel(size_t morsel_index) {
       trace_ != nullptr ? result.spans.Begin("scan.morsel") : 0;
   result.items.resize(range.second - range.first);
   for (size_t pos = range.first; pos < range.second; ++pos) {
-    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
-      // Cancelled mid-morsel: the remaining partitions stay unloaded with
-      // zero stats. The consumer has stopped delivering, so nothing reads
-      // the partial result; stopping here frees the worker promptly.
+    if ((cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) ||
+        DeadlinePassed(deadline_ns_)) {
+      // Cancelled (or past deadline) mid-morsel: the remaining partitions
+      // stay unloaded with zero stats. The consumer has stopped delivering,
+      // so nothing reads the partial result; stopping here frees the worker
+      // promptly.
       break;
     }
     MorselItem& item = result.items[pos - range.first];
+    Status load_error;
     item.loaded = ScanPartition(scan_set_[pos], &item.batch, &item.stats,
-                                &worker_scratch);
+                                &worker_scratch, &load_error);
+    if (!load_error.ok()) {
+      // A load fault poisons the whole morsel: later partitions stay
+      // unloaded so the consumer sees the error at this scan-set position
+      // with nothing delivered past it.
+      result.error = std::move(load_error);
+      break;
+    }
   }
   if (morsel_stage_) {
     // Operator-installed pipeline stage: per-worker partial work (fold,
@@ -231,6 +254,15 @@ bool TableScanOp::NextColumnsInner(ColumnBatch* out,
       }
       if (Cancelled()) return false;
       if (!scheduler_->Next(&current_morsel_)) return false;
+      if (!current_morsel_.error.ok()) {
+        // A worker hit a load/dispatch fault at this scan-set position.
+        // Stop the fan-out and report end-of-scan; the engine reads
+        // error() and surfaces the fault instead of a truncated result.
+        error_ = std::move(current_morsel_.error);
+        current_morsel_ = MorselResult();
+        scheduler_->Abandon();
+        return false;
+      }
       if (trace_ != nullptr && !current_morsel_.spans.empty()) {
         trace_->MergeBuffer(&current_morsel_.spans, trace_parent_);
       }
@@ -240,17 +272,25 @@ bool TableScanOp::NextColumnsInner(ColumnBatch* out,
   while (cursor_ < scan_set_.size()) {
     if (Cancelled()) return false;
     PartitionId pid = scan_set_[cursor_++];
+    Status load_error;
     if (profile_stats_ == nullptr) {
-      if (ScanPartition(pid, out, stats_, &eval_scratch_)) return true;
+      if (ScanPartition(pid, out, stats_, &eval_scratch_, &load_error)) {
+        return true;
+      }
     } else {
       // Profiled serial path: meter into a local delta, then fan it out to
       // the query stats and the profile node — the unprofiled branch above
       // stays byte-identical to what it always was.
       PruningStats delta;
-      const bool loaded = ScanPartition(pid, out, &delta, &eval_scratch_);
+      const bool loaded =
+          ScanPartition(pid, out, &delta, &eval_scratch_, &load_error);
       if (stats_ != nullptr) stats_->Merge(delta);
       profile_stats_->Merge(delta);
       if (loaded) return true;
+    }
+    if (!load_error.ok()) {
+      error_ = std::move(load_error);
+      return false;
     }
   }
   return false;
@@ -270,6 +310,12 @@ bool TableScanOp::Next(Batch* out) {
 bool TableScanOp::NextPayload(MorselPayload* out) {
   while (scheduler_ != nullptr && !Cancelled() &&
          scheduler_->Next(&current_morsel_)) {
+    if (!current_morsel_.error.ok()) {
+      error_ = std::move(current_morsel_.error);
+      current_morsel_ = MorselResult();
+      scheduler_->Abandon();
+      return false;
+    }
     if (trace_ != nullptr && !current_morsel_.spans.empty()) {
       trace_->MergeBuffer(&current_morsel_.spans, trace_parent_);
     }

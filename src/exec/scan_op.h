@@ -140,6 +140,18 @@ class TableScanOp : public Operator {
   /// up within one in-flight window.
   void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
 
+  /// Engine hook: per-query deadline (absolute steady-clock ns, 0 = none).
+  /// Past the deadline the scan behaves exactly like a cancelled one —
+  /// delivery stops, the scheduler is abandoned, workers stop mid-morsel —
+  /// and the engine surfaces kDeadlineExceeded.
+  void set_deadline_ns(int64_t deadline_ns) { deadline_ns_ = deadline_ns; }
+
+  /// Non-OK when the scan stopped on a partition-load / dispatch fault
+  /// rather than exhausting its scan set. Delivery APIs report end-of-scan
+  /// in that case; the engine checks here and surfaces the error instead of
+  /// a truncated result.
+  const Status& error() const { return error_; }
+
   void Open() override;
   bool Next(Batch* out) override;
   void Close() override;
@@ -169,16 +181,20 @@ class TableScanOp : public Operator {
   /// Worker body: prune checks + load + vectorized filter for every
   /// partition in morsel `morsel_index`'s scan-set range.
   MorselResult ProcessMorsel(size_t morsel_index);
-  /// True when the query was cancelled; abandons the scheduler on first
-  /// sight so the shared pool stops receiving this scan's morsels.
+  /// True when the query was cancelled or its deadline passed; abandons the
+  /// scheduler on first sight so the shared pool stops receiving this
+  /// scan's morsels.
   bool Cancelled();
   /// The shared serial/parallel per-partition scan body. Returns false when
   /// runtime pruning skipped the partition (stats deltas still recorded).
   /// `scratch` is the calling thread's reusable predicate-eval buffer set —
   /// per-partition mask/selection allocations hit the allocator hard on the
   /// hot path, so each evaluating thread keeps one scratch for its lifetime.
+  /// A load fault (the scan.partition_load failpoint) sets `*error` and
+  /// returns false; callers must check the error before treating false as
+  /// "pruned".
   bool ScanPartition(PartitionId pid, ColumnBatch* out, PruningStats* stats,
-                     EvalScratch* scratch);
+                     EvalScratch* scratch, Status* error);
   /// Groups consecutive scan-set positions into morsel ranges under the
   /// row-count budget.
   void PlanMorsels();
@@ -213,6 +229,9 @@ class TableScanOp : public Operator {
   MorselStage morsel_stage_;
   bool stage_coarse_morsels_ = false;
   const std::atomic<bool>* cancel_ = nullptr;
+  int64_t deadline_ns_ = 0;
+  /// First fault seen by the consumer thread (see error()).
+  Status error_;
   std::unique_ptr<ParallelScanScheduler> scheduler_;
 };
 

@@ -18,8 +18,11 @@ struct ServiceMetrics {
   Counter* submitted;
   Counter* rejected;
   Counter* completed;
+  Counter* ok;
   Counter* failed;
   Counter* cancelled;
+  Counter* deadline_exceeded;
+  Counter* shed_expired;
   Histogram* queue_ms;
   Histogram* exec_ms;
 };
@@ -29,8 +32,11 @@ ServiceMetrics& GetServiceMetrics() {
       MetricsRegistry::Instance().GetCounter("service.submitted"),
       MetricsRegistry::Instance().GetCounter("service.rejected"),
       MetricsRegistry::Instance().GetCounter("service.completed"),
+      MetricsRegistry::Instance().GetCounter("service.ok"),
       MetricsRegistry::Instance().GetCounter("service.failed"),
       MetricsRegistry::Instance().GetCounter("service.cancelled"),
+      MetricsRegistry::Instance().GetCounter("service.deadline_exceeded"),
+      MetricsRegistry::Instance().GetCounter("service.shed_expired"),
       MetricsRegistry::Instance().GetHistogram(
           "service.queue_ms",
           {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0}),
@@ -128,6 +134,7 @@ QueryService::QueryService(Catalog* catalog, QueryServiceConfig config)
       scfg.num_shards = config_.num_shards;
       scfg.policy = config_.shard_policy;
       scfg.engine = cfg;
+      scfg.retry = config_.retry;
       coordinators_.push_back(
           std::make_unique<shard::ShardCoordinator>(catalog, scfg));
     } else {
@@ -173,31 +180,75 @@ Result<QueryService::Handle> QueryService::Submit(PlanPtr plan) {
   task.plan = std::move(plan);
   task.state = std::make_shared<Handle::State>();
   task.submitted_at = std::chrono::steady_clock::now();
+  if (config_.default_deadline.count() > 0) {
+    task.deadline_ns = SteadyNowNs() + config_.default_deadline.count();
+  }
   Handle handle(task.state);
+  std::vector<Task> expired;
+  Status admitted = Status::OK();
   {
     MutexLock lock(&mutex_);
     if (shutting_down_) {
       return Status::Unavailable("query service shutting down");
     }
+    // Eager shedding (the "timer check in Submit"): queued queries whose
+    // deadline already passed are dead weight — drop them before they count
+    // against the capacity bound, so a live submission is never rejected in
+    // favor of a corpse ahead of it. Their handles are finished below,
+    // outside the service lock.
+    if (config_.default_deadline.count() > 0 && !queue_.empty()) {
+      const int64_t now_ns = SteadyNowNs();
+      ServiceMetrics& metrics = GetServiceMetrics();
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->deadline_ns != 0 && now_ns >= it->deadline_ns) {
+          ++stats_.completed;
+          ++stats_.deadline_exceeded;
+          ++stats_.shed_expired;
+          const double waited_ms = MsSince(it->submitted_at);
+          stats_.queue_wait_ms.Add(waited_ms);
+          metrics.completed->Add();
+          metrics.deadline_exceeded->Add();
+          metrics.shed_expired->Add();
+          metrics.queue_ms->Record(waited_ms);
+          expired.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
     if (config_.queue_capacity > 0 &&
         queue_.size() >= config_.queue_capacity) {
       ++stats_.rejected;
       GetServiceMetrics().rejected->Add();
-      return Status::ResourceExhausted("admission queue full");
+      admitted = Status::ResourceExhausted("admission queue full");
+    } else {
+      // Trace sampling: every trace_every-th admitted query (the first one
+      // included) carries a Trace; the driver threads the pointer through
+      // to the engine / coordinator.
+      if (config_.trace_every > 0 &&
+          stats_.submitted % static_cast<int64_t>(config_.trace_every) == 0) {
+        task.state->trace = std::make_unique<Trace>();
+      }
+      queue_.push_back(std::move(task));
+      ++stats_.submitted;
+      GetServiceMetrics().submitted->Add();
+      stats_.peak_queue_depth = std::max(
+          stats_.peak_queue_depth, static_cast<int64_t>(queue_.size()));
     }
-    // Trace sampling: every trace_every-th admitted query (the first one
-    // included) carries a Trace; the driver threads the pointer through to
-    // the engine / coordinator.
-    if (config_.trace_every > 0 &&
-        stats_.submitted % static_cast<int64_t>(config_.trace_every) == 0) {
-      task.state->trace = std::make_unique<Trace>();
-    }
-    queue_.push_back(std::move(task));
-    ++stats_.submitted;
-    GetServiceMetrics().submitted->Add();
-    stats_.peak_queue_depth = std::max(
-        stats_.peak_queue_depth, static_cast<int64_t>(queue_.size()));
   }
+  // Outside the service lock: complete the shed queries' handles (Finish
+  // takes the per-handle lock and wakes waiters) and wake a driver for the
+  // admitted one.
+  for (Task& t : expired) {
+    Finish(t.state,
+           Status::DeadlineExceeded("deadline expired in admission queue"),
+           MsSince(t.submitted_at));
+  }
+  // Shedding can empty the queue with no driver involved; a concurrent
+  // Drain() must get to re-check its predicate.
+  if (!expired.empty()) idle_.NotifyAll();
+  if (!admitted.ok()) return admitted;
   work_available_.NotifyOne();
   return handle;
 }
@@ -233,23 +284,38 @@ void QueryService::DriverLoop(size_t driver_index) {
     // next scan delivery.
     Trace* trace = task.state->trace.get();
     const auto exec_t0 = std::chrono::steady_clock::now();
+    bool shed_expired = false;
+    bool executed = false;
     Result<QueryResult> result = [&]() -> Result<QueryResult> {
       if (task.state->cancel.load(std::memory_order_acquire)) {
         return Status::Cancelled("query cancelled while queued");
       }
+      // Lazy expiry at dequeue: a query whose deadline passed while it
+      // waited is shed here, before it touches an engine or the shared
+      // pool — expiry costs one clock read, not a pool share.
+      if (DeadlinePassed(task.deadline_ns)) {
+        shed_expired = true;
+        return Status::DeadlineExceeded("deadline expired in admission queue");
+      }
+      executed = true;
       if (coordinator != nullptr) {
-        return coordinator->Execute(task.plan, &task.state->cancel, trace);
+        return coordinator->Execute(task.plan, &task.state->cancel, trace,
+                                    task.deadline_ns);
       }
       ExecuteOptions opts;
       opts.cancel = &task.state->cancel;
       opts.trace = trace;
+      opts.deadline_ns = task.deadline_ns;
       return engine->Execute(task.plan, opts);
     }();
     const double exec_ms = MsSince(exec_t0);
     ServiceMetrics& metrics = GetServiceMetrics();
     metrics.completed->Add();
     metrics.queue_ms->Record(queue_ms);
-    metrics.exec_ms->Record(exec_ms);
+    // Queries that never reached an engine (cancelled while queued, shed on
+    // an expired deadline) contribute queue wait but no execution latency —
+    // an exec_ms sample of ~0 would just dilute the percentiles.
+    if (executed) metrics.exec_ms->Record(exec_ms);
     {
       // Completion counters settle before the waiter is released, so a
       // client reading stats() right after Await() sees its own query
@@ -257,15 +323,24 @@ void QueryService::DriverLoop(size_t driver_index) {
       MutexLock lock(&mutex_);
       ++stats_.completed;
       stats_.queue_wait_ms.Add(queue_ms);
-      stats_.exec_ms.Add(exec_ms);
-      if (!result.ok()) {
-        if (result.status().code() == StatusCode::kCancelled) {
-          ++stats_.cancelled;
-          metrics.cancelled->Add();
-        } else {
-          ++stats_.failed;
-          metrics.failed->Add();
+      if (executed) stats_.exec_ms.Add(exec_ms);
+      if (result.ok()) {
+        ++stats_.ok;
+        metrics.ok->Add();
+      } else if (result.status().code() == StatusCode::kCancelled) {
+        ++stats_.cancelled;
+        metrics.cancelled->Add();
+      } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+        // Not a failure: the service kept its latency promise by giving up.
+        ++stats_.deadline_exceeded;
+        metrics.deadline_exceeded->Add();
+        if (shed_expired) {
+          ++stats_.shed_expired;
+          metrics.shed_expired->Add();
         }
+      } else {
+        ++stats_.failed;
+        metrics.failed->Add();
       }
     }
     Finish(task.state, std::move(result), queue_ms);

@@ -59,6 +59,17 @@ struct QueryServiceConfig {
   /// profile attached to its handle. 1 traces every query; 0 (default)
   /// traces none — the untraced path skips every metering site.
   size_t trace_every = 0;
+  /// Per-query deadline, measured from Submit. Zero (default) = none.
+  /// Queued queries whose deadline expires are shed without ever consuming
+  /// pool share (lazily at dequeue, eagerly when a later Submit scans the
+  /// queue); executing queries ride the cancellation plumbing and release
+  /// their pool share within ~a morsel window. Either way the query
+  /// completes with kDeadlineExceeded, counted in
+  /// ServiceStats::deadline_exceeded (and shed_expired for pre-execution
+  /// sheds).
+  std::chrono::nanoseconds default_deadline{0};
+  /// Per-shard sub-query retry policy (sharded configs; see RetryPolicy).
+  shard::RetryPolicy retry;
   /// Template for the per-driver engines. `exec.pool`, `exec.num_threads`
   /// and (unless explicitly set) `exec.morsel_window` are overridden by the
   /// service; everything else (pruning toggles, predicate cache, ...)
@@ -70,9 +81,19 @@ struct QueryServiceConfig {
 struct ServiceStats {
   int64_t submitted = 0;   ///< Admitted into the queue.
   int64_t rejected = 0;    ///< Bounced by the bounded queue.
-  int64_t completed = 0;   ///< Finished (ok, failed, or cancelled).
-  int64_t failed = 0;      ///< Completed with a non-OK, non-cancel status.
+  /// Finished, any way. Invariant (asserted in service tests):
+  /// completed == ok + failed + cancelled + deadline_exceeded.
+  int64_t completed = 0;
+  int64_t ok = 0;          ///< Completed with an OK result.
+  int64_t failed = 0;      ///< Completed with another non-OK status.
   int64_t cancelled = 0;   ///< Completed via Handle::Cancel.
+  /// Completed with kDeadlineExceeded — shed from the queue or stopped
+  /// mid-execution. Deliberately NOT folded into `failed`: a deadline miss
+  /// is the service keeping its latency promise, not a query bug.
+  int64_t deadline_exceeded = 0;
+  /// Subset of deadline_exceeded that never started executing (shed while
+  /// queued, zero pool share consumed).
+  int64_t shed_expired = 0;
   int64_t peak_in_flight = 0;    ///< Max queries executing at once.
   int64_t peak_queue_depth = 0;  ///< Max queries waiting at once.
   /// Deepest the shared worker pool's task backlog ever got (morsels +
@@ -207,6 +228,8 @@ class QueryService {
     PlanPtr plan;
     std::shared_ptr<Handle::State> state;
     std::chrono::steady_clock::time_point submitted_at;
+    /// Absolute steady-clock deadline in ns (0 = none), fixed at Submit.
+    int64_t deadline_ns = 0;
   };
 
   void DriverLoop(size_t driver_index) SNOW_EXCLUDES(mutex_);

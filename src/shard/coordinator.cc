@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/clock.h"
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/limit_pruner.h"
@@ -18,6 +19,30 @@
 
 namespace snowprune {
 namespace shard {
+
+int64_t RetryBackoffUs(const RetryPolicy& policy, int retry) {
+  if (retry < 1) retry = 1;
+  if (policy.base_backoff_us <= 0) return 0;
+  // Capped exponential, saturating well before the shift could overflow.
+  int64_t backoff = policy.base_backoff_us;
+  for (int i = 1; i < retry && backoff < policy.max_backoff_us; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, policy.max_backoff_us);
+  // ±25% deterministic jitter: hash (seed, retry) to a [0,1) draw, the same
+  // splitmix construction the failpoint layer uses. Deterministic so tests
+  // can assert the exact schedule; jittered so a storm of shards retrying
+  // in lockstep decorrelates.
+  uint64_t x = policy.jitter_seed ^ (static_cast<uint64_t>(retry) *
+                                     0x9e3779b97f4a7c15ULL);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+  return static_cast<int64_t>(static_cast<double>(backoff) *
+                              (0.75 + 0.5 * u));
+}
 
 namespace {
 
@@ -565,12 +590,19 @@ Result<OperatorPtr> ShardCoordinator::CompileGather(const PlanPtr& plan,
 
 Result<QueryResult> ShardCoordinator::Execute(
     const PlanPtr& plan, const std::atomic<bool>* cancel) {
-  return Execute(plan, cancel, nullptr);
+  return Execute(plan, cancel, nullptr, 0);
 }
 
 Result<QueryResult> ShardCoordinator::Execute(const PlanPtr& plan,
                                               const std::atomic<bool>* cancel,
                                               Trace* trace) {
+  return Execute(plan, cancel, trace, 0);
+}
+
+Result<QueryResult> ShardCoordinator::Execute(const PlanPtr& plan,
+                                              const std::atomic<bool>* cancel,
+                                              Trace* trace,
+                                              int64_t deadline_ns) {
   if (!plan) return Status::InvalidArgument("null plan");
   last_exec_ = ExecInfo{};
 
@@ -584,14 +616,15 @@ Result<QueryResult> ShardCoordinator::Execute(const PlanPtr& plan,
     ExecuteOptions opts;
     opts.cancel = cancel;
     opts.trace = trace;
+    opts.deadline_ns = deadline_ns;
     return fallback_.Execute(plan, opts);
   }
-  return ExecuteSharded(plan, FindScan(plan), cancel, trace);
+  return ExecuteSharded(plan, FindScan(plan), cancel, trace, deadline_ns);
 }
 
 Result<QueryResult> ShardCoordinator::ExecuteSharded(
     const PlanPtr& plan, const PlanNode* scan_node,
-    const std::atomic<bool>* cancel, Trace* trace) {
+    const std::atomic<bool>* cancel, Trace* trace, int64_t deadline_ns) {
   // Snapshot the one referenced table: the whole scatter — gather compile
   // and every shard sub-query — executes against this version, so DML
   // stays snapshot-atomic across shards.
@@ -600,6 +633,7 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
     ExecuteOptions fopts;
     fopts.cancel = cancel;
     fopts.trace = trace;
+    fopts.deadline_ns = deadline_ns;
     return fallback_.Execute(plan, fopts);
   }
   const ShardMap& map = MapFor(scan_node->table, *table);
@@ -691,6 +725,9 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
     return Status::Cancelled("query cancelled before execution");
   }
+  if (DeadlinePassed(deadline_ns)) {
+    return Status::DeadlineExceeded("deadline passed before scatter");
+  }
 
   // Scatter: a bare scan sub-plan (all other operators run gather-side)
   // over exactly the shard's slice, against the shared snapshot, with the
@@ -723,8 +760,15 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
   // mutex-annotated): each scatter thread i writes only shard_results[i] —
   // pre-sized above, never resized while threads run — and reads only
   // shared state that is frozen for the scatter's duration (slices,
-  // snapshot, sub_plan, the pre-bound predicate tree). The joins below are
-  // the sole synchronization edge back to the coordinator thread.
+  // snapshot, sub_plan, the pre-bound predicate tree). The retry budget and
+  // retry tally are shared atomics. The joins below are the sole
+  // synchronization edge back to the coordinator thread.
+  static Counter* const retries_counter =
+      MetricsRegistry::Instance().GetCounter("shard.retries");
+  static Counter* const retry_exhausted_counter =
+      MetricsRegistry::Instance().GetCounter("shard.retry_exhausted");
+  std::atomic<int> retry_budget{config_.retry.retry_budget};
+  std::atomic<int64_t> total_retries{0};
   auto run_shard = [&](size_t i) {
     const size_t s = contacted[i];
     std::map<std::string, ScanSet> overrides;
@@ -734,8 +778,57 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
     opts.tables = &snapshot;
     opts.scan_sets = &overrides;
     opts.collect_batch_rows = true;
+    opts.deadline_ns = deadline_ns;
     if (!shard_traces.empty()) opts.trace = shard_traces[i].get();
-    shard_results[i] = shard_engines_[s]->Execute(sub_plan, opts);
+    // Transient-failure retry loop. Each attempt executes against the same
+    // snapshot and scan-set slice, so a successful retry is byte-identical
+    // to a first-try success: the fragments gathered below cannot tell the
+    // attempts apart.
+    for (int attempt = 1;; ++attempt) {
+      Result<QueryResult> sub = [&]() -> Result<QueryResult> {
+        // Injection sites: the sub-query is lost on the way out (launch) or
+        // its response is lost on the way back (complete — the work was
+        // done, the answer is gone). Both are the retryable wire faults a
+        // real scatter sees.
+        if (SNOW_FAILPOINT("shard.scatter_launch")) {
+          return InjectedFault("shard.scatter_launch");
+        }
+        Result<QueryResult> r = shard_engines_[s]->Execute(sub_plan, opts);
+        if (r.ok() && SNOW_FAILPOINT("shard.scatter_complete")) {
+          return InjectedFault("shard.scatter_complete");
+        }
+        return r;
+      }();
+      if (sub.ok() || !IsRetryable(sub.status().code()) ||
+          (cancel != nullptr && cancel->load(std::memory_order_relaxed)) ||
+          DeadlinePassed(deadline_ns)) {
+        shard_results[i] = std::move(sub);
+        return;
+      }
+      if (attempt >= config_.retry.max_attempts ||
+          retry_budget.fetch_sub(1, std::memory_order_acq_rel) <= 0) {
+        // Out of attempts or out of per-query budget: surface the
+        // underlying transient error untouched.
+        retry_exhausted_counter->Add();
+        shard_results[i] = std::move(sub);
+        return;
+      }
+      const int64_t backoff_us = RetryBackoffUs(config_.retry, attempt);
+      if (opts.trace != nullptr) {
+        // The retry lands in this shard's own sub-trace (stitched under the
+        // scatter span later), next to the failed attempt's spans.
+        const uint32_t span = opts.trace->BeginSpan("shard.retry");
+        opts.trace->AnnotateInt(span, "attempt", attempt);
+        opts.trace->AnnotateInt(span, "backoff_us", backoff_us);
+        opts.trace->AnnotateStr(span, "error", sub.status().ToString());
+        opts.trace->EndSpan(span);
+      }
+      total_retries.fetch_add(1, std::memory_order_relaxed);
+      retries_counter->Add();
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      }
+    }
   };
   if (contacted.size() == 1) {
     // Single-survivor fast path: no thread handoff, the sub-query runs on
@@ -753,11 +846,14 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
     last_exec_.scatter_threads = threads.size();
     for (auto& t : threads) t.join();
   }
+  last_exec_.retries = total_retries.load(std::memory_order_relaxed);
+  result.shard_retries = last_exec_.retries;
   if (trace != nullptr) {
     trace->AnnotateInt(scatter_span, "fanout",
                        static_cast<int64_t>(contacted.size()));
     trace->AnnotateInt(scatter_span, "threads",
                        static_cast<int64_t>(last_exec_.scatter_threads));
+    trace->AnnotateInt(scatter_span, "retries", last_exec_.retries);
     for (auto& sub_trace : shard_traces) {
       trace->MergeChildTrace(sub_trace.get(), scatter_span);
     }
@@ -766,6 +862,9 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
 
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
     return Status::Cancelled("query cancelled");
+  }
+  if (DeadlinePassed(deadline_ns)) {
+    return Status::DeadlineExceeded("deadline exceeded during scatter");
   }
   std::unordered_map<PartitionId, std::vector<Row>> fragments;
   for (size_t i = 0; i < contacted.size(); ++i) {
@@ -798,10 +897,18 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
       op->set_trace(trace, gather_span.id());
     }
   }
+  // Injection site: the gathered fragments are lost before replay (a
+  // coordinator-side buffer fault). The scatter work is gone with them —
+  // this is the one site where a fault costs a whole query's worth of
+  // sub-query work, which is exactly what the chaos oracle should see.
+  if (SNOW_FAILPOINT("shard.gather_replay")) {
+    return InjectedFault("shard.gather_replay");
+  }
   root->Open();
   Batch batch;
   while (root->Next(&batch)) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
+    if (DeadlinePassed(deadline_ns)) break;
     for (auto& row : batch.rows) result.rows.push_back(std::move(row));
   }
   root->Close();
@@ -809,6 +916,9 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
 
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
     return Status::Cancelled("query cancelled");
+  }
+  if (DeadlinePassed(deadline_ns)) {
+    return Status::DeadlineExceeded("deadline exceeded during gather");
   }
 
   result.schema = root->output_schema();

@@ -14,6 +14,31 @@
 namespace snowprune {
 namespace shard {
 
+/// Retry policy for transient shard sub-query failures. A failed shard is
+/// re-executed against the same snapshot and scan-set slice, so a
+/// successful retry is byte-identical to a first-try success; terminal
+/// (non-retryable) failures surface immediately.
+struct RetryPolicy {
+  /// Attempts per shard, first try included. 1 disables retries.
+  int max_attempts = 3;
+  /// Total retries allowed across all shards of one query (a storm of
+  /// failures gives up instead of multiplying scatter work).
+  int retry_budget = 8;
+  /// Backoff before retry r (1-based) is min(max_backoff_us,
+  /// base_backoff_us << (r-1)) ± 25% deterministic jitter. The defaults are
+  /// deliberately tiny: in-process retries shouldn't stall a query, and
+  /// tests need storms to finish fast.
+  int64_t base_backoff_us = 100;
+  int64_t max_backoff_us = 10000;
+  /// Seed for the jitter hash (see RetryBackoffUs).
+  uint64_t jitter_seed = 42;
+};
+
+/// The exact backoff-with-jitter schedule the coordinator sleeps between
+/// attempts — exposed so tests can assert the sequence is deterministic.
+/// `retry` is 1-based (the delay before the first retry).
+int64_t RetryBackoffUs(const RetryPolicy& policy, int retry);
+
 /// Sharded-execution sizing: how many shards the catalog is partitioned
 /// into and how partitions are placed. `engine` is the template for the
 /// per-shard engines and the unsharded fallback engine alike (pool
@@ -22,6 +47,7 @@ struct ShardExecConfig {
   size_t num_shards = 1;
   ShardPolicy policy = ShardPolicy::kRange;
   EngineConfig engine;
+  RetryPolicy retry;
 };
 
 /// Scatter-gather query execution over a sharded catalog — the paper's §4
@@ -71,6 +97,9 @@ class ShardCoordinator {
     /// Per shard: executed a sub-query (its slice of the final scan set,
     /// minus init-boundary skips, was non-empty).
     std::vector<uint8_t> contacted;
+    /// Shard sub-query re-executions after transient faults (summed over
+    /// shards; 0 on a fault-free run).
+    int64_t retries = 0;
   };
 
   ShardCoordinator(Catalog* catalog, ShardExecConfig config);
@@ -92,6 +121,14 @@ class ShardCoordinator {
   Result<QueryResult> Execute(const PlanPtr& plan,
                               const std::atomic<bool>* cancel, Trace* trace);
 
+  /// Full-control entry point: adds a per-query deadline (absolute
+  /// steady-clock ns, 0 = none). The deadline fans out to every shard
+  /// sub-query and is checked between coordinator phases and before each
+  /// retry backoff; past it the query returns kDeadlineExceeded.
+  Result<QueryResult> Execute(const PlanPtr& plan,
+                              const std::atomic<bool>* cancel, Trace* trace,
+                              int64_t deadline_ns);
+
   const ExecInfo& last_exec() const { return last_exec_; }
   const ShardExecConfig& config() const { return config_; }
 
@@ -101,7 +138,7 @@ class ShardCoordinator {
   Result<QueryResult> ExecuteSharded(const PlanPtr& plan,
                                      const PlanNode* scan_node,
                                      const std::atomic<bool>* cancel,
-                                     Trace* trace);
+                                     Trace* trace, int64_t deadline_ns);
   Result<OperatorPtr> CompileGather(const PlanPtr& plan, GatherCompile* ctx);
   /// The cached shard map for the table version, rebuilt after DML swapped
   /// the table object (instance_id mismatch).

@@ -129,9 +129,21 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
     int64_t ok = 0;
     int64_t failed = 0;
     int64_t rejected = 0;
+    int64_t deadline_exceeded = 0;
+    int64_t shard_retries = 0;
     int64_t cache_hits = 0;
     int64_t shards_total = 0;
     int64_t shards_pruned = 0;
+
+    /// Shared failure bookkeeping for a completed query: deadline misses are
+    /// their own outcome (QoS working as designed), everything else fails.
+    void CountNonOk(const Status& status) {
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        ++deadline_exceeded;
+      } else {
+        ++failed;
+      }
+    }
   };
 
   auto merge_local = [&](StreamLocal& local) {
@@ -139,6 +151,8 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
     result.queries_ok += local.ok;
     result.queries_failed += local.failed;
     result.queries_rejected += local.rejected;
+    result.queries_deadline_exceeded += local.deadline_exceeded;
+    result.shard_retries += local.shard_retries;
     result.cache_hit_queries += local.cache_hits;
     result.shards_total += local.shards_total;
     result.shards_pruned += local.shards_pruned;
@@ -174,10 +188,11 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
       auto executed = submitted.value().Await();
       const double ms = MsSince(t0);
       if (!executed.ok()) {
-        ++local.failed;
+        local.CountNonOk(executed.status());
         continue;
       }
       ++local.ok;
+      local.shard_retries += executed.value().shard_retries;
       if (executed.value().predicate_cache_hit) ++local.cache_hits;
       local.shards_total += executed.value().stats.shards_total;
       local.shards_pruned += executed.value().stats.shards_pruned;
@@ -228,10 +243,11 @@ StreamDriverResult MultiStreamDriver::Run(service::QueryService* service,
     for (Pending& p : pending) {
       auto executed = p.handle.Await();
       if (!executed.ok()) {
-        ++local.failed;
+        local.CountNonOk(executed.status());
         continue;
       }
       ++local.ok;
+      local.shard_retries += executed.value().shard_retries;
       if (executed.value().predicate_cache_hit) ++local.cache_hits;
       local.shards_total += executed.value().stats.shards_total;
       local.shards_pruned += executed.value().stats.shards_pruned;

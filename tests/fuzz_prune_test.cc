@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/trace.h"
 #include "core/filter_pruner.h"
@@ -970,6 +971,137 @@ TEST(FuzzPruneTest, ShardedExecutionMatchesSerialOracle) {
   // vacuously.
   EXPECT_GT(total_shards_pruned, 0);
   EXPECT_GT(summary_pruned_shards, 0);
+}
+
+// --------------------------------------------------------------------------
+// Chaos oracle: random fault injection at every site
+// --------------------------------------------------------------------------
+
+/// Under random fault injection at every failpoint site, every query must
+/// either return rows AND deterministic PruningStats byte-identical to its
+/// fault-free run (the retry layer absorbed the faults) or fail with a
+/// clean, well-typed error — never a crash, hang, partial result, or a
+/// diverging "success". Runs the engine at several thread counts and the
+/// shard coordinator at several shard counts under every random arming.
+TEST(FuzzPruneTest, ChaosInjectionNeverCorruptsOrHangs) {
+  // Sites are process-global: guarantee a clean slate and a clean exit even
+  // when an ASSERT unwinds out of the loop.
+  struct DisarmGuard {
+    DisarmGuard() { FailPointRegistry::Instance().DisarmAll(); }
+    ~DisarmGuard() { FailPointRegistry::Instance().DisarmAll(); }
+  } guard;
+  const char* const sites[] = {
+      "scan.partition_load",  "pool.dispatch",          "predcache.populate",
+      "shard.scatter_launch", "shard.scatter_complete", "shard.gather_replay",
+  };
+  for (const char* site : sites) FailPointRegistry::Instance().Register(site);
+
+  /// Arms each site independently (40% chance) with a random policy drawn
+  /// from the iteration's seeded Rng — probability, every-Nth, or
+  /// once-after-K — so the storm is diverse but exactly reproducible.
+  auto arm_randomly = [&](Rng* rng) {
+    for (const char* site : sites) {
+      FailPoint* fp = FailPointRegistry::Instance().Find(site);
+      if (!rng->Bernoulli(0.4)) {
+        fp->Disarm();
+        continue;
+      }
+      switch (rng->UniformInt(0, 2)) {
+        case 0:
+          fp->ArmProbability(0.05 + rng->Uniform() * 0.35, rng->Next());
+          break;
+        case 1:
+          fp->ArmEveryNth(static_cast<uint64_t>(rng->UniformInt(2, 6)));
+          break;
+        default:
+          fp->ArmOnceAfterK(static_cast<uint64_t>(rng->UniformInt(0, 3)));
+          break;
+      }
+    }
+  };
+
+  int64_t ok_runs = 0, failed_runs = 0, absorbed_retries = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    Rng rng(171000 + iter);
+    auto table = RandomTable(&rng, "c");
+    const std::string ctx = "iter " + std::to_string(iter);
+    FuzzEngine engine(table);
+
+    ExprPtr pred =
+        rng.Bernoulli(0.2) ? nullptr : RandomPredicate(&rng, *table, 2);
+    if (pred) ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+    PlanPtr plan;
+    switch (rng.UniformInt(0, 3)) {
+      case 0: plan = ScanPlan("c", pred); break;
+      case 1:
+        plan = TopKPlan(ScanPlan("c", pred), "key", rng.Bernoulli(0.5),
+                        rng.UniformInt(1, 20));
+        break;
+      case 2: plan = LimitPlan(ScanPlan("c", pred), rng.UniformInt(1, 20)); break;
+      default:
+        plan = AggregatePlan(ScanPlan("c", pred), {"cat"},
+                             {AggPlanSpec{AggFunc::kCount, "", "n"}});
+        break;
+    }
+
+    // Fault-free baseline, then the same plan under a random storm.
+    FailPointRegistry::Instance().DisarmAll();
+    QueryResult baseline = engine.RunFull(plan, true, 1);
+    const std::string base_rows = Serialize(baseline.rows);
+
+    auto check = [&](Result<QueryResult> result, const std::string& sctx) {
+      if (result.ok()) {
+        ++ok_runs;
+        absorbed_retries += result.value().shard_retries;
+        ASSERT_EQ(base_rows, Serialize(result.value().rows))
+            << sctx << ": an injected-fault run 'succeeded' with different "
+            << "rows than the fault-free run";
+        ASSERT_EQ(testing_util::DiffStats(baseline.stats,
+                                          result.value().stats), "")
+            << sctx << ": an injected-fault run diverged in PruningStats";
+      } else {
+        ++failed_runs;
+        ASSERT_FALSE(result.status().message().empty()) << sctx;
+        ASSERT_TRUE(result.status().code() == StatusCode::kUnavailable ||
+                    result.status().code() == StatusCode::kResourceExhausted)
+            << sctx << ": unexpected failure type "
+            << result.status().ToString();
+      }
+    };
+
+    arm_randomly(&rng);
+    for (int threads : {1, 2, 4}) {
+      EngineConfig config;
+      config.exec.num_threads = threads;
+      Engine chaos_engine(engine.catalog(), config);
+      check(chaos_engine.Execute(plan),
+            ctx + " engine threads=" + std::to_string(threads));
+    }
+    for (size_t shards : {2u, 4u}) {
+      shard::ShardExecConfig config;
+      config.num_shards = shards;
+      config.engine.exec.num_threads = 2;
+      config.retry.base_backoff_us = 10;  // keep 200 storms fast
+      config.retry.max_backoff_us = 100;
+      shard::ShardCoordinator coordinator(engine.catalog(), config);
+      check(coordinator.Execute(plan),
+            ctx + " shards=" + std::to_string(shards));
+    }
+    FailPointRegistry::Instance().DisarmAll();
+
+    // Fault-free again after the storm: nothing latches.
+    QueryResult after = engine.RunFull(plan, true, 2);
+    ASSERT_EQ(base_rows, Serialize(after.rows))
+        << ctx << ": results changed after the storm was disarmed";
+  }
+  // The sweep must exercise both outcomes — storms that are absorbed
+  // (including via shard retries) and storms that surface clean errors —
+  // or the oracle is vacuous.
+  EXPECT_GT(ok_runs, 0);
+  EXPECT_GT(failed_runs, 0);
+  EXPECT_GT(absorbed_retries, 0)
+      << "no successful run ever absorbed a retry — the retry layer was "
+      << "never exercised";
 }
 
 // --------------------------------------------------------------------------

@@ -156,6 +156,9 @@ TEST_F(ServiceConcurrencyTest, MixedClassesByteIdenticalAcrossStreamCounts) {
               static_cast<int64_t>(num_streams * kQueriesPerStream));
     EXPECT_EQ(stats.completed, stats.submitted);
     EXPECT_EQ(stats.failed, 0);
+    // Every completion is exactly one of ok/failed/cancelled/deadline.
+    EXPECT_EQ(stats.completed, stats.ok + stats.failed + stats.cancelled +
+                                   stats.deadline_exceeded);
     EXPECT_LE(stats.peak_in_flight, static_cast<int64_t>(num_streams));
   }
 }
@@ -200,6 +203,8 @@ TEST_F(ServiceConcurrencyTest, AdmissionBoundsInFlightQueries) {
   EXPECT_LE(stats.peak_in_flight, 2);
   EXPECT_GE(stats.peak_in_flight, 2);
   EXPECT_GE(stats.peak_queue_depth, 1);
+  EXPECT_EQ(stats.completed, stats.ok + stats.failed + stats.cancelled +
+                                 stats.deadline_exceeded);
 }
 
 TEST_F(ServiceConcurrencyTest, BoundedQueueRejectsWithResourceExhausted) {
@@ -446,6 +451,9 @@ TEST_F(ServiceConcurrencyTest, CancelQueuedQueryCompletesWithCancelled) {
   EXPECT_EQ(stats.completed, 5);
   EXPECT_EQ(stats.cancelled, 1);
   EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.ok, 4);
+  EXPECT_EQ(stats.completed, stats.ok + stats.failed + stats.cancelled +
+                                 stats.deadline_exceeded);
 
   // The service still serves: a fresh query after the cancellation runs OK.
   auto after = service.Execute(filler());

@@ -26,11 +26,17 @@ REQUIRED_COUNTERS = [
     "service.submitted",
     "service.rejected",
     "service.completed",
+    "service.ok",
     "service.failed",
     "service.cancelled",
+    "service.deadline_exceeded",
+    "service.shed_expired",
     "shard.queries_sharded",
     "shard.scatter_fanout",
     "shard.shards_pruned",
+    "shard.retries",
+    "shard.retry_exhausted",
+    "failpoint.trips",
 ]
 REQUIRED_GAUGES = [
     "pool.queue_depth",
