@@ -40,9 +40,13 @@ struct ClassPoint {
 };
 
 ClassPoint RunClass(Catalog* catalog, const char* cls, const PlanPtr& plan,
-                    int reps, size_t trace_sample) {
+                    int reps, size_t trace_sample, bool specialize) {
   EngineConfig config;
   config.exec.num_threads = 1;  // single-thread ns/row: the kernel cost
+  // Eager compilation (or the tier fully off): the sweep measures the
+  // specialized steady state, not the promotion ramp.
+  config.exec.specialize = specialize;
+  config.exec.specialize_after = 0;
   Engine engine(catalog, config);
   ClassPoint point;
   point.cls = cls;
@@ -76,13 +80,14 @@ ClassPoint RunClass(Catalog* catalog, const char* cls, const PlanPtr& plan,
 /// pure execution cost). Join/top-k/sort are the classes the fully columnar
 /// pipeline (PR 4) targets; scan+agg is the PR 2 reference point.
 std::vector<ClassPoint> ClassLatencySweep(Catalog* catalog, int reps,
-                                          size_t trace_sample) {
+                                          size_t trace_sample,
+                                          bool specialize) {
   std::vector<ClassPoint> points;
   auto filter = Between(Col("key"), Value(int64_t{100000}),
                         Value(int64_t{900000}));
   points.push_back(RunClass(catalog, "scan_filter",
                             ScanPlan("probe_random", filter), reps,
-                            trace_sample));
+                            trace_sample, specialize));
   points.push_back(RunClass(
       catalog, "scan_agg",
       AggregatePlan(ScanPlan("probe_random"), {"cat"},
@@ -90,27 +95,27 @@ std::vector<ClassPoint> ClassLatencySweep(Catalog* catalog, int reps,
                      AggPlanSpec{AggFunc::kSum, "key", "key_sum"},
                      AggPlanSpec{AggFunc::kMin, "ts", "ts_min"},
                      AggPlanSpec{AggFunc::kMax, "key", "key_max"}}),
-      reps, trace_sample));
+      reps, trace_sample, specialize));
   points.push_back(RunClass(
       catalog, "arith_filter",
       ScanPlan("probe_random",
                Gt(Add(Mul(Col("key"), Lit(int64_t{3})), Col("ts")),
                   Lit(int64_t{2000000}))),
-      reps, trace_sample));
+      reps, trace_sample, specialize));
   points.push_back(RunClass(
       catalog, "join",
       JoinPlan(ScanPlan("probe_random"), ScanPlan("build_small"), "key",
                "key"),
-      reps, trace_sample));
+      reps, trace_sample, specialize));
   points.push_back(RunClass(
       catalog, "topk",
       TopKPlan(ScanPlan("probe_random", filter), "key", /*descending=*/true,
                100),
-      reps, trace_sample));
+      reps, trace_sample, specialize));
   points.push_back(RunClass(catalog, "sort",
                             SortPlan(ScanPlan("probe_random", filter), "key",
                                      /*descending=*/false),
-                            reps, trace_sample));
+                            reps, trace_sample, specialize));
   return points;
 }
 
@@ -230,13 +235,39 @@ int main(int argc, char** argv) {
   // smoke size, and the CI trace-overhead gate compares two smoke runs, so
   // single-shot timings would be all scheduler noise.
   const int reps = 5;
-  std::printf("\n%-14s %12s %12s %14s   (serial, best of %d)\n", "class",
-              "wall ms", "ns/row", "scanned rows", reps);
-  std::vector<ClassPoint> classes = ClassLatencySweep(catalog.get(), reps, opts.trace_sample);
-  for (const ClassPoint& p : classes) {
-    std::printf("%-14s %12.2f %12.1f %14lld\n", p.cls, p.wall_ms, p.NsPerRow(),
-                static_cast<long long>(p.scanned_rows));
+  // --specialize: "both" (default) measures the sweep interpreted AND
+  // eagerly specialized, so one run carries the comparison the CI
+  // specialization gate checks; "on"/"off" measure a single variant.
+  const bool sweep_interpreted = opts.specialize != "on";
+  const bool sweep_specialized = opts.specialize != "off";
+  std::vector<ClassPoint> classes;
+  std::vector<ClassPoint> classes_specialized;
+  if (sweep_interpreted) {
+    std::printf("\n%-14s %12s %12s %14s   (serial, best of %d, "
+                "specialize=off)\n",
+                "class", "wall ms", "ns/row", "scanned rows", reps);
+    classes = ClassLatencySweep(catalog.get(), reps, opts.trace_sample,
+                                /*specialize=*/false);
+    for (const ClassPoint& p : classes) {
+      std::printf("%-14s %12.2f %12.1f %14lld\n", p.cls, p.wall_ms,
+                  p.NsPerRow(), static_cast<long long>(p.scanned_rows));
+    }
   }
+  if (sweep_specialized) {
+    std::printf("\n%-14s %12s %12s %14s   (serial, best of %d, "
+                "specialize=on, eager)\n",
+                "class", "wall ms", "ns/row", "scanned rows", reps);
+    classes_specialized = ClassLatencySweep(catalog.get(), reps,
+                                            opts.trace_sample,
+                                            /*specialize=*/true);
+    for (const ClassPoint& p : classes_specialized) {
+      std::printf("%-14s %12.2f %12.1f %14lld\n", p.cls, p.wall_ms,
+                  p.NsPerRow(), static_cast<long long>(p.scanned_rows));
+    }
+  }
+  // Single-variant runs report their rows as "classes" (the trajectory and
+  // trace-overhead tooling read that key regardless of mode).
+  if (!sweep_interpreted) classes = std::move(classes_specialized);
 
   // --- Pipeline-parallel operator sweep -----------------------------------
   // Join build / top-k filter / sort runs as worker-side pipeline stages;
@@ -327,17 +358,25 @@ int main(int argc, char** argv) {
     json.Key("topk_mean").Number(r.topk_ratios.Mean());
     json.Key("join_mean").Number(r.join_ratios.Mean());
     json.EndObject();
-    json.Key("classes").BeginArray();
-    for (const ClassPoint& p : classes) {
-      json.BeginObject();
-      json.Key("class").String(p.cls);
-      json.Key("wall_ms").Number(p.wall_ms);
-      json.Key("ns_per_row").Number(p.NsPerRow());
-      json.Key("scanned_rows").Int(p.scanned_rows);
-      json.Key("result_rows").Int(p.result_rows);
-      json.EndObject();
+    json.Key("specialize_mode").String(opts.specialize);
+    auto emit_classes = [&json](const char* key,
+                                const std::vector<ClassPoint>& points) {
+      json.Key(key).BeginArray();
+      for (const ClassPoint& p : points) {
+        json.BeginObject();
+        json.Key("class").String(p.cls);
+        json.Key("wall_ms").Number(p.wall_ms);
+        json.Key("ns_per_row").Number(p.NsPerRow());
+        json.Key("scanned_rows").Int(p.scanned_rows);
+        json.Key("result_rows").Int(p.result_rows);
+        json.EndObject();
+      }
+      json.EndArray();
+    };
+    emit_classes("classes", classes);
+    if (sweep_interpreted && sweep_specialized) {
+      emit_classes("classes_specialized", classes_specialized);
     }
-    json.EndArray();
     json.Key("parallel_classes").BeginArray();
     for (const ParallelClassPoint& p : parallel_classes) {
       json.BeginObject();

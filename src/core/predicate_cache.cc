@@ -1,8 +1,10 @@
 #include "core/predicate_cache.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/metrics.h"
+#include "expr/jit/bytecode.h"
 
 namespace snowprune {
 
@@ -26,6 +28,10 @@ CacheMetrics& GetCacheMetrics() {
 
 }  // namespace
 
+void PredicateCache::NoteInvalidated(const Entry& entry) {
+  if (entry.program != nullptr) jit::Counters().invalidations->Add();
+}
+
 void PredicateCache::Insert(const std::string& fingerprint, const Table& table,
                             std::string order_column,
                             std::vector<PartitionId> partitions) {
@@ -33,8 +39,14 @@ void PredicateCache::Insert(const std::string& fingerprint, const Table& table,
   std::sort(partitions.begin(), partitions.end());
   partitions.erase(std::unique(partitions.begin(), partitions.end()),
                    partitions.end());
-  Entry entry{table.name(), std::move(order_column), std::move(partitions),
-              table.num_partitions(), table.instance_id()};
+  Entry entry;
+  entry.table_name = table.name();
+  entry.order_column = std::move(order_column);
+  entry.partitions = std::move(partitions);
+  entry.table_partitions_at_insert = table.num_partitions();
+  entry.table_instance = table.instance_id();
+  auto existing = entries_.find(fingerprint);
+  if (existing != entries_.end()) NoteInvalidated(existing->second);
   auto [it, inserted] = entries_.insert_or_assign(fingerprint, std::move(entry));
   (void)it;
   if (inserted) {
@@ -148,6 +160,7 @@ void PredicateCache::OnUpdate(const Table& table, const std::string& column) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.table_name == table.name() &&
         it->second.order_column == column) {
+      NoteInvalidated(it->second);
       insertion_order_.remove(it->first);
       it = entries_.erase(it);  // reordering update: cache may be wrong
     } else {
@@ -169,6 +182,7 @@ void PredicateCache::OnDelete(const Table& table, PartitionId deleted_pid) {
     if (contains) {
       // A contributing partition is gone: the replacement (k+1-th) row may
       // live anywhere, so the entry is unusable (§8.2).
+      NoteInvalidated(it->second);
       insertion_order_.remove(it->first);
       it = entries_.erase(it);
       continue;
@@ -184,9 +198,63 @@ void PredicateCache::OnDelete(const Table& table, PartitionId deleted_pid) {
 
 void PredicateCache::EvictIfNeeded() {
   while (entries_.size() > capacity_ && !insertion_order_.empty()) {
-    entries_.erase(insertion_order_.front());
+    auto it = entries_.find(insertion_order_.front());
+    if (it != entries_.end()) {
+      NoteInvalidated(it->second);
+      entries_.erase(it);
+    }
     insertion_order_.pop_front();
   }
+}
+
+int64_t PredicateCache::NoteHit(const std::string& fingerprint) {
+  MutexLock lock(&mutex_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return 0;
+  return ++it->second.hits;
+}
+
+std::shared_ptr<const jit::CompiledPredicate> PredicateCache::GetProgram(
+    const std::string& fingerprint, const Table& table) {
+  MutexLock lock(&mutex_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return nullptr;
+  Entry& entry = it->second;
+  if (entry.program != nullptr &&
+      entry.program->table_instance != table.instance_id()) {
+    // Stale program: DML swapped the table version under this name.
+    NoteInvalidated(entry);
+    entry.program = nullptr;
+    entry.compile_declined = false;
+  }
+  return entry.program;
+}
+
+std::shared_ptr<const jit::CompiledPredicate>
+PredicateCache::GetOrCompileProgram(
+    const std::string& fingerprint, const Table& table,
+    const std::function<std::shared_ptr<const jit::CompiledPredicate>()>&
+        compile) {
+  MutexLock lock(&mutex_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return nullptr;
+  Entry& entry = it->second;
+  if (entry.program != nullptr) {
+    if (entry.program->table_instance == table.instance_id()) {
+      return entry.program;
+    }
+    NoteInvalidated(entry);
+    entry.program = nullptr;
+    entry.compile_declined = false;
+  }
+  if (entry.compile_declined) return nullptr;
+  // Compiling under mutex_ makes exactly-once trivial: concurrent promoters
+  // of the same entry block for the microseconds one compilation takes,
+  // then read the published program — no duplicated work, no extra
+  // synchronization protocol.
+  entry.program = compile();
+  if (entry.program == nullptr) entry.compile_declined = true;
+  return entry.program;
 }
 
 }  // namespace snowprune

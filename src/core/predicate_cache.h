@@ -10,10 +10,16 @@
 #include <utility>
 #include <vector>
 
+#include <functional>
+
 #include "common/mutex.h"
 #include "storage/table.h"
 
 namespace snowprune {
+
+namespace jit {
+struct CompiledPredicate;
+}  // namespace jit
 
 /// Predicate caching extended to top-k queries (§8.2): after a top-k query
 /// runs, the set of micro-partitions that contributed rows to the final heap
@@ -177,17 +183,54 @@ class PredicateCache {
     return Counters{entries_.size(), hits_, misses_, coalesced_waits_};
   }
 
+  // ---- Expression specialization tier (src/expr/jit/) --------------------
+
+  /// Bumps and returns the entry's hit count — the promotion signal: once it
+  /// crosses ExecConfig::specialize_after, the engine compiles the entry's
+  /// predicate. Returns 0 when the fingerprint has no live entry.
+  int64_t NoteHit(const std::string& fingerprint) SNOW_EXCLUDES(mutex_);
+
+  /// The entry's compiled program, validated against the table instance the
+  /// program was compiled for. A stale program (DML replaced the table) is
+  /// dropped and counted as a jit.invalidation.
+  std::shared_ptr<const jit::CompiledPredicate> GetProgram(
+      const std::string& fingerprint, const Table& table)
+      SNOW_EXCLUDES(mutex_);
+
+  /// Returns the entry's program, compiling it exactly once under
+  /// concurrency: the compile callback runs while the cache mutex is held
+  /// (compilation is microseconds — cheaper than a second condition-variable
+  /// protocol), so N streams crossing the promotion threshold together
+  /// produce one compilation and share the result. Returns nullptr when the
+  /// entry is gone or the callback declines (uncompilable shape; recorded so
+  /// the entry is not re-tried on every hit).
+  std::shared_ptr<const jit::CompiledPredicate> GetOrCompileProgram(
+      const std::string& fingerprint, const Table& table,
+      const std::function<std::shared_ptr<const jit::CompiledPredicate>()>&
+          compile) SNOW_EXCLUDES(mutex_);
+
  private:
   struct Entry {
     std::string table_name;
     std::string order_column;
     std::vector<PartitionId> partitions;
-    size_t table_partitions_at_insert;
+    size_t table_partitions_at_insert = 0;
     /// Table *version* identity: a ReplaceTable swap installs a new Table
     /// object under the same name, whose data owes nothing to this entry's
     /// partitions — lookups validate the instance and miss on mismatch.
     uint64_t table_instance = 0;
+    /// Specialization state: hits since insert, and the compiled bytecode
+    /// program once the entry was promoted (shared across streams/shards).
+    int64_t hits = 0;
+    std::shared_ptr<const jit::CompiledPredicate> program;
+    /// A promotion that failed to compile (unsupported shape); stops every
+    /// later hit from re-running the compiler.
+    bool compile_declined = false;
   };
+
+  /// Counts a dropped compiled program (jit.invalidations); called on every
+  /// entry-erase path.
+  static void NoteInvalidated(const Entry& entry);
 
   void EvictIfNeeded() SNOW_REQUIRES(mutex_);
   /// The entry's scan set (with post-insert partitions appended), or

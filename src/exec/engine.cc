@@ -13,6 +13,7 @@
 #include "exec/parallel/thread_pool.h"
 #include "exec/scan_op.h"
 #include "exec/topk_op.h"
+#include "expr/jit/compiler.h"
 
 namespace snowprune {
 
@@ -67,6 +68,35 @@ void CollectTables(const Catalog& catalog, const PlanPtr& plan,
   CollectTables(catalog, plan->right, out);
 }
 
+/// Specialization-tier entry point shared by every compile site (eager scan
+/// attach, top-k promotion, shard coordinator): compile the bound predicate
+/// to bytecode, stamp the table version it may run against, and record the
+/// decision as a "compile.specialize" span under the query's compile span
+/// (bytecode length, per-term fallback count, and the reject reason as a
+/// jit::RejectReason code — 0 means compiled).
+std::shared_ptr<const jit::CompiledPredicate> CompileSpecialized(
+    const ExprPtr& predicate, const Schema& schema, uint64_t table_instance,
+    Trace* trace, uint32_t parent_span) {
+  const uint32_t span = trace != nullptr
+                            ? trace->BeginSpan("compile.specialize", parent_span)
+                            : 0;
+  jit::CompileResult compiled = jit::CompilePredicate(predicate, schema);
+  if (compiled.program != nullptr) {
+    compiled.program->table_instance = table_instance;
+  }
+  if (trace != nullptr) {
+    trace->AnnotateInt(span, "bytecode_len",
+                       compiled.program != nullptr
+                           ? static_cast<int64_t>(compiled.program->code.size())
+                           : 0);
+    trace->AnnotateInt(span, "fallback_terms", compiled.fallback_terms);
+    trace->AnnotateInt(span, "reject_reason",
+                       static_cast<int64_t>(compiled.reason));
+    trace->EndSpan(span);
+  }
+  return std::move(compiled.program);
+}
+
 }  // namespace
 
 /// Per-query compilation state: scan bookkeeping, pending runtime-pruning
@@ -110,6 +140,9 @@ struct Engine::CompileContext {
   /// engine hands them the trace pointer once the execute span exists.
   QueryProfile* profile = nullptr;
   std::vector<Operator*> profiled_ops;
+  /// The open "compile" span id (traced queries; 0 untraced) —
+  /// "compile.specialize" spans nest under it.
+  uint32_t compile_span = 0;
   bool track_source = false;
   /// True once this compile owns a predicate-cache population ticket.
   /// Later cache-eligible scans in the same plan then use the
@@ -307,6 +340,16 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
 #endif
           auto op = std::make_unique<TableScanOp>(table, it->second,
                                                   plan->predicate, nullptr);
+          if (config_.exec.specialize && ctx->opts->compiled_filters != nullptr) {
+            // The coordinator compiled once and shares the program with
+            // every shard sub-query; a sub-query never compiles locally.
+            auto cf = ctx->opts->compiled_filters->find(plan->table);
+            if (cf != ctx->opts->compiled_filters->end() &&
+                cf->second != nullptr &&
+                cf->second->table_instance == table->instance_id()) {
+              op->set_compiled_filter(cf->second);
+            }
+          }
           if (ctx->profile != nullptr) {
             // Rows/batches/time only: pruning already happened (and was
             // metered) on the coordinator, so this node claims none of it.
@@ -347,6 +390,17 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
 
       auto op = std::make_unique<TableScanOp>(table, filter_result.scan_set,
                                               plan->predicate, &ctx->stats);
+      if (config_.exec.specialize && config_.exec.specialize_after == 0 &&
+          plan->predicate) {
+        // Eager mode: specialize every compiled filter at query-compile
+        // time, no promotion threshold. The program is per-query (it dies
+        // with the operator tree), so it carries no table-instance claim.
+        auto program =
+            CompileSpecialized(plan->predicate, table->schema(),
+                               /*table_instance=*/0, ctx->opts->trace,
+                               ctx->compile_span);
+        if (program != nullptr) op->set_compiled_filter(std::move(program));
+      }
       if (config_.enable_filter_pruning && !compile_time_pruning &&
           plan->predicate) {
         // §3.2: pruning deferred to the execution layer. The pruner must
@@ -519,6 +573,38 @@ Result<OperatorPtr> Engine::Compile(const PlanPtr& plan, CompileContext* ctx) {
           }
           info.op->ReplaceScanSet(ScanSet(std::move(keep)));
           ctx->result->predicate_cache_hit = true;
+        }
+        if (config_.exec.specialize && config_.exec.specialize_after > 0 &&
+            trace.scan->predicate != nullptr) {
+          // Promotion lifecycle: every repeat of a cached query shape bumps
+          // the entry's hit count; past the threshold the entry's predicate
+          // is compiled exactly once (under the cache mutex — concurrent
+          // promoters share the one program) and attached to this query's
+          // scan. Below the threshold an already-promoted entry still
+          // serves its program, so one stream's promotion accelerates all.
+          const int64_t entry_hits =
+              config_.predicate_cache->NoteHit(cache_fingerprint);
+          std::shared_ptr<const jit::CompiledPredicate> program;
+          if (entry_hits >= config_.exec.specialize_after) {
+            const ExprPtr& predicate = trace.scan->predicate;
+            const Table& table = *info.table;
+            Trace* query_trace = ctx->opts->trace;
+            const uint32_t parent_span = ctx->compile_span;
+            program = config_.predicate_cache->GetOrCompileProgram(
+                cache_fingerprint, table,
+                [&predicate, &table, query_trace, parent_span]() {
+                  return CompileSpecialized(predicate, table.schema(),
+                                            table.instance_id(), query_trace,
+                                            parent_span);
+                });
+          } else if (entry_hits > 0) {
+            program =
+                config_.predicate_cache->GetProgram(cache_fingerprint,
+                                                    *info.table);
+          }
+          if (program != nullptr) {
+            info.op->set_compiled_filter(std::move(program));
+          }
         }
       }
 
@@ -757,6 +843,7 @@ Result<QueryResult> Engine::Execute(const PlanPtr& plan,
   const uint32_t compile_span =
       opts.trace != nullptr ? opts.trace->BeginSpan("compile", query_span.id())
                             : 0;
+  ctx.compile_span = compile_span;
 
   // Snapshot every referenced table once: DML (ReplaceTable/DropTable) that
   // lands after this point does not affect this query. An injected snapshot

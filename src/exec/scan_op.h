@@ -22,6 +22,10 @@
 
 namespace snowprune {
 
+namespace jit {
+struct CompiledPredicate;
+}  // namespace jit
+
 /// Table scan over a (compile-time pruned) scan set. One output batch per
 /// partition. Runtime pruning hooks:
 ///   - a TopKPruner attached by the planner is consulted before every load
@@ -99,6 +103,27 @@ class TableScanOp : public Operator {
   /// Planner hook: replaces the scan set before execution (LIMIT pruning,
   /// top-k ordering/initialization, predicate-cache restriction).
   void ReplaceScanSet(ScanSet scan_set) { scan_set_ = std::move(scan_set); }
+
+  /// Engine hook (specialization tier): a bytecode program compiled from
+  /// this scan's filter. Each batch tries the fused executor first and falls
+  /// back to the vectorized interpreter when the program cannot run against
+  /// it (column drift) — selections are byte-identical either way. Shared:
+  /// the same program may be attached to many scans across streams/shards.
+  void set_compiled_filter(
+      std::shared_ptr<const jit::CompiledPredicate> program) {
+    compiled_filter_ = std::move(program);
+  }
+  const std::shared_ptr<const jit::CompiledPredicate>& compiled_filter() const {
+    return compiled_filter_;
+  }
+  /// EXPLAIN ANALYZE attribution: batches filtered by the compiled program
+  /// vs. ones that fell back to the interpreter (this execution).
+  int64_t specialized_batches() const {
+    return specialized_batches_.load(std::memory_order_relaxed);
+  }
+  int64_t interpreted_batches() const {
+    return interpreted_batches_.load(std::memory_order_relaxed);
+  }
 
   /// Engine hook: execute this scan partition-parallel on `pool`. Must be
   /// called before Open(). `window` bounds how many morsels may be buffered
@@ -202,6 +227,11 @@ class TableScanOp : public Operator {
   std::shared_ptr<Table> table_;
   ScanSet scan_set_;
   ExprPtr filter_;
+  /// Specialized filter kernel (see set_compiled_filter); counters are
+  /// atomics because parallel workers filter batches concurrently.
+  std::shared_ptr<const jit::CompiledPredicate> compiled_filter_;
+  std::atomic<int64_t> specialized_batches_{0};
+  std::atomic<int64_t> interpreted_batches_{0};
   PruningStats* stats_;
   PruningStats* profile_stats_ = nullptr;
   TopKPruner* topk_pruner_ = nullptr;

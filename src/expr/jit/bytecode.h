@@ -1,0 +1,141 @@
+#ifndef SNOWPRUNE_EXPR_JIT_BYTECODE_H_
+#define SNOWPRUNE_EXPR_JIT_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/value.h"
+#include "expr/expr.h"
+
+namespace snowprune {
+
+class Counter;
+
+namespace jit {
+
+/// The specialization tier's instruction set: a flat, type-resolved program
+/// compiled from a hot predicate's expression tree. One instruction replaces
+/// one interpreter tree node; the dispatch loop in executor.cc replaces the
+/// per-batch virtual recursion, re-typing, and tree walks. Value ops write
+/// lane registers (NumericLanes pooled from EvalScratch), predicate ops
+/// write mask registers (PredicateOutcome vectors from the same pool).
+enum class Op : uint8_t {
+  // -- value ops (dst = lane register) --------------------------------------
+  kLoadCol,    ///< dst <- column a (int64/float64; null-free columns alias).
+  kArith,      ///< dst <- a (aux: ArithOp) b, NumericLanes semantics exactly.
+  kIfVal,      ///< dst <- mask[aux] per-row TRUE ? a : b.
+  // -- predicate ops (dst = mask register) ----------------------------------
+  kCmp,        ///< dst <- a (aux: CompareOp) b over lanes.
+  kAndStart,   ///< dst <- all kPredTrue (AND identity).
+  kOrStart,    ///< dst <- all kPredFalse (OR identity).
+  kAndMerge,   ///< dst &= mask a; if every row decided, jump to pc aux.
+  kOrMerge,    ///< dst |= mask a; if every row decided, jump to pc aux.
+  kNot,        ///< dst: TRUE<->FALSE in place, NULL unchanged.
+  kNotTrue,    ///< dst: TRUE->FALSE, FALSE/NULL->TRUE in place.
+  kIsNull,     ///< dst <- column a's null mask (b != 0: negate).
+  kBoolCol,    ///< dst <- bool column a (null -> kPredNull).
+  kInList,     ///< dst <- column a IN in_list_pool[b, b+aux).
+  kIfMask,     ///< dst <- mask[aux] per-row TRUE ? mask a : mask b.
+  kConstMask,  ///< dst <- broadcast outcome a.
+  kFallback,   ///< dst <- interpret fallback_terms[a] (vectorized oracle).
+  // -- selection ops (terminal) ---------------------------------------------
+  kSelect,     ///< selection <- rows where mask a == kPredTrue.
+  kSelectCmp,  ///< selection <- rows where a (aux: CompareOp) b is TRUE.
+  kRefineCmp,  ///< selection <- keep rows where a (aux: CompareOp) b is TRUE.
+};
+
+struct Instr {
+  Op op;
+  uint16_t dst = 0;
+  uint16_t a = 0;
+  uint16_t b = 0;
+  uint32_t aux = 0;
+};
+
+/// Fixed register-file size of the executor (stack-allocated per batch);
+/// the compiler rejects predicates whose register demand exceeds it.
+constexpr uint16_t kMaxRegisters = 48;
+
+/// Program-length cap. Expression DAGs with shared subtrees flatten to a
+/// tree-sized program (the compiler does not dedupe); the cap bounds both
+/// program size and compile work on pathological sharing — such predicates
+/// are rejected kTooComplex and stay on the interpreter.
+constexpr size_t kMaxInstructions = 1024;
+
+/// Scalar literal pre-resolved at compile time: applied to a lane register
+/// once at program start, at zero per-batch cost.
+enum class ScalarRep : uint8_t { kNull = 0, kInt64 = 1, kFloat64 = 2 };
+
+struct RegInit {
+  uint16_t reg;
+  ScalarRep rep;
+  int64_t i64 = 0;
+  double f64 = 0.0;
+};
+
+/// A column the program reads; the executor validates index + physical type
+/// against every batch before running (schema drift -> interpreter path).
+struct ColumnReq {
+  uint32_t index;
+  DataType type;
+};
+
+/// Pre-filtered numeric IN-list candidate (NULL/string/bool literals are
+/// dropped at compile time, mirroring the interpreter's per-row skip).
+struct InCandidate {
+  bool is_int;
+  int64_t i64;
+  double f64;
+};
+
+/// Why a predicate could not be compiled (annotated on the trace span).
+enum class RejectReason : int {
+  kNone = 0,
+  kNoNativeStructure = 1,  ///< No term compiles natively; program would only
+                           ///< re-drive the interpreter with extra overhead.
+  kTooComplex = 2,         ///< Register demand above the executor's cap.
+  kNotCompilable = 3,      ///< Root shape outside the bytecode's value model.
+};
+
+/// A compiled predicate (or projection) program. Immutable once published;
+/// shared across streams and shards via shared_ptr.
+struct CompiledPredicate {
+  std::vector<Instr> code;
+  std::vector<RegInit> reg_inits;
+  std::vector<ColumnReq> column_reqs;
+  std::vector<InCandidate> in_list_pool;
+  /// Subtrees executed through the vectorized interpreter per batch
+  /// (strings/LIKE/unbound shapes fall back per-term, not whole-program).
+  std::vector<ExprPtr> fallback_terms;
+  uint16_t num_lane_regs = 0;
+  uint16_t num_mask_regs = 0;
+  size_t schema_columns = 0;
+  /// Table::instance_id() the program was compiled against; 0 when the
+  /// program is per-query (eager mode) and dies with the plan. A cached
+  /// program whose instance no longer matches is invalid (DML replaced the
+  /// table) and must not run.
+  uint64_t table_instance = 0;
+  /// Value programs (projection kernels): the register holding the root
+  /// value; -1 for predicate programs.
+  int root_value_reg = -1;
+};
+
+/// Process-wide specialization-tier instruments (one registry entry each):
+///   jit.compiles       programs successfully compiled
+///   jit.hits           batches executed by a compiled program
+///   jit.fallbacks      per-term interpreter fallbacks emitted + whole-shape
+///                      rejections (the "couldn't specialize" family)
+///   jit.invalidations  cached programs dropped by DML or instance mismatch
+struct JitCounters {
+  Counter* compiles;
+  Counter* hits;
+  Counter* fallbacks;
+  Counter* invalidations;
+};
+JitCounters& Counters();
+
+}  // namespace jit
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXPR_JIT_BYTECODE_H_

@@ -1,0 +1,507 @@
+/// Bytecode compiler for the expression specialization tier (ROADMAP open
+/// item 1): flattens a bound predicate tree into the typed register program
+/// described in bytecode.h. The compiler is conservative — anything outside
+/// the typed-lane value model (string/bool values, LIKE/STARTSWITH, unbound
+/// columns) becomes a per-term kFallback instruction that drives the
+/// vectorized interpreter, and a predicate with no native structure at all
+/// is rejected so the scan keeps the plain interpreter path.
+#include "expr/jit/compiler.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace snowprune {
+namespace jit {
+
+JitCounters& Counters() {
+  static JitCounters c{MetricsRegistry::Instance().GetCounter("jit.compiles"),
+                       MetricsRegistry::Instance().GetCounter("jit.hits"),
+                       MetricsRegistry::Instance().GetCounter("jit.fallbacks"),
+                       MetricsRegistry::Instance().GetCounter(
+                           "jit.invalidations")};
+  return c;
+}
+
+namespace {
+
+/// Registers the jit.* counter family at process start so every metrics
+/// snapshot (and tools/check_metrics_schema.py) sees the names even before
+/// the first compilation. This TU is always linked: the engine references
+/// CompilePredicate.
+const bool kJitCountersRegistered = (Counters(), true);
+
+class Compiler {
+ public:
+  Compiler(const Schema& schema, CompiledPredicate* p)
+      : schema_(schema), p_(p) {}
+
+  struct MaskRes {
+    int reg;
+    bool native;
+  };
+
+  bool ok() const { return ok_; }
+  int fallbacks() const { return fallbacks_; }
+  uint16_t lane_high_water() const { return next_lane_; }
+  uint16_t mask_high_water() const { return next_mask_; }
+
+  /// Compiles the whole predicate down to selection instructions. Returns
+  /// whether any part of it compiled natively.
+  bool CompileRoot(const ExprPtr& expr) {
+    // Fused forms first: a native root comparison — or an AND of native
+    // comparisons — writes the selection vector directly (no outcome mask,
+    // no merge pass), the shape the arith_filter/scan_filter benches hit.
+    if (expr->kind() == ExprKind::kCompare) {
+      const State s = Save();
+      const auto& cmp = static_cast<const CompareExpr&>(*expr);
+      const int l = CompileValue(cmp.left());
+      const int r = l >= 0 ? CompileValue(cmp.right()) : -1;
+      if (l >= 0 && r >= 0 && ok_) {
+        Emit({Op::kSelectCmp, 0, static_cast<uint16_t>(l),
+              static_cast<uint16_t>(r), static_cast<uint32_t>(cmp.op())});
+        FreeLane(l);
+        FreeLane(r);
+        return true;
+      }
+      Restore(s);
+    } else if (expr->kind() == ExprKind::kAnd) {
+      const auto& conn = static_cast<const BoolConnectiveExpr&>(*expr);
+      bool all_compares = !conn.terms().empty();
+      for (const ExprPtr& term : conn.terms()) {
+        all_compares = all_compares && term->kind() == ExprKind::kCompare;
+      }
+      if (all_compares && TryCompileRefineChain(conn)) return true;
+    }
+    const MaskRes m = CompileMask(expr);
+    Emit({Op::kSelect, 0, static_cast<uint16_t>(m.reg), 0, 0});
+    FreeMask(m.reg);
+    return m.native;
+  }
+
+  /// Value-program entry: compiles `expr` as a numeric value, returning its
+  /// lane register or -1.
+  int CompileValue(const ExprPtr& e) {
+    // Once the register file or program cap is blown the result is fixed
+    // (kTooComplex); unwinding immediately keeps compile time linear even
+    // on expression DAGs whose tree expansion is exponential.
+    if (!ok_) return -1;
+    switch (e->kind()) {
+      case ExprKind::kColumnRef: {
+        const auto& ref = static_cast<const ColumnRefExpr&>(*e);
+        if (!ref.bound() || ref.index() >= schema_.num_columns()) return -1;
+        const DataType type = schema_.field(ref.index()).type;
+        if (type != DataType::kInt64 && type != DataType::kFloat64) return -1;
+        const int reg = AllocLane();
+        AddColumnReq(ref.index());
+        Emit({Op::kLoadCol, static_cast<uint16_t>(reg),
+              static_cast<uint16_t>(ref.index()), 0, 0});
+        return reg;
+      }
+      case ExprKind::kLiteral: {
+        const Value& v = static_cast<const LiteralExpr&>(*e).value();
+        RegInit init{0, ScalarRep::kNull, 0, 0.0};
+        if (v.is_null()) {
+          init.rep = ScalarRep::kNull;
+        } else if (v.is_int64()) {
+          init.rep = ScalarRep::kInt64;
+          init.i64 = v.int64_value();
+        } else if (v.is_float64()) {
+          init.rep = ScalarRep::kFloat64;
+          init.f64 = v.float64_value();
+        } else {
+          return -1;  // string/bool values are outside the lane model
+        }
+        // Literal registers are pinned AND fresh: RegInit writes them once
+        // at program start, before every instruction, so the register must
+        // never be any instruction's dst — not reused later (pin blocks the
+        // free list) and not a recycled register whose earlier dst-writes
+        // would land after the init (fresh allocation bypasses the list).
+        const int reg = AllocFreshLane();
+        init.reg = static_cast<uint16_t>(reg);
+        p_->reg_inits.push_back(init);
+        pinned_lanes_.push_back(static_cast<uint16_t>(reg));
+        return reg;
+      }
+      case ExprKind::kArith: {
+        const auto& arith = static_cast<const ArithExpr&>(*e);
+        const int l = CompileValue(arith.left());
+        if (l < 0) return -1;
+        const int r = CompileValue(arith.right());
+        if (r < 0) return -1;
+        FreeLane(l);
+        FreeLane(r);
+        const int d = AllocLane();
+        Emit({Op::kArith, static_cast<uint16_t>(d), static_cast<uint16_t>(l),
+              static_cast<uint16_t>(r), static_cast<uint32_t>(arith.op())});
+        return d;
+      }
+      case ExprKind::kIf: {
+        const auto& ife = static_cast<const IfExpr&>(*e);
+        const MaskRes cond = CompileMask(ife.cond());
+        const int t = CompileValue(ife.then_expr());
+        if (t < 0) return -1;
+        const int el = CompileValue(ife.else_expr());
+        if (el < 0) return -1;
+        FreeMask(cond.reg);
+        FreeLane(t);
+        FreeLane(el);
+        const int d = AllocLane();
+        Emit({Op::kIfVal, static_cast<uint16_t>(d), static_cast<uint16_t>(t),
+              static_cast<uint16_t>(el), static_cast<uint32_t>(cond.reg)});
+        return d;
+      }
+      default:
+        return -1;
+    }
+  }
+
+  /// Predicate compilation: never fails on shape — unsupported shapes
+  /// become a kFallback term over the vectorized interpreter. (A blown
+  /// register/program cap still unwinds; see CompileValue.)
+  MaskRes CompileMask(const ExprPtr& e) {
+    if (!ok_) return {0, false};
+    switch (e->kind()) {
+      case ExprKind::kCompare: {
+        const State s = Save();
+        const auto& cmp = static_cast<const CompareExpr&>(*e);
+        const int l = CompileValue(cmp.left());
+        const int r = l >= 0 ? CompileValue(cmp.right()) : -1;
+        if (l >= 0 && r >= 0 && ok_) {
+          const int d = AllocMask();
+          Emit({Op::kCmp, static_cast<uint16_t>(d), static_cast<uint16_t>(l),
+                static_cast<uint16_t>(r), static_cast<uint32_t>(cmp.op())});
+          FreeLane(l);
+          FreeLane(r);
+          return {d, true};
+        }
+        Restore(s);
+        return {EmitFallback(e), false};
+      }
+      case ExprKind::kAnd:
+      case ExprKind::kOr: {
+        const bool is_and = e->kind() == ExprKind::kAnd;
+        const auto& conn = static_cast<const BoolConnectiveExpr&>(*e);
+        const int d = AllocMask();
+        Emit({is_and ? Op::kAndStart : Op::kOrStart,
+              static_cast<uint16_t>(d), 0, 0, 0});
+        std::vector<size_t> merge_pcs;
+        bool native = false;
+        for (const ExprPtr& term : conn.terms()) {
+          const MaskRes t = CompileMask(term);
+          native = native || t.native;
+          merge_pcs.push_back(p_->code.size());
+          Emit({is_and ? Op::kAndMerge : Op::kOrMerge,
+                static_cast<uint16_t>(d), static_cast<uint16_t>(t.reg), 0, 0});
+          FreeMask(t.reg);
+        }
+        // Batch-level short-circuit: once every row is decided, the merge
+        // jumps past the connective's remaining term computations.
+        const auto end_pc = static_cast<uint32_t>(p_->code.size());
+        for (const size_t pc : merge_pcs) p_->code[pc].aux = end_pc;
+        return {d, native};
+      }
+      case ExprKind::kNot: {
+        const MaskRes m = CompileMask(static_cast<const NotExpr&>(*e).input());
+        Emit({Op::kNot, static_cast<uint16_t>(m.reg), 0, 0, 0});
+        return m;
+      }
+      case ExprKind::kNotTrue: {
+        const MaskRes m =
+            CompileMask(static_cast<const NotTrueExpr&>(*e).input());
+        Emit({Op::kNotTrue, static_cast<uint16_t>(m.reg), 0, 0, 0});
+        return m;
+      }
+      case ExprKind::kIsNull: {
+        const auto& isn = static_cast<const IsNullExpr&>(*e);
+        const Expr& in = *isn.input();
+        if (in.kind() == ExprKind::kColumnRef) {
+          const auto& ref = static_cast<const ColumnRefExpr&>(in);
+          if (ref.bound() && ref.index() < schema_.num_columns()) {
+            const int d = AllocMask();
+            AddColumnReq(ref.index());
+            const uint16_t negate = isn.negate() ? 1 : 0;
+            Emit({Op::kIsNull, static_cast<uint16_t>(d),
+                  static_cast<uint16_t>(ref.index()), negate, 0});
+            return {d, true};
+          }
+        }
+        return {EmitFallback(e), false};
+      }
+      case ExprKind::kColumnRef: {
+        const auto& ref = static_cast<const ColumnRefExpr&>(*e);
+        if (ref.bound() && ref.index() < schema_.num_columns() &&
+            schema_.field(ref.index()).type == DataType::kBool) {
+          const int d = AllocMask();
+          AddColumnReq(ref.index());
+          Emit({Op::kBoolCol, static_cast<uint16_t>(d),
+                static_cast<uint16_t>(ref.index()), 0, 0});
+          return {d, true};
+        }
+        return {EmitFallback(e), false};
+      }
+      case ExprKind::kLiteral: {
+        const Value& v = static_cast<const LiteralExpr&>(*e).value();
+        if (v.is_null() || v.is_bool()) {
+          const int d = AllocMask();
+          const uint16_t outcome =
+              v.is_null() ? uint16_t{2} : (v.bool_value() ? 1 : 0);
+          Emit({Op::kConstMask, static_cast<uint16_t>(d), outcome, 0, 0});
+          return {d, true};
+        }
+        return {EmitFallback(e), false};
+      }
+      case ExprKind::kInList: {
+        const auto& inl = static_cast<const InListExpr&>(*e);
+        const Expr& in = *inl.input();
+        if (in.kind() == ExprKind::kColumnRef) {
+          const auto& ref = static_cast<const ColumnRefExpr&>(in);
+          if (ref.bound() && ref.index() < schema_.num_columns()) {
+            const DataType type = schema_.field(ref.index()).type;
+            if (type == DataType::kInt64 || type == DataType::kFloat64) {
+              const auto first = static_cast<uint16_t>(p_->in_list_pool.size());
+              uint32_t count = 0;
+              for (const Value& cand : inl.values()) {
+                // NULL/string/bool candidates never match a numeric column;
+                // the interpreter skips them per row, we drop them here.
+                if (cand.is_null() || cand.is_string() || cand.is_bool()) {
+                  continue;
+                }
+                InCandidate c{cand.is_int64(), 0, 0.0};
+                if (c.is_int) {
+                  c.i64 = cand.int64_value();
+                } else {
+                  c.f64 = cand.float64_value();
+                }
+                p_->in_list_pool.push_back(c);
+                ++count;
+              }
+              const int d = AllocMask();
+              AddColumnReq(ref.index());
+              Emit({Op::kInList, static_cast<uint16_t>(d),
+                    static_cast<uint16_t>(ref.index()), first, count});
+              return {d, true};
+            }
+          }
+        }
+        return {EmitFallback(e), false};
+      }
+      case ExprKind::kIf: {
+        const auto& ife = static_cast<const IfExpr&>(*e);
+        const MaskRes c = CompileMask(ife.cond());
+        const MaskRes t = CompileMask(ife.then_expr());
+        const MaskRes el = CompileMask(ife.else_expr());
+        FreeMask(c.reg);
+        FreeMask(t.reg);
+        FreeMask(el.reg);
+        const int d = AllocMask();
+        Emit({Op::kIfMask, static_cast<uint16_t>(d),
+              static_cast<uint16_t>(t.reg), static_cast<uint16_t>(el.reg),
+              static_cast<uint32_t>(c.reg)});
+        return {d, c.native || t.native || el.native};
+      }
+      default:
+        // kArith in predicate position, kLike, kStartsWith: interpreter.
+        return {EmitFallback(e), false};
+    }
+  }
+
+ private:
+  /// Speculation checkpoint: CompileValue attempts inside a comparison may
+  /// emit loads/inits before discovering an unsupported operand; Restore
+  /// rolls the program and allocator back so the fallback term starts clean.
+  struct State {
+    size_t code, inits, reqs, pool, terms, pinned;
+    std::vector<uint16_t> free_lanes, free_masks;
+    uint16_t next_lane, next_mask;
+    int fallbacks;
+    bool ok;
+  };
+
+  State Save() const {
+    return State{p_->code.size(),          p_->reg_inits.size(),
+                 p_->column_reqs.size(),   p_->in_list_pool.size(),
+                 p_->fallback_terms.size(), pinned_lanes_.size(),
+                 free_lanes_,              free_masks_,
+                 next_lane_,               next_mask_,
+                 fallbacks_,               ok_};
+  }
+
+  void Restore(const State& s) {
+    p_->code.resize(s.code);
+    p_->reg_inits.resize(s.inits);
+    p_->column_reqs.resize(s.reqs);
+    p_->in_list_pool.resize(s.pool);
+    p_->fallback_terms.resize(s.terms);
+    pinned_lanes_.resize(s.pinned);
+    free_lanes_ = s.free_lanes;
+    free_masks_ = s.free_masks;
+    next_lane_ = s.next_lane;
+    next_mask_ = s.next_mask;
+    fallbacks_ = s.fallbacks;
+    ok_ = s.ok;
+  }
+
+  bool TryCompileRefineChain(const BoolConnectiveExpr& conn) {
+    const State s = Save();
+    bool first = true;
+    for (const ExprPtr& term : conn.terms()) {
+      const auto& cmp = static_cast<const CompareExpr&>(*term);
+      const int l = CompileValue(cmp.left());
+      const int r = l >= 0 ? CompileValue(cmp.right()) : -1;
+      if (l < 0 || r < 0 || !ok_) {
+        Restore(s);
+        return false;
+      }
+      Emit({first ? Op::kSelectCmp : Op::kRefineCmp, 0,
+            static_cast<uint16_t>(l), static_cast<uint16_t>(r),
+            static_cast<uint32_t>(cmp.op())});
+      FreeLane(l);
+      FreeLane(r);
+      first = false;
+    }
+    return true;
+  }
+
+  void Emit(Instr ins) {
+    if (p_->code.size() >= kMaxInstructions) {
+      ok_ = false;
+      return;
+    }
+    p_->code.push_back(ins);
+  }
+
+  int AllocLane() {
+    if (!free_lanes_.empty()) {
+      const int reg = free_lanes_.back();
+      free_lanes_.pop_back();
+      return reg;
+    }
+    return AllocFreshLane();
+  }
+  int AllocFreshLane() {
+    if (next_lane_ >= kMaxRegisters) {
+      ok_ = false;
+      return 0;
+    }
+    return next_lane_++;
+  }
+  void FreeLane(int reg) {
+    for (const uint16_t pinned : pinned_lanes_) {
+      if (pinned == reg) return;
+    }
+    free_lanes_.push_back(static_cast<uint16_t>(reg));
+  }
+
+  int AllocMask() {
+    if (!free_masks_.empty()) {
+      const int reg = free_masks_.back();
+      free_masks_.pop_back();
+      return reg;
+    }
+    if (next_mask_ >= kMaxRegisters) {
+      ok_ = false;
+      return 0;
+    }
+    return next_mask_++;
+  }
+  void FreeMask(int reg) {
+    free_masks_.push_back(static_cast<uint16_t>(reg));
+  }
+
+  int EmitFallback(const ExprPtr& e) {
+    const int reg = AllocMask();
+    const auto term = static_cast<uint16_t>(p_->fallback_terms.size());
+    p_->fallback_terms.push_back(e);
+    Emit({Op::kFallback, static_cast<uint16_t>(reg), term, 0, 0});
+    ++fallbacks_;
+    return reg;
+  }
+
+  void AddColumnReq(size_t index) {
+    for (const ColumnReq& req : p_->column_reqs) {
+      if (req.index == index) return;
+    }
+    p_->column_reqs.push_back(ColumnReq{static_cast<uint32_t>(index),
+                                        schema_.field(index).type});
+  }
+
+  const Schema& schema_;
+  CompiledPredicate* p_;
+  /// Lane registers holding RegInit-applied literals (see CompileValue's
+  /// kLiteral case): excluded from reuse for the program's lifetime.
+  std::vector<uint16_t> pinned_lanes_;
+  std::vector<uint16_t> free_lanes_, free_masks_;
+  uint16_t next_lane_ = 0, next_mask_ = 0;
+  int fallbacks_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+CompileResult CompilePredicate(const ExprPtr& expr, const Schema& schema) {
+  (void)kJitCountersRegistered;
+  CompileResult result;
+  if (expr == nullptr) {
+    result.reason = RejectReason::kNotCompilable;
+    return result;
+  }
+  auto program = std::make_shared<CompiledPredicate>();
+  program->schema_columns = schema.num_columns();
+  Compiler compiler(schema, program.get());
+  const bool native = compiler.CompileRoot(expr);
+  if (!compiler.ok()) {
+    Counters().fallbacks->Add();
+    result.reason = RejectReason::kTooComplex;
+    return result;
+  }
+  if (!native) {
+    // A program that is pure fallback would only re-drive the interpreter
+    // with merge overhead on top; reject so the scan keeps the plain path.
+    Counters().fallbacks->Add();
+    result.reason = RejectReason::kNoNativeStructure;
+    return result;
+  }
+  program->num_lane_regs = compiler.lane_high_water();
+  program->num_mask_regs = compiler.mask_high_water();
+  result.fallback_terms = compiler.fallbacks();
+  result.program = std::move(program);
+  Counters().compiles->Add();
+  if (result.fallback_terms > 0) {
+    Counters().fallbacks->Add(result.fallback_terms);
+  }
+  return result;
+}
+
+CompileResult CompileValueProgram(const ExprPtr& expr, const Schema& schema) {
+  (void)kJitCountersRegistered;
+  CompileResult result;
+  if (expr == nullptr) {
+    result.reason = RejectReason::kNotCompilable;
+    return result;
+  }
+  auto program = std::make_shared<CompiledPredicate>();
+  program->schema_columns = schema.num_columns();
+  Compiler compiler(schema, program.get());
+  const int root = compiler.CompileValue(expr);
+  if (root < 0 || !compiler.ok()) {
+    Counters().fallbacks->Add();
+    result.reason = compiler.ok() ? RejectReason::kNotCompilable
+                                  : RejectReason::kTooComplex;
+    return result;
+  }
+  program->root_value_reg = root;
+  program->num_lane_regs = compiler.lane_high_water();
+  program->num_mask_regs = compiler.mask_high_water();
+  result.fallback_terms = compiler.fallbacks();
+  result.program = std::move(program);
+  Counters().compiles->Add();
+  if (result.fallback_terms > 0) {
+    Counters().fallbacks->Add(result.fallback_terms);
+  }
+  return result;
+}
+
+}  // namespace jit
+}  // namespace snowprune

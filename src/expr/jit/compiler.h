@@ -1,0 +1,38 @@
+#ifndef SNOWPRUNE_EXPR_JIT_COMPILER_H_
+#define SNOWPRUNE_EXPR_JIT_COMPILER_H_
+
+#include <memory>
+
+#include "expr/jit/bytecode.h"
+#include "storage/schema.h"
+
+namespace snowprune {
+namespace jit {
+
+struct CompileResult {
+  /// Null when the predicate was rejected whole (see reason); the caller
+  /// keeps the interpreter path and no program is installed.
+  std::shared_ptr<CompiledPredicate> program;
+  RejectReason reason = RejectReason::kNone;
+  /// Number of per-term interpreter fallbacks embedded in the program.
+  int fallback_terms = 0;
+};
+
+/// Compiles a bound predicate into a selection-producing bytecode program.
+/// Never wrong, sometimes absent: unsupported subtrees become per-term
+/// kFallback instructions driving the vectorized interpreter, and a
+/// predicate with no natively-compilable structure at all is rejected
+/// (program == nullptr) rather than wrapped. Counts jit.compiles /
+/// jit.fallbacks.
+CompileResult CompilePredicate(const ExprPtr& expr, const Schema& schema);
+
+/// Compiles a bound numeric value expression (projection kernel) into a
+/// program whose root lane register holds the result. Rejected whole if any
+/// subtree is outside the typed-lane model (value programs have no
+/// interpreter fallback instruction).
+CompileResult CompileValueProgram(const ExprPtr& expr, const Schema& schema);
+
+}  // namespace jit
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXPR_JIT_COMPILER_H_

@@ -1,0 +1,795 @@
+/// Fused dispatch loop for compiled predicate/projection programs. Every
+/// instruction runs full-width over the batch in a tight typed loop;
+/// byte-identity with the selection-aware interpreter holds because every
+/// kernel is pure per-row and the connective merges are monotone (a decided
+/// row never changes), so evaluating extra rows cannot change any outcome.
+/// Short-circuiting is preserved at batch granularity: connective merges
+/// jump past the remaining term computations once every row is decided, and
+/// a native root comparison chain writes the selection vector directly.
+///
+/// Exactness contract: the per-row semantics here mirror the interpreter's
+/// kernels in evaluator.cc operation by operation — int64 arithmetic with
+/// __builtin overflow fallback to double, division by zero -> NULL, NaN
+/// comparing "equal" to everything (x<y ? -1 : (x>y ? 1 : 0)), IN-list
+/// cmp_equal over doubles. The fast uniform-type loops escape to the
+/// generic per-row cell on the first special row (overflow, zero divisor)
+/// and continue in a single pass.
+#include "expr/jit/executor.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace snowprune {
+namespace jit {
+namespace {
+
+/// Dynamic representation of a lane register: most programs never
+/// materialize per-row kind tags — literals stay scalars, null-free columns
+/// alias storage, and all-int64/all-double arithmetic results keep a
+/// uniform tag.
+enum LaneRep : uint8_t {
+  kRepEmpty = 0,     ///< Never written (defensive: reads as all-NULL).
+  kRepScalarNull,    ///< Uniform NULL.
+  kRepScalarI64,     ///< One int64 for every row.
+  kRepScalarF64,     ///< One double for every row.
+  kRepAliasI64,      ///< Aliases a null-free int64 column (no copy).
+  kRepAliasF64,      ///< Aliases a null-free float64 column.
+  kRepLanes,         ///< Full NumericLanes with per-row kind tags.
+  kRepAllI64,        ///< Lanes storage, every row kLaneInt64.
+  kRepAllF64,        ///< Lanes storage, every row kLaneDouble.
+};
+
+struct LaneReg {
+  uint8_t rep = kRepEmpty;
+  int64_t si = 0;
+  double sf = 0.0;
+  const int64_t* ai = nullptr;
+  const double* af = nullptr;
+  NumericLanes* lanes = nullptr;  ///< Pooled backing storage for this reg.
+};
+
+/// Normalized read view over a lane register: null pointers select the
+/// uniform kind / scalar value, so the generic per-row cells read any
+/// representation through one accessor triple.
+struct View {
+  const uint8_t* kind = nullptr;
+  uint8_t ukind = kLaneNull;
+  const int64_t* i = nullptr;
+  const double* f = nullptr;
+  int64_t si = 0;
+  double sf = 0.0;
+
+  bool uniform() const { return kind == nullptr; }
+  uint8_t K(uint32_t r) const { return kind != nullptr ? kind[r] : ukind; }
+  int64_t I(uint32_t r) const { return i != nullptr ? i[r] : si; }
+  double D(uint32_t r) const { return f != nullptr ? f[r] : sf; }
+};
+
+View Resolve(const LaneReg& reg) {
+  View v;
+  switch (reg.rep) {
+    case kRepEmpty:
+    case kRepScalarNull:
+      v.ukind = kLaneNull;
+      break;
+    case kRepScalarI64:
+      v.ukind = kLaneInt64;
+      v.si = reg.si;
+      break;
+    case kRepScalarF64:
+      v.ukind = kLaneDouble;
+      v.sf = reg.sf;
+      break;
+    case kRepAliasI64:
+      v.ukind = kLaneInt64;
+      v.i = reg.ai;
+      break;
+    case kRepAliasF64:
+      v.ukind = kLaneDouble;
+      v.f = reg.af;
+      break;
+    case kRepAllI64:
+      v.ukind = kLaneInt64;
+      v.i = reg.lanes->i64.data();
+      break;
+    case kRepAllF64:
+      v.ukind = kLaneDouble;
+      v.f = reg.lanes->f64.data();
+      break;
+    case kRepLanes:
+      v.kind = reg.lanes->kind.data();
+      v.i = reg.lanes->i64.data();
+      v.f = reg.lanes->f64.data();
+      break;
+  }
+  return v;
+}
+
+/// Row r as a double; only valid when K(r) != kLaneNull.
+inline double AsD(const View& v, uint32_t r) {
+  return v.K(r) == kLaneInt64 ? static_cast<double>(v.I(r)) : v.D(r);
+}
+
+// Mirrors of the interpreter's comparison primitives (evaluator.cc).
+inline int CmpI(int64_t x, int64_t y) { return x < y ? -1 : (x > y ? 1 : 0); }
+inline int CmpD(double x, double y) { return x < y ? -1 : (x > y ? 1 : 0); }
+
+inline uint8_t ApplyOne(CompareOp op, int c) {
+  switch (op) {
+    case CompareOp::kEq: return c == 0 ? kPredTrue : kPredFalse;
+    case CompareOp::kNe: return c != 0 ? kPredTrue : kPredFalse;
+    case CompareOp::kLt: return c < 0 ? kPredTrue : kPredFalse;
+    case CompareOp::kLe: return c <= 0 ? kPredTrue : kPredFalse;
+    case CompareOp::kGt: return c > 0 ? kPredTrue : kPredFalse;
+    case CompareOp::kGe: return c >= 0 ? kPredTrue : kPredFalse;
+  }
+  return kPredFalse;
+}
+
+/// Generic per-row arithmetic cell — the exact ArithCell semantics from the
+/// interpreter, reading through views. Reads of row r complete before any
+/// write to row r, so a destination register reusing an operand's storage
+/// stays correct.
+inline void ArithCellView(ArithOp op, const View& l, const View& r,
+                          uint32_t row, NumericLanes* out) {
+  const uint8_t lk = l.K(row), rk = r.K(row);
+  if (lk == kLaneNull || rk == kLaneNull) {
+    out->kind[row] = kLaneNull;
+    return;
+  }
+  const bool both_int = lk == kLaneInt64 && rk == kLaneInt64;
+  const int64_t li = l.I(row), ri = r.I(row);
+  const double ld = lk == kLaneInt64 ? static_cast<double>(li) : l.D(row);
+  const double rd = rk == kLaneInt64 ? static_cast<double>(ri) : r.D(row);
+  switch (op) {
+    case ArithOp::kAdd: {
+      int64_t v;
+      if (both_int && !__builtin_add_overflow(li, ri, &v)) {
+        out->kind[row] = kLaneInt64;
+        out->i64[row] = v;
+        return;
+      }
+      out->kind[row] = kLaneDouble;
+      out->f64[row] = ld + rd;
+      return;
+    }
+    case ArithOp::kSub: {
+      int64_t v;
+      if (both_int && !__builtin_sub_overflow(li, ri, &v)) {
+        out->kind[row] = kLaneInt64;
+        out->i64[row] = v;
+        return;
+      }
+      out->kind[row] = kLaneDouble;
+      out->f64[row] = ld - rd;
+      return;
+    }
+    case ArithOp::kMul: {
+      int64_t v;
+      if (both_int && !__builtin_mul_overflow(li, ri, &v)) {
+        out->kind[row] = kLaneInt64;
+        out->i64[row] = v;
+        return;
+      }
+      out->kind[row] = kLaneDouble;
+      out->f64[row] = ld * rd;
+      return;
+    }
+    case ArithOp::kDiv: {
+      if (rd == 0.0) {
+        out->kind[row] = kLaneNull;
+        return;
+      }
+      out->kind[row] = kLaneDouble;
+      out->f64[row] = ld / rd;
+      return;
+    }
+  }
+  out->kind[row] = kLaneNull;
+}
+
+void ExecArith(ArithOp op, const View& a, const View& b, LaneReg* dst,
+               size_t n) {
+  if ((a.uniform() && a.ukind == kLaneNull) ||
+      (b.uniform() && b.ukind == kLaneNull)) {
+    dst->rep = kRepScalarNull;
+    return;
+  }
+  NumericLanes& out = *dst->lanes;
+  if (a.uniform() && b.uniform()) {
+    if (op != ArithOp::kDiv && a.ukind == kLaneInt64 &&
+        b.ukind == kLaneInt64) {
+      // Both-int fast loop; escape to the generic cell on first overflow.
+      int64_t* oi = out.i64.data();
+      uint32_t r = 0;
+      bool escaped = false;
+      switch (op) {
+        case ArithOp::kAdd:
+          for (; r < n; ++r) {
+            int64_t v;
+            if (__builtin_add_overflow(a.I(r), b.I(r), &v)) {
+              escaped = true;
+              break;
+            }
+            oi[r] = v;
+          }
+          break;
+        case ArithOp::kSub:
+          for (; r < n; ++r) {
+            int64_t v;
+            if (__builtin_sub_overflow(a.I(r), b.I(r), &v)) {
+              escaped = true;
+              break;
+            }
+            oi[r] = v;
+          }
+          break;
+        case ArithOp::kMul:
+          for (; r < n; ++r) {
+            int64_t v;
+            if (__builtin_mul_overflow(a.I(r), b.I(r), &v)) {
+              escaped = true;
+              break;
+            }
+            oi[r] = v;
+          }
+          break;
+        case ArithOp::kDiv:
+          break;
+      }
+      if (!escaped) {
+        dst->rep = kRepAllI64;
+        return;
+      }
+      std::fill(out.kind.begin(), out.kind.begin() + r, uint8_t{kLaneInt64});
+      for (; r < n; ++r) ArithCellView(op, a, b, r, &out);
+      dst->rep = kRepLanes;
+      return;
+    }
+    if (op != ArithOp::kDiv) {
+      // At least one double operand, neither NULL: the result is pure
+      // double for every row (the interpreter's !both_int branch).
+      double* of = out.f64.data();
+      switch (op) {
+        case ArithOp::kAdd:
+          for (uint32_t r = 0; r < n; ++r) of[r] = AsD(a, r) + AsD(b, r);
+          break;
+        case ArithOp::kSub:
+          for (uint32_t r = 0; r < n; ++r) of[r] = AsD(a, r) - AsD(b, r);
+          break;
+        case ArithOp::kMul:
+          for (uint32_t r = 0; r < n; ++r) of[r] = AsD(a, r) * AsD(b, r);
+          break;
+        case ArithOp::kDiv:
+          break;
+      }
+      dst->rep = kRepAllF64;
+      return;
+    }
+    // Division over uniform non-NULL operands: pure double until the first
+    // zero divisor (-> per-row cell, which yields NULL there).
+    double* of = out.f64.data();
+    uint32_t r = 0;
+    bool escaped = false;
+    for (; r < n; ++r) {
+      const double rd = AsD(b, r);
+      if (rd == 0.0) {
+        escaped = true;
+        break;
+      }
+      of[r] = AsD(a, r) / rd;
+    }
+    if (!escaped) {
+      dst->rep = kRepAllF64;
+      return;
+    }
+    std::fill(out.kind.begin(), out.kind.begin() + r, uint8_t{kLaneDouble});
+    for (; r < n; ++r) ArithCellView(op, a, b, r, &out);
+    dst->rep = kRepLanes;
+    return;
+  }
+  for (uint32_t r = 0; r < n; ++r) ArithCellView(op, a, b, r, &out);
+  dst->rep = kRepLanes;
+}
+
+/// Generic per-row comparison cell (CompareMask's lanes path).
+inline uint8_t CmpCell(CompareOp op, const View& a, const View& b,
+                       uint32_t r) {
+  const uint8_t lk = a.K(r), rk = b.K(r);
+  if (lk == kLaneNull || rk == kLaneNull) return kPredNull;
+  if (lk == kLaneInt64 && rk == kLaneInt64) {
+    return ApplyOne(op, CmpI(a.I(r), b.I(r)));
+  }
+  return ApplyOne(op, CmpD(lk == kLaneInt64 ? static_cast<double>(a.I(r))
+                                            : a.D(r),
+                           rk == kLaneInt64 ? static_cast<double>(b.I(r))
+                                            : b.D(r)));
+}
+
+void ExecCmp(CompareOp op, const View& a, const View& b, uint8_t* m,
+             size_t n) {
+  if ((a.uniform() && a.ukind == kLaneNull) ||
+      (b.uniform() && b.ukind == kLaneNull)) {
+    std::fill(m, m + n, uint8_t{kPredNull});
+    return;
+  }
+  if (a.uniform() && b.uniform()) {
+    if (a.ukind == kLaneInt64 && b.ukind == kLaneInt64) {
+      switch (op) {
+        case CompareOp::kEq:
+          for (uint32_t r = 0; r < n; ++r) {
+            m[r] = a.I(r) == b.I(r) ? kPredTrue : kPredFalse;
+          }
+          return;
+        case CompareOp::kNe:
+          for (uint32_t r = 0; r < n; ++r) {
+            m[r] = a.I(r) != b.I(r) ? kPredTrue : kPredFalse;
+          }
+          return;
+        case CompareOp::kLt:
+          for (uint32_t r = 0; r < n; ++r) {
+            m[r] = a.I(r) < b.I(r) ? kPredTrue : kPredFalse;
+          }
+          return;
+        case CompareOp::kLe:
+          for (uint32_t r = 0; r < n; ++r) {
+            m[r] = a.I(r) <= b.I(r) ? kPredTrue : kPredFalse;
+          }
+          return;
+        case CompareOp::kGt:
+          for (uint32_t r = 0; r < n; ++r) {
+            m[r] = a.I(r) > b.I(r) ? kPredTrue : kPredFalse;
+          }
+          return;
+        case CompareOp::kGe:
+          for (uint32_t r = 0; r < n; ++r) {
+            m[r] = a.I(r) >= b.I(r) ? kPredTrue : kPredFalse;
+          }
+          return;
+      }
+      return;
+    }
+    // At least one double lane: NaN-exact fused forms of CmpD + ApplyOne
+    // (NaN yields c == 0, i.e. "equal" to everything, like the scalar
+    // evaluator).
+    switch (op) {
+      case CompareOp::kEq:
+        for (uint32_t r = 0; r < n; ++r) {
+          const double x = AsD(a, r), y = AsD(b, r);
+          m[r] = (!(x < y) && !(x > y)) ? kPredTrue : kPredFalse;
+        }
+        return;
+      case CompareOp::kNe:
+        for (uint32_t r = 0; r < n; ++r) {
+          const double x = AsD(a, r), y = AsD(b, r);
+          m[r] = (x < y || x > y) ? kPredTrue : kPredFalse;
+        }
+        return;
+      case CompareOp::kLt:
+        for (uint32_t r = 0; r < n; ++r) {
+          m[r] = AsD(a, r) < AsD(b, r) ? kPredTrue : kPredFalse;
+        }
+        return;
+      case CompareOp::kLe:
+        for (uint32_t r = 0; r < n; ++r) {
+          m[r] = !(AsD(a, r) > AsD(b, r)) ? kPredTrue : kPredFalse;
+        }
+        return;
+      case CompareOp::kGt:
+        for (uint32_t r = 0; r < n; ++r) {
+          m[r] = AsD(a, r) > AsD(b, r) ? kPredTrue : kPredFalse;
+        }
+        return;
+      case CompareOp::kGe:
+        for (uint32_t r = 0; r < n; ++r) {
+          m[r] = !(AsD(a, r) < AsD(b, r)) ? kPredTrue : kPredFalse;
+        }
+        return;
+    }
+    return;
+  }
+  for (uint32_t r = 0; r < n; ++r) m[r] = CmpCell(op, a, b, r);
+}
+
+/// Root-fused compare -> selection append (no mask write at all).
+void ExecSelectCmp(CompareOp op, const View& a, const View& b,
+                   std::vector<uint32_t>* selection, size_t n) {
+  if ((a.uniform() && a.ukind == kLaneNull) ||
+      (b.uniform() && b.ukind == kLaneNull)) {
+    return;  // all NULL: no row selected
+  }
+  if (a.uniform() && b.uniform() && a.ukind == kLaneInt64 &&
+      b.ukind == kLaneInt64) {
+    switch (op) {
+      case CompareOp::kEq:
+        for (uint32_t r = 0; r < n; ++r) {
+          if (a.I(r) == b.I(r)) selection->push_back(r);
+        }
+        return;
+      case CompareOp::kNe:
+        for (uint32_t r = 0; r < n; ++r) {
+          if (a.I(r) != b.I(r)) selection->push_back(r);
+        }
+        return;
+      case CompareOp::kLt:
+        for (uint32_t r = 0; r < n; ++r) {
+          if (a.I(r) < b.I(r)) selection->push_back(r);
+        }
+        return;
+      case CompareOp::kLe:
+        for (uint32_t r = 0; r < n; ++r) {
+          if (a.I(r) <= b.I(r)) selection->push_back(r);
+        }
+        return;
+      case CompareOp::kGt:
+        for (uint32_t r = 0; r < n; ++r) {
+          if (a.I(r) > b.I(r)) selection->push_back(r);
+        }
+        return;
+      case CompareOp::kGe:
+        for (uint32_t r = 0; r < n; ++r) {
+          if (a.I(r) >= b.I(r)) selection->push_back(r);
+        }
+        return;
+    }
+    return;
+  }
+  for (uint32_t r = 0; r < n; ++r) {
+    if (CmpCell(op, a, b, r) == kPredTrue) selection->push_back(r);
+  }
+}
+
+/// Root-fused AND refinement: keep only selected rows where the compare is
+/// TRUE, compacting in place.
+void ExecRefineCmp(CompareOp op, const View& a, const View& b,
+                   std::vector<uint32_t>* selection) {
+  size_t kept = 0;
+  if (a.uniform() && b.uniform() && a.ukind == kLaneInt64 &&
+      b.ukind == kLaneInt64) {
+    for (const uint32_t idx : *selection) {
+      bool keep = false;
+      switch (op) {
+        case CompareOp::kEq: keep = a.I(idx) == b.I(idx); break;
+        case CompareOp::kNe: keep = a.I(idx) != b.I(idx); break;
+        case CompareOp::kLt: keep = a.I(idx) < b.I(idx); break;
+        case CompareOp::kLe: keep = a.I(idx) <= b.I(idx); break;
+        case CompareOp::kGt: keep = a.I(idx) > b.I(idx); break;
+        case CompareOp::kGe: keep = a.I(idx) >= b.I(idx); break;
+      }
+      if (keep) (*selection)[kept++] = idx;
+    }
+  } else {
+    for (const uint32_t idx : *selection) {
+      if (CmpCell(op, a, b, idx) == kPredTrue) (*selection)[kept++] = idx;
+    }
+  }
+  selection->resize(kept);
+}
+
+/// AND-merge with the interpreter's exact decision rule; returns true when
+/// every row is decided (all FALSE), enabling the batch short-circuit jump.
+bool ExecAndMerge(uint8_t* dst, const uint8_t* term, size_t n) {
+  size_t undecided = 0;
+  for (size_t r = 0; r < n; ++r) {
+    const uint8_t o = dst[r];
+    if (o == kPredFalse) continue;
+    const uint8_t t = term[r];
+    if (t == kPredFalse) {
+      dst[r] = kPredFalse;
+      continue;
+    }
+    if (t == kPredNull && o == kPredTrue) dst[r] = kPredNull;
+    ++undecided;
+  }
+  return undecided == 0;
+}
+
+bool ExecOrMerge(uint8_t* dst, const uint8_t* term, size_t n) {
+  size_t undecided = 0;
+  for (size_t r = 0; r < n; ++r) {
+    const uint8_t o = dst[r];
+    if (o == kPredTrue) continue;
+    const uint8_t t = term[r];
+    if (t == kPredTrue) {
+      dst[r] = kPredTrue;
+      continue;
+    }
+    if (t == kPredNull && o == kPredFalse) dst[r] = kPredNull;
+    ++undecided;
+  }
+  return undecided == 0;
+}
+
+/// Shared dispatch loop. `selection` is null for value programs.
+bool Run(const CompiledPredicate& p, const MicroPartition& part,
+         std::vector<uint32_t>* selection, NumericLanes* value_out,
+         EvalScratch* scratch) {
+  for (const ColumnReq& req : p.column_reqs) {
+    if (req.index >= part.num_columns() ||
+        part.column(req.index).type() != req.type) {
+      return false;
+    }
+  }
+  if (p.num_lane_regs > kMaxRegisters || p.num_mask_regs > kMaxRegisters) {
+    return false;
+  }
+  const size_t n = static_cast<size_t>(part.row_count());
+
+  LaneReg lanes[kMaxRegisters];
+  std::vector<uint8_t>* masks[kMaxRegisters] = {nullptr};
+  for (uint16_t i = 0; i < p.num_lane_regs; ++i) {
+    lanes[i].lanes = &AcquireLanes(scratch, n);
+  }
+  for (uint16_t i = 0; i < p.num_mask_regs; ++i) {
+    masks[i] = &AcquireMask(scratch, n);
+  }
+  for (const RegInit& init : p.reg_inits) {
+    LaneReg& reg = lanes[init.reg];
+    switch (init.rep) {
+      case ScalarRep::kNull:
+        reg.rep = kRepScalarNull;
+        break;
+      case ScalarRep::kInt64:
+        reg.rep = kRepScalarI64;
+        reg.si = init.i64;
+        break;
+      case ScalarRep::kFloat64:
+        reg.rep = kRepScalarF64;
+        reg.sf = init.f64;
+        break;
+    }
+  }
+
+  size_t pc = 0;
+  while (pc < p.code.size()) {
+    const Instr& ins = p.code[pc];
+    switch (ins.op) {
+      case Op::kLoadCol: {
+        const ColumnVector& col = part.column(ins.a);
+        LaneReg& d = lanes[ins.dst];
+        const std::vector<uint8_t>& nulls = col.null_mask();
+        bool any_null = false;
+        for (const uint8_t v : nulls) any_null = any_null || (v != 0);
+        if (col.type() == DataType::kInt64) {
+          if (!any_null) {
+            d.rep = kRepAliasI64;
+            d.ai = col.int64_data().data();
+          } else {
+            NumericLanes& out = *d.lanes;
+            const auto& xs = col.int64_data();
+            for (uint32_t r = 0; r < n; ++r) {
+              out.kind[r] = nulls[r] != 0 ? kLaneNull : kLaneInt64;
+              out.i64[r] = xs[r];
+            }
+            d.rep = kRepLanes;
+          }
+        } else {
+          if (!any_null) {
+            d.rep = kRepAliasF64;
+            d.af = col.float64_data().data();
+          } else {
+            NumericLanes& out = *d.lanes;
+            const auto& xs = col.float64_data();
+            for (uint32_t r = 0; r < n; ++r) {
+              out.kind[r] = nulls[r] != 0 ? kLaneNull : kLaneDouble;
+              out.f64[r] = xs[r];
+            }
+            d.rep = kRepLanes;
+          }
+        }
+        break;
+      }
+      case Op::kArith:
+        ExecArith(static_cast<ArithOp>(ins.aux), Resolve(lanes[ins.a]),
+                  Resolve(lanes[ins.b]), &lanes[ins.dst], n);
+        break;
+      case Op::kIfVal: {
+        const View t = Resolve(lanes[ins.a]);
+        const View e = Resolve(lanes[ins.b]);
+        const uint8_t* cond = masks[ins.aux]->data();
+        LaneReg& d = lanes[ins.dst];
+        NumericLanes& out = *d.lanes;
+        for (uint32_t r = 0; r < n; ++r) {
+          const View& src = cond[r] == kPredTrue ? t : e;
+          const uint8_t k = src.K(r);
+          if (k == kLaneInt64) {
+            out.i64[r] = src.I(r);
+          } else if (k == kLaneDouble) {
+            out.f64[r] = src.D(r);
+          }
+          out.kind[r] = k;
+        }
+        d.rep = kRepLanes;
+        break;
+      }
+      case Op::kCmp:
+        ExecCmp(static_cast<CompareOp>(ins.aux), Resolve(lanes[ins.a]),
+                Resolve(lanes[ins.b]), masks[ins.dst]->data(), n);
+        break;
+      case Op::kAndStart:
+        std::fill(masks[ins.dst]->begin(), masks[ins.dst]->end(),
+                  uint8_t{kPredTrue});
+        break;
+      case Op::kOrStart:
+        std::fill(masks[ins.dst]->begin(), masks[ins.dst]->end(),
+                  uint8_t{kPredFalse});
+        break;
+      case Op::kAndMerge:
+        if (ExecAndMerge(masks[ins.dst]->data(), masks[ins.a]->data(), n)) {
+          pc = ins.aux;
+          continue;
+        }
+        break;
+      case Op::kOrMerge:
+        if (ExecOrMerge(masks[ins.dst]->data(), masks[ins.a]->data(), n)) {
+          pc = ins.aux;
+          continue;
+        }
+        break;
+      case Op::kNot: {
+        uint8_t* m = masks[ins.dst]->data();
+        for (size_t r = 0; r < n; ++r) {
+          const uint8_t o = m[r];
+          if (o != kPredNull) {
+            m[r] = o == kPredTrue ? kPredFalse : kPredTrue;
+          }
+        }
+        break;
+      }
+      case Op::kNotTrue: {
+        uint8_t* m = masks[ins.dst]->data();
+        for (size_t r = 0; r < n; ++r) {
+          m[r] = m[r] == kPredTrue ? kPredFalse : kPredTrue;
+        }
+        break;
+      }
+      case Op::kIsNull: {
+        const std::vector<uint8_t>& nulls = part.column(ins.a).null_mask();
+        const bool negate = ins.b != 0;
+        uint8_t* m = masks[ins.dst]->data();
+        for (uint32_t r = 0; r < n; ++r) {
+          const bool is_null = nulls[r] != 0;
+          m[r] = (negate ? !is_null : is_null) ? kPredTrue : kPredFalse;
+        }
+        break;
+      }
+      case Op::kBoolCol: {
+        const ColumnVector& col = part.column(ins.a);
+        const std::vector<uint8_t>& nulls = col.null_mask();
+        const auto& xs = col.bool_data();
+        uint8_t* m = masks[ins.dst]->data();
+        for (uint32_t r = 0; r < n; ++r) {
+          m[r] = nulls[r] != 0 ? kPredNull
+                               : (xs[r] != 0 ? kPredTrue : kPredFalse);
+        }
+        break;
+      }
+      case Op::kInList: {
+        const ColumnVector& col = part.column(ins.a);
+        const std::vector<uint8_t>& nulls = col.null_mask();
+        const InCandidate* cands = p.in_list_pool.data() + ins.b;
+        const uint32_t count = ins.aux;
+        uint8_t* m = masks[ins.dst]->data();
+        // cmp_equal over doubles, as the interpreter: !(x<y) && !(x>y).
+        auto cmp_equal = [](double x, double y) {
+          return !(x < y) && !(x > y);
+        };
+        if (col.type() == DataType::kInt64) {
+          const auto& xs = col.int64_data();
+          for (uint32_t r = 0; r < n; ++r) {
+            if (nulls[r] != 0) {
+              m[r] = kPredNull;
+              continue;
+            }
+            bool found = false;
+            for (uint32_t c = 0; c < count && !found; ++c) {
+              const InCandidate& cand = cands[c];
+              found = cand.is_int
+                          ? xs[r] == cand.i64
+                          : cmp_equal(static_cast<double>(xs[r]), cand.f64);
+            }
+            m[r] = found ? kPredTrue : kPredFalse;
+          }
+        } else {
+          const auto& xs = col.float64_data();
+          for (uint32_t r = 0; r < n; ++r) {
+            if (nulls[r] != 0) {
+              m[r] = kPredNull;
+              continue;
+            }
+            bool found = false;
+            for (uint32_t c = 0; c < count && !found; ++c) {
+              const InCandidate& cand = cands[c];
+              found = cmp_equal(
+                  xs[r],
+                  cand.is_int ? static_cast<double>(cand.i64) : cand.f64);
+            }
+            m[r] = found ? kPredTrue : kPredFalse;
+          }
+        }
+        break;
+      }
+      case Op::kIfMask: {
+        const uint8_t* cond = masks[ins.aux]->data();
+        const uint8_t* t = masks[ins.a]->data();
+        const uint8_t* e = masks[ins.b]->data();
+        uint8_t* m = masks[ins.dst]->data();
+        for (size_t r = 0; r < n; ++r) {
+          m[r] = cond[r] == kPredTrue ? t[r] : e[r];
+        }
+        break;
+      }
+      case Op::kConstMask:
+        std::fill(masks[ins.dst]->begin(), masks[ins.dst]->end(),
+                  static_cast<uint8_t>(ins.a));
+        break;
+      case Op::kFallback:
+        // The vectorized interpreter IS the fallback kernel: identical cost
+        // and identical bytes to the term it replaces, by construction.
+        EvalPredicateOutcomes(*p.fallback_terms[ins.a], part, masks[ins.dst],
+                              scratch);
+        break;
+      case Op::kSelect: {
+        const uint8_t* m = masks[ins.a]->data();
+        for (uint32_t r = 0; r < n; ++r) {
+          if (m[r] == kPredTrue) selection->push_back(r);
+        }
+        break;
+      }
+      case Op::kSelectCmp:
+        ExecSelectCmp(static_cast<CompareOp>(ins.aux), Resolve(lanes[ins.a]),
+                      Resolve(lanes[ins.b]), selection, n);
+        break;
+      case Op::kRefineCmp:
+        ExecRefineCmp(static_cast<CompareOp>(ins.aux), Resolve(lanes[ins.a]),
+                      Resolve(lanes[ins.b]), selection);
+        break;
+    }
+    ++pc;
+  }
+
+  if (value_out != nullptr && p.root_value_reg >= 0) {
+    const View v = Resolve(lanes[p.root_value_reg]);
+    value_out->Resize(n);
+    for (uint32_t r = 0; r < n; ++r) {
+      const uint8_t k = v.K(r);
+      if (k == kLaneInt64) {
+        value_out->i64[r] = v.I(r);
+      } else if (k == kLaneDouble) {
+        value_out->f64[r] = v.D(r);
+      }
+      value_out->kind[r] = k;
+    }
+  }
+
+  for (uint16_t i = 0; i < p.num_mask_regs; ++i) ReleaseMask(scratch);
+  for (uint16_t i = 0; i < p.num_lane_regs; ++i) ReleaseLanes(scratch);
+  return true;
+}
+
+}  // namespace
+
+bool ExecuteSelection(const CompiledPredicate& program,
+                      const MicroPartition& partition,
+                      std::vector<uint32_t>* selection, EvalScratch* scratch) {
+  if (program.root_value_reg >= 0) return false;  // value program
+  selection->clear();
+  if (!Run(program, partition, selection, nullptr, scratch)) return false;
+  static Counter* const hits = Counters().hits;
+  hits->Add();
+  return true;
+}
+
+bool ExecuteValue(const CompiledPredicate& program,
+                  const MicroPartition& partition, NumericLanes* out,
+                  EvalScratch* scratch) {
+  if (program.root_value_reg < 0) return false;
+  if (!Run(program, partition, nullptr, out, scratch)) return false;
+  static Counter* const hits = Counters().hits;
+  hits->Add();
+  return true;
+}
+
+}  // namespace jit
+}  // namespace snowprune

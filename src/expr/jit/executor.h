@@ -1,0 +1,37 @@
+#ifndef SNOWPRUNE_EXPR_JIT_EXECUTOR_H_
+#define SNOWPRUNE_EXPR_JIT_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/evaluator.h"
+#include "expr/jit/bytecode.h"
+#include "storage/partition.h"
+
+namespace snowprune {
+namespace jit {
+
+/// Runs a compiled predicate program over one micro-partition, filling
+/// `selection` (replacing its contents) with the matching physical row
+/// indexes in ascending order — byte-identical to ComputeSelection on the
+/// same predicate. Registers live in `scratch`'s pooled buffers (shared
+/// with the interpreter; per-term kFallback instructions nest cleanly).
+/// Returns false without touching `selection`'s semantics when the program
+/// cannot run against this batch (column index/type drift); the caller
+/// falls back to ComputeSelection. Counts jit.hits on success.
+bool ExecuteSelection(const CompiledPredicate& program,
+                      const MicroPartition& partition,
+                      std::vector<uint32_t>* selection, EvalScratch* scratch);
+
+/// Runs a compiled value program (projection kernel), materializing the
+/// root register into `out` with NumericLanes semantics identical to the
+/// interpreter's typed-lane evaluation. Same validation contract as
+/// ExecuteSelection.
+bool ExecuteValue(const CompiledPredicate& program,
+                  const MicroPartition& partition, NumericLanes* out,
+                  EvalScratch* scratch);
+
+}  // namespace jit
+}  // namespace snowprune
+
+#endif  // SNOWPRUNE_EXPR_JIT_EXECUTOR_H_

@@ -16,6 +16,7 @@
 #include "exec/ops.h"
 #include "exec/profile.h"
 #include "exec/topk_op.h"
+#include "expr/jit/compiler.h"
 
 namespace snowprune {
 namespace shard {
@@ -739,6 +740,43 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
   std::map<std::string, std::shared_ptr<Table>> snapshot;
   snapshot[scan_node->table] = table;
 
+  // Specialization tier, eager mode: compile the scatter predicate ONCE on
+  // the coordinator (it was bound by the gather compile above) and share
+  // the program with every shard sub-query via
+  // ExecuteOptions::compiled_filters — the same sharing model as the
+  // pre-bound predicate tree. The program is stamped with the snapshot's
+  // table instance; sub-engines attach it only when their snapshot agrees,
+  // and never compile locally on the override path. The threshold-based
+  // promotion path does not apply here: sharded scatters bypass the
+  // predicate cache entirely.
+  std::map<std::string, std::shared_ptr<const jit::CompiledPredicate>>
+      compiled_filters;
+  if (config_.engine.exec.specialize &&
+      config_.engine.exec.specialize_after == 0 &&
+      scan_node->predicate != nullptr) {
+    const uint32_t specialize_span =
+        trace != nullptr ? trace->BeginSpan("compile.specialize", compile_span)
+                         : 0;
+    jit::CompileResult compiled_filter =
+        jit::CompilePredicate(scan_node->predicate, table->schema());
+    if (trace != nullptr) {
+      trace->AnnotateInt(
+          specialize_span, "bytecode_len",
+          compiled_filter.program != nullptr
+              ? static_cast<int64_t>(compiled_filter.program->code.size())
+              : 0);
+      trace->AnnotateInt(specialize_span, "fallback_terms",
+                         compiled_filter.fallback_terms);
+      trace->AnnotateInt(specialize_span, "reject_reason",
+                         static_cast<int64_t>(compiled_filter.reason));
+      trace->EndSpan(specialize_span);
+    }
+    if (compiled_filter.program != nullptr) {
+      compiled_filter.program->table_instance = table->instance_id();
+      compiled_filters[scan_node->table] = std::move(compiled_filter.program);
+    }
+  }
+
   std::vector<Result<QueryResult>> shard_results;
   shard_results.reserve(contacted.size());
   for (size_t i = 0; i < contacted.size(); ++i) {
@@ -779,6 +817,7 @@ Result<QueryResult> ShardCoordinator::ExecuteSharded(
     opts.scan_sets = &overrides;
     opts.collect_batch_rows = true;
     opts.deadline_ns = deadline_ns;
+    if (!compiled_filters.empty()) opts.compiled_filters = &compiled_filters;
     if (!shard_traces.empty()) opts.trace = shard_traces[i].get();
     // Transient-failure retry loop. Each attempt executes against the same
     // snapshot and scan-set slice, so a successful retry is byte-identical

@@ -25,6 +25,8 @@
 #include "expr/evaluator.h"
 #include "expr/range_analysis.h"
 #include "expr/builder.h"
+#include "expr/jit/compiler.h"
+#include "expr/jit/executor.h"
 #include "test_util.h"
 #include "workload/production_model.h"
 #include "workload/query_gen.h"
@@ -371,6 +373,21 @@ class FuzzEngine {
     return RunFull(plan, pruning, threads).rows;
   }
 
+  /// Default config except for the expression-specialization tier, forced
+  /// fully eager (compile every filter at plan time) or fully off.
+  QueryResult RunSpecialized(const PlanPtr& plan, int threads,
+                             bool specialize) {
+    EngineConfig config;
+    config.exec.num_threads = threads;
+    config.exec.specialize = specialize;
+    config.exec.specialize_after = 0;
+    Engine engine(&catalog_, config);
+    ExecuteOptions opts;
+    auto result = engine.Execute(plan, opts);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
  private:
   Catalog catalog_;
 };
@@ -582,6 +599,153 @@ TEST(FuzzPruneTest, VectorizedArithIfAgreesWithScalarOracle) {
       ASSERT_EQ(selection, expected)
           << "iter " << iter << " partition " << pid << " predicate "
           << pred->ToString();
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Expression-specialization (bytecode) oracle
+// --------------------------------------------------------------------------
+
+/// Specialization compile oracle: every random predicate that compiles to
+/// bytecode must produce a selection byte-identical to the vectorized
+/// interpreter on every partition — over the same two random-predicate
+/// streams the interpreter oracles above use. The sweep must also hit all
+/// three compiler outcomes (fully native, per-term interpreter fallback,
+/// whole-shape rejection) non-vacuously, so the fallback rules are actually
+/// exercised, not just never triggered.
+TEST(FuzzPruneTest, SpecializedSelectionAgreesWithInterpreter) {
+  int64_t compiled = 0;
+  int64_t with_fallback_terms = 0;
+  int64_t rejected = 0;
+  auto check = [&](int iter, const Table& table, const ExprPtr& pred) {
+    jit::CompileResult result = jit::CompilePredicate(pred, table.schema());
+    if (result.program == nullptr) {
+      ASSERT_NE(result.reason, jit::RejectReason::kNone)
+          << "iter " << iter << ": rejection must carry a reason";
+      ++rejected;
+      return;
+    }
+    ++compiled;
+    if (!result.program->fallback_terms.empty()) ++with_fallback_terms;
+    EvalScratch scratch;  // shared with the interpreter, as the scan does
+    for (size_t pid = 0; pid < table.num_partitions(); ++pid) {
+      const MicroPartition& part =
+          table.partition_metadata(static_cast<PartitionId>(pid));
+      std::vector<uint32_t> specialized;
+      ASSERT_TRUE(jit::ExecuteSelection(*result.program, part, &specialized,
+                                        &scratch))
+          << "iter " << iter << " partition " << pid
+          << ": program refused the batch it was compiled for";
+      std::vector<uint32_t> interpreted;
+      ComputeSelection(*pred, part, &interpreted, &scratch);
+      ASSERT_EQ(specialized, interpreted)
+          << "iter " << iter << " partition " << pid << " predicate "
+          << pred->ToString();
+    }
+  };
+  for (int iter = 0; iter < 150; ++iter) {
+    Rng rng(73000 + iter);  // RandomPredicate stream of the oracle above
+    auto table = RandomTable(&rng, "js");
+    ExprPtr pred = RandomPredicate(&rng, *table, 2);
+    ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+    check(iter, *table, pred);
+  }
+  for (int iter = 0; iter < 150; ++iter) {
+    Rng rng(101000 + iter);  // RandomArithIfPredicate stream
+    auto table = RandomTable(&rng, "ja");
+    ExprPtr pred = RandomArithIfPredicate(&rng, *table, 3);
+    ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+    check(1000 + iter, *table, pred);
+  }
+  EXPECT_GT(compiled, 0);
+  EXPECT_GT(with_fallback_terms, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+/// Engine-level specialization oracle: with the tier forced eager
+/// (specialize_after = 0), every plan shape must return rows AND
+/// deterministic PruningStats byte-identical to the interpreter-only
+/// engine at every thread count — specialization must be a pure
+/// performance tier, invisible to results and pruning decisions.
+TEST(FuzzPruneTest, SpecializedEngineIsByteIdentical) {
+  for (int iter = 0; iter < 40; ++iter) {
+    Rng rng(141000 + iter);
+    auto table = RandomTable(&rng, "je");
+    const std::string ctx = "iter " + std::to_string(iter);
+    FuzzEngine engine(table);
+    ExprPtr pred = RandomPredicate(&rng, *table, 2);
+    ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+
+    const int64_t k = rng.UniformInt(1, 25);
+    std::vector<PlanPtr> plans;
+    plans.push_back(ScanPlan("je", pred));
+    plans.push_back(
+        TopKPlan(ScanPlan("je", pred), "key", rng.Bernoulli(0.5), k));
+    plans.push_back(
+        AggregatePlan(ScanPlan("je", pred), {"cat"},
+                      {AggPlanSpec{AggFunc::kCount, "", "n"},
+                       AggPlanSpec{AggFunc::kSum, "key", "key_sum"}}));
+
+    for (size_t p = 0; p < plans.size(); ++p) {
+      QueryResult interpreted = engine.RunSpecialized(plans[p], 1, false);
+      for (int threads : {1, 2, 4}) {
+        QueryResult specialized =
+            engine.RunSpecialized(plans[p], threads, true);
+        const std::string sctx = ctx + " plan " + std::to_string(p) +
+                                 " threads " + std::to_string(threads);
+        ASSERT_EQ(Serialize(interpreted.rows), Serialize(specialized.rows))
+            << sctx << ": specialization changed the rows";
+        ASSERT_EQ(
+            testing_util::DiffStats(interpreted.stats, specialized.stats), "")
+            << sctx << ": specialization changed PruningStats";
+      }
+    }
+  }
+}
+
+/// Sharded specialization oracle: the coordinator compiles each filter once
+/// and ships the program to every shard engine; at shards {1, 2}, with the
+/// tier on and off, rows and deterministic PruningStats must stay
+/// byte-identical to the serial interpreter-only run.
+TEST(FuzzPruneTest, ShardedSpecializationMatchesSerialOracle) {
+  for (int iter = 0; iter < 25; ++iter) {
+    Rng rng(151000 + iter);
+    auto table = RandomTable(&rng, "jh");
+    const std::string ctx = "iter " + std::to_string(iter);
+    FuzzEngine engine(table);
+    ExprPtr pred = RandomPredicate(&rng, *table, 2);
+    ASSERT_TRUE(BindExpr(pred, table->schema()).ok());
+
+    const int64_t k = rng.UniformInt(1, 25);
+    std::vector<PlanPtr> plans;
+    plans.push_back(ScanPlan("jh", pred));
+    plans.push_back(
+        TopKPlan(ScanPlan("jh", pred), "key", rng.Bernoulli(0.5), k));
+
+    for (size_t p = 0; p < plans.size(); ++p) {
+      QueryResult serial = engine.RunSpecialized(plans[p], 1, false);
+      for (size_t shards : {1u, 2u}) {
+        for (bool specialize : {false, true}) {
+          shard::ShardExecConfig config;
+          config.num_shards = shards;
+          config.engine.exec.specialize = specialize;
+          config.engine.exec.specialize_after = 0;
+          shard::ShardCoordinator coordinator(engine.catalog(), config);
+          auto result = coordinator.Execute(plans[p]);
+          const std::string sctx = ctx + " plan " + std::to_string(p) +
+                                   " shards " + std::to_string(shards) +
+                                   " specialize " +
+                                   (specialize ? "on" : "off");
+          ASSERT_TRUE(result.ok())
+              << sctx << ": " << result.status().ToString();
+          ASSERT_EQ(Serialize(serial.rows), Serialize(result.value().rows))
+              << sctx << ": sharded specialization changed the rows";
+          ASSERT_EQ(
+              testing_util::DiffStats(serial.stats, result.value().stats), "")
+              << sctx << ": sharded specialization changed PruningStats";
+        }
+      }
     }
   }
 }

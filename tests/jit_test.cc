@@ -1,0 +1,405 @@
+// Specialization-tier tests: bytecode compiler shape coverage, executor
+// exactness against the interpreter on crafted edge-case data (overflow,
+// div-by-zero, NULLs, NaN), value-program semantics against the scalar
+// evaluator, promotion concurrency (one compile under N threads — the TSan
+// matrix runs this), and DML invalidation accounting.
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "core/predicate_cache.h"
+#include "exec/engine.h"
+#include "exec/plan.h"
+#include "exec/profile.h"
+#include "expr/builder.h"
+#include "expr/evaluator.h"
+#include "expr/jit/bytecode.h"
+#include "expr/jit/compiler.h"
+#include "expr/jit/executor.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace snowprune {
+namespace {
+
+using testing_util::MakeTable;
+
+Schema NumericSchema() {
+  return Schema({Field{"a", DataType::kInt64, false},
+                 Field{"b", DataType::kInt64, true},
+                 Field{"x", DataType::kFloat64, true},
+                 Field{"s", DataType::kString, true}});
+}
+
+/// A table exercising every numeric edge the executor special-cases:
+/// int64 overflow boundaries, zero divisors, NULLs in both lanes, NaN and
+/// infinities, plus strings to force per-term fallbacks.
+std::shared_ptr<Table> EdgeTable() {
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<Value>> rows;
+  const std::vector<int64_t> as = {0, 1, -1, 7, kMax, kMin, kMax - 1, 100};
+  const std::vector<Value> bs = {Value(int64_t{0}), Value::Null(),
+                                 Value(int64_t{3}), Value(kMax),
+                                 Value(int64_t{-5}), Value(int64_t{2}),
+                                 Value::Null(), Value(kMin + 1)};
+  const std::vector<Value> xs = {Value(kNan), Value(0.5), Value::Null(),
+                                 Value(kInf), Value(-kInf), Value(-0.0),
+                                 Value(1e18), Value(3.25)};
+  for (size_t i = 0; i < 64; ++i) {
+    rows.push_back({Value(as[i % as.size()]), bs[(i / 3) % bs.size()],
+                    xs[(i / 5) % xs.size()],
+                    i % 4 == 0 ? Value::Null()
+                               : Value("row" + std::to_string(i % 6))});
+  }
+  return MakeTable("edges", NumericSchema(), rows, 9);
+}
+
+ExprPtr Bind(ExprPtr expr, const Schema& schema) {
+  Status s = BindExpr(expr, schema);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return expr;
+}
+
+/// Asserts the compiled program selects byte-identically to the vectorized
+/// interpreter on every partition of `table`.
+void ExpectSelectionIdentical(const std::shared_ptr<Table>& table,
+                              const ExprPtr& predicate) {
+  jit::CompileResult compiled =
+      jit::CompilePredicate(predicate, table->schema());
+  ASSERT_NE(compiled.program, nullptr);
+  EvalScratch scratch;
+  for (size_t pid = 0; pid < table->num_partitions(); ++pid) {
+    const MicroPartition& part =
+        table->partition_metadata(static_cast<PartitionId>(pid));
+    std::vector<uint32_t> jit_sel;
+    ASSERT_TRUE(
+        jit::ExecuteSelection(*compiled.program, part, &jit_sel, &scratch));
+    std::vector<uint32_t> interp_sel;
+    ComputeSelection(*predicate, part, &interp_sel, &scratch);
+    EXPECT_EQ(jit_sel, interp_sel) << "partition " << pid;
+    EXPECT_EQ(scratch.term_depth, 0u);
+    EXPECT_EQ(scratch.lane_depth, 0u);
+    EXPECT_EQ(scratch.row_depth, 0u);
+  }
+}
+
+TEST(JitCompiler, NativeShapesCompile) {
+  const Schema schema = NumericSchema();
+  const std::vector<ExprPtr> shapes = {
+      Bind(Gt(Col("a"), Lit(int64_t{10})), schema),
+      Bind(Gt(Add(Mul(Col("a"), Lit(int64_t{3})), Col("b")),
+              Lit(int64_t{500})),
+           schema),
+      Bind(And({Ge(Col("a"), Lit(int64_t{0})), Lt(Col("x"), Lit(2.5))}),
+           schema),
+      Bind(Or({Eq(Col("b"), Lit(int64_t{3})), IsNull(Col("x"))}), schema),
+      Bind(In(Col("a"), {Value(int64_t{1}), Value(int64_t{7}), Value(2.0)}),
+           schema),
+      Bind(Not(Le(Col("a"), Col("b"))), schema),
+      Bind(Gt(If(Gt(Col("a"), Lit(int64_t{0})), Col("a"), Col("b")),
+              Lit(int64_t{5})),
+           schema),
+      Bind(Gt(Div(Col("x"), Col("b")), Lit(0.25)), schema),
+  };
+  for (const ExprPtr& p : shapes) {
+    jit::CompileResult compiled = jit::CompilePredicate(p, schema);
+    ASSERT_NE(compiled.program, nullptr);
+    EXPECT_EQ(compiled.reason, jit::RejectReason::kNone);
+    EXPECT_EQ(compiled.fallback_terms, 0);
+    EXPECT_FALSE(compiled.program->code.empty());
+  }
+}
+
+TEST(JitCompiler, StringTermsFallBackPerTerm) {
+  const Schema schema = NumericSchema();
+  // LIKE cannot compile, but the AND still should — with one fallback term
+  // driven through the vectorized interpreter per batch.
+  ExprPtr mixed = Bind(
+      And({Gt(Col("a"), Lit(int64_t{2})), Like(Col("s"), "row%")}), schema);
+  jit::CompileResult compiled = jit::CompilePredicate(mixed, schema);
+  ASSERT_NE(compiled.program, nullptr);
+  EXPECT_EQ(compiled.fallback_terms, 1);
+  EXPECT_EQ(compiled.program->fallback_terms.size(), 1u);
+
+  // A predicate with no native structure at all is rejected whole: running
+  // it as bytecode would only re-drive the interpreter with extra overhead.
+  ExprPtr opaque = Bind(Like(Col("s"), "row%"), schema);
+  jit::CompileResult rejected = jit::CompilePredicate(opaque, schema);
+  EXPECT_EQ(rejected.program, nullptr);
+  EXPECT_EQ(rejected.reason, jit::RejectReason::kNoNativeStructure);
+}
+
+TEST(JitCompiler, RegisterCapRejectsTooComplex) {
+  const Schema schema = NumericSchema();
+  // Nested IF tower in predicate position: every level holds its condition
+  // mask live while the then-branch subtree compiles, so mask-register
+  // demand grows with nesting depth past the executor's cap.
+  ExprPtr deep = Gt(Col("a"), Lit(int64_t{0}));
+  for (int i = 0; i < 80; ++i) {
+    deep = If(Gt(Col("b"), Lit(int64_t{i})), deep,
+              Le(Col("a"), Lit(int64_t{i})));
+  }
+  deep = Bind(deep, schema);
+  jit::CompileResult compiled = jit::CompilePredicate(deep, schema);
+  EXPECT_EQ(compiled.program, nullptr);
+  EXPECT_EQ(compiled.reason, jit::RejectReason::kTooComplex);
+}
+
+TEST(JitExecutor, MatchesInterpreterOnNumericEdges) {
+  auto table = EdgeTable();
+  const Schema& schema = table->schema();
+  const std::vector<ExprPtr> predicates = {
+      // int64 overflow boundary: a*3+b overflows for kMax rows, falling to
+      // double per row exactly like NumericLanes.
+      Bind(Gt(Add(Mul(Col("a"), Lit(int64_t{3})), Col("b")),
+              Lit(int64_t{500000})),
+           schema),
+      // Division by zero divisor rows -> NULL, not a crash or a match.
+      Bind(Gt(Div(Col("a"), Col("b")), Lit(int64_t{2})), schema),
+      // NaN compares: every ordering against NaN must behave exactly like
+      // the interpreter's CmpDouble (x<y / x>y tests).
+      Bind(Le(Col("x"), Lit(0.5)), schema),
+      Bind(Eq(Col("x"), Col("x")), schema),
+      Bind(Ne(Col("x"), Lit(0.0)), schema),
+      // Mixed int/double comparison and arithmetic.
+      Bind(Lt(Add(Col("a"), Col("x")), Lit(100.0)), schema),
+      // Subtraction underflow (kMin - positive).
+      Bind(Lt(Sub(Col("a"), Lit(int64_t{5})), Lit(int64_t{0})), schema),
+      // Connectives with NULL-heavy terms and short-circuit jumps.
+      Bind(And({Gt(Col("a"), Lit(int64_t{-10})), Le(Col("b"), Lit(int64_t{7})),
+                Ge(Col("x"), Lit(-1.0))}),
+           schema),
+      Bind(Or({IsNull(Col("b")), Gt(Col("a"), Col("b")),
+               Lt(Col("x"), Lit(0.0))}),
+           schema),
+      Bind(NotTrue(Gt(Col("a"), Lit(int64_t{50}))), schema),
+      // IS NULL / IS NOT NULL over both lanes.
+      Bind(And({IsNotNull(Col("x")), IsNull(Col("b"))}), schema),
+      // IN over a mixed numeric list (the 2.0 candidate matches a==2 rows).
+      Bind(In(Col("a"), {Value(int64_t{7}), Value(2.0), Value(int64_t{0})}),
+           schema),
+      // IF in value position splitting on a nullable condition.
+      Bind(Gt(If(IsNull(Col("b")), Lit(int64_t{-1}), Col("b")),
+              Lit(int64_t{1})),
+           schema),
+      // Per-term fallback (string) merged with native terms.
+      Bind(And({Gt(Col("a"), Lit(int64_t{0})), StartsWith(Col("s"), "row")}),
+           schema),
+      Bind(Or({Like(Col("s"), "%5"), Le(Col("a"), Lit(int64_t{1}))}), schema),
+  };
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    SCOPED_TRACE("predicate " + std::to_string(i));
+    ExpectSelectionIdentical(table, predicates[i]);
+  }
+}
+
+TEST(JitExecutor, ValueProgramMatchesScalarOracle) {
+  auto table = EdgeTable();
+  const Schema& schema = table->schema();
+  const std::vector<ExprPtr> exprs = {
+      Bind(Add(Mul(Col("a"), Lit(int64_t{3})), Col("b")), schema),
+      Bind(Div(Col("x"), Col("b")), schema),
+      Bind(If(Gt(Col("a"), Lit(int64_t{0})), Add(Col("a"), Col("x")),
+              Sub(Col("b"), Lit(int64_t{1}))),
+           schema),
+  };
+  EvalScratch scratch;
+  for (const ExprPtr& e : exprs) {
+    jit::CompileResult compiled = jit::CompileValueProgram(e, schema);
+    ASSERT_NE(compiled.program, nullptr);
+    ASSERT_GE(compiled.program->root_value_reg, 0);
+    for (size_t pid = 0; pid < table->num_partitions(); ++pid) {
+      const MicroPartition& part =
+          table->partition_metadata(static_cast<PartitionId>(pid));
+      NumericLanes lanes;
+      ASSERT_TRUE(jit::ExecuteValue(*compiled.program, part, &lanes, &scratch));
+      for (size_t r = 0; r < part.row_count(); ++r) {
+        const Value v = EvalScalar(*e, part, r);
+        if (v.is_null()) {
+          EXPECT_EQ(lanes.kind[r], kLaneNull) << "row " << r;
+        } else if (lanes.kind[r] == kLaneInt64) {
+          ASSERT_TRUE(v.is_int64()) << "row " << r;
+          EXPECT_EQ(lanes.i64[r], v.int64_value()) << "row " << r;
+        } else {
+          ASSERT_EQ(lanes.kind[r], kLaneDouble) << "row " << r;
+          ASSERT_TRUE(v.is_float64()) << "row " << r;
+          const double got = lanes.f64[r];
+          const double want = v.float64_value();
+          if (std::isnan(want)) {
+            EXPECT_TRUE(std::isnan(got)) << "row " << r;
+          } else {
+            EXPECT_EQ(got, want) << "row " << r;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(JitExecutor, ColumnDriftFallsBackToInterpreter) {
+  auto table = EdgeTable();
+  ExprPtr p = Bind(Gt(Col("a"), Lit(int64_t{3})), table->schema());
+  jit::CompileResult compiled = jit::CompilePredicate(p, table->schema());
+  ASSERT_NE(compiled.program, nullptr);
+  // A partition whose column layout does not satisfy the program's reqs
+  // (wrong arity) must be refused, not misread.
+  ColumnVector only(DataType::kFloat64);
+  only.AppendFloat64(1.0);
+  MicroPartition drifted(0, {std::move(only)});
+  std::vector<uint32_t> selection{99};
+  EvalScratch scratch;
+  jit::CompiledPredicate widened = *compiled.program;
+  widened.schema_columns = 1;
+  widened.column_reqs[0].index = 0;  // exists, but float64 != int64 req
+  EXPECT_FALSE(jit::ExecuteSelection(widened, drifted, &selection, &scratch));
+}
+
+TEST(JitPromotion, ConcurrentPromotionCompilesExactlyOnce) {
+  auto table = EdgeTable();
+  ExprPtr p = Bind(Gt(Col("a"), Lit(int64_t{3})), table->schema());
+  PredicateCache cache;
+  cache.Insert("fp", *table, "a", {0, 1});
+  const int64_t compiles_before = jit::Counters().compiles->Value();
+  std::atomic<int> callback_runs{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const jit::CompiledPredicate>> got(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      got[t] = cache.GetOrCompileProgram("fp", *table, [&]() {
+        callback_runs.fetch_add(1, std::memory_order_relaxed);
+        jit::CompileResult compiled =
+            jit::CompilePredicate(p, table->schema());
+        if (compiled.program != nullptr) {
+          compiled.program->table_instance = table->instance_id();
+        }
+        return std::shared_ptr<const jit::CompiledPredicate>(
+            std::move(compiled.program));
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(callback_runs.load(), 1);
+  EXPECT_EQ(jit::Counters().compiles->Value() - compiles_before, 1);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(got[t], nullptr);
+    EXPECT_EQ(got[t], got[0]);  // all threads share the one program
+  }
+}
+
+TEST(JitPromotion, NoteHitCountsAndDeclineIsSticky) {
+  auto table = EdgeTable();
+  PredicateCache cache;
+  EXPECT_EQ(cache.NoteHit("absent"), 0);
+  cache.Insert("fp", *table, "a", {0});
+  EXPECT_EQ(cache.NoteHit("fp"), 1);
+  EXPECT_EQ(cache.NoteHit("fp"), 2);
+  int calls = 0;
+  auto decline = [&]() {
+    ++calls;
+    return std::shared_ptr<const jit::CompiledPredicate>();
+  };
+  EXPECT_EQ(cache.GetOrCompileProgram("fp", *table, decline), nullptr);
+  EXPECT_EQ(cache.GetOrCompileProgram("fp", *table, decline), nullptr);
+  EXPECT_EQ(calls, 1);  // the failed promotion is remembered
+}
+
+TEST(JitInvalidation, DmlAndInstanceMismatchDropPrograms) {
+  auto table = EdgeTable();
+  ExprPtr p = Bind(Gt(Col("a"), Lit(int64_t{3})), table->schema());
+  auto compile = [&](const Table& against) {
+    jit::CompileResult compiled = jit::CompilePredicate(p, against.schema());
+    compiled.program->table_instance = against.instance_id();
+    return std::shared_ptr<const jit::CompiledPredicate>(
+        std::move(compiled.program));
+  };
+  PredicateCache cache;
+  cache.Insert("fp", *table, "a", {0, 1});
+  ASSERT_NE(cache.GetOrCompileProgram("fp", *table, [&]() {
+    return compile(*table);
+  }), nullptr);
+
+  // UPDATE on the order column erases the entry; its program counts as
+  // invalidated.
+  const int64_t invalidations_before = jit::Counters().invalidations->Value();
+  cache.OnUpdate(*table, "a");
+  EXPECT_EQ(jit::Counters().invalidations->Value() - invalidations_before, 1);
+  EXPECT_EQ(cache.GetProgram("fp", *table), nullptr);
+
+  // Re-populate, then swap the table version under the same name: the
+  // program's instance claim no longer holds, so the lookup drops it (and
+  // counts the drop) instead of serving stale bytecode.
+  cache.Insert("fp", *table, "a", {0, 1});
+  ASSERT_NE(cache.GetOrCompileProgram("fp", *table, [&]() {
+    return compile(*table);
+  }), nullptr);
+  auto replacement = EdgeTable();  // fresh instance_id, same name/schema
+  const int64_t before_swap = jit::Counters().invalidations->Value();
+  EXPECT_EQ(cache.GetProgram("fp", *replacement), nullptr);
+  EXPECT_EQ(jit::Counters().invalidations->Value() - before_swap, 1);
+  // A promotion against the new instance compiles fresh.
+  ASSERT_NE(cache.GetOrCompileProgram("fp", *replacement, [&]() {
+    return compile(*replacement);
+  }), nullptr);
+}
+
+TEST(JitEngine, EagerSpecializationIsByteIdenticalAndAttributed) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable(EdgeTable()).ok());
+  PlanPtr plan = ScanPlan(
+      "edges", Gt(Add(Mul(Col("a"), Lit(int64_t{3})), Col("b")),
+                  Lit(int64_t{50})));
+
+  EngineConfig off;
+  off.exec.specialize = false;
+  off.exec.num_threads = 1;
+  Engine interpreted(&catalog, off);
+  auto base = interpreted.Execute(plan, nullptr);
+  ASSERT_TRUE(base.ok());
+
+  EngineConfig on;
+  on.exec.specialize = true;
+  on.exec.specialize_after = 0;  // eager
+  on.exec.num_threads = 1;
+  Engine specialized(&catalog, on);
+  ExecuteOptions opts;
+  Trace trace;
+  opts.trace = &trace;
+  auto fast = specialized.Execute(plan, opts);
+  ASSERT_TRUE(fast.ok());
+
+  EXPECT_EQ(testing_util::Serialize(base.value()),
+            testing_util::Serialize(fast.value()));
+  EXPECT_EQ(testing_util::DiffStats(base.value().stats, fast.value().stats),
+            "");
+
+  // EXPLAIN ANALYZE attribution: the scan node reports how many batches ran
+  // specialized, and the compile span has a compile.specialize child.
+  ASSERT_NE(fast.value().profile, nullptr);
+  EXPECT_NE(fast.value().profile->ToText().find("[specialized"),
+            std::string::npos)
+      << fast.value().profile->ToText();
+  bool specialize_span = false;
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name == "compile.specialize") specialize_span = true;
+  }
+  EXPECT_TRUE(specialize_span);
+}
+
+}  // namespace
+}  // namespace snowprune

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Expression-specialization perf gate.
+
+The bytecode tier (src/expr/jit/) exists to make hot filter shapes cheaper
+than the vectorized interpreter; if a specialized sweep is ever *slower*
+than the interpreted one on the shapes it natively compiles, the tier is
+costing instead of paying and the change must not land.
+
+Reads bench_headline JSON and fails unless, for every gated query class,
+  specialized ns/row <= interpreted ns/row * (1 + tolerance).
+The gated classes are the sweep's natively-compiled filter shapes
+(scan_filter's BETWEEN and arith_filter's arithmetic compare); the other
+classes are dominated by non-filter work and stay informational.
+
+Usage:
+  check_specialize_gain.py DUAL.json [--tolerance=0.10]
+      DUAL.json from a default (--specialize=both) run: compares the
+      "classes" (interpreted) and "classes_specialized" arrays.
+  check_specialize_gain.py OFF.json ON.json [--tolerance=0.10]
+      Two single-mode runs (--specialize=off / --specialize=on): compares
+      OFF.json's "classes" against ON.json's "classes".
+
+The default tolerance absorbs scheduler noise on smoke-sized CI runs; the
+expectation on full-size runs is a clear win, not parity.
+"""
+
+import json
+import sys
+
+GATED_CLASSES = ("scan_filter", "arith_filter")
+
+
+def load_classes(path, key):
+    with open(path) as f:
+        data = json.load(f)
+    classes = data.get(key)
+    if not classes:
+        raise SystemExit(f"{path}: no '{key}' section — run bench_headline "
+                         "--json with the matching --specialize mode")
+    return {point["class"]: float(point["ns_per_row"]) for point in classes}
+
+
+def main(argv):
+    tolerance = 0.10
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) == 1:
+        interpreted = load_classes(paths[0], "classes")
+        specialized = load_classes(paths[0], "classes_specialized")
+    elif len(paths) == 2:
+        interpreted = load_classes(paths[0], "classes")
+        specialized = load_classes(paths[1], "classes")
+    else:
+        raise SystemExit(__doc__)
+
+    failed = False
+    for cls in sorted(set(interpreted) | set(specialized)):
+        off = interpreted.get(cls)
+        on = specialized.get(cls)
+        if off is None or on is None:
+            raise SystemExit(f"class {cls}: present in only one sweep")
+        gated = cls in GATED_CLASSES
+        verdict = ""
+        if gated and off > 0 and on > off * (1.0 + tolerance):
+            verdict = "  <-- FAIL: specialization made this slower"
+            failed = True
+        ratio = on / off if off > 0 else float("nan")
+        print(f"{cls:<14} interpreted {off:8.1f} ns/row   "
+              f"specialized {on:8.1f} ns/row   ratio {ratio:5.2f}"
+              f"{'   [gated]' if gated else ''}{verdict}")
+
+    if failed:
+        print(f"\nFAIL: specialized ns/row exceeds interpreted by more than "
+              f"{tolerance:.0%} on a gated class")
+        return 1
+    print(f"\nOK: specialized filter classes within {tolerance:.0%} of "
+          "interpreted or faster")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
